@@ -1,0 +1,182 @@
+// Package repro's root benchmark harness: one testing.B per table/figure
+// of the paper's evaluation (§VII), wrapping the experiment functions in
+// internal/bench. Each iteration runs the full experiment at quick scale
+// and reports the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every artefact. cmd/reproduce prints the full tables; the
+// -full flag there runs closer to paper scale.
+package repro
+
+import (
+	"testing"
+
+	"xrdma/internal/bench"
+)
+
+func scale() bench.Scale { return bench.Quick() }
+
+// BenchmarkFig7_MixedMessage regenerates Fig. 7 (left): small vs large vs
+// mixed message modes.
+func BenchmarkFig7_MixedMessage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig7Left(scale())
+		b.ReportMetric(r.Mixed[0], "small_rtt_us")
+		b.ReportMetric(r.Mixed[len(r.Mixed)-1], "16KB_rtt_us")
+	}
+}
+
+// BenchmarkFig7_Middleware regenerates Fig. 7 (middle): the middleware
+// comparison at small payloads.
+func BenchmarkFig7_Middleware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig7Middle(scale())
+		b.ReportMetric(r.RTT["xrdma-BD"][3], "xrdma_64B_us")
+		b.ReportMetric(r.RTT["ibv-pingpong"][3], "ibv_64B_us")
+		b.ReportMetric(r.RTT["ucx-am-rc"][3], "ucx_64B_us")
+		b.ReportMetric(r.RTT["libfabric"][3], "libfabric_64B_us")
+		b.ReportMetric(r.RTT["xio"][3], "xio_64B_us")
+	}
+}
+
+// BenchmarkFig7_Large regenerates Fig. 7 (right): 4–32 KB payloads.
+func BenchmarkFig7_Large(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig7Right(scale())
+		b.ReportMetric(r.RTT["xrdma"][len(r.Sizes)-1], "xrdma_32KB_us")
+	}
+}
+
+// BenchmarkTracingOverhead regenerates the §VII-A bare-data vs req-rsp
+// comparison (paper: +2–4%).
+func BenchmarkTracingOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.TracingOverhead(scale())
+		b.ReportMetric(r.OverheadPct[0], "overhead_pct_64B")
+	}
+}
+
+// BenchmarkEstablishment regenerates §VII-C: 3946→2451 µs with the QP
+// cache, and the mass-establishment storm.
+func BenchmarkEstablishment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Establishment(scale())
+		b.ReportMetric(r.ColdUS, "cold_us")
+		b.ReportMetric(r.WarmUS, "qpcache_us")
+		b.ReportMetric(r.SavingPct, "saving_pct")
+		b.ReportMetric(r.MassColdSec/r.MassWarmSec, "mass_speedup")
+	}
+}
+
+// BenchmarkFig8_EstablishRamp regenerates Fig. 8: ESSD IOPS ramp.
+func BenchmarkFig8_EstablishRamp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig8EssdRamp(scale())
+		b.ReportMetric(r.SteadyIOPS, "steady_iops")
+		b.ReportMetric(r.RampSeconds, "ramp_s")
+	}
+}
+
+// BenchmarkFig9_RNRFree regenerates Fig. 9: RNR counters raw vs X-RDMA.
+func BenchmarkFig9_RNRFree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig9RNRCounter(scale())
+		b.ReportMetric(r.RawRNRPerSec, "raw_rnr_per_s")
+		b.ReportMetric(r.XRDMARNRPerSec, "xrdma_rnr_per_s")
+	}
+}
+
+// BenchmarkFig10_FlowControl regenerates Fig. 10: incast bandwidth, CNPs
+// and PFC pauses with and without flow control.
+func BenchmarkFig10_FlowControl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig10FlowControl(scale())
+		b.ReportMetric(r.GoodputGbps["128KB"], "nofc_gbps")
+		b.ReportMetric(r.GoodputGbps["128KB-fc"], "fc_gbps")
+		b.ReportMetric(float64(r.CNPs["128KB-fc"])/float64(r.CNPs["128KB"]+1)*100, "fc_cnp_pct")
+		b.ReportMetric(float64(r.PauseTX["128KB-fc"]), "fc_pause")
+	}
+}
+
+// BenchmarkFig11_Upgrade regenerates Fig. 11: the online-upgrade QP ramp.
+func BenchmarkFig11_Upgrade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig11OnlineUpgrade(scale())
+		b.ReportMetric(r.BaseIOPS, "iops_before")
+		b.ReportMetric(r.DuringIOPS, "iops_during")
+	}
+}
+
+// BenchmarkFig12_AntiJitter regenerates Fig. 12: small-I/O latency through
+// a bandwidth step.
+func BenchmarkFig12_AntiJitter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig12AntiJitter(scale(), "ESSD")
+		b.ReportMetric(r.P99On, "p99_on_us")
+		b.ReportMetric(r.P99Off, "p99_off_us")
+	}
+}
+
+// BenchmarkQPScaling regenerates the §VII-F RNIC-cache sweep.
+func BenchmarkQPScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.QPScaling(scale())
+		b.ReportMetric(r.WorstPct, "worst_degradation_pct")
+	}
+}
+
+// BenchmarkSRQ regenerates the §VII-F SRQ trade-off.
+func BenchmarkSRQ(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.SRQTradeoff(scale())
+		b.ReportMetric(r.SRQMemMB, "srq_mem_mb")
+		b.ReportMetric(r.PerChannelMemMB, "perchan_mem_mb")
+		b.ReportMetric(float64(r.SRQRNRs), "srq_rnrs")
+	}
+}
+
+// BenchmarkMemoryModes regenerates the §VII-F registration-mode table.
+func BenchmarkMemoryModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.MemoryModes(scale())
+		b.ReportMetric(r.RegCostMS[0], "noncont_reg_ms")
+		b.ReportMetric(r.RegCostMS[1], "cont_reg_ms")
+		b.ReportMetric(r.RegCostMS[2], "hugepage_reg_ms")
+	}
+}
+
+// BenchmarkMixedFootprint regenerates the §VII-A memory-footprint claim
+// (large path needs 1–10% of small-mode memory).
+func BenchmarkMixedFootprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.MixedFootprint(scale())
+		b.ReportMetric(r.RatioPct[len(r.RatioPct)-1], "mixed_vs_small_pct")
+	}
+}
+
+// BenchmarkPeakStress regenerates the §VII peak-throughput stress run.
+func BenchmarkPeakStress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.PeakStress(scale())
+		b.ReportMetric(r.AggregateOpsPerSec/1e6, "mops")
+		b.ReportMetric(float64(r.Errors+r.RNRs+r.Broken), "exceptions")
+	}
+}
+
+// BenchmarkFig3_Diurnal regenerates the Fig. 3 context plot.
+func BenchmarkFig3_Diurnal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig3Diurnal(scale())
+		b.ReportMetric(r.PeakGbps, "peak_gbps")
+		b.ReportMetric(r.TroughGbps, "trough_gbps")
+	}
+}
+
+// BenchmarkFragmentSweep runs the DESIGN.md ablation on fragment size.
+func BenchmarkFragmentSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.FragmentSweep(scale())
+		b.ReportMetric(r.Goodput[1], "frag64k_gbps")
+	}
+}

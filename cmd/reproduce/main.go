@@ -1,0 +1,81 @@
+// reproduce runs every experiment of DESIGN.md's per-experiment index and
+// prints the paper-style tables. Quick scale by default; -full runs closer
+// to paper scale (slower). Individual experiments select with -only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"xrdma/internal/bench"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at near-paper scale (slow)")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig7,fig10,establish)")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	sc := bench.Quick()
+	if *full {
+		sc = bench.FullScale()
+	}
+	sc.Seed = *seed
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	if sel("fig7") {
+		fmt.Println(bench.Fig7Left(sc).Table_.String())
+		fmt.Println(bench.Fig7Middle(sc).Table_.String())
+		fmt.Println(bench.Fig7Right(sc).Table_.String())
+		fmt.Println(bench.TracingOverhead(sc).Table_.String())
+	}
+	if sel("establish") {
+		fmt.Println(bench.Establishment(sc).Table_.String())
+	}
+	if sel("fig8") {
+		fmt.Println(bench.Fig8EssdRamp(sc).Table_.String())
+	}
+	if sel("fig9") {
+		fmt.Println(bench.Fig9RNRCounter(sc).Table_.String())
+	}
+	if sel("fig10") {
+		fmt.Println(bench.Fig10FlowControl(sc).Table_.String())
+		fmt.Println(bench.FragmentSweep(sc).Table_.String())
+	}
+	if sel("fig11") {
+		fmt.Println(bench.Fig11OnlineUpgrade(sc).Table_.String())
+	}
+	if sel("fig12") {
+		fmt.Println(bench.Fig12AntiJitter(sc, "ESSD").Table_.String())
+		fmt.Println(bench.Fig12AntiJitter(sc, "X-DB").Table_.String())
+	}
+	if sel("qpscale") {
+		fmt.Println(bench.QPScaling(sc).Table_.String())
+	}
+	if sel("srq") {
+		fmt.Println(bench.SRQTradeoff(sc).Table_.String())
+	}
+	if sel("memmodes") {
+		fmt.Println(bench.MemoryModes(sc).Table_.String())
+	}
+	if sel("footprint") {
+		fmt.Println(bench.MixedFootprint(sc).Table_.String())
+	}
+	if sel("peak") {
+		fmt.Println(bench.PeakStress(sc).Table_.String())
+	}
+	if sel("fig3") {
+		fmt.Println(bench.Fig3Diurnal(sc).Table_.String())
+	}
+	if sel("loc") {
+		fmt.Println(bench.LoCComparison().Table_.String())
+	}
+}

@@ -1,0 +1,136 @@
+// kvstore: a replicated key-value store over X-RDMA's built-in RPC — the
+// kind of storage front end §II-C describes. Small GET/PUT requests ride
+// the inline path; bulk values (and range scans) cross the 4 KB threshold
+// and use the rendezvous large-message path transparently.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xrdma/internal/cluster"
+	"xrdma/internal/fabric"
+	"xrdma/internal/sim"
+	"xrdma/internal/xrdma"
+)
+
+// Tiny wire protocol on top of Msg payloads.
+const (
+	opPut = 1
+	opGet = 2
+)
+
+func encodeReq(op byte, key string, val []byte) []byte {
+	b := make([]byte, 3+len(key)+len(val))
+	b[0] = op
+	binary.LittleEndian.PutUint16(b[1:], uint16(len(key)))
+	copy(b[3:], key)
+	copy(b[3+len(key):], val)
+	return b
+}
+
+func decodeReq(b []byte) (op byte, key string, val []byte) {
+	op = b[0]
+	kl := binary.LittleEndian.Uint16(b[1:])
+	key = string(b[3 : 3+kl])
+	val = b[3+kl:]
+	return
+}
+
+type store struct {
+	data map[string][]byte
+}
+
+func (s *store) serve(m *xrdma.Msg) {
+	op, key, val := decodeReq(m.Data)
+	switch op {
+	case opPut:
+		// Retain: the rendezvous buffer is recycled after the handler.
+		cp := make([]byte, len(val))
+		copy(cp, val)
+		s.data[key] = cp
+		m.Reply([]byte("OK"), 0)
+	case opGet:
+		v, ok := s.data[key]
+		if !ok {
+			m.Reply([]byte{}, 0)
+			return
+		}
+		m.Reply(v, 0)
+	}
+}
+
+func main() {
+	c := cluster.New(cluster.Options{Topology: fabric.SmallClos(), Nodes: 3})
+
+	// Two replicas.
+	for _, i := range []int{1, 2} {
+		s := &store{data: make(map[string][]byte)}
+		c.Nodes[i].Ctx.OnChannel(func(ch *xrdma.Channel) { ch.OnMessage(s.serve) })
+		if err := c.Nodes[i].Ctx.Listen(6379); err != nil {
+			panic(err)
+		}
+	}
+
+	// Client connects to both replicas.
+	var reps []*xrdma.Channel
+	c.ConnectPairs([][2]int{{0, 1}, {0, 2}}, 6379, func(chs []*xrdma.Channel) { reps = chs })
+	c.Eng.Run()
+
+	put := func(key string, val []byte, done func()) {
+		remaining := len(reps)
+		for _, ch := range reps {
+			ch.SendMsg(encodeReq(opPut, key, val), 0, func(m *xrdma.Msg, err error) {
+				if err != nil {
+					panic(err)
+				}
+				remaining--
+				if remaining == 0 {
+					done()
+				}
+			})
+		}
+	}
+	get := func(key string, done func([]byte)) {
+		reps[0].SendMsg(encodeReq(opGet, key, nil), 0, func(m *xrdma.Msg, err error) {
+			if err != nil {
+				panic(err)
+			}
+			done(m.Retain())
+		})
+	}
+
+	// A small value (inline path) and a 256 KB value (rendezvous path).
+	small := []byte("inline value")
+	big := make([]byte, 256<<10)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+
+	start := c.Eng.Now()
+	put("config", small, func() {
+		put("blob", big, func() {
+			get("config", func(v []byte) {
+				fmt.Printf("GET config → %q\n", v)
+			})
+			get("blob", func(v []byte) {
+				ok := len(v) == len(big)
+				for i := range v {
+					if v[i] != big[i] {
+						ok = false
+						break
+					}
+				}
+				fmt.Printf("GET blob → %d bytes, intact=%v, elapsed=%v\n",
+					len(v), ok, c.Eng.Now().Sub(start))
+			})
+		})
+	})
+	c.Eng.Run()
+
+	// The large transfers went through the rendezvous machinery:
+	fmt.Printf("client large sent=%d recv=%d; replica1 stats:\n%s",
+		reps[0].Counters.LargeSent, reps[0].Counters.LargeRecv,
+		xrdma.XRStat(c.Mon.Context(fabric.NodeID(1))))
+	_ = sim.Second
+}

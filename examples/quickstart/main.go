@@ -1,0 +1,46 @@
+// Quickstart: the X-RDMA ping-pong. This is the §VII-B simplification
+// demo — compare with examples/rawverbs, which does the same job on the
+// verbs API. The X-RDMA portion of this program is ~40 lines.
+package main
+
+import (
+	"fmt"
+
+	"xrdma/internal/cluster"
+	"xrdma/internal/fabric"
+	"xrdma/internal/xrdma"
+)
+
+func main() {
+	// Simulated two-node deployment (fabric + NICs + contexts).
+	c := cluster.New(cluster.Options{Topology: fabric.SmallClos(), Nodes: 2})
+
+	// --- server ---------------------------------------------------------
+	server := c.Nodes[1].Ctx
+	server.OnChannel(func(ch *xrdma.Channel) {
+		ch.OnMessage(func(m *xrdma.Msg) {
+			fmt.Printf("server: %q (%d bytes)\n", m.Data, m.Len)
+			m.Reply([]byte("pong"), 0)
+		})
+	})
+	if err := server.Listen(4791); err != nil {
+		panic(err)
+	}
+
+	// --- client ---------------------------------------------------------
+	client := c.Nodes[0].Ctx
+	client.Connect(c.Nodes[1].ID, 4791, func(ch *xrdma.Channel, err error) {
+		if err != nil {
+			panic(err)
+		}
+		ch.SendMsg([]byte("ping"), 0, func(resp *xrdma.Msg, err error) {
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("client: %q after %v\n", resp.Data, c.Eng.Now())
+		})
+	})
+
+	c.Eng.Run()
+	fmt.Println("done:", xrdma.XRStat(client))
+}

@@ -1,0 +1,153 @@
+// The same ping-pong as examples/quickstart, written against the raw
+// verbs facade — the §II-A "complex ritual": open the device, allocate a
+// protection domain, register memory, create the completion queues and
+// queue pair, drive the RESET→INIT→RTR→RTS state machine through the
+// connection manager, pre-post receives, post sends, poll completions,
+// and handle every error branch yourself. No keepalive, no seq-ack
+// window, no flow control, no tracing — adding those is how you arrive
+// at the ~2000 lines the paper counts for Pangu's data plane.
+package main
+
+import (
+	"fmt"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+	"xrdma/internal/verbs"
+)
+
+const (
+	port      = 4791
+	queueLen  = 64
+	bufBytes  = 4096
+	recvSlots = 16
+)
+
+func main() {
+	// Infrastructure: engine, fabric, two NICs.
+	eng := sim.NewEngine()
+	fab := fabric.New(eng, fabric.DefaultConfig(), 1)
+	fabric.BuildClos(fab, fabric.SmallClos())
+	serverNIC := rnic.New(eng, fab.Host(1), rnic.DefaultConfig())
+	clientNIC := rnic.New(eng, fab.Host(0), rnic.DefaultConfig())
+	net := verbs.NewCMNetwork()
+
+	// --- server ---------------------------------------------------------
+	serverCtx := verbs.Open(serverNIC)
+	serverPD := serverCtx.AllocPD()
+	serverCM := verbs.NewCM(serverCtx, net, fab.Host(1))
+
+	// Register a receive arena. With raw verbs you manage this memory
+	// yourself; nothing reclaims or re-registers it for you.
+	serverMR := serverPD.RegMRNow(recvSlots*bufBytes, rnic.RegNonContinuous)
+
+	serverSendCQ := rnic.NewCQ(queueLen)
+	serverRecvCQ := rnic.NewCQ(queueLen)
+
+	err := serverCM.Listen(port, func(req *verbs.ConnReq) {
+		// Passive side: create a QP and walk it to RTS.
+		serverNIC.CreateQP(queueLen, queueLen, serverSendCQ, serverRecvCQ, nil, func(qp *rnic.QP) {
+			req.Accept(qp, func(conn *verbs.Conn, err error) {
+				if err != nil {
+					fmt.Println("server: accept failed:", err)
+					return
+				}
+				// Pre-post receive buffers before traffic can arrive —
+				// forget this and the sender sees RNR NAKs.
+				for i := 0; i < recvSlots; i++ {
+					addr := serverMR.Base + uint64(i*bufBytes)
+					if err := qp.PostRecv(rnic.RecvWR{ID: uint64(i), Addr: addr, Len: bufBytes}); err != nil {
+						fmt.Println("server: post recv:", err)
+						return
+					}
+				}
+				// Poll loop: consume requests, echo a response.
+				serverRecvCQ.OnCompletion(func() {
+					for _, cqe := range serverRecvCQ.Poll(queueLen) {
+						if cqe.Status != rnic.StatusOK {
+							fmt.Println("server: recv error:", cqe.Status)
+							return
+						}
+						fmt.Printf("server: %q (%d bytes)\n", cqe.Data, cqe.Len)
+						// Recycle the receive buffer.
+						if err := qp.PostRecv(rnic.RecvWR{ID: cqe.WRID, Addr: cqe.Addr, Len: bufBytes}); err != nil {
+							fmt.Println("server: repost:", err)
+							return
+						}
+						// Echo. The payload must live in registered
+						// memory you own until the completion arrives.
+						pong := []byte("pong")
+						wr := &rnic.SendWR{ID: 100, Op: rnic.OpSend, Len: len(pong), Data: pong}
+						if err := qp.PostSend(wr); err != nil {
+							fmt.Println("server: post send:", err)
+							return
+						}
+					}
+				})
+				// Drain send completions or the CQ overflows eventually.
+				serverSendCQ.OnCompletion(func() {
+					for _, cqe := range serverSendCQ.Poll(queueLen) {
+						if cqe.Status != rnic.StatusOK {
+							fmt.Println("server: send error:", cqe.Status)
+						}
+					}
+				})
+			})
+		})
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// --- client ---------------------------------------------------------
+	clientCtx := verbs.Open(clientNIC)
+	clientPD := clientCtx.AllocPD()
+	clientCM := verbs.NewCM(clientCtx, net, fab.Host(0))
+	clientMR := clientPD.RegMRNow(recvSlots*bufBytes, rnic.RegNonContinuous)
+	clientSendCQ := rnic.NewCQ(queueLen)
+	clientRecvCQ := rnic.NewCQ(queueLen)
+
+	clientCM.Connect(fab.Host(1).ID, port, nil, nil, queueLen, clientSendCQ, clientRecvCQ, nil,
+		func(conn *verbs.Conn, err error) {
+			if err != nil {
+				fmt.Println("client: connect failed:", err)
+				return
+			}
+			qp := conn.QP
+			for i := 0; i < recvSlots; i++ {
+				addr := clientMR.Base + uint64(i*bufBytes)
+				if err := qp.PostRecv(rnic.RecvWR{ID: uint64(i), Addr: addr, Len: bufBytes}); err != nil {
+					fmt.Println("client: post recv:", err)
+					return
+				}
+			}
+			clientRecvCQ.OnCompletion(func() {
+				for _, cqe := range clientRecvCQ.Poll(queueLen) {
+					if cqe.Status != rnic.StatusOK {
+						fmt.Println("client: recv error:", cqe.Status)
+						return
+					}
+					fmt.Printf("client: %q after %v\n", cqe.Data, eng.Now())
+					if err := qp.PostRecv(rnic.RecvWR{ID: cqe.WRID, Addr: cqe.Addr, Len: bufBytes}); err != nil {
+						fmt.Println("client: repost:", err)
+					}
+				}
+			})
+			clientSendCQ.OnCompletion(func() {
+				for _, cqe := range clientSendCQ.Poll(queueLen) {
+					if cqe.Status != rnic.StatusOK {
+						fmt.Println("client: send error:", cqe.Status)
+					}
+				}
+			})
+			ping := []byte("ping")
+			wr := &rnic.SendWR{ID: 1, Op: rnic.OpSend, Len: len(ping), Data: ping}
+			if err := qp.PostSend(wr); err != nil {
+				fmt.Println("client: post send:", err)
+			}
+		})
+
+	eng.Run()
+	fmt.Println("done")
+}

@@ -1,0 +1,3 @@
+module xrdma
+
+go 1.24

@@ -1,0 +1,197 @@
+// Package baseline implements the comparator stacks of Fig. 7: the raw
+// ibv_rc_pingpong (the "ideal baseline... no extra overhead other than the
+// primitive RDMA operations"), and middlewares shaped like ucx-am-rc,
+// libfabric and Accelio/xio. All run over the same verbs/rnic substrate,
+// so differences come from exactly what the paper compares: per-operation
+// software cost, header bytes, and eager/rendezvous thresholds.
+//
+// Profiles are calibrated against published ping-pong numbers (§VII-A:
+// xrdma 5.60 µs vs ucx-am-rc 5.87 µs vs libfabric 6.20 µs; xio notably
+// slower; X-RDMA within 10% of ibv_rc_pingpong).
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+)
+
+// Profile characterises one middleware's software data path.
+type Profile struct {
+	Name     string
+	SendCost sim.Duration // per-op CPU before the doorbell
+	RecvCost sim.Duration // per-delivery CPU (poll, dispatch, header parse)
+	HdrBytes int          // wire header added to every message
+	EagerMax int          // payloads above this use a rendezvous round
+}
+
+// The comparator profiles.
+var (
+	// IbvPingpong is the primitive-operations-only ideal.
+	IbvPingpong = Profile{Name: "ibv-pingpong", SendCost: 40 * sim.Nanosecond, RecvCost: 40 * sim.Nanosecond, HdrBytes: 0, EagerMax: 1 << 30}
+	// UcxAmRc is UCX's active-message RC transport.
+	UcxAmRc = Profile{Name: "ucx-am-rc", SendCost: 210 * sim.Nanosecond, RecvCost: 190 * sim.Nanosecond, HdrBytes: 32, EagerMax: 8 << 10}
+	// Libfabric models the OFI rxm/verbs path.
+	Libfabric = Profile{Name: "libfabric", SendCost: 370 * sim.Nanosecond, RecvCost: 330 * sim.Nanosecond, HdrBytes: 48, EagerMax: 16 << 10}
+	// Xio models Accelio's heavyweight abstraction layers.
+	Xio = Profile{Name: "xio", SendCost: 900 * sim.Nanosecond, RecvCost: 800 * sim.Nanosecond, HdrBytes: 64, EagerMax: 8 << 10}
+)
+
+// Profiles lists all comparators in the order Fig. 7 plots them.
+func Profiles() []Profile { return []Profile{IbvPingpong, UcxAmRc, Libfabric, Xio} }
+
+// Pair is two connected endpoints of one profile, with the server side in
+// echo mode — the ping-pong fixture of §VII-A.
+type Pair struct {
+	Profile Profile
+	eng     *sim.Engine
+	cli     *endpoint
+	srv     *endpoint
+}
+
+type endpoint struct {
+	p      Profile
+	eng    *sim.Engine
+	nic    *rnic.NIC
+	qp     *rnic.QP
+	selfMR *rnic.MR
+	echo   bool
+	onResp func(size int)
+
+	readCbs []func()
+}
+
+const recvDepth = 128
+const recvBuf = 64 << 10
+
+// rendezvous control wire format: magic(2) size(8) addr(8) rkey(4).
+const ctrlMagic = 0x5242 // "RB"
+const ctrlBytes = 22
+
+func encodeCtrl(size int, addr uint64, rkey uint32) []byte {
+	b := make([]byte, ctrlBytes)
+	binary.LittleEndian.PutUint16(b, ctrlMagic)
+	binary.LittleEndian.PutUint64(b[2:], uint64(size))
+	binary.LittleEndian.PutUint64(b[10:], addr)
+	binary.LittleEndian.PutUint32(b[18:], rkey)
+	return b
+}
+
+func decodeCtrl(b []byte) (size int, addr uint64, rkey uint32, ok bool) {
+	if len(b) < ctrlBytes || binary.LittleEndian.Uint16(b) != ctrlMagic {
+		return 0, 0, 0, false
+	}
+	return int(binary.LittleEndian.Uint64(b[2:])), binary.LittleEndian.Uint64(b[10:]), binary.LittleEndian.Uint32(b[18:]), true
+}
+
+// NewPair wires client and server endpoints between two NICs.
+func NewPair(p Profile, a, b *rnic.NIC) *Pair {
+	qa, qb := rnic.ConnectLoopback(a, b, 4*recvDepth)
+	mkEp := func(nic *rnic.NIC, qp *rnic.QP) *endpoint {
+		ep := &endpoint{p: p, eng: nic.Engine(), nic: nic, qp: qp}
+		ep.selfMR = nic.Mem.Register(8<<20, rnic.RegNonContinuous)
+		for i := 0; i < recvDepth; i++ {
+			if err := qp.PostRecv(rnic.RecvWR{ID: uint64(i), Len: recvBuf}); err != nil {
+				panic(err)
+			}
+		}
+		return ep
+	}
+	cli := mkEp(a, qa)
+	srv := mkEp(b, qb)
+	srv.echo = true
+	cli.attach()
+	srv.attach()
+	return &Pair{Profile: p, eng: a.Engine(), cli: cli, srv: srv}
+}
+
+func (ep *endpoint) attach() {
+	ep.qp.RecvCQ.OnCompletion(ep.drainRecv)
+	ep.qp.SendCQ.OnCompletion(ep.drainSend)
+	ep.drainRecv()
+	ep.drainSend()
+}
+
+func (ep *endpoint) drainSend() {
+	for _, cqe := range ep.qp.SendCQ.Poll(1024) {
+		if cqe.Op == rnic.OpRead && len(ep.readCbs) > 0 {
+			cb := ep.readCbs[0]
+			ep.readCbs = ep.readCbs[1:]
+			cb()
+		}
+	}
+}
+
+func (ep *endpoint) drainRecv() {
+	for _, cqe := range ep.qp.RecvCQ.Poll(1024) {
+		cqe := cqe
+		ep.eng.After(ep.p.RecvCost, func() { ep.handle(cqe) })
+	}
+}
+
+func (ep *endpoint) handle(cqe rnic.CQE) {
+	ep.qp.PostRecv(rnic.RecvWR{ID: cqe.WRID, Len: recvBuf})
+	if size, addr, rkey, ok := decodeCtrl(cqe.Data); ok {
+		// Rendezvous: pull the payload, then deliver.
+		ep.readCbs = append(ep.readCbs, func() { ep.deliver(size) })
+		ep.qp.PostSend(&rnic.SendWR{
+			Op: rnic.OpRead, Len: size, Local: ep.selfMR.Base,
+			RAddr: addr, RKey: rkey,
+		})
+		return
+	}
+	ep.deliver(cqe.Len - ep.p.HdrBytes)
+}
+
+func (ep *endpoint) deliver(size int) {
+	if ep.echo {
+		ep.send(size)
+		return
+	}
+	if ep.onResp != nil {
+		ep.onResp(size)
+	}
+}
+
+func (ep *endpoint) send(size int) {
+	ep.eng.After(ep.p.SendCost, func() {
+		if size > ep.p.EagerMax {
+			ctrl := encodeCtrl(size, ep.selfMR.Base, ep.selfMR.RKey)
+			ep.qp.PostSend(&rnic.SendWR{Op: rnic.OpSend, Len: ep.p.HdrBytes + ctrlBytes, Data: ctrl, Unsignaled: true})
+			return
+		}
+		ep.qp.PostSend(&rnic.SendWR{Op: rnic.OpSend, Len: ep.p.HdrBytes + size, Unsignaled: true})
+	})
+}
+
+// Call issues one ping and invokes cb when the echoed pong arrives.
+func (pr *Pair) Call(size int, cb func()) {
+	pr.cli.onResp = func(int) { cb() }
+	pr.cli.send(size)
+}
+
+// MeasureRTT runs n sequential ping-pongs of the given payload size and
+// returns the mean round-trip time.
+func (pr *Pair) MeasureRTT(size, n int) sim.Duration {
+	var total sim.Duration
+	done := 0
+	var issue func()
+	issue = func() {
+		start := pr.eng.Now()
+		pr.Call(size, func() {
+			total += pr.eng.Now().Sub(start)
+			done++
+			if done < n {
+				issue()
+			}
+		})
+	}
+	issue()
+	pr.eng.Run()
+	if done != n {
+		panic(fmt.Sprintf("baseline %s: completed %d/%d pings", pr.Profile.Name, done, n))
+	}
+	return total / sim.Duration(n)
+}

@@ -1,0 +1,85 @@
+package baseline
+
+import (
+	"testing"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+)
+
+func newPair(t testing.TB, p Profile) *Pair {
+	t.Helper()
+	eng := sim.NewEngine()
+	fab := fabric.New(eng, fabric.DefaultConfig(), 1)
+	fabric.BuildClos(fab, fabric.SmallClos())
+	a := rnic.New(eng, fab.Host(0), rnic.DefaultConfig())
+	b := rnic.New(eng, fab.Host(5), rnic.DefaultConfig())
+	return NewPair(p, a, b)
+}
+
+func TestPingPongCompletes(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			pr := newPair(t, p)
+			rtt := pr.MeasureRTT(64, 20)
+			if rtt < 3*sim.Microsecond || rtt > 30*sim.Microsecond {
+				t.Fatalf("%s 64B RTT %v implausible", p.Name, rtt)
+			}
+		})
+	}
+}
+
+func TestProfileOrdering(t *testing.T) {
+	// Fig. 7 middle: ibv < ucx < libfabric < xio at small sizes.
+	var rtts []sim.Duration
+	for _, p := range Profiles() {
+		pr := newPair(t, p)
+		rtts = append(rtts, pr.MeasureRTT(64, 50))
+	}
+	for i := 1; i < len(rtts); i++ {
+		if rtts[i] <= rtts[i-1] {
+			t.Fatalf("profile ordering violated: %v", rtts)
+		}
+	}
+	t.Logf("ibv=%v ucx=%v libfabric=%v xio=%v", rtts[0], rtts[1], rtts[2], rtts[3])
+}
+
+func TestLatencyGrowsWithSize(t *testing.T) {
+	pr := newPair(t, UcxAmRc)
+	small := pr.MeasureRTT(64, 20)
+	big := pr.MeasureRTT(4096, 20)
+	if big <= small {
+		t.Fatalf("4KB (%v) should beat 64B (%v)? no", big, small)
+	}
+}
+
+func TestRendezvousPath(t *testing.T) {
+	// Above EagerMax the transfer switches to ctrl+READ; it must still
+	// complete and cost more than an eager message of threshold size.
+	pr := newPair(t, UcxAmRc)
+	eager := pr.MeasureRTT(UcxAmRc.EagerMax, 10)
+	rndv := pr.MeasureRTT(UcxAmRc.EagerMax+1, 10)
+	if rndv <= eager {
+		t.Fatalf("rendezvous (%v) should cost more than eager at threshold (%v)", rndv, eager)
+	}
+	big := pr.MeasureRTT(256<<10, 5)
+	if big <= rndv {
+		t.Fatalf("256KB rendezvous (%v) should dominate threshold rendezvous (%v)", big, rndv)
+	}
+}
+
+func TestCtrlCodec(t *testing.T) {
+	b := encodeCtrl(12345, 0x7f0000001234, 99)
+	size, addr, rkey, ok := decodeCtrl(b)
+	if !ok || size != 12345 || addr != 0x7f0000001234 || rkey != 99 {
+		t.Fatalf("codec roundtrip failed: %d %x %d %v", size, addr, rkey, ok)
+	}
+	if _, _, _, ok := decodeCtrl(nil); ok {
+		t.Fatal("nil decoded as ctrl")
+	}
+	if _, _, _, ok := decodeCtrl(make([]byte, 22)); ok {
+		t.Fatal("zero bytes decoded as ctrl")
+	}
+}

@@ -1,0 +1,318 @@
+package bench
+
+// These tests assert the paper's *shapes*: orderings, ratios and
+// crossovers from §VII. Absolute microseconds belong to the authors'
+// testbed; what must reproduce is who wins, by roughly what factor, and
+// where behaviour changes.
+
+import (
+	"testing"
+)
+
+func TestFig7MiddleOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Fig7Middle(Quick())
+	t.Log("\n" + r.Table_.String())
+	for i := range r.Sizes {
+		ibv := r.RTT["ibv-pingpong"][i]
+		bd := r.RTT["xrdma-BD"][i]
+		rr := r.RTT["xrdma-reqrsp"][i]
+		ucx := r.RTT["ucx-am-rc"][i]
+		lf := r.RTT["libfabric"][i]
+		xio := r.RTT["xio"][i]
+		if !(ibv < bd) {
+			t.Errorf("size %d: ibv (%v) should be the floor, xrdma-BD %v", r.Sizes[i], ibv, bd)
+		}
+		// §VII-A: X-RDMA within ~10% of ibv_rc_pingpong.
+		if bd > ibv*1.15 {
+			t.Errorf("size %d: xrdma-BD %.2f >15%% over ibv %.2f", r.Sizes[i], bd, ibv)
+		}
+		if !(bd <= ucx && ucx < lf && lf < xio) {
+			t.Errorf("size %d: ordering broken bd=%v ucx=%v lf=%v xio=%v", r.Sizes[i], bd, ucx, lf, xio)
+		}
+		if rr < bd {
+			t.Errorf("size %d: req-rsp (%v) cheaper than bare-data (%v)?", r.Sizes[i], rr, bd)
+		}
+	}
+}
+
+func TestFig7LeftMixedStrategy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Fig7Left(Quick())
+	t.Log("\n" + r.Table_.String())
+	for i, s := range r.Sizes {
+		// Large mode always costs more than small mode (the extra
+		// one-sided round), and the gap shrinks with size.
+		if r.Large[i] <= r.Small[i] {
+			t.Errorf("size %d: large %v ≤ small %v", s, r.Large[i], r.Small[i])
+		}
+		// Mixed tracks small below the 4KB threshold, large above.
+		if s <= 4096 && r.Mixed[i] > r.Small[i]*1.05 {
+			t.Errorf("size %d: mixed %v deviates from small %v below threshold", s, r.Mixed[i], r.Small[i])
+		}
+		if s > 4096 && r.Mixed[i] > r.Large[i]*1.05 {
+			t.Errorf("size %d: mixed %v deviates from large %v above threshold", s, r.Mixed[i], r.Large[i])
+		}
+	}
+	// Relative penalty of the large path shrinks as payloads grow.
+	first := r.Large[0] / r.Small[0]
+	last := r.Large[len(r.Sizes)-1] / r.Small[len(r.Sizes)-1]
+	if last >= first {
+		t.Errorf("large-path penalty should shrink with size: %0.2f → %0.2f", first, last)
+	}
+}
+
+func TestTracingOverheadBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := TracingOverhead(Quick())
+	t.Log("\n" + r.Table_.String())
+	for i, s := range r.Sizes {
+		if r.OverheadPct[i] <= 0 {
+			t.Errorf("size %d: tracing should cost something (%.2f%%)", s, r.OverheadPct[i])
+		}
+		if r.OverheadPct[i] > 8 {
+			t.Errorf("size %d: tracing overhead %.2f%% far above the paper's 2–4%%", s, r.OverheadPct[i])
+		}
+	}
+}
+
+func TestEstablishmentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Establishment(Quick())
+	t.Log("\n" + r.Table_.String())
+	if r.WarmUS >= r.ColdUS {
+		t.Fatal("QP cache did not speed establishment")
+	}
+	if r.SavingPct < 25 || r.SavingPct > 55 {
+		t.Errorf("saving %.1f%% far from the paper's 38%%", r.SavingPct)
+	}
+	if r.MassWarmSec >= r.MassColdSec {
+		t.Error("mass establishment: warm should beat cold")
+	}
+	ratio := r.MassColdSec / r.MassWarmSec
+	if ratio < 1.5 {
+		t.Errorf("mass cold/warm ratio %.2f, paper shows ≈3.3×", ratio)
+	}
+	// TCP is orders of magnitude faster to establish (§III Issue 3).
+	if r.TCPEstablishUS > r.ColdUS/10 {
+		t.Errorf("tcp %.0fµs vs rdma %.0fµs: gap too small", r.TCPEstablishUS, r.ColdUS)
+	}
+}
+
+func TestFig8Ramp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Fig8EssdRamp(Quick())
+	t.Log("\n" + r.Table_.String())
+	if r.SteadyIOPS <= 0 {
+		t.Fatal("no steady state reached")
+	}
+	if r.RampSeconds <= 0 || r.RampSeconds > 2 {
+		t.Errorf("ramp %.2fs, paper: steady within 2s", r.RampSeconds)
+	}
+	// Sustained until the end (no collapse).
+	lastReal := r.IOPS.Values[r.IOPS.Len()-2] // final bucket is a partial flush
+	if lastReal*10 < r.SteadyIOPS*0.5 {
+		t.Errorf("throughput collapsed: last bucket %.0f vs steady %.0f", lastReal*10, r.SteadyIOPS)
+	}
+}
+
+func TestFig9RNRFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Fig9RNRCounter(Quick())
+	t.Log("\n" + r.Table_.String())
+	if r.RawRNRPerSec <= 0 {
+		t.Fatal("raw RDMA produced no RNR under bursts — pressure too low to compare")
+	}
+	if r.XRDMARNRPerSec != 0 {
+		t.Fatalf("X-RDMA must be RNR-free, measured %.2f/s", r.XRDMARNRPerSec)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Fig10FlowControl(Quick())
+	t.Log("\n" + r.Table_.String())
+	g128, gfc := r.GoodputGbps["128KB"], r.GoodputGbps["128KB-fc"]
+	if gfc <= g128 {
+		t.Fatalf("fc goodput %.2f should beat uncontrolled %.2f", gfc, g128)
+	}
+	gain := (gfc - g128) / g128 * 100
+	if gain < 1 {
+		t.Errorf("fc gain %.1f%% — should be clearly positive (paper ≈24%% on the production fabric; see EXPERIMENTS.md)", gain)
+	}
+	if r.CNPs["128KB-fc"] >= r.CNPs["128KB"]/2 {
+		t.Errorf("fc CNPs %d should be a small fraction of %d", r.CNPs["128KB-fc"], r.CNPs["128KB"])
+	}
+	if r.PauseTX["128KB-fc"] > r.PauseTX["128KB"]/20 {
+		t.Errorf("fc pause %d should be ≈0 vs %d", r.PauseTX["128KB-fc"], r.PauseTX["128KB"])
+	}
+	// Flow control must dominate every uncontrolled variant on pause
+	// frames — the paper's "TX pause directly minimized to nearly zero".
+	if r.PauseTX["128KB-fc"] > r.PauseTX["64KB"]/20 {
+		t.Errorf("fc pause %d should also be ≈0 vs 64KB's %d", r.PauseTX["128KB-fc"], r.PauseTX["64KB"])
+	}
+}
+
+func TestFig11UpgradeHarmless(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Fig11OnlineUpgrade(Quick())
+	t.Log("\n" + r.Table_.String())
+	if r.QPs.Values[r.QPs.Len()-1] <= r.QPs.Values[1] {
+		t.Fatal("QP count did not ramp")
+	}
+	if r.DuringIOPS < r.BaseIOPS*0.9 {
+		t.Errorf("upgrade wave hurt throughput: %.0f → %.0f", r.BaseIOPS, r.DuringIOPS)
+	}
+	if r.MemInUse.Max() > r.MemOccupy.Max() {
+		t.Error("in-use exceeded occupied")
+	}
+}
+
+func TestFig12AntiJitterShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Fig12AntiJitter(Quick(), "ESSD")
+	t.Log("\n" + r.Table_.String())
+	if r.ThroughputRatioOn < 2 {
+		t.Errorf("bandwidth step ×%.2f too small to call a burst", r.ThroughputRatioOn)
+	}
+	if r.P99On >= r.P99Off {
+		t.Errorf("anti-jitter p99 %.1fµs should beat uncontrolled %.1fµs", r.P99On, r.P99Off)
+	}
+	if r.P99Off < 2*r.P99On {
+		t.Errorf("tail separation too small: on=%.1f off=%.1f", r.P99On, r.P99Off)
+	}
+}
+
+func TestQPScalingUnder10Pct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := QPScaling(Quick())
+	t.Log("\n" + r.Table_.String())
+	if r.WorstPct >= 10 {
+		t.Errorf("QP-cache degradation %.1f%%, paper <10%%", r.WorstPct)
+	}
+	if r.WorstPct <= 0 {
+		t.Error("cache sweep showed no effect at all — model inert")
+	}
+}
+
+func TestSRQShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := SRQTradeoff(Quick())
+	t.Log("\n" + r.Table_.String())
+	if r.SRQMemMB >= r.PerChannelMemMB/2 {
+		t.Errorf("SRQ memory %.2fMB should be well under per-channel %.2fMB", r.SRQMemMB, r.PerChannelMemMB)
+	}
+	if r.PerChannelRNRs != 0 {
+		t.Errorf("per-channel mode must stay RNR-free, got %d", r.PerChannelRNRs)
+	}
+	if r.SRQRNRs == 0 {
+		t.Error("undersized SRQ under synchronized bursts should RNR")
+	}
+}
+
+func TestMemoryModesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := MemoryModes(Quick())
+	t.Log("\n" + r.Table_.String())
+	// Data-path latency comparable across modes (±5%).
+	base := r.PingUS[0]
+	for i, m := range r.Modes {
+		if r.PingUS[i] < base*0.95 || r.PingUS[i] > base*1.05 {
+			t.Errorf("mode %s latency %.2f deviates from %.2f", m, r.PingUS[i], base)
+		}
+	}
+	// Continuous registration is the most expensive; hugepage cheapest.
+	if !(r.RegCostMS[1] > r.RegCostMS[0] && r.RegCostMS[0] > r.RegCostMS[2]) {
+		t.Errorf("registration cost ordering wrong: %v", r.RegCostMS)
+	}
+}
+
+func TestMixedFootprintBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := MixedFootprint(Quick())
+	t.Log("\n" + r.Table_.String())
+	for i, d := range r.Depths {
+		if r.RatioPct[i] < 1 || r.RatioPct[i] > 15 {
+			t.Errorf("depth %d: mixed/small = %.1f%%, paper band 1–10%%", d, r.RatioPct[i])
+		}
+	}
+	// Deeper windows widen the gap (more pre-posted buffers).
+	if r.RatioPct[len(r.RatioPct)-1] >= r.RatioPct[0] {
+		t.Errorf("footprint ratio should shrink with depth: %v", r.RatioPct)
+	}
+}
+
+func TestPeakStressClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := PeakStress(Quick())
+	t.Log("\n" + r.Table_.String())
+	if r.Errors != 0 || r.RNRs != 0 || r.Broken != 0 {
+		t.Fatalf("stress not clean: errs=%d rnr=%d broken=%d", r.Errors, r.RNRs, r.Broken)
+	}
+	if r.AggregateOpsPerSec < 1e6 {
+		t.Errorf("aggregate %.0f ops/s implausibly low", r.AggregateOpsPerSec)
+	}
+}
+
+func TestFig3DiurnalShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Fig3Diurnal(Quick())
+	t.Log("\n" + r.Table_.String())
+	if r.PeakGbps < 5*r.TroughGbps {
+		t.Errorf("saturated/unsaturated contrast too small: %.2f vs %.2f", r.PeakGbps, r.TroughGbps)
+	}
+}
+
+func TestLoCComparisonShape(t *testing.T) {
+	r := LoCComparison()
+	t.Log("\n" + r.Table_.String())
+	if r.QuickstartLoC == 0 || r.RawVerbsLoC == 0 {
+		t.Skip("example sources not present")
+	}
+	if r.QuickstartLoC >= r.RawVerbsLoC/2 {
+		t.Errorf("quickstart %d LoC vs raw verbs %d: simplification too weak", r.QuickstartLoC, r.RawVerbsLoC)
+	}
+}
+
+func TestFragmentSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := FragmentSweep(Quick())
+	t.Log("\n" + r.Table_.String())
+	for i := range r.FragKB {
+		if r.Goodput[i] <= 0 {
+			t.Fatalf("fragment %dKB produced no goodput", r.FragKB[i])
+		}
+	}
+}

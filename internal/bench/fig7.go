@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"fmt"
+
+	"xrdma/internal/baseline"
+	"xrdma/internal/cluster"
+	"xrdma/internal/fabric"
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+	"xrdma/internal/xrdma"
+)
+
+// pingFixture is a two-node X-RDMA echo world.
+type pingFixture struct {
+	c   *cluster.Cluster
+	cli *xrdma.Channel
+}
+
+func newPingFixture(seed uint64, mutate func(*xrdma.Config)) *pingFixture {
+	c := cluster.New(cluster.Options{
+		Topology: fabric.SmallClos(), Nodes: 6, Seed: seed,
+		Config: func(node int, cfg *xrdma.Config) {
+			cfg.KeepaliveInterval = 0 // quiesce probes during measurement
+			if mutate != nil {
+				mutate(cfg)
+			}
+		},
+	})
+	c.ListenAll(7000, func(n *cluster.Node, ch *xrdma.Channel) {
+		ch.OnMessage(func(m *xrdma.Msg) { m.Reply(nil, m.Len) })
+	})
+	var cli *xrdma.Channel
+	c.Connect(0, 5, 7000, func(ch *xrdma.Channel, err error) {
+		if err != nil {
+			panic(err)
+		}
+		cli = ch
+	})
+	c.Eng.Run()
+	return &pingFixture{c: c, cli: cli}
+}
+
+// rtt measures the mean echo round trip for a payload size.
+func (f *pingFixture) rtt(size, n int) sim.Duration {
+	var total sim.Duration
+	done := 0
+	var issue func()
+	issue = func() {
+		start := f.c.Eng.Now()
+		f.cli.SendMsg(nil, size, func(m *xrdma.Msg, err error) {
+			if err != nil {
+				panic(err)
+			}
+			total += f.c.Eng.Now().Sub(start)
+			done++
+			if done < n {
+				issue()
+			}
+		})
+	}
+	issue()
+	f.c.Eng.Run()
+	if done != n {
+		panic(fmt.Sprintf("bench: %d/%d pings", done, n))
+	}
+	return total / sim.Duration(n)
+}
+
+// xrdmaRTT builds a fresh fixture and measures one point.
+func xrdmaRTT(seed uint64, mutate func(*xrdma.Config), size, n int) sim.Duration {
+	return newPingFixture(seed, mutate).rtt(size, n)
+}
+
+func fig7Sizes(lo, hi int) []int {
+	var out []int
+	for s := lo; s <= hi; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig7LeftResult holds the mixed-message comparison (µs per size).
+type Fig7LeftResult struct {
+	Sizes  []int
+	Small  []float64 // small-message mode forced for all sizes
+	Large  []float64 // rendezvous mode forced for all sizes
+	Mixed  []float64 // production mixed strategy (4 KB threshold)
+	Table_ Table
+}
+
+// Fig7Left reproduces the left panel: xrdma small-msg vs large-msg vs the
+// mixed strategy across 2 B – 16 KB.
+func Fig7Left(sc Scale) *Fig7LeftResult {
+	n := 30
+	if sc.Full {
+		n = 200
+	}
+	sizes := fig7Sizes(2, 16<<10)
+	r := &Fig7LeftResult{Sizes: sizes}
+	smallMode := func(cfg *xrdma.Config) { cfg.SmallMsgSize = 32 << 10 }
+	largeMode := func(cfg *xrdma.Config) { cfg.SmallMsgSize = 0 }
+	fSmall := newPingFixture(sc.Seed, smallMode)
+	fLarge := newPingFixture(sc.Seed, largeMode)
+	fMixed := newPingFixture(sc.Seed, nil)
+	for _, s := range sizes {
+		r.Small = append(r.Small, fSmall.rtt(s, n).Micros())
+		r.Large = append(r.Large, fLarge.rtt(s, n).Micros())
+		r.Mixed = append(r.Mixed, fMixed.rtt(s, n).Micros())
+	}
+	t := Table{
+		ID: "E1/Fig7-left", Title: "X-RDMA message modes, ping-pong RTT (µs)",
+		Header: []string{"size", "small-msg", "large-msg", "mixed"},
+	}
+	for i, s := range sizes {
+		t.Addf(sizeLabel(s), r.Small[i], r.Large[i], r.Mixed[i])
+	}
+	t.Note("paper: large-msg ≈ +40%% under 128 B, converging above (≤10%% past 128 B); mixed tracks small below the 4 KB threshold")
+	r.Table_ = t
+	return r
+}
+
+// Fig7MiddleResult compares middlewares at small sizes.
+type Fig7MiddleResult struct {
+	Sizes  []int
+	Stacks []string
+	RTT    map[string][]float64 // µs, by stack name
+	Table_ Table
+}
+
+// Fig7Middle reproduces the middle panel: xrdma-BD, xrdma-reqrsp, xio,
+// ucx-am-rc, ibv-pingpong and libfabric from 8 B to 4 KB.
+func Fig7Middle(sc Scale) *Fig7MiddleResult {
+	n := 30
+	if sc.Full {
+		n = 200
+	}
+	sizes := fig7Sizes(8, 4096)
+	r := &Fig7MiddleResult{
+		Sizes:  sizes,
+		Stacks: []string{"xrdma-BD", "xrdma-reqrsp", "ibv-pingpong", "ucx-am-rc", "libfabric", "xio"},
+		RTT:    make(map[string][]float64),
+	}
+	fBD := newPingFixture(sc.Seed, nil)
+	fRR := newPingFixture(sc.Seed, func(cfg *xrdma.Config) { cfg.ReqRspMode = true })
+	pairs := map[string]*baseline.Pair{}
+	for _, p := range baseline.Profiles() {
+		eng := sim.NewEngine()
+		fab := fabric.New(eng, fabric.DefaultConfig(), sc.Seed)
+		fabric.BuildClos(fab, fabric.SmallClos())
+		a := rnic.New(eng, fab.Host(0), rnic.DefaultConfig())
+		b := rnic.New(eng, fab.Host(5), rnic.DefaultConfig())
+		pairs[p.Name] = baseline.NewPair(p, a, b)
+	}
+	for _, s := range sizes {
+		r.RTT["xrdma-BD"] = append(r.RTT["xrdma-BD"], fBD.rtt(s, n).Micros())
+		r.RTT["xrdma-reqrsp"] = append(r.RTT["xrdma-reqrsp"], fRR.rtt(s, n).Micros())
+		for name, pr := range pairs {
+			r.RTT[name] = append(r.RTT[name], pr.MeasureRTT(s, n).Micros())
+		}
+	}
+	t := Table{ID: "E2/Fig7-middle", Title: "middleware ping-pong RTT (µs), 8 B – 4 KB",
+		Header: append([]string{"size"}, r.Stacks...)}
+	for i, s := range sizes {
+		row := []any{sizeLabel(s)}
+		for _, st := range r.Stacks {
+			row = append(row, r.RTT[st][i])
+		}
+		t.Addf(row...)
+	}
+	t.Note("paper ordering: ibv < xrdma-BD (≤10%% over ibv) < ucx-am-rc (5.87µs) < libfabric (6.20µs) < xio; xrdma 5.60µs")
+	r.Table_ = t
+	return r
+}
+
+// Fig7RightResult extends to 4–32 KB.
+type Fig7RightResult struct {
+	Sizes  []int
+	Stacks []string
+	RTT    map[string][]float64
+	Table_ Table
+}
+
+// Fig7Right reproduces the right panel (large sizes).
+func Fig7Right(sc Scale) *Fig7RightResult {
+	n := 20
+	if sc.Full {
+		n = 100
+	}
+	sizes := fig7Sizes(4096, 32<<10)
+	r := &Fig7RightResult{
+		Sizes:  sizes,
+		Stacks: []string{"xrdma", "ibv-pingpong", "ucx-am-rc", "libfabric"},
+		RTT:    make(map[string][]float64),
+	}
+	fx := newPingFixture(sc.Seed, nil)
+	for _, s := range sizes {
+		r.RTT["xrdma"] = append(r.RTT["xrdma"], fx.rtt(s, n).Micros())
+	}
+	for _, p := range []baseline.Profile{baseline.IbvPingpong, baseline.UcxAmRc, baseline.Libfabric} {
+		eng := sim.NewEngine()
+		fab := fabric.New(eng, fabric.DefaultConfig(), sc.Seed)
+		fabric.BuildClos(fab, fabric.SmallClos())
+		a := rnic.New(eng, fab.Host(0), rnic.DefaultConfig())
+		b := rnic.New(eng, fab.Host(5), rnic.DefaultConfig())
+		pr := baseline.NewPair(p, a, b)
+		for _, s := range sizes {
+			r.RTT[p.Name] = append(r.RTT[p.Name], pr.MeasureRTT(s, n).Micros())
+		}
+	}
+	t := Table{ID: "E3/Fig7-right", Title: "large-message ping-pong RTT (µs), 4–32 KB",
+		Header: append([]string{"size"}, r.Stacks...)}
+	for i, s := range sizes {
+		row := []any{sizeLabel(s)}
+		for _, st := range r.Stacks {
+			row = append(row, r.RTT[st][i])
+		}
+		t.Addf(row...)
+	}
+	r.Table_ = t
+	return r
+}
+
+// TracingOverheadResult quantifies req-rsp mode's cost (E4, §VII-A).
+type TracingOverheadResult struct {
+	Sizes       []int
+	BareUS      []float64
+	ReqRspUS    []float64
+	OverheadPct []float64
+	Table_      Table
+}
+
+// TracingOverhead measures bare-data vs req-rsp latency.
+func TracingOverhead(sc Scale) *TracingOverheadResult {
+	n := 60
+	if sc.Full {
+		n = 400
+	}
+	sizes := []int{64, 512, 4096}
+	r := &TracingOverheadResult{Sizes: sizes}
+	fB := newPingFixture(sc.Seed, nil)
+	fT := newPingFixture(sc.Seed, func(cfg *xrdma.Config) { cfg.ReqRspMode = true })
+	t := Table{ID: "E4/§VII-A", Title: "tracing overhead: bare-data vs req-rsp (µs)",
+		Header: []string{"size", "bare", "req-rsp", "overhead%"}}
+	for _, s := range sizes {
+		b := fB.rtt(s, n).Micros()
+		tr := fT.rtt(s, n).Micros()
+		pct := (tr - b) / b * 100
+		r.BareUS = append(r.BareUS, b)
+		r.ReqRspUS = append(r.ReqRspUS, tr)
+		r.OverheadPct = append(r.OverheadPct, pct)
+		t.Addf(sizeLabel(s), b, tr, pct)
+	}
+	t.Note("paper: +2–4%%, ≈200 ns per ping-pong")
+	r.Table_ = t
+	return r
+}
+
+func sizeLabel(s int) string {
+	switch {
+	case s >= 1<<20:
+		return fmt.Sprintf("%dM", s>>20)
+	case s >= 1024:
+		return fmt.Sprintf("%dK", s>>10)
+	default:
+		return fmt.Sprintf("%dB", s)
+	}
+}

@@ -1,0 +1,165 @@
+// Package cluster assembles simulated deployments: a clos fabric, one NIC
+// + TCP stack + X-RDMA context per node, optional clock skew, and helpers
+// for establishing the full-mesh channel sets the production systems use
+// (§III Issue 1: block-server×chunk-server full-mesh connectivity).
+package cluster
+
+import (
+	"fmt"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+	"xrdma/internal/tcpnet"
+	"xrdma/internal/verbs"
+	"xrdma/internal/xrdma"
+)
+
+// Options configures a cluster build.
+type Options struct {
+	Topology  fabric.Topology
+	FabricCfg fabric.Config
+	NICCfg    rnic.Config
+	// Nodes limits how many hosts get a software stack (0 = all).
+	Nodes int
+	// Config mutates the per-node X-RDMA configuration.
+	Config func(node int, cfg *xrdma.Config)
+	// ClockSkew, when set, returns each node's wall-clock offset.
+	ClockSkew func(node int) sim.Duration
+	// MockPort enables the TCP fallback plane when >0.
+	MockPort int
+	Seed     uint64
+}
+
+// Node is one machine: NIC, TCP stack and X-RDMA context.
+type Node struct {
+	ID  fabric.NodeID
+	NIC *rnic.NIC
+	TCP *tcpnet.Stack
+	Ctx *xrdma.Context
+}
+
+// Cluster owns the shared simulation state.
+type Cluster struct {
+	Eng   *sim.Engine
+	Fab   *fabric.Fabric
+	Net   *verbs.CMNetwork
+	Mon   *xrdma.Monitor
+	Nodes []*Node
+	RNG   *sim.RNG
+}
+
+// New builds the cluster.
+func New(o Options) *Cluster {
+	eng := sim.NewEngine()
+	if o.FabricCfg.HostLinkBps == 0 {
+		o.FabricCfg = fabric.DefaultConfig()
+	}
+	if o.NICCfg.MTU == 0 {
+		o.NICCfg = rnic.DefaultConfig()
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	fab := fabric.New(eng, o.FabricCfg, o.Seed)
+	fabric.BuildClos(fab, o.Topology)
+	n := o.Nodes
+	if n == 0 || n > o.Topology.Hosts() {
+		n = o.Topology.Hosts()
+	}
+	c := &Cluster{
+		Eng: eng, Fab: fab, Net: verbs.NewCMNetwork(),
+		Mon: xrdma.NewMonitor(), RNG: sim.NewRNG(o.Seed),
+	}
+	for i := 0; i < n; i++ {
+		host := fab.Host(fabric.NodeID(i))
+		nic := rnic.New(eng, host, o.NICCfg)
+		vc := verbs.Open(nic)
+		cm := verbs.NewCM(vc, c.Net, host)
+		tcp := tcpnet.New(eng, host, tcpnet.DefaultConfig())
+		cfg := xrdma.DefaultConfig()
+		if o.Config != nil {
+			o.Config(i, &cfg)
+		}
+		var skew sim.Duration
+		if o.ClockSkew != nil {
+			skew = o.ClockSkew(i)
+		}
+		ctx := xrdma.NewContext(xrdma.Options{
+			Verbs: vc, CM: cm, Host: host, Config: cfg, Monitor: c.Mon,
+			TCP: tcp, MockPort: o.MockPort, ClockSkew: skew,
+			Seed: o.Seed ^ uint64(i)*0x9e3779b97f4a7c15,
+		})
+		c.Nodes = append(c.Nodes, &Node{ID: host.ID, NIC: nic, TCP: tcp, Ctx: ctx})
+	}
+	return c
+}
+
+// ListenAll makes every node accept channels on port; handler (optional)
+// observes each accepted channel.
+func (c *Cluster) ListenAll(port int, handler func(node *Node, ch *xrdma.Channel)) {
+	for _, n := range c.Nodes {
+		n := n
+		n.Ctx.OnChannel(func(ch *xrdma.Channel) {
+			if handler != nil {
+				handler(n, ch)
+			}
+		})
+		if err := n.Ctx.Listen(port); err != nil {
+			panic(fmt.Sprintf("cluster: listen %d on node %d: %v", port, n.ID, err))
+		}
+	}
+}
+
+// Connect establishes one channel and delivers it via done.
+func (c *Cluster) Connect(from, to int, port int, done func(*xrdma.Channel, error)) {
+	c.Nodes[from].Ctx.Connect(c.Nodes[to].ID, port, done)
+}
+
+// ConnectPairs dials every (from→to) pair in pairs concurrently and calls
+// done with the channels (indexed like pairs) once all are up.
+func (c *Cluster) ConnectPairs(pairs [][2]int, port int, done func([]*xrdma.Channel)) {
+	chans := make([]*xrdma.Channel, len(pairs))
+	remaining := len(pairs)
+	if remaining == 0 {
+		done(nil)
+		return
+	}
+	for i, p := range pairs {
+		i := i
+		c.Connect(p[0], p[1], port, func(ch *xrdma.Channel, err error) {
+			if err != nil {
+				panic(fmt.Sprintf("cluster: connect %v: %v", p, err))
+			}
+			chans[i] = ch
+			remaining--
+			if remaining == 0 {
+				done(chans)
+			}
+		})
+	}
+}
+
+// FullMeshPairs returns every ordered (i→j, i<j) pair among the first n
+// nodes.
+func FullMeshPairs(n int) [][2]int {
+	var out [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// FanInPairs returns (i→target) for every i ≠ target among n nodes — the
+// incast pattern of Fig. 10.
+func FanInPairs(n, target int) [][2]int {
+	var out [][2]int
+	for i := 0; i < n; i++ {
+		if i != target {
+			out = append(out, [2]int{i, target})
+		}
+	}
+	return out
+}

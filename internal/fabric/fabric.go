@@ -1,0 +1,171 @@
+package fabric
+
+import (
+	"fmt"
+
+	"xrdma/internal/sim"
+)
+
+// Stats aggregates fabric-wide counters; the paper's Fig. 10 plots CNPs and
+// TX pause frames, both of which originate here (marks) or at RNICs (CNPs).
+type Stats struct {
+	ECNMarks  int64 // data packets marked congestion-experienced
+	PauseTX   int64 // PFC pause frames emitted
+	Drops     int64 // tail drops (PFC off or buffer exhaustion)
+	Delivered int64 // packets handed to endpoints
+	DataBytes int64 // payload bytes delivered
+}
+
+// Fabric owns the devices, links, global counters and the marking RNG.
+type Fabric struct {
+	Eng   *sim.Engine
+	Stats Stats
+
+	cfg      Config
+	rng      *sim.RNG
+	hosts    map[NodeID]*Host
+	switches []*Switch
+}
+
+// New creates an empty fabric; attach hosts and switches via the topology
+// builders.
+func New(eng *sim.Engine, cfg Config, seed uint64) *Fabric {
+	return &Fabric{
+		Eng:   eng,
+		cfg:   cfg,
+		rng:   sim.NewRNG(seed),
+		hosts: make(map[NodeID]*Host),
+	}
+}
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Host returns the adapter for a node.
+func (f *Fabric) Host(id NodeID) *Host { return f.hosts[id] }
+
+// Hosts returns the number of attached hosts.
+func (f *Fabric) Hosts() int { return len(f.hosts) }
+
+// Switches exposes the switch list for monitoring tools.
+func (f *Fabric) Switches() []*Switch { return f.switches }
+
+// link wires two ports together full-duplex.
+func (f *Fabric) link(a, b device, bps int64, prop sim.Duration) (pa, pb *Port) {
+	pa = &Port{eng: f.Eng, owner: a, fab: f, bps: bps, propDelay: prop}
+	pb = &Port{eng: f.Eng, owner: b, fab: f, bps: bps, propDelay: prop}
+	pa.peer, pb.peer = pb, pa
+	return pa, pb
+}
+
+// Host is a node's network adapter: a single logical port toward its ToR.
+// The RNIC model sits on top via the Endpoint interface and does its own
+// scheduling; the host port still serializes at line rate and honours PFC.
+type Host struct {
+	ID   NodeID
+	fab  *Fabric
+	port *Port
+	eps  [3]Endpoint // indexed by Proto
+}
+
+func (h *Host) name() string { return fmt.Sprintf("host%d", h.ID) }
+
+// Attach registers the RDMA packet consumer (the RNIC model).
+func (h *Host) Attach(ep Endpoint) { h.AttachProto(ProtoRDMA, ep) }
+
+// AttachProto registers the consumer for one protocol plane.
+func (h *Host) AttachProto(proto Proto, ep Endpoint) { h.eps[proto] = ep }
+
+// Send puts a packet on the wire toward its destination.
+func (h *Host) Send(p *Packet) {
+	p.SentAt = h.fab.Eng.Now()
+	h.port.send(p)
+}
+
+// LinkBps reports the host link rate.
+func (h *Host) LinkBps() int64 { return h.port.bps }
+
+// TxQueueBytes reports bytes queued in the host egress port — the RNIC's
+// view of local congestion.
+func (h *Host) TxQueueBytes() int { return h.port.QueueBytes() }
+
+// TxPaused reports whether the ToR has PFC-paused this host.
+func (h *Host) TxPaused() bool { return h.port.Paused() }
+
+func (h *Host) receive(p *Packet, in *Port) {
+	// Host adapters sink packets immediately: the RNIC model applies its
+	// own processing delays. No ingress PFC accounting at the host; the
+	// RNIC is assumed to drain at line rate (RNR is modeled above, at
+	// the queue-pair level, where the paper's issues live).
+	h.fab.Stats.Delivered++
+	if p.Class == ClassData {
+		h.fab.Stats.DataBytes += int64(p.Size)
+	}
+	if ep := h.eps[p.Proto]; ep != nil {
+		ep.HandlePacket(p)
+	}
+}
+
+// Switch is a store-and-forward device with per-destination ECMP route
+// tables computed by the topology builder.
+type Switch struct {
+	Label string
+	Tier  int // 0=ToR, 1=leaf, 2=spine
+	fab   *Fabric
+	ports []*Port
+	// routes maps destination node → candidate egress ports (ECMP set).
+	routes map[NodeID][]*Port
+
+	// Topology bookkeeping used by the route builder.
+	pod       int
+	uplinks   []*Port
+	downlinks []downlink
+	hostPorts []hostlink
+}
+
+func (s *Switch) name() string { return s.Label }
+
+// QueueBytes sums queued bytes across all egress ports (monitoring).
+func (s *Switch) QueueBytes() int {
+	total := 0
+	for _, p := range s.ports {
+		total += p.QueueBytes()
+	}
+	return total
+}
+
+// MaxPortQueue reports the deepest egress queue (hotspot detection).
+func (s *Switch) MaxPortQueue() int {
+	m := 0
+	for _, p := range s.ports {
+		if q := p.QueueBytes(); q > m {
+			m = q
+		}
+	}
+	return m
+}
+
+func (s *Switch) receive(p *Packet, in *Port) {
+	out := s.route(p)
+	if out == nil {
+		s.fab.Stats.Drops++
+		return
+	}
+	in.accountIngress(p)
+	s.fab.Eng.After(s.fab.cfg.SwitchDelay, func() {
+		out.send(p)
+	})
+}
+
+func (s *Switch) route(p *Packet) *Port {
+	cands := s.routes[p.Dst]
+	if len(cands) == 0 {
+		return nil
+	}
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	// ECMP: deterministic per-flow hash so a flow never reorders.
+	h := p.FlowHash * 0x9e3779b97f4a7c15
+	return cands[h%uint64(len(cands))]
+}

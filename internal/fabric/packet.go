@@ -1,0 +1,72 @@
+// Package fabric simulates the Ethernet clos network X-RDMA runs over at
+// Alibaba (§II-B of the paper): spine/leaf/ToR switches, ECMP routing,
+// RED-style ECN marking for DCQCN, and priority flow control (PFC) for a
+// lossless RoCEv2 fabric. Congestion phenomena — incast queue build-up,
+// CNP-eligible marking, pause propagation — emerge from the queueing model
+// rather than being scripted.
+package fabric
+
+import "xrdma/internal/sim"
+
+// NodeID identifies a host attached to the fabric.
+type NodeID int
+
+// Packet class. Control packets (CNPs, acks, pause frames) ride a strict
+// high-priority class that PFC never pauses, mirroring how RoCEv2 deploys
+// CNPs on a dedicated priority.
+type Class uint8
+
+const (
+	// ClassData is PFC-protected lossless bulk traffic.
+	ClassData Class = iota
+	// ClassCtrl is high-priority control traffic (CNP, hardware acks).
+	ClassCtrl
+)
+
+// EthOverhead is the per-frame wire overhead (preamble, headers, FCS, IFG)
+// added to every packet's payload when computing serialization time.
+const EthOverhead = 62
+
+// Proto selects which host endpoint consumes a delivered packet: the RNIC,
+// the connection-manager control plane, or the kernel TCP stack.
+type Proto uint8
+
+const (
+	ProtoRDMA Proto = iota
+	ProtoCM
+	ProtoTCP
+)
+
+// Packet is one wire frame. RNICs segment messages into MTU-sized packets;
+// the fabric never fragments further.
+type Packet struct {
+	Src, Dst NodeID
+	Size     int    // payload bytes on the wire (excluding EthOverhead)
+	FlowHash uint64 // ECMP key, stable per (QP, direction)
+	Class    Class
+	Proto    Proto
+
+	ECT    bool // ECN-capable transport (DCQCN data packets)
+	Marked bool // congestion experienced (set by switches)
+
+	// Payload is opaque to the fabric; the RNIC model stores its
+	// protocol header here.
+	Payload any
+
+	// SentAt is stamped by the sending host when the packet first hits
+	// the wire; used for fabric-level latency accounting.
+	SentAt sim.Time
+
+	// inPort tracks the ingress port inside the current device, for PFC
+	// buffer accounting. Managed by the fabric only.
+	inPort *Port
+}
+
+// wireSize is the number of bytes that occupy the link.
+func (p *Packet) wireSize() int { return p.Size + EthOverhead }
+
+// Endpoint consumes packets delivered to a host. The RNIC model implements
+// this.
+type Endpoint interface {
+	HandlePacket(p *Packet)
+}

@@ -1,0 +1,221 @@
+package fabric
+
+import "xrdma/internal/sim"
+
+// Config holds fabric-wide parameters. Defaults model the paper's testbed:
+// dual-port 25 Gbps ConnectX-4 Lx hosts on a 3-tier clos.
+type Config struct {
+	HostLinkBps   int64        // host–ToR link rate, bits/s
+	FabricLinkBps int64        // switch–switch link rate, bits/s
+	HostPropDelay sim.Duration // host–ToR propagation
+	SwPropDelay   sim.Duration // switch–switch propagation
+	SwitchDelay   sim.Duration // per-hop forwarding latency
+	MTU           int          // max payload per packet
+
+	// ECN (RED-like marking, DCQCN's Kmin/Kmax/Pmax).
+	ECNKminBytes int
+	ECNKmaxBytes int
+	ECNPmax      float64
+
+	// PFC thresholds on per-ingress-port buffer occupancy.
+	PFCEnabled bool
+	PFCXoff    int // pause above this many buffered bytes
+	PFCXon     int // resume below this
+
+	// Egress buffer cap per port; packets beyond it are dropped
+	// (only reachable when PFC is disabled or control traffic floods).
+	EgressCap int
+}
+
+// DefaultConfig returns parameters matching the deployment described in
+// §VII ("Deployment at Alibaba"): 25 Gbps host links, 100 Gbps fabric
+// links, 4 KB MTU, DCQCN-style ECN thresholds and PFC on.
+func DefaultConfig() Config {
+	return Config{
+		HostLinkBps:   25_000_000_000,
+		FabricLinkBps: 100_000_000_000,
+		HostPropDelay: 200 * sim.Nanosecond,
+		SwPropDelay:   500 * sim.Nanosecond,
+		SwitchDelay:   300 * sim.Nanosecond,
+		MTU:           4096,
+		ECNKminBytes:  100 << 10,
+		ECNKmaxBytes:  400 << 10,
+		ECNPmax:       0.1,
+		PFCEnabled:    true,
+		PFCXoff:       512 << 10,
+		PFCXon:        256 << 10,
+		EgressCap:     4 << 20,
+	}
+}
+
+// device is anything with ports: a switch or a host adapter.
+type device interface {
+	receive(p *Packet, in *Port)
+	name() string
+}
+
+// Port is one side of a full-duplex link. It owns the egress queues for
+// traffic leaving its device on that link.
+type Port struct {
+	eng   *sim.Engine
+	owner device
+	peer  *Port
+	fab   *Fabric
+
+	bps       int64
+	propDelay sim.Duration
+
+	ctrlQ []*Packet
+	dataQ []*Packet
+	qlen  int // queued data bytes (for ECN marking decisions)
+
+	busy   bool
+	paused bool // peer asked us to stop sending ClassData
+
+	// unbounded marks host-side ports: the sender's RNIC regulates its
+	// own queue, so the host egress never tail-drops.
+	unbounded bool
+
+	// Ingress-side PFC state: bytes buffered in this device that arrived
+	// through this port, and whether we have told the upstream peer to
+	// stop sending.
+	ingressBytes int
+	pauseSent    bool
+
+	// Counters.
+	TxBytes   int64
+	TxPackets int64
+	Drops     int64
+}
+
+func (pt *Port) serialize(bytes int) sim.Duration {
+	return sim.Duration(int64(bytes) * 8 * int64(sim.Second) / pt.bps)
+}
+
+// QueueBytes reports currently queued data bytes (monitoring hook).
+func (pt *Port) QueueBytes() int { return pt.qlen }
+
+// Paused reports whether the peer has PFC-paused this port's data class.
+func (pt *Port) Paused() bool { return pt.paused }
+
+// send enqueues a packet for transmission out of this port.
+func (pt *Port) send(p *Packet) {
+	if p.Class == ClassCtrl {
+		pt.ctrlQ = append(pt.ctrlQ, p)
+	} else {
+		// With PFC on, ingress admission keeps buffers bounded and the
+		// fabric is lossless; tail drops only exist in lossy mode.
+		if !pt.unbounded && !pt.fab.cfg.PFCEnabled && pt.qlen+p.wireSize() > pt.fab.cfg.EgressCap {
+			pt.Drops++
+			pt.fab.Stats.Drops++
+			pt.releaseIngress(p)
+			return
+		}
+		pt.markECN(p)
+		pt.dataQ = append(pt.dataQ, p)
+		pt.qlen += p.wireSize()
+	}
+	pt.kick()
+}
+
+// markECN applies RED-style marking against the current egress queue depth,
+// the switch-side half of DCQCN.
+func (pt *Port) markECN(p *Packet) {
+	if !p.ECT || p.Marked {
+		return
+	}
+	cfg := pt.fab.cfg
+	q := pt.qlen
+	switch {
+	case q <= cfg.ECNKminBytes:
+		return
+	case q >= cfg.ECNKmaxBytes:
+		p.Marked = true
+	default:
+		frac := float64(q-cfg.ECNKminBytes) / float64(cfg.ECNKmaxBytes-cfg.ECNKminBytes)
+		if pt.fab.rng.Float64() < frac*cfg.ECNPmax {
+			p.Marked = true
+		}
+	}
+	if p.Marked {
+		pt.fab.Stats.ECNMarks++
+	}
+}
+
+// kick starts transmission if the port is idle and has eligible traffic.
+func (pt *Port) kick() {
+	if pt.busy {
+		return
+	}
+	var p *Packet
+	switch {
+	case len(pt.ctrlQ) > 0:
+		p = pt.ctrlQ[0]
+		pt.ctrlQ = pt.ctrlQ[1:]
+	case len(pt.dataQ) > 0 && !pt.paused:
+		p = pt.dataQ[0]
+		pt.dataQ = pt.dataQ[1:]
+		pt.qlen -= p.wireSize()
+	default:
+		return
+	}
+	pt.busy = true
+	txTime := pt.serialize(p.wireSize())
+	pt.eng.After(txTime, func() {
+		pt.busy = false
+		pt.TxBytes += int64(p.wireSize())
+		pt.TxPackets++
+		pt.releaseIngress(p)
+		arrival := pt.propDelay
+		peer := pt.peer
+		pt.eng.After(arrival, func() {
+			peer.owner.receive(p, peer)
+		})
+		pt.kick()
+	})
+}
+
+// releaseIngress returns the packet's bytes to the ingress accounting of
+// the device it is leaving and lifts PFC if the buffer drained enough.
+func (pt *Port) releaseIngress(p *Packet) {
+	in := p.inPort
+	p.inPort = nil
+	if in == nil || !pt.fab.cfg.PFCEnabled {
+		return
+	}
+	in.ingressBytes -= p.wireSize()
+	if in.pauseSent && in.ingressBytes <= pt.fab.cfg.PFCXon {
+		in.pauseSent = false
+		in.sendPFC(false)
+	}
+}
+
+// accountIngress charges an arriving data packet against this ingress port
+// and emits a pause frame if the threshold is crossed.
+func (pt *Port) accountIngress(p *Packet) {
+	if !pt.fab.cfg.PFCEnabled || p.Class != ClassData {
+		return
+	}
+	p.inPort = pt
+	pt.ingressBytes += p.wireSize()
+	if !pt.pauseSent && pt.ingressBytes > pt.fab.cfg.PFCXoff {
+		pt.pauseSent = true
+		pt.sendPFC(true)
+	}
+}
+
+// sendPFC delivers a pause/resume indication to the peer. Pause frames are
+// tiny and ride the wire ahead of data; the model applies them after one
+// propagation delay without occupying the queue.
+func (pt *Port) sendPFC(pause bool) {
+	if pause {
+		pt.fab.Stats.PauseTX++
+	}
+	peer := pt.peer
+	pt.eng.After(pt.propDelay, func() {
+		peer.paused = pause
+		if !pause {
+			peer.kick()
+		}
+	})
+}

@@ -1,0 +1,398 @@
+package rnic
+
+import (
+	"xrdma/internal/fabric"
+	"xrdma/internal/sim"
+)
+
+// The transmit engine models the property §V-C builds on: the RNIC
+// pipeline processes one work request at a time, so a large WR's packets
+// occupy the pipe back-to-back (paced only by DCQCN and PFC) and everything
+// behind it waits. X-RDMA's fragmentation bounds that blocking time.
+
+const engineBackoff = 2 * sim.Microsecond
+
+func (n *NIC) enqueueJob(j *txJob) {
+	n.jobs = append(n.jobs, j)
+	n.kickEngine()
+}
+
+func (n *NIC) dropJobsFor(qp *QP) {
+	kept := n.jobs[:0]
+	for _, j := range n.jobs {
+		if j.qp == qp {
+			j.dead = true
+			continue
+		}
+		kept = append(kept, j)
+	}
+	n.jobs = kept
+	if n.current != nil && n.current.qp == qp {
+		n.current.dead = true
+		n.current = nil
+	}
+}
+
+func (n *NIC) kickEngine() {
+	if n.engineBusy {
+		return
+	}
+	n.engineBusy = true
+	n.stepEngine()
+}
+
+// pickJob removes and returns the first runnable job, or nil. A job is
+// runnable when its QP can transmit now (not RNR-backing-off, QP usable).
+func (n *NIC) pickJob() (*txJob, sim.Time) {
+	now := n.eng.Now()
+	earliest := sim.MaxTime
+	for i, j := range n.jobs {
+		if j.dead {
+			continue
+		}
+		qp := j.qp
+		if !j.isResp && qp.State != QPRTS {
+			j.dead = true
+			continue
+		}
+		if j.isResp && qp.State != QPRTR && qp.State != QPRTS {
+			j.dead = true
+			continue
+		}
+		if qp.rnrBackoffUntil > now {
+			if qp.rnrBackoffUntil < earliest {
+				earliest = qp.rnrBackoffUntil
+			}
+			continue
+		}
+		n.jobs = append(n.jobs[:i], n.jobs[i+1:]...)
+		return j, 0
+	}
+	// Compact dead jobs.
+	kept := n.jobs[:0]
+	for _, j := range n.jobs {
+		if !j.dead {
+			kept = append(kept, j)
+		}
+	}
+	n.jobs = kept
+	return nil, earliest
+}
+
+func (n *NIC) stepEngine() {
+	if !n.alive {
+		n.engineBusy = false
+		n.jobs = nil
+		n.current = nil
+		return
+	}
+	if n.current == nil {
+		job, wake := n.pickJob()
+		if job == nil {
+			n.engineBusy = false
+			if wake != sim.MaxTime && len(n.jobs) > 0 {
+				n.eng.At(wake, n.kickEngine)
+			}
+			return
+		}
+		n.current = job
+		cost := n.Cfg.DoorbellLatency + n.touchQP(job.qp.QPN)
+		if job.wr != nil && job.wr.packets == 0 {
+			n.startWR(job.qp, job.wr)
+		}
+		n.eng.After(cost, n.stepEngine)
+		return
+	}
+	job := n.current
+	if job.dead {
+		n.current = nil
+		n.stepEngine()
+		return
+	}
+	// Local TX backpressure: PFC pause or a deep port queue stalls the
+	// pipeline (and with it every queued WR — the jitter mechanism).
+	if n.host.TxPaused() || n.host.TxQueueBytes() > n.Cfg.TxBacklog {
+		n.eng.After(engineBackoff, n.stepEngine)
+		return
+	}
+	// DCQCN pacing.
+	if wait := job.qp.paceWait(n.eng.Now()); wait > 0 {
+		n.eng.After(wait, n.stepEngine)
+		return
+	}
+	pkt, size, done := n.buildPacket(job)
+	job.qp.paceCharge(n.eng.Now(), size)
+	n.eng.After(n.Cfg.PktProcess, func() {
+		if job.dead || !n.alive {
+			if n.current == job {
+				n.current = nil
+			}
+			n.stepEngine()
+			return
+		}
+		n.emit(pkt)
+		n.Counters.PktsSent++
+		n.Counters.BytesSent += int64(size)
+		job.qp.rate.onBytes(size)
+		// The RTO measures silence after transmission, not transfer
+		// duration: refresh it while packets are still going out.
+		if job.wr != nil && len(job.qp.unacked) > 0 {
+			job.qp.armRTO()
+		}
+		if done {
+			n.finishJob(job)
+			n.current = nil
+		}
+		n.stepEngine()
+	})
+}
+
+// startWR assigns the PSN range, moves the WR to the unacked list and arms
+// the retransmission timer. RDMA READs sit outside the PSN stream: the
+// request is guarded by its own response timer instead of hardware acks.
+func (n *NIC) startWR(qp *QP, wr *SendWR) {
+	// Remove from sq.
+	for i, w := range qp.sq {
+		if w == wr {
+			qp.sq = append(qp.sq[:i], qp.sq[i+1:]...)
+			break
+		}
+	}
+	wr.startedAt = n.eng.Now()
+	if wr.Op == OpRead {
+		wr.packets = 1
+		if qp.pendingReads == nil {
+			qp.pendingReads = make(map[uint64]*readState)
+		}
+		readID := wr.ID ^ (uint64(qp.QPN) << 48)
+		qp.pendingReads[readID] = &readState{wr: wr}
+		return
+	}
+	pkts := (wr.Len + n.Cfg.MTU - 1) / n.Cfg.MTU
+	if pkts == 0 {
+		pkts = 1
+	}
+	wr.packets = pkts
+	wr.firstPSN = qp.nextPSN
+	wr.lastPSN = qp.nextPSN + uint32(pkts) - 1
+	qp.nextPSN += uint32(pkts)
+	qp.unacked = append(qp.unacked, wr)
+	qp.armRTO()
+}
+
+// buildPacket produces the next packet of the current job and reports the
+// payload size and whether the job is finished.
+func (n *NIC) buildPacket(job *txJob) (*fabric.Packet, int, bool) {
+	qp := job.qp
+	mtu := n.Cfg.MTU
+	if job.isResp {
+		seg := job.respLen - job.offset
+		if seg > mtu {
+			seg = mtu
+		}
+		h := &hdr{
+			SrcQPN: qp.QPN, DstQPN: job.respQPN,
+			Op: opReadResp, MsgLen: job.respLen, Offset: job.offset,
+			First: job.offset == 0, Last: job.offset+seg >= job.respLen,
+			ReadID: job.readID,
+		}
+		if job.respData != nil {
+			h.Data = job.respData[job.offset : job.offset+seg]
+		}
+		job.offset += seg
+		p := &fabric.Packet{
+			Src: n.Node, Dst: job.respTo, Size: seg + 16,
+			FlowHash: qp.flowHash, ECT: true, Payload: h,
+		}
+		return p, seg + 16, h.Last
+	}
+
+	wr := job.wr
+	seg := wr.Len - job.offset
+	if seg > mtu {
+		seg = mtu
+	}
+	if seg < 0 {
+		seg = 0
+	}
+	idx := 0
+	if mtu > 0 {
+		idx = job.offset / mtu
+	}
+	h := &hdr{
+		SrcQPN: qp.QPN, DstQPN: qp.RemoteQPN,
+		Op: wr.Op, PSN: wr.firstPSN + uint32(idx),
+		MsgID: wr.ID, MsgLen: wr.Len, Offset: job.offset,
+		First: job.offset == 0, Last: job.offset+seg >= wr.Len,
+	}
+	if h.First {
+		h.RAddr, h.RKey = wr.RAddr, wr.RKey
+		if wr.Op == OpRead {
+			h.ReadID = wr.ID ^ (uint64(qp.QPN) << 48)
+			h.Last = true
+		}
+	}
+	if h.Last && (wr.Op == OpSendImm || wr.Op == OpWriteImm) {
+		h.Imm = wr.Imm
+	}
+	// wr.Data may be shorter than wr.Len (a real header followed by a
+	// size-only payload); carry whatever bytes exist for this segment.
+	if wr.Data != nil && seg > 0 && wr.Op != OpRead && job.offset < len(wr.Data) {
+		end := job.offset + seg
+		if end > len(wr.Data) {
+			end = len(wr.Data)
+		}
+		h.Data = wr.Data[job.offset:end]
+	}
+	wire := seg + 16
+	if wr.Op == OpRead {
+		wire = 32 // request carries no payload
+	}
+	job.offset += seg
+	p := &fabric.Packet{
+		Src: n.Node, Dst: qp.RemoteNode, Size: wire,
+		FlowHash: qp.flowHash, ECT: true, Payload: h,
+	}
+	done := h.Last || wr.Op == OpRead
+	return p, wire, done
+}
+
+func (n *NIC) finishJob(job *txJob) {
+	if job.isResp {
+		return
+	}
+	wr := job.wr
+	n.Counters.MsgsSent++
+	job.qp.Counters.MsgsSent++
+	job.qp.Counters.BytesSent += int64(wr.Len)
+	if wr.Op == OpRead {
+		// Completion arrives with the response; a retry timer guards it.
+		n.armReadTimer(job.qp, wr)
+	}
+}
+
+// emit puts a packet on the wire, subject to the fault-injection hook.
+func (n *NIC) emit(p *fabric.Packet) {
+	if n.FaultHook != nil {
+		drop, delay := n.FaultHook(p)
+		if drop {
+			return
+		}
+		if delay > 0 {
+			n.eng.After(delay, func() { n.host.Send(p) })
+			return
+		}
+	}
+	n.host.Send(p)
+}
+
+// sendCtrl emits a small control packet (ACK/NAK/CNP).
+func (n *NIC) sendCtrl(dst fabric.NodeID, h *hdr) {
+	p := &fabric.Packet{Src: n.Node, Dst: dst, Size: 16, Class: fabric.ClassCtrl, Payload: h}
+	n.emit(p)
+}
+
+// --- pacing --------------------------------------------------------------
+
+func (qp *QP) paceWait(now sim.Time) sim.Duration {
+	if qp.nextTxTime > now {
+		return qp.nextTxTime.Sub(now)
+	}
+	return 0
+}
+
+func (qp *QP) paceCharge(now sim.Time, bytes int) {
+	rate := qp.rate.Rate()
+	if rate <= 0 {
+		return // unlimited
+	}
+	d := sim.Duration(int64(bytes) * 8 * int64(sim.Second) / rate)
+	base := qp.nextTxTime
+	if now > base {
+		base = now
+	}
+	qp.nextTxTime = base.Add(d)
+}
+
+// --- retransmission -------------------------------------------------------
+
+func (qp *QP) armRTO() {
+	n := qp.nic
+	if qp.rtoEvent != nil {
+		n.eng.Cancel(qp.rtoEvent)
+	}
+	if len(qp.unacked) == 0 {
+		qp.rtoEvent = nil
+		return
+	}
+	qp.rtoEvent = n.eng.After(n.Cfg.RetransTimeout, func() { qp.onRTO() })
+}
+
+func (qp *QP) onRTO() {
+	n := qp.nic
+	if qp.State != QPRTS || len(qp.unacked) == 0 {
+		return
+	}
+	qp.retries++
+	if qp.retries > n.Cfg.RetryLimit {
+		qp.enterError(StatusRetryExceeded)
+		return
+	}
+	n.Counters.Retransmits++
+	qp.Counters.Retransmits++
+	qp.retransmitUnacked()
+	qp.armRTO()
+}
+
+// retransmitUnacked re-enqueues every unacked WR that is not already
+// queued or in flight on the engine (go-back-N at WR granularity; PSNs are
+// preserved so the responder can discard what it already has).
+func (qp *QP) retransmitUnacked() {
+	n := qp.nic
+	queued := make(map[*SendWR]bool)
+	for _, j := range n.jobs {
+		if j.wr != nil && !j.dead {
+			queued[j.wr] = true
+		}
+	}
+	if n.current != nil && n.current.wr != nil && !n.current.dead {
+		queued[n.current.wr] = true
+	}
+	for _, wr := range qp.unacked {
+		if wr.Op == OpRead || queued[wr] {
+			continue
+		}
+		n.enqueueJob(&txJob{qp: qp, wr: wr})
+	}
+}
+
+// armReadTimer guards an outstanding RDMA READ against response loss.
+func (n *NIC) armReadTimer(qp *QP, wr *SendWR) {
+	readID := wr.ID ^ (uint64(qp.QPN) << 48)
+	st, ok := qp.pendingReads[readID]
+	if !ok {
+		return
+	}
+	if st.timer != nil {
+		n.eng.Cancel(st.timer)
+	}
+	st.timer = n.eng.After(n.Cfg.RetransTimeout, func() {
+		if qp.State != QPRTS {
+			return
+		}
+		if _, still := qp.pendingReads[readID]; !still {
+			return
+		}
+		st.retries++
+		if st.retries > n.Cfg.RetryLimit {
+			delete(qp.pendingReads, readID)
+			qp.enterError(StatusRetryExceeded)
+			return
+		}
+		n.Counters.Retransmits++
+		qp.Counters.Retransmits++
+		st.got = 0
+		n.enqueueJob(&txJob{qp: qp, wr: wr})
+		n.armReadTimer(qp, wr)
+	})
+}

@@ -1,0 +1,191 @@
+// Package rnic models an RDMA-capable NIC (RNIC) faithfully enough to
+// reproduce the protocol-visible behaviours the X-RDMA paper builds on:
+// queue pairs with the RC state machine, MTU segmentation, hardware
+// acks with go-back-N retransmission, RNR NAKs, memory regions with rkey
+// protection, a DCQCN rate limiter per QP, a QP-context SRAM cache, and a
+// transmit engine that processes work requests one at a time — the
+// head-of-line blocking that motivates X-RDMA's fragmentation.
+package rnic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"xrdma/internal/sim"
+)
+
+// RegMode selects how an MR's backing pages are organised. The paper's
+// §VII-F compares non-continuous, physically continuous, and hugepage
+// registrations.
+type RegMode uint8
+
+const (
+	// RegNonContinuous is ordinary anonymous pages (Alibaba's choice).
+	RegNonContinuous RegMode = iota
+	// RegContinuous is physically continuous memory: slightly faster
+	// address translation, but allocation is expensive and fragments.
+	RegContinuous
+	// RegHugePage uses 2 MB pages: fewer translations, middling cost.
+	RegHugePage
+)
+
+func (m RegMode) String() string {
+	switch m {
+	case RegContinuous:
+		return "continuous"
+	case RegHugePage:
+		return "hugepage"
+	default:
+		return "non-continuous"
+	}
+}
+
+// MR is a registered memory region. Buf is real storage so tests can
+// verify end-to-end data integrity; Base is the region's virtual address
+// in the node's flat address space.
+type MR struct {
+	Base uint64
+	Len  int
+	RKey uint32
+	LKey uint32
+	Mode RegMode
+	Buf  []byte
+
+	mem *Memory
+}
+
+// Contains reports whether [addr, addr+n) falls inside the region.
+func (mr *MR) Contains(addr uint64, n int) bool {
+	return addr >= mr.Base && addr+uint64(n) <= mr.Base+uint64(mr.Len)
+}
+
+// Slice returns the backing bytes for [addr, addr+n); the range must be
+// inside the region.
+func (mr *MR) Slice(addr uint64, n int) []byte {
+	off := addr - mr.Base
+	return mr.Buf[off : off+uint64(n)]
+}
+
+// Memory is one node's registered-memory registry plus a virtual address
+// allocator. Address space is never reused, so use-after-deregister is
+// always caught.
+type Memory struct {
+	nextAddr uint64
+	nextKey  uint32
+	byKey    map[uint32]*MR
+	sorted   []*MR // by Base, for address lookups
+
+	// RegisteredBytes tracks current total registered memory — the
+	// resource-footprint metric of §III Issue 1.
+	RegisteredBytes int64
+	// PeakRegisteredBytes is the high-water mark.
+	PeakRegisteredBytes int64
+	// Registrations counts ibv_reg_mr-equivalent calls.
+	Registrations int64
+}
+
+// NewMemory returns an empty registry. The address space deliberately
+// starts high (near "stack space", §VI-C memory-cache isolation).
+func NewMemory() *Memory {
+	return &Memory{nextAddr: 0x7f00_0000_0000, nextKey: 1, byKey: make(map[uint32]*MR)}
+}
+
+// ErrMRAccess is returned for rkey mismatches or out-of-bounds remote
+// access; on the wire it becomes a remote-access-error NAK that breaks
+// the QP.
+var ErrMRAccess = errors.New("rnic: remote access violation")
+
+// Register pins size bytes and returns the MR. Registration cost is a
+// driver-time property; callers that care (the memory cache) charge
+// RegCost through the simulation clock.
+func (m *Memory) Register(size int, mode RegMode) *MR {
+	if size < 0 {
+		panic("rnic: negative MR size")
+	}
+	mr := &MR{
+		Base: m.nextAddr,
+		Len:  size,
+		RKey: m.nextKey,
+		LKey: m.nextKey,
+		Mode: mode,
+		Buf:  make([]byte, size),
+		mem:  m,
+	}
+	// Guard gap between regions so off-by-one overruns never land in a
+	// neighbouring MR.
+	m.nextAddr += uint64(size) + 4096
+	m.nextKey++
+	m.byKey[mr.RKey] = mr
+	idx := sort.Search(len(m.sorted), func(i int) bool { return m.sorted[i].Base > mr.Base })
+	m.sorted = append(m.sorted, nil)
+	copy(m.sorted[idx+1:], m.sorted[idx:])
+	m.sorted[idx] = mr
+	m.Registrations++
+	m.RegisteredBytes += int64(size)
+	if m.RegisteredBytes > m.PeakRegisteredBytes {
+		m.PeakRegisteredBytes = m.RegisteredBytes
+	}
+	return mr
+}
+
+// Deregister removes the MR; later remote access to its range fails.
+func (m *Memory) Deregister(mr *MR) {
+	if _, ok := m.byKey[mr.RKey]; !ok {
+		return
+	}
+	delete(m.byKey, mr.RKey)
+	for i, r := range m.sorted {
+		if r == mr {
+			m.sorted = append(m.sorted[:i], m.sorted[i+1:]...)
+			break
+		}
+	}
+	m.RegisteredBytes -= int64(mr.Len)
+}
+
+// Lookup validates a remote access of n bytes at addr under rkey.
+func (m *Memory) Lookup(rkey uint32, addr uint64, n int) (*MR, error) {
+	mr, ok := m.byKey[rkey]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown rkey %d", ErrMRAccess, rkey)
+	}
+	if !mr.Contains(addr, n) {
+		return nil, fmt.Errorf("%w: [%#x,+%d) outside MR [%#x,+%d)", ErrMRAccess, addr, n, mr.Base, mr.Len)
+	}
+	return mr, nil
+}
+
+// FindLocal resolves a local address to its MR (no key check: lkey use).
+func (m *Memory) FindLocal(addr uint64, n int) (*MR, error) {
+	i := sort.Search(len(m.sorted), func(i int) bool { return m.sorted[i].Base+uint64(m.sorted[i].Len) > addr })
+	if i < len(m.sorted) && m.sorted[i].Contains(addr, n) {
+		return m.sorted[i], nil
+	}
+	return nil, fmt.Errorf("%w: local [%#x,+%d) not registered", ErrMRAccess, addr, n)
+}
+
+// Regions reports the number of live MRs.
+func (m *Memory) Regions() int { return len(m.byKey) }
+
+// RegCost models the driver-side latency of registering size bytes with a
+// given mode: page pinning scales with page count; continuous memory pays
+// an allocation search; hugepages amortise pinning.
+//
+// LITE (SOSP'17) reports performance collapse past ~1000 small MRs, which
+// motivated X-RDMA's 4 MB regions; the per-region fixed cost here encodes
+// that trade-off.
+func RegCost(size int, mode RegMode) sim.Duration {
+	const fixed = 30 * sim.Microsecond // syscall + key setup
+	pages := int64(size+4095) / 4096
+	switch mode {
+	case RegContinuous:
+		// Compaction/search grows with size; cheap translation later.
+		return fixed + sim.Duration(pages)*900*sim.Nanosecond
+	case RegHugePage:
+		huge := int64(size+(2<<20)-1) / (2 << 20)
+		return fixed + sim.Duration(huge)*12*sim.Microsecond
+	default:
+		return fixed + sim.Duration(pages)*600*sim.Nanosecond
+	}
+}

@@ -1,0 +1,337 @@
+package rnic
+
+import (
+	"fmt"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/sim"
+)
+
+// Config holds the NIC timing and protocol parameters. Defaults
+// approximate a ConnectX-4 Lx class device.
+type Config struct {
+	DoorbellLatency sim.Duration // MMIO doorbell + WQE fetch over PCIe
+	PktProcess      sim.Duration // per-packet pipeline occupancy (TX)
+	RxProcess       sim.Duration // per-packet RX processing + DMA
+	CompletionCost  sim.Duration // CQE generation + host visibility
+
+	MTU int
+
+	RetransTimeout sim.Duration // RTO for go-back-N
+	RetryLimit     int
+	RNRTimer       sim.Duration // backoff after an RNR NAK
+	RNRRetryLimit  int
+
+	AckEvery int          // coalesce: ack every N packets
+	AckDelay sim.Duration // ...or after this delay
+
+	CNPInterval sim.Duration // min per-flow CNP spacing at the notification point
+
+	// QP context cache (on-NIC SRAM).
+	QPCacheEntries  int
+	QPCacheMissCost sim.Duration
+
+	// TxBacklog limits how far ahead of the wire the engine runs: the
+	// engine stalls while the host port has this much queued.
+	TxBacklog int
+
+	DCQCN DCQCNConfig
+}
+
+// DefaultConfig returns ConnectX-4-like parameters.
+func DefaultConfig() Config {
+	return Config{
+		DoorbellLatency: 250 * sim.Nanosecond,
+		PktProcess:      60 * sim.Nanosecond,
+		RxProcess:       250 * sim.Nanosecond,
+		CompletionCost:  150 * sim.Nanosecond,
+		MTU:             4096,
+		// RC local-ack-timeout: real deployments run 2^14 × 4.096 µs
+		// ≈ 67 ms; 16 ms keeps tests fast while staying far above any
+		// legitimate queueing delay.
+		// RC local-ack-timeout: real deployments run tens of ms (the IB
+		// default is 2^14 x 4.096 us ~ 67 ms). 20 ms sits above the ack
+		// delays a PFC pause storm can cause — tighter values make the
+		// NIC retransmit spuriously under congestion and collapse.
+		RetransTimeout:  20 * sim.Millisecond,
+		RetryLimit:      6,
+		RNRTimer:        60 * sim.Microsecond,
+		RNRRetryLimit:   64, // "infinite" in production profiles; 7 breaks connections
+		AckEvery:        4,
+		AckDelay:        4 * sim.Microsecond,
+		CNPInterval:     50 * sim.Microsecond,
+		QPCacheEntries:  1024,
+		QPCacheMissCost: 120 * sim.Nanosecond,
+		TxBacklog:       32 << 10,
+		DCQCN:           DefaultDCQCN(),
+	}
+}
+
+// Counters aggregates NIC-wide statistics (XR-Stat's raw data).
+type Counters struct {
+	MsgsSent, MsgsRecv     int64
+	BytesSent, BytesRecv   int64
+	PktsSent, PktsRecv     int64
+	AcksSent, AcksRecv     int64
+	RNRNakSent, RNRNakRecv int64
+	SeqNakSent, SeqNakRecv int64
+	Retransmits            int64
+	CNPSent, CNPRecv       int64
+	AccessErrors           int64
+	QPCacheMisses          int64
+	QPCacheHits            int64
+}
+
+// txJob is one unit of engine work: transmit (part of) a WR's packets, or
+// stream a read response.
+type txJob struct {
+	qp     *QP
+	wr     *SendWR // nil for read responses
+	isResp bool
+	// read-response fields
+	respTo   fabric.NodeID
+	respQPN  uint32
+	readID   uint64
+	respData []byte
+	respLen  int
+	// progress
+	offset int
+	dead   bool
+}
+
+// NIC is one node's RDMA adapter.
+type NIC struct {
+	Node fabric.NodeID
+	Mem  *Memory
+	Cfg  Config
+
+	eng  *sim.Engine
+	host *fabric.Host
+
+	alive bool
+
+	qps     map[uint32]*QP
+	nextQPN uint32
+
+	// Transmit engine.
+	jobs       []*txJob
+	current    *txJob
+	engineBusy bool
+
+	// Hardware command queue: QP create/modify commands serialize here
+	// (the §VII-C establishment bottleneck).
+	cmdBusy  bool
+	cmdQueue []hwCmd
+
+	// QP context cache.
+	cache *qpCache
+
+	// DCQCN notification point state: last CNP time per remote flow.
+	lastCNP map[uint64]sim.Time
+
+	Counters Counters
+
+	// FaultHook, when set, inspects every outbound packet; returning
+	// false drops it, and a returned delay defers it. X-RDMA's Filter
+	// (§VI-C) installs this.
+	FaultHook func(p *fabric.Packet) (drop bool, delay sim.Duration)
+}
+
+type hwCmd struct {
+	cost sim.Duration
+	fn   func()
+}
+
+// New attaches a NIC to a fabric host.
+func New(eng *sim.Engine, host *fabric.Host, cfg Config) *NIC {
+	n := &NIC{
+		Node:    host.ID,
+		Mem:     NewMemory(),
+		Cfg:     cfg,
+		eng:     eng,
+		host:    host,
+		alive:   true,
+		qps:     make(map[uint32]*QP),
+		nextQPN: 1,
+		lastCNP: make(map[uint64]sim.Time),
+		cache:   newQPCache(cfg.QPCacheEntries),
+	}
+	host.Attach(n)
+	return n
+}
+
+// Engine exposes the simulation engine (middleware timers ride on it).
+func (n *NIC) Engine() *sim.Engine { return n.eng }
+
+// Alive reports whether the NIC is operational.
+func (n *NIC) Alive() bool { return n.alive }
+
+// Crash silences the NIC: packets are dropped on the floor, exactly like a
+// machine failure (§V-A: the peer side is never notified).
+func (n *NIC) Crash() { n.alive = false }
+
+// Revive restores a crashed NIC (host reboot).
+func (n *NIC) Revive() { n.alive = true }
+
+// LineBps returns the host link rate.
+func (n *NIC) LineBps() int64 { return n.host.LinkBps() }
+
+// QP returns the queue pair with the given number, or nil.
+func (n *NIC) QP(qpn uint32) *QP { return n.qps[qpn] }
+
+// NumQPs reports live queue pairs.
+func (n *NIC) NumQPs() int { return len(n.qps) }
+
+// --- hardware command queue -------------------------------------------
+
+// submitCmd serializes a hardware command; done fires when it completes.
+func (n *NIC) submitCmd(cost sim.Duration, done func()) {
+	n.cmdQueue = append(n.cmdQueue, hwCmd{cost: cost, fn: done})
+	n.pumpCmds()
+}
+
+func (n *NIC) pumpCmds() {
+	if n.cmdBusy || len(n.cmdQueue) == 0 {
+		return
+	}
+	n.cmdBusy = true
+	cmd := n.cmdQueue[0]
+	n.cmdQueue = n.cmdQueue[1:]
+	n.eng.After(cmd.cost, func() {
+		n.cmdBusy = false
+		cmd.fn()
+		n.pumpCmds()
+	})
+}
+
+// CmdQueueLen reports pending hardware commands (diagnostics).
+func (n *NIC) CmdQueueLen() int {
+	q := len(n.cmdQueue)
+	if n.cmdBusy {
+		q++
+	}
+	return q
+}
+
+// --- QP lifecycle -------------------------------------------------------
+
+// QPCreateCost and per-transition modify cost reproduce the paper's
+// establishment breakdown (3946 µs with creation, 2451 µs with the QP
+// cache reusing an existing QP).
+const (
+	QPCreateCost = 1495 * sim.Microsecond
+	QPModifyCost = 250 * sim.Microsecond
+)
+
+// CreateQP allocates a QP through the hardware command queue.
+func (n *NIC) CreateQP(sqCap, rqCap int, sendCQ, recvCQ *CQ, srq *SRQ, done func(*QP)) {
+	n.submitCmd(QPCreateCost, func() {
+		qp := n.allocQP(sqCap, rqCap, sendCQ, recvCQ, srq)
+		done(qp)
+	})
+}
+
+// allocQP builds the QP synchronously (used by CreateQP and by tests that
+// don't model command latency).
+func (n *NIC) allocQP(sqCap, rqCap int, sendCQ, recvCQ *CQ, srq *SRQ) *QP {
+	qp := &QP{
+		QPN:       n.nextQPN,
+		nic:       n,
+		State:     QPReset,
+		SQCap:     sqCap,
+		RQCap:     rqCap,
+		SendCQ:    sendCQ,
+		RecvCQ:    recvCQ,
+		srq:       srq,
+		CreatedAt: n.eng.Now(),
+	}
+	n.nextQPN++
+	n.qps[qp.QPN] = qp
+	return qp
+}
+
+// AllocQPNow is the zero-latency variant for setup code and tests.
+func (n *NIC) AllocQPNow(sqCap, rqCap int, sendCQ, recvCQ *CQ, srq *SRQ) *QP {
+	return n.allocQP(sqCap, rqCap, sendCQ, recvCQ, srq)
+}
+
+// ModifyQP advances the state machine through the hardware command queue.
+// Transitions must follow RESET→INIT→RTR→RTS; RTR wires the remote peer.
+func (n *NIC) ModifyQP(qp *QP, to QPState, remote fabric.NodeID, remoteQPN uint32, done func(error)) {
+	n.submitCmd(QPModifyCost, func() {
+		done(n.modifyQPNow(qp, to, remote, remoteQPN))
+	})
+}
+
+// modifyQPNow applies the transition immediately. Legal transitions are
+// RESET→INIT→RTR→RTS plus any-state→RESET (the QP-cache recycling path).
+func (n *NIC) modifyQPNow(qp *QP, to QPState, remote fabric.NodeID, remoteQPN uint32) error {
+	switch to {
+	case QPReset:
+		// Reset clears all transient state; the QP cache uses this to
+		// recycle QPs without paying creation cost again.
+		n.dropJobsFor(qp)
+		if qp.rtoEvent != nil {
+			n.eng.Cancel(qp.rtoEvent)
+		}
+		if qp.ackTimer != nil {
+			n.eng.Cancel(qp.ackTimer)
+		}
+		for _, st := range qp.pendingReads {
+			if st.timer != nil {
+				n.eng.Cancel(st.timer)
+			}
+		}
+		*qp = QP{QPN: qp.QPN, nic: n, State: QPReset, SQCap: qp.SQCap, RQCap: qp.RQCap,
+			SendCQ: qp.SendCQ, RecvCQ: qp.RecvCQ, srq: qp.srq, CreatedAt: qp.CreatedAt}
+	case QPInit:
+		if qp.State != QPReset {
+			return fmt.Errorf("%w: %v → INIT", ErrQPState, qp.State)
+		}
+		qp.State = QPInit
+	case QPRTR:
+		if qp.State != QPInit {
+			return fmt.Errorf("%w: %v → RTR", ErrQPState, qp.State)
+		}
+		qp.RemoteNode = remote
+		qp.RemoteQPN = remoteQPN
+		qp.flowHash = uint64(n.Node)<<40 ^ uint64(remote)<<20 ^ uint64(qp.QPN)
+		qp.rate = newDCQCN(&n.Cfg.DCQCN, n.eng, n.LineBps())
+		qp.State = QPRTR
+	case QPRTS:
+		if qp.State != QPRTR {
+			return fmt.Errorf("%w: %v → RTS", ErrQPState, qp.State)
+		}
+		qp.State = QPRTS
+	default:
+		return fmt.Errorf("%w: cannot modify to %v", ErrQPState, to)
+	}
+	return nil
+}
+
+// ModifyQPNow is the zero-latency variant for setup code and tests.
+func (n *NIC) ModifyQPNow(qp *QP, to QPState, remote fabric.NodeID, remoteQPN uint32) error {
+	return n.modifyQPNow(qp, to, remote, remoteQPN)
+}
+
+// DestroyQP releases the QP entirely.
+func (n *NIC) DestroyQP(qp *QP) {
+	qp.enterError(StatusFlushed)
+	delete(n.qps, qp.QPN)
+}
+
+// ConnectLoopback is a test/bench helper: builds a connected QP pair
+// between two NICs with zero setup latency.
+func ConnectLoopback(a, b *NIC, depth int) (*QP, *QP) {
+	qa := a.AllocQPNow(depth, depth, NewCQ(depth*2), NewCQ(depth*2), nil)
+	qb := b.AllocQPNow(depth, depth, NewCQ(depth*2), NewCQ(depth*2), nil)
+	for _, step := range []QPState{QPInit, QPRTR, QPRTS} {
+		if err := a.ModifyQPNow(qa, step, b.Node, qb.QPN); err != nil {
+			panic(err)
+		}
+		if err := b.ModifyQPNow(qb, step, a.Node, qa.QPN); err != nil {
+			panic(err)
+		}
+	}
+	return qa, qb
+}

@@ -1,0 +1,374 @@
+package rnic
+
+import (
+	"errors"
+	"fmt"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/sim"
+)
+
+// QPState is the RC queue-pair state machine (a subset: the states the
+// middleware actually drives through).
+type QPState uint8
+
+const (
+	QPReset QPState = iota
+	QPInit
+	QPRTR // ready to receive
+	QPRTS // ready to send
+	QPError
+)
+
+func (s QPState) String() string {
+	return [...]string{"RESET", "INIT", "RTR", "RTS", "ERROR"}[s]
+}
+
+// Status is a completion status.
+type Status uint8
+
+const (
+	StatusOK Status = iota
+	StatusRetryExceeded
+	StatusRNRRetryExceeded
+	StatusRemoteAccessErr
+	StatusFlushed // QP torn down with the WR outstanding
+)
+
+func (s Status) String() string {
+	return [...]string{"OK", "RETRY_EXC", "RNR_RETRY_EXC", "REM_ACCESS_ERR", "FLUSHED"}[s]
+}
+
+// CQE is a completion queue entry.
+type CQE struct {
+	WRID   uint64
+	QPN    uint32
+	Op     Op
+	Status Status
+	Len    int
+	Imm    uint32
+	HasImm bool
+	// Recv-side: where the message landed.
+	Addr uint64
+	// Data aliases the received payload when payloads are carried.
+	Data []byte
+}
+
+// CQ is a completion queue. Depth is advisory: overflow is counted rather
+// than fatal (real CQ overflow kills the QP; the middleware sizes CQs so
+// it never happens, and the counter proves it).
+type CQ struct {
+	Depth     int
+	Overflows int64
+	queue     []CQE
+	notify    func()
+}
+
+// NewCQ creates a completion queue with the given depth.
+func NewCQ(depth int) *CQ { return &CQ{Depth: depth} }
+
+// OnCompletion installs a wakeup callback fired whenever a CQE is added to
+// an empty queue — the comp-channel analogue used for event-mode polling.
+func (cq *CQ) OnCompletion(fn func()) { cq.notify = fn }
+
+func (cq *CQ) push(e CQE) {
+	if cq.Depth > 0 && len(cq.queue) >= cq.Depth {
+		cq.Overflows++
+	}
+	wasEmpty := len(cq.queue) == 0
+	cq.queue = append(cq.queue, e)
+	if wasEmpty && cq.notify != nil {
+		cq.notify()
+	}
+}
+
+// Poll removes up to n completions.
+func (cq *CQ) Poll(n int) []CQE {
+	if n > len(cq.queue) {
+		n = len(cq.queue)
+	}
+	out := make([]CQE, n)
+	copy(out, cq.queue[:n])
+	cq.queue = cq.queue[n:]
+	return out
+}
+
+// Len reports queued completions.
+func (cq *CQ) Len() int { return len(cq.queue) }
+
+// SendWR is a send-queue work request.
+type SendWR struct {
+	ID    uint64
+	Op    Op
+	Len   int
+	Data  []byte // optional payload (nil → size-only simulation)
+	Local uint64 // local buffer address (diagnostics; Data carries bytes)
+
+	// One-sided target.
+	RAddr uint64
+	RKey  uint32
+
+	Imm uint32
+
+	// Unsignaled WRs produce no CQE on success (X-RDMA uses this for
+	// keepalive probes and acks to keep CQ pressure down).
+	Unsignaled bool
+
+	// internal
+	firstPSN, lastPSN uint32
+	packets           int
+	postedAt          sim.Time
+	startedAt         sim.Time
+}
+
+// RecvWR is a receive-queue work request: a buffer for one incoming
+// message.
+type RecvWR struct {
+	ID   uint64
+	Addr uint64
+	Len  int
+}
+
+// SRQ is a shared receive queue (§VII-F "Pay attention to SRQ").
+type SRQ struct {
+	Depth int
+	queue []RecvWR
+	// Posted counts total WQEs ever posted (monitoring).
+	Posted int64
+}
+
+// NewSRQ creates a shared receive queue.
+func NewSRQ(depth int) *SRQ { return &SRQ{Depth: depth} }
+
+// Post adds a receive buffer; errors when full.
+func (s *SRQ) Post(wr RecvWR) error {
+	if len(s.queue) >= s.Depth {
+		return errors.New("rnic: SRQ full")
+	}
+	s.queue = append(s.queue, wr)
+	s.Posted++
+	return nil
+}
+
+// Len reports available receive WQEs.
+func (s *SRQ) Len() int { return len(s.queue) }
+
+func (s *SRQ) take() (RecvWR, bool) {
+	if len(s.queue) == 0 {
+		return RecvWR{}, false
+	}
+	wr := s.queue[0]
+	s.queue = s.queue[1:]
+	return wr, true
+}
+
+// QPCounters are per-QP statistics exposed to XR-Stat.
+type QPCounters struct {
+	MsgsSent, MsgsRecv   int64
+	BytesSent, BytesRecv int64
+	RNRNakRecv           int64 // we sent and peer wasn't ready
+	RNRNakSent           int64 // we weren't ready
+	Retransmits          int64
+	CNPRecv              int64
+	SeqNakRecv           int64
+}
+
+// QP is an RC queue pair.
+type QP struct {
+	QPN    uint32
+	nic    *NIC
+	State  QPState
+	SQCap  int
+	RQCap  int
+	SendCQ *CQ
+	RecvCQ *CQ
+	srq    *SRQ
+
+	// Connection identity, set at RTR.
+	RemoteNode fabric.NodeID
+	RemoteQPN  uint32
+	flowHash   uint64
+
+	// Transmit side.
+	sq              []*SendWR
+	nextPSN         uint32
+	unacked         []*SendWR // in flight, oldest first
+	msgSeq          uint64
+	rnrBackoffUntil sim.Time
+	retries         int
+	rnrRetries      int
+	rtoEvent        *sim.Event
+	nextTxTime      sim.Time
+	pendingReads    map[uint64]*readState
+	lastSeenAck     uint32
+
+	// CQE ordering watermarks: completion costs vary (QP-cache misses),
+	// but completions for one QP must never overtake each other.
+	sendCQAt sim.Time
+	recvCQAt sim.Time
+
+	// Receive side.
+	rq           []RecvWR
+	expected     uint32 // next expected PSN
+	assemble     *assembly
+	pktsSinceAck int
+	ackTimer     *sim.Event
+	nakedAt      uint32 // last PSN we NAKed, to suppress NAK storms
+	nakValid     bool
+
+	// DCQCN rate state.
+	rate *dcqcnState
+
+	Counters QPCounters
+
+	// CreatedAt / lastComm support keepalive diagnostics.
+	CreatedAt sim.Time
+	LastComm  sim.Time
+}
+
+// assembly tracks an in-progress multi-packet inbound message.
+type assembly struct {
+	op     Op
+	msgLen int
+	got    int
+	recvWR RecvWR
+	hasWR  bool
+	mr     *MR    // write target region
+	raddr  uint64 // write target address
+	data   []byte // gathered payload when packets carry bytes
+}
+
+// readState tracks an outstanding RDMA READ at the requester.
+type readState struct {
+	wr      *SendWR
+	got     int
+	data    []byte
+	retries int
+	timer   *sim.Event
+}
+
+// errors returned by the posting API.
+var (
+	ErrQPState = errors.New("rnic: QP in wrong state")
+	ErrSQFull  = errors.New("rnic: send queue full")
+	ErrRQFull  = errors.New("rnic: receive queue full")
+)
+
+// PostRecv queues a receive buffer.
+func (qp *QP) PostRecv(wr RecvWR) error {
+	if qp.srq != nil {
+		return errors.New("rnic: QP bound to SRQ; post to the SRQ")
+	}
+	if qp.State == QPReset || qp.State == QPError {
+		return fmt.Errorf("%w: %v", ErrQPState, qp.State)
+	}
+	if len(qp.rq) >= qp.RQCap {
+		return ErrRQFull
+	}
+	qp.rq = append(qp.rq, wr)
+	return nil
+}
+
+// RecvQueueLen reports available receive WQEs.
+func (qp *QP) RecvQueueLen() int {
+	if qp.srq != nil {
+		return qp.srq.Len()
+	}
+	return len(qp.rq)
+}
+
+// SendQueueLen reports WRs posted but not yet completed.
+func (qp *QP) SendQueueLen() int { return len(qp.sq) + len(qp.unacked) }
+
+// PostSend queues a work request for transmission. The NIC engine picks it
+// up asynchronously; completion arrives on SendCQ.
+func (qp *QP) PostSend(wr *SendWR) error {
+	if qp.State != QPRTS {
+		return fmt.Errorf("%w: %v (need RTS)", ErrQPState, qp.State)
+	}
+	if len(qp.sq)+len(qp.unacked) >= qp.SQCap {
+		return ErrSQFull
+	}
+	if wr.Op == OpRead && wr.Len > 0 && wr.RKey == 0 {
+		return fmt.Errorf("rnic: READ without rkey")
+	}
+	wr.postedAt = qp.nic.eng.Now()
+	qp.sq = append(qp.sq, wr)
+	qp.nic.enqueueJob(&txJob{qp: qp, wr: wr})
+	return nil
+}
+
+func (qp *QP) takeRecv() (RecvWR, bool) {
+	if qp.srq != nil {
+		return qp.srq.take()
+	}
+	if len(qp.rq) == 0 {
+		return RecvWR{}, false
+	}
+	wr := qp.rq[0]
+	qp.rq = qp.rq[1:]
+	return wr, true
+}
+
+// enterError flushes all outstanding work with the given status and marks
+// the QP broken. The middleware observes this via flushed CQEs (and via
+// keepalive timeouts when the peer is gone).
+func (qp *QP) enterError(st Status) {
+	if qp.State == QPError {
+		return
+	}
+	qp.State = QPError
+	if qp.rtoEvent != nil {
+		qp.nic.eng.Cancel(qp.rtoEvent)
+		qp.rtoEvent = nil
+	}
+	if qp.ackTimer != nil {
+		qp.nic.eng.Cancel(qp.ackTimer)
+		qp.ackTimer = nil
+	}
+	for id, rs := range qp.pendingReads {
+		if rs.timer != nil {
+			qp.nic.eng.Cancel(rs.timer)
+		}
+		qp.completeSend(rs.wr, st)
+		delete(qp.pendingReads, id)
+	}
+	for _, wr := range qp.unacked {
+		qp.completeSend(wr, st)
+	}
+	qp.unacked = nil
+	for _, wr := range qp.sq {
+		qp.completeSend(wr, st)
+	}
+	qp.sq = nil
+	qp.nic.dropJobsFor(qp)
+}
+
+func (qp *QP) completeSend(wr *SendWR, st Status) {
+	if wr.Unsignaled && st == StatusOK {
+		return
+	}
+	qp.SendCQ.push(CQE{WRID: wr.ID, QPN: qp.QPN, Op: wr.Op, Status: st, Len: wr.Len, Imm: wr.Imm})
+}
+
+// pushSendCQE schedules a send completion after d, never before an earlier
+// completion on the same QP.
+func (qp *QP) pushSendCQE(d sim.Duration, fn func()) {
+	at := qp.nic.eng.Now().Add(d)
+	if at < qp.sendCQAt {
+		at = qp.sendCQAt
+	}
+	qp.sendCQAt = at
+	qp.nic.eng.At(at, fn)
+}
+
+// pushRecvCQE schedules a receive completion after d with the same
+// ordering guarantee.
+func (qp *QP) pushRecvCQE(d sim.Duration, fn func()) {
+	at := qp.nic.eng.Now().Add(d)
+	if at < qp.recvCQAt {
+		at = qp.recvCQAt
+	}
+	qp.recvCQAt = at
+	qp.nic.eng.At(at, fn)
+}

@@ -1,0 +1,365 @@
+package rnic
+
+import (
+	"xrdma/internal/fabric"
+)
+
+// HandlePacket is the fabric delivery entry point. Protocol processing
+// (sequencing, acks, naks) is immediate; CQE visibility pays the
+// completion + QP-cache costs.
+func (n *NIC) HandlePacket(p *fabric.Packet) {
+	if !n.alive {
+		return // crashed machine: packets vanish, no notification (§III)
+	}
+	h, ok := p.Payload.(*hdr)
+	if !ok {
+		return // foreign traffic (e.g. tcpnet) on a shared host
+	}
+	n.Counters.PktsRecv++
+	switch h.Op {
+	case opAck:
+		n.Counters.AcksRecv++
+		if qp := n.qps[h.DstQPN]; qp != nil {
+			qp.handleAck(h.AckPSN)
+		}
+	case opNak:
+		if qp := n.qps[h.DstQPN]; qp != nil {
+			qp.handleNak(h)
+		}
+	case opCNP:
+		n.Counters.CNPRecv++
+		if qp := n.qps[h.DstQPN]; qp != nil {
+			qp.Counters.CNPRecv++
+			qp.rate.onCNP()
+		}
+	case opReadResp:
+		if qp := n.qps[h.DstQPN]; qp != nil {
+			qp.handleReadResp(h)
+		}
+	case OpRead:
+		n.handleReadReq(p, h)
+	default:
+		n.handleData(p, h)
+	}
+}
+
+// maybeCNP implements the DCQCN notification point: an ECN-marked data
+// packet triggers at most one CNP per flow per CNPInterval back to the
+// sender.
+func (n *NIC) maybeCNP(p *fabric.Packet, h *hdr) {
+	if !p.Marked || !n.Cfg.DCQCN.Enabled {
+		return
+	}
+	key := uint64(p.Src)<<32 | uint64(h.SrcQPN)
+	now := n.eng.Now()
+	if last, ok := n.lastCNP[key]; ok && now.Sub(last) < n.Cfg.CNPInterval {
+		return
+	}
+	n.lastCNP[key] = now
+	n.Counters.CNPSent++
+	n.sendCtrl(p.Src, &hdr{Op: opCNP, DstQPN: h.SrcQPN, SrcQPN: h.DstQPN})
+}
+
+// handleReadReq services an inbound RDMA READ without any CPU
+// involvement: validate the rkey and stream the response through the
+// transmit engine.
+func (n *NIC) handleReadReq(p *fabric.Packet, h *hdr) {
+	qp := n.qps[h.DstQPN]
+	if qp == nil || (qp.State != QPRTR && qp.State != QPRTS) {
+		return
+	}
+	qp.LastComm = n.eng.Now()
+	n.maybeCNP(p, h)
+	mr, err := n.Mem.Lookup(h.RKey, h.RAddr, h.MsgLen)
+	if err != nil {
+		n.Counters.AccessErrors++
+		n.sendCtrl(p.Src, &hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakAccess})
+		qp.enterError(StatusRemoteAccessErr)
+		return
+	}
+	var data []byte
+	if h.MsgLen > 0 {
+		data = make([]byte, h.MsgLen)
+		copy(data, mr.Slice(h.RAddr, h.MsgLen))
+	}
+	n.eng.After(n.Cfg.RxProcess+n.touchQP(qp.QPN), func() {
+		n.enqueueJob(&txJob{
+			qp: qp, isResp: true,
+			respTo: p.Src, respQPN: h.SrcQPN,
+			readID: h.ReadID, respData: data, respLen: h.MsgLen,
+		})
+	})
+}
+
+// handleReadResp accumulates response packets at the requester and
+// completes the READ WR when the last arrives.
+func (qp *QP) handleReadResp(h *hdr) {
+	n := qp.nic
+	st, ok := qp.pendingReads[h.ReadID]
+	if !ok {
+		return // stale retry duplicate
+	}
+	if h.First {
+		st.got = 0
+		if h.MsgLen > 0 && h.Data != nil {
+			st.data = make([]byte, h.MsgLen)
+		}
+	}
+	seg := len(h.Data)
+	if seg == 0 && h.MsgLen > 0 {
+		// size-only simulation
+		seg = h.MsgLen - st.got
+		if seg > n.Cfg.MTU {
+			seg = n.Cfg.MTU
+		}
+	}
+	if st.data != nil && h.Data != nil {
+		copy(st.data[h.Offset:], h.Data)
+	}
+	st.got += seg
+	if !h.Last {
+		return
+	}
+	delete(qp.pendingReads, h.ReadID)
+	if st.timer != nil {
+		n.eng.Cancel(st.timer)
+	}
+	wr := st.wr
+	qp.Counters.BytesRecv += int64(wr.Len)
+	// Scatter into the local buffer when it is registered memory.
+	if st.data != nil && wr.Local != 0 {
+		if mr, err := n.Mem.FindLocal(wr.Local, wr.Len); err == nil {
+			copy(mr.Slice(wr.Local, wr.Len), st.data)
+		}
+	}
+	data := st.data
+	qp.pushSendCQE(n.Cfg.CompletionCost, func() {
+		if wr.Unsignaled {
+			return
+		}
+		qp.SendCQ.push(CQE{WRID: wr.ID, QPN: qp.QPN, Op: OpRead, Status: StatusOK, Len: wr.Len, Data: data})
+	})
+}
+
+// handleData sequences SEND/WRITE packets: in-order acceptance, duplicate
+// re-ack, gap NAK, RNR NAK when a SEND finds no receive buffer.
+func (n *NIC) handleData(p *fabric.Packet, h *hdr) {
+	qp := n.qps[h.DstQPN]
+	if qp == nil || (qp.State != QPRTR && qp.State != QPRTS) {
+		return
+	}
+	qp.LastComm = n.eng.Now()
+	n.maybeCNP(p, h)
+
+	switch {
+	case h.PSN < qp.expected:
+		// Retransmission overlap: discard, refresh the ack.
+		qp.sendAckNow()
+		return
+	case h.PSN > qp.expected:
+		// Loss gap: one NAK per gap.
+		if !qp.nakValid || qp.nakedAt != qp.expected {
+			qp.nakValid = true
+			qp.nakedAt = qp.expected
+			n.Counters.SeqNakSent++
+			n.sendCtrl(p.Src, &hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakSeqErr, AckPSN: qp.expected})
+		}
+		return
+	}
+
+	// In order. First packet of a receive-consuming message must claim a
+	// receive WQE; failure is the RNR the paper's seq-ack window kills.
+	if h.First && h.Op.IsRecvConsuming() {
+		wr, ok := qp.takeRecv()
+		if !ok {
+			n.Counters.RNRNakSent++
+			qp.Counters.RNRNakSent++
+			n.sendCtrl(p.Src, &hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakRNR, AckPSN: qp.expected})
+			return
+		}
+		if (h.Op == OpSend || h.Op == OpSendImm) && h.MsgLen > wr.Len {
+			n.Counters.AccessErrors++
+			n.sendCtrl(p.Src, &hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakAccess})
+			qp.enterError(StatusRemoteAccessErr)
+			return
+		}
+		qp.assemble = &assembly{op: h.Op, msgLen: h.MsgLen, recvWR: wr, hasWR: true}
+	}
+	if h.First && (h.Op == OpWrite || h.Op == OpWriteImm) {
+		var mr *MR
+		if h.MsgLen > 0 {
+			var err error
+			mr, err = n.Mem.Lookup(h.RKey, h.RAddr, h.MsgLen)
+			if err != nil {
+				n.Counters.AccessErrors++
+				n.sendCtrl(p.Src, &hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakAccess})
+				qp.enterError(StatusRemoteAccessErr)
+				return
+			}
+		}
+		if h.Op == OpWriteImm {
+			if qp.assemble == nil {
+				// WriteImm consumes a WQE but we tolerate arrival
+				// before the First branch above only for sends.
+			}
+		}
+		if qp.assemble == nil {
+			qp.assemble = &assembly{op: h.Op, msgLen: h.MsgLen}
+		}
+		qp.assemble.mr = mr
+		qp.assemble.raddr = h.RAddr
+	}
+
+	qp.expected++
+	qp.nakValid = false
+
+	a := qp.assemble
+	if a == nil {
+		// Mid-message packet after QP reset: drop payload, still ack.
+		qp.scheduleAck(h.Last)
+		return
+	}
+	// Progress accounting uses the wire segment length; carried bytes may
+	// be fewer (size-only payloads behind a real header).
+	seg := h.MsgLen - a.got
+	if seg > n.Cfg.MTU {
+		seg = n.Cfg.MTU
+	}
+	if seg < 0 {
+		seg = 0
+	}
+	if h.Data != nil {
+		switch a.op {
+		case OpWrite, OpWriteImm:
+			if a.mr != nil {
+				copy(a.mr.Slice(a.raddr+uint64(h.Offset), len(h.Data)), h.Data)
+			}
+		default:
+			if a.data == nil {
+				a.data = make([]byte, a.msgLen)
+			}
+			copy(a.data[h.Offset:], h.Data)
+		}
+	}
+	a.got += seg
+
+	if h.Last {
+		qp.assemble = nil
+		n.Counters.MsgsRecv++
+		n.Counters.BytesRecv += int64(a.msgLen)
+		qp.Counters.MsgsRecv++
+		qp.Counters.BytesRecv += int64(a.msgLen)
+		n.deliver(qp, a, h)
+	}
+	qp.scheduleAck(h.Last)
+}
+
+// deliver raises the receive-side completion (if the op consumes one).
+func (n *NIC) deliver(qp *QP, a *assembly, h *hdr) {
+	hasImm := h.Op == OpSendImm || h.Op == OpWriteImm
+	if !a.hasWR && !hasImm {
+		return // plain WRITE: invisible to the application, by design
+	}
+	cqe := CQE{
+		QPN: qp.QPN, Op: h.Op, Status: StatusOK, Len: a.msgLen,
+		Imm: h.Imm, HasImm: hasImm,
+	}
+	if a.hasWR {
+		cqe.WRID = a.recvWR.ID
+		cqe.Addr = a.recvWR.Addr
+		if a.data != nil {
+			if mr, err := n.Mem.FindLocal(a.recvWR.Addr, a.msgLen); err == nil {
+				copy(mr.Slice(a.recvWR.Addr, a.msgLen), a.data)
+			}
+			cqe.Data = a.data
+		}
+	} else if a.op == OpWriteImm {
+		cqe.Addr = a.raddr
+	}
+	cost := n.Cfg.CompletionCost + n.touchQP(qp.QPN)
+	qp.pushRecvCQE(cost, func() { qp.RecvCQ.push(cqe) })
+}
+
+// --- ack generation -------------------------------------------------------
+
+// scheduleAck coalesces acknowledgements: immediate on message boundaries
+// every AckEvery packets, otherwise a delayed ack timer.
+func (qp *QP) scheduleAck(boundary bool) {
+	qp.pktsSinceAck++
+	if (boundary && qp.pktsSinceAck >= qp.nic.Cfg.AckEvery) || qp.pktsSinceAck >= qp.nic.Cfg.AckEvery*4 {
+		qp.sendAckNow()
+		return
+	}
+	if qp.ackTimer == nil || !qp.ackTimer.Pending() {
+		qp.ackTimer = qp.nic.eng.After(qp.nic.Cfg.AckDelay, qp.sendAckNow)
+	}
+}
+
+func (qp *QP) sendAckNow() {
+	n := qp.nic
+	if qp.ackTimer != nil {
+		n.eng.Cancel(qp.ackTimer)
+		qp.ackTimer = nil
+	}
+	qp.pktsSinceAck = 0
+	n.Counters.AcksSent++
+	n.sendCtrl(qp.RemoteNode, &hdr{Op: opAck, DstQPN: qp.RemoteQPN, SrcQPN: qp.QPN, AckPSN: qp.expected})
+}
+
+// --- ack / nak handling at the requester -----------------------------------
+
+// handleAck retires unacked WRs whose PSN range is fully covered by the
+// cumulative ack. Any forward movement of the cumulative ack counts as
+// progress and resets the retry budget — a multi-megabyte WR paced down by
+// DCQCN must not trip the RTO while it is advancing.
+func (qp *QP) handleAck(ackPSN uint32) {
+	n := qp.nic
+	progressed := false
+	if ackPSN > qp.lastSeenAck {
+		qp.lastSeenAck = ackPSN
+		progressed = true
+	}
+	for len(qp.unacked) > 0 {
+		wr := qp.unacked[0]
+		if wr.lastPSN >= ackPSN {
+			break
+		}
+		qp.unacked = qp.unacked[1:]
+		done := wr
+		qp.pushSendCQE(n.Cfg.CompletionCost, func() { qp.completeSend(done, StatusOK) })
+	}
+	if progressed {
+		qp.retries = 0
+		qp.rnrRetries = 0
+		qp.armRTO()
+	}
+}
+
+func (qp *QP) handleNak(h *hdr) {
+	n := qp.nic
+	switch h.Nak {
+	case nakAccess:
+		n.Counters.AccessErrors++
+		qp.enterError(StatusRemoteAccessErr)
+	case nakRNR:
+		n.Counters.RNRNakRecv++
+		qp.Counters.RNRNakRecv++
+		qp.handleAck(h.AckPSN)
+		qp.rnrRetries++
+		if qp.rnrRetries > n.Cfg.RNRRetryLimit {
+			qp.enterError(StatusRNRRetryExceeded)
+			return
+		}
+		qp.rnrBackoffUntil = n.eng.Now().Add(n.Cfg.RNRTimer)
+		n.eng.At(qp.rnrBackoffUntil, func() {
+			if qp.State == QPRTS {
+				qp.retransmitUnacked()
+			}
+		})
+	case nakSeqErr:
+		n.Counters.SeqNakRecv++
+		qp.Counters.SeqNakRecv++
+		qp.handleAck(h.AckPSN)
+		qp.retransmitUnacked()
+	}
+}

@@ -1,0 +1,218 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every other subsystem in this repository — the fabric, the RNIC model,
+// the X-RDMA middleware and the workload generators — runs on top of a
+// single Engine. Time is virtual (nanosecond resolution) and advances only
+// when events fire, so experiments covering simulated minutes complete in
+// real milliseconds and are bit-for-bit reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since engine start.
+type Time int64
+
+// Duration is a span of simulated time, in nanoseconds. It is
+// layout-compatible with time.Duration so the usual constants
+// (time.Microsecond etc.) convert directly.
+type Duration int64
+
+// Convenient duration units, mirroring package time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Dur converts a time.Duration into a sim Duration.
+func Dur(d time.Duration) Duration { return Duration(d.Nanoseconds()) }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports the duration in (fractional) seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros reports the duration in (fractional) microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Std converts a sim Duration to a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+func (d Duration) String() string {
+	return time.Duration(d).String()
+}
+
+// Event is a scheduled callback. Events are single-shot; cancelling an
+// already-fired or already-cancelled event is a no-op.
+type Event struct {
+	at    Time
+	seq   uint64 // FIFO tie-break for events at the same instant
+	index int    // heap index; -1 once fired or cancelled
+	bg    bool   // background: does not keep Run alive
+	fn    func()
+}
+
+// At reports when the event will fire.
+func (e *Event) At() Time { return e.at }
+
+// Pending reports whether the event is still scheduled.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; the simulation model is run-to-complete, which mirrors
+// X-RDMA's own thread model (one context per thread, no cross-thread
+// synchronization on the data plane).
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+	nonBg   int // foreground events pending
+}
+
+// NewEngine returns an engine positioned at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are currently scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently reorder causality, which is always a model bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.nonBg++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	return e.At(e.now.Add(d), fn)
+}
+
+// AfterBg schedules a background event: it fires like any other event,
+// but pending background events alone do not keep Run alive. Recurring
+// maintenance timers (keepalive scans, statistics sampling) use this so a
+// simulation with no real work left can drain.
+func (e *Engine) AfterBg(d Duration, fn func()) *Event {
+	ev := e.At(e.now.Add(d), fn)
+	ev.bg = true
+	e.nonBg--
+	return ev
+}
+
+// Cancel removes a pending event. Safe on nil, fired, or cancelled events.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.events, ev.index)
+	ev.fn = nil
+	if !ev.bg {
+		e.nonBg--
+	}
+}
+
+// Step fires the earliest pending event. It reports false when no events
+// remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	if !ev.bg {
+		e.nonBg--
+	}
+	e.fired++
+	if fn != nil {
+		fn()
+	}
+	return true
+}
+
+// Run processes events until no foreground events remain or Stop is
+// called. Background maintenance timers left in the queue do not prolong
+// the run.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.nonBg > 0 && e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then advances the clock
+// to exactly t (even if the queue drained earlier).
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// MaxTime is the largest representable simulation instant.
+const MaxTime = Time(math.MaxInt64)

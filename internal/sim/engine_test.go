@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.After(30, func() { got = append(got, 3) })
+	e.After(10, func() { got = append(got, 1) })
+	e.After(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.After(10, func() { fired = true })
+	if !ev.Pending() {
+		t.Fatal("event should be pending")
+	}
+	e.Cancel(ev)
+	if ev.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.After(Duration(10*(i+1)), func() { got = append(got, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.Run()
+	want := []int{0, 1, 2, 3, 5, 6, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineScheduleInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i*100), func() { count++ })
+	}
+	e.RunUntil(500)
+	if count != 5 {
+		t.Fatalf("RunUntil(500) fired %d events, want 5", count)
+	}
+	if e.Now() != 500 {
+		t.Fatalf("clock = %v, want 500", e.Now())
+	}
+	e.RunFor(200)
+	if count != 7 {
+		t.Fatalf("after RunFor(200) fired %d events, want 7", count)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("Stop did not halt the loop: fired %d", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, recurse)
+		}
+	}
+	e.After(1, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("nested scheduling depth = %d, want 100", depth)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", e.Now())
+	}
+}
+
+// Property: for any batch of (delay, id) pairs, events fire in
+// nondecreasing time order and same-time events fire in submission order.
+func TestEngineOrderingProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		type firing struct {
+			at  Time
+			seq int
+		}
+		var fired []firing
+		for i, d := range delays {
+			i := i
+			at := Time(d % 64) // force collisions
+			e.At(at, func() { fired = append(fired, firing{e.Now(), i}) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	if (2 * Microsecond).Micros() != 2 {
+		t.Fatal("Micros conversion wrong")
+	}
+	if (3 * Second).Seconds() != 3 {
+		t.Fatal("Seconds conversion wrong")
+	}
+	if Time(5).Add(10) != 15 {
+		t.Fatal("Add wrong")
+	}
+	if Time(15).Sub(5) != 10 {
+		t.Fatal("Sub wrong")
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic random source (splitmix64). The
+// standard library's math/rand is avoided on purpose: its global state and
+// historic seeding behaviour make cross-package determinism fragile, and
+// experiments must replay identically from a seed.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). n must be positive.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed duration with the given mean.
+// Used for Poisson arrival processes in the workload generators.
+func (r *RNG) Exp(mean Duration) Duration {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	d := Duration(-math.Log(u) * float64(mean))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Norm returns a normally distributed value (Box–Muller).
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return mean + stddev*math.Sqrt(-2*math.Log(u1))*math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split derives an independent generator; handy for giving each node or
+// flow its own stream without correlating sequences.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}

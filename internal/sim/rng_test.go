@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGDifferentSeeds(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	prop := func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(1234)
+	const buckets, n = 10, 100000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.05 {
+			t.Fatalf("bucket %d count %d deviates >5%% from %v", i, c, want)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(55)
+	const mean = 1000 * Microsecond
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		d := r.Exp(mean)
+		if d < 0 {
+			t.Fatal("negative exponential sample")
+		}
+		sum += float64(d)
+	}
+	got := sum / n
+	if math.Abs(got-float64(mean)) > float64(mean)*0.05 {
+		t.Fatalf("Exp mean = %v, want within 5%% of %v", Duration(got), mean)
+	}
+}
+
+func TestRNGNorm(t *testing.T) {
+	r := NewRNG(77)
+	var sum, ss float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		ss += v * v
+	}
+	mean := sum / n
+	stddev := math.Sqrt(ss/n - mean*mean)
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("Norm mean = %v, want ~10", mean)
+	}
+	if math.Abs(stddev-2) > 0.1 {
+		t.Fatalf("Norm stddev = %v, want ~2", stddev)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(11)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams correlated: %d/100 equal", same)
+	}
+}
+
+func TestRNGPanics(t *testing.T) {
+	r := NewRNG(1)
+	for _, fn := range []func(){
+		func() { r.Intn(0) },
+		func() { r.Int63n(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on non-positive bound")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,427 @@
+// Package tcpnet models a kernel TCP/IP stack over the same fabric the
+// RNICs use. It exists for three of the paper's comparison points:
+// TCP's ~100 µs connection establishment versus rdma_cm's milliseconds
+// (§III Issue 3), TCP keepalive as the robustness baseline X-RDMA's
+// keepalive imitates (§V-A), and the Mock mechanism that temporarily
+// switches a channel from RDMA to TCP during network anomalies (§VI-C).
+//
+// The stack is deliberately simple — message-oriented, fixed kernel-path
+// costs, no congestion control — because its role is functional and
+// comparative, not a TCP study. It relies on the PFC-lossless fabric for
+// delivery and asserts in-order arrival per connection.
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/sim"
+)
+
+// Config models kernel-path costs: syscall, data copies, protocol
+// processing and softirq wakeups on both sides.
+type Config struct {
+	SendSyscall  sim.Duration // user→kernel: syscall + copy + segmentation
+	RecvPath     sim.Duration // interrupt + stack + copy + wakeup
+	CopyPerKB    sim.Duration // added copy cost per KiB of payload
+	MSS          int
+	HandshakeRTT int // messages exchanged during connect (3-way)
+
+	// KeepaliveInterval, when >0, probes idle connections; a missed
+	// probe reply closes the connection with ErrPeerDead.
+	KeepaliveInterval sim.Duration
+	KeepaliveTimeout  sim.Duration
+
+	// DialTimeout fails a connect whose handshake never completes.
+	DialTimeout sim.Duration
+}
+
+// DefaultConfig reflects the usual several-microsecond kernel overheads
+// that motivate kernel bypass in the first place (§II-A).
+func DefaultConfig() Config {
+	return Config{
+		SendSyscall:  6 * sim.Microsecond,
+		RecvPath:     9 * sim.Microsecond,
+		CopyPerKB:    80 * sim.Nanosecond,
+		MSS:          4096,
+		HandshakeRTT: 3,
+
+		KeepaliveInterval: 0, // off unless asked for (like SO_KEEPALIVE)
+		KeepaliveTimeout:  30 * sim.Millisecond,
+		DialTimeout:       100 * sim.Millisecond,
+	}
+}
+
+// ErrDialTimeout is returned when the handshake never completes.
+var ErrDialTimeout = errors.New("tcpnet: dial timeout")
+
+// Errors surfaced to connection callbacks.
+var (
+	ErrRefused  = errors.New("tcpnet: connection refused")
+	ErrClosed   = errors.New("tcpnet: connection closed")
+	ErrPeerDead = errors.New("tcpnet: keepalive timeout")
+)
+
+// Message is what OnMessage delivers.
+type Message struct {
+	Data []byte
+	Len  int
+}
+
+// Stack is one node's TCP endpoint.
+type Stack struct {
+	Node fabric.NodeID
+	cfg  Config
+	eng  *sim.Engine
+	host *fabric.Host
+
+	alive     bool
+	listeners map[int]func(*Conn)
+	conns     map[connKey]*Conn
+	nextPort  int
+
+	// Counters.
+	MsgsSent, MsgsRecv int64
+	BytesSent          int64
+}
+
+type connKey struct {
+	localPort  int
+	remote     fabric.NodeID
+	remotePort int
+}
+
+// segment is the wire payload.
+type segment struct {
+	kind    uint8 // 0 data, 1 SYN, 2 SYNACK, 3 ACK(handshake), 4 FIN, 5 keepalive, 6 keepalive-ack, 7 RST
+	srcPort int
+	dstPort int
+	seq     uint64
+	msgLen  int
+	offset  int
+	last    bool
+	data    []byte
+}
+
+// New attaches a TCP stack to a host.
+func New(eng *sim.Engine, host *fabric.Host, cfg Config) *Stack {
+	s := &Stack{
+		Node: host.ID, cfg: cfg, eng: eng, host: host, alive: true,
+		listeners: make(map[int]func(*Conn)),
+		conns:     make(map[connKey]*Conn),
+		nextPort:  40000,
+	}
+	host.AttachProto(fabric.ProtoTCP, s)
+	return s
+}
+
+// Crash silences the stack (machine failure).
+func (s *Stack) Crash() { s.alive = false }
+
+// Revive restores it.
+func (s *Stack) Revive() { s.alive = true }
+
+// Listen accepts connections on port.
+func (s *Stack) Listen(port int, accept func(*Conn)) error {
+	if _, dup := s.listeners[port]; dup {
+		return fmt.Errorf("tcpnet: port %d in use", port)
+	}
+	s.listeners[port] = accept
+	return nil
+}
+
+// Conn is one established, message-oriented connection.
+type Conn struct {
+	stack      *Stack
+	key        connKey
+	Remote     fabric.NodeID
+	RemotePort int
+
+	open      bool
+	sendSeq   uint64
+	recvSeq   uint64
+	partial   []byte
+	partialAt int
+
+	OnMessage func(Message)
+	OnClose   func(error)
+
+	lastHeard sim.Time
+	kaEvent   *sim.Event
+	kaWaiting bool
+
+	// dialDone is stashed on the dialing side until the SYNACK arrives.
+	dialDone func(*Conn, error)
+}
+
+// EstablishTime is exported for the establishment benchmarks: handshake
+// plus listen-side accept cost, ~100 µs end to end on a quiet fabric.
+const EstablishTime = 100 * sim.Microsecond
+
+// Dial opens a connection; done fires when established (three-way
+// handshake plus a fixed kernel setup cost calibrated to ~100 µs).
+func (s *Stack) Dial(remote fabric.NodeID, port int, done func(*Conn, error)) {
+	local := s.nextPort
+	s.nextPort++
+	key := connKey{localPort: local, remote: remote, remotePort: port}
+	c := &Conn{stack: s, key: key, Remote: remote, RemotePort: port}
+	s.conns[key] = c
+	c.dialDone = done
+	// SYN after kernel socket setup; the rest of the ~100µs is the
+	// handshake RTTs and accept-side processing.
+	s.eng.After(40*sim.Microsecond, func() {
+		s.send(remote, &segment{kind: 1, srcPort: local, dstPort: port}, 1)
+	})
+	if s.cfg.DialTimeout > 0 {
+		s.eng.AfterBg(s.cfg.DialTimeout, func() {
+			if c.dialDone != nil {
+				cb := c.dialDone
+				c.dialDone = nil
+				delete(s.conns, key)
+				cb(nil, ErrDialTimeout)
+			}
+		})
+	}
+}
+
+func (s *Stack) send(to fabric.NodeID, seg *segment, size int) {
+	if !s.alive {
+		return
+	}
+	s.host.Send(&fabric.Packet{
+		Src: s.Node, Dst: to, Size: size, Proto: fabric.ProtoTCP,
+		FlowHash: uint64(seg.srcPort)<<16 ^ uint64(seg.dstPort) ^ uint64(to)<<32 ^ uint64(s.Node)<<48,
+		Payload:  seg,
+	})
+}
+
+// Send transmits one message; cb (optional) fires when the last byte hits
+// the wire (kernel buffer semantics, not delivery acknowledgement).
+func (c *Conn) Send(data []byte, length int, cb func(error)) {
+	s := c.stack
+	if !c.open {
+		if cb != nil {
+			cb(ErrClosed)
+		}
+		return
+	}
+	if data != nil {
+		length = len(data)
+	}
+	cost := s.cfg.SendSyscall + sim.Duration(int64(length)/1024)*s.cfg.CopyPerKB
+	s.eng.After(cost, func() {
+		if !c.open {
+			if cb != nil {
+				cb(ErrClosed)
+			}
+			return
+		}
+		off := 0
+		for {
+			seg := length - off
+			if seg > s.cfg.MSS {
+				seg = s.cfg.MSS
+			}
+			sg := &segment{
+				kind: 0, srcPort: c.key.localPort, dstPort: c.key.remotePort,
+				seq: c.sendSeq, msgLen: length, offset: off, last: off+seg >= length,
+			}
+			if data != nil {
+				sg.data = data[off : off+seg]
+			}
+			c.sendSeq++
+			s.send(c.Remote, sg, seg+40)
+			off += seg
+			if sg.last {
+				break
+			}
+		}
+		s.MsgsSent++
+		s.BytesSent += int64(length)
+		if cb != nil {
+			cb(nil)
+		}
+	})
+}
+
+// Close tears the connection down and notifies the peer.
+func (c *Conn) Close() {
+	if !c.open {
+		return
+	}
+	c.open = false
+	c.stopKA()
+	c.stack.send(c.Remote, &segment{kind: 4, srcPort: c.key.localPort, dstPort: c.key.remotePort}, 40)
+	delete(c.stack.conns, c.key)
+	if c.OnClose != nil {
+		c.OnClose(nil)
+	}
+}
+
+func (c *Conn) teardown(err error) {
+	if !c.open {
+		return
+	}
+	c.open = false
+	c.stopKA()
+	delete(c.stack.conns, c.key)
+	if c.OnClose != nil {
+		c.OnClose(err)
+	}
+}
+
+// Open reports whether the connection is usable.
+func (c *Conn) Open() bool { return c.open }
+
+// --- keepalive -------------------------------------------------------------
+
+func (c *Conn) armKA() {
+	s := c.stack
+	if s.cfg.KeepaliveInterval <= 0 {
+		return
+	}
+	c.kaEvent = s.eng.AfterBg(s.cfg.KeepaliveInterval, func() {
+		if !c.open {
+			return
+		}
+		if s.eng.Now().Sub(c.lastHeard) < s.cfg.KeepaliveInterval {
+			c.armKA()
+			return
+		}
+		// Probe and wait.
+		c.kaWaiting = true
+		s.send(c.Remote, &segment{kind: 5, srcPort: c.key.localPort, dstPort: c.key.remotePort}, 40)
+		c.kaEvent = s.eng.AfterBg(s.cfg.KeepaliveTimeout, func() {
+			if c.kaWaiting && c.open {
+				c.teardown(ErrPeerDead)
+			}
+		})
+	})
+}
+
+func (c *Conn) stopKA() {
+	if c.kaEvent != nil {
+		c.stack.eng.Cancel(c.kaEvent)
+		c.kaEvent = nil
+	}
+}
+
+// --- receive ---------------------------------------------------------------
+
+// HandlePacket implements fabric.Endpoint.
+func (s *Stack) HandlePacket(p *fabric.Packet) {
+	if !s.alive {
+		return
+	}
+	seg, ok := p.Payload.(*segment)
+	if !ok {
+		return
+	}
+	switch seg.kind {
+	case 1: // SYN
+		accept, ok := s.listeners[seg.dstPort]
+		if !ok {
+			s.send(p.Src, &segment{kind: 7, srcPort: seg.dstPort, dstPort: seg.srcPort}, 40)
+			return
+		}
+		key := connKey{localPort: seg.dstPort, remote: p.Src, remotePort: seg.srcPort}
+		c := &Conn{stack: s, key: key, Remote: p.Src, RemotePort: seg.srcPort, open: true}
+		c.lastHeard = s.eng.Now()
+		s.conns[key] = c
+		// Accept-side kernel work before SYNACK.
+		s.eng.After(25*sim.Microsecond, func() {
+			s.send(p.Src, &segment{kind: 2, srcPort: seg.dstPort, dstPort: seg.srcPort}, 40)
+			c.armKA()
+			accept(c)
+		})
+	case 2: // SYNACK
+		key := connKey{localPort: seg.dstPort, remote: p.Src, remotePort: seg.srcPort}
+		c := s.conns[key]
+		if c == nil || c.open {
+			return
+		}
+		s.eng.After(25*sim.Microsecond, func() {
+			c.open = true
+			c.lastHeard = s.eng.Now()
+			s.send(p.Src, &segment{kind: 3, srcPort: seg.dstPort, dstPort: seg.srcPort}, 40)
+			c.armKA()
+			if c.dialDone != nil {
+				done := c.dialDone
+				c.dialDone = nil
+				done(c, nil)
+			}
+		})
+	case 3: // handshake ACK — nothing further needed
+	case 7: // RST
+		key := connKey{localPort: seg.dstPort, remote: p.Src, remotePort: seg.srcPort}
+		if c := s.conns[key]; c != nil {
+			if c.dialDone != nil {
+				done := c.dialDone
+				c.dialDone = nil
+				delete(s.conns, key)
+				done(nil, ErrRefused)
+				return
+			}
+			c.teardown(ErrClosed)
+		}
+	case 4: // FIN
+		key := connKey{localPort: seg.dstPort, remote: p.Src, remotePort: seg.srcPort}
+		if c := s.conns[key]; c != nil {
+			c.teardown(ErrClosed)
+		}
+	case 5: // keepalive probe
+		key := connKey{localPort: seg.dstPort, remote: p.Src, remotePort: seg.srcPort}
+		if c := s.conns[key]; c != nil {
+			c.lastHeard = s.eng.Now()
+		}
+		s.send(p.Src, &segment{kind: 6, srcPort: seg.dstPort, dstPort: seg.srcPort}, 40)
+	case 6: // keepalive ack
+		key := connKey{localPort: seg.dstPort, remote: p.Src, remotePort: seg.srcPort}
+		if c := s.conns[key]; c != nil {
+			c.lastHeard = s.eng.Now()
+			c.kaWaiting = false
+			c.stopKA()
+			c.armKA()
+		}
+	case 0: // data
+		key := connKey{localPort: seg.dstPort, remote: p.Src, remotePort: seg.srcPort}
+		c := s.conns[key]
+		if c == nil || !c.open {
+			return
+		}
+		c.lastHeard = s.eng.Now()
+		c.kaWaiting = false
+		if seg.seq != c.recvSeq {
+			// The lossless fabric should never reorder a flow; a gap
+			// means the model is broken, so fail loudly.
+			panic(fmt.Sprintf("tcpnet: out-of-order segment seq=%d want=%d", seg.seq, c.recvSeq))
+		}
+		c.recvSeq++
+		if seg.offset == 0 {
+			if seg.data != nil {
+				c.partial = make([]byte, seg.msgLen)
+			} else {
+				c.partial = nil
+			}
+			c.partialAt = 0
+		}
+		if seg.data != nil && c.partial != nil {
+			copy(c.partial[seg.offset:], seg.data)
+		}
+		c.partialAt = seg.offset + s.cfg.MSS
+		if !seg.last {
+			return
+		}
+		s.MsgsRecv++
+		data := c.partial
+		c.partial = nil
+		msgLen := seg.msgLen
+		cost := s.cfg.RecvPath + sim.Duration(int64(msgLen)/1024)*s.cfg.CopyPerKB
+		s.eng.After(cost, func() {
+			if c.open && c.OnMessage != nil {
+				c.OnMessage(Message{Data: data, Len: msgLen})
+			}
+		})
+	}
+}

@@ -1,0 +1,200 @@
+package tcpnet
+
+import (
+	"bytes"
+	"testing"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/sim"
+)
+
+func newPair(t testing.TB, cfg Config) (*sim.Engine, *Stack, *Stack) {
+	t.Helper()
+	eng := sim.NewEngine()
+	fab := fabric.New(eng, fabric.DefaultConfig(), 1)
+	fabric.BuildClos(fab, fabric.SmallClos())
+	a := New(eng, fab.Host(0), cfg)
+	b := New(eng, fab.Host(5), cfg)
+	return eng, a, b
+}
+
+func TestDialAndSend(t *testing.T) {
+	eng, a, b := newPair(t, DefaultConfig())
+	var srvConn *Conn
+	var got []Message
+	b.Listen(80, func(c *Conn) {
+		srvConn = c
+		c.OnMessage = func(m Message) { got = append(got, m) }
+	})
+	var cli *Conn
+	var establishedAt sim.Time
+	a.Dial(b.Node, 80, func(c *Conn, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		cli = c
+		establishedAt = eng.Now()
+	})
+	eng.Run()
+	if cli == nil || srvConn == nil {
+		t.Fatal("connection not established")
+	}
+	// TCP establishment must be ~100µs, not milliseconds (§III Issue 3).
+	el := sim.Duration(establishedAt)
+	if el < 50*sim.Microsecond || el > 300*sim.Microsecond {
+		t.Fatalf("TCP establishment %v outside [50µs, 300µs]", el)
+	}
+
+	payload := []byte("tcp message payload")
+	cli.Send(payload, 0, nil)
+	eng.Run()
+	if len(got) != 1 || !bytes.Equal(got[0].Data, payload) {
+		t.Fatalf("message lost/corrupt: %+v", got)
+	}
+}
+
+func TestMultiSegmentMessage(t *testing.T) {
+	eng, a, b := newPair(t, DefaultConfig())
+	var got []Message
+	b.Listen(80, func(c *Conn) {
+		c.OnMessage = func(m Message) { got = append(got, m) }
+	})
+	var cli *Conn
+	a.Dial(b.Node, 80, func(c *Conn, err error) { cli = c })
+	eng.Run()
+	payload := make([]byte, 50_000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	cli.Send(payload, 0, nil)
+	eng.Run()
+	if len(got) != 1 || !bytes.Equal(got[0].Data, payload) {
+		t.Fatal("multi-segment message corrupted")
+	}
+}
+
+func TestSizeOnlyMessages(t *testing.T) {
+	eng, a, b := newPair(t, DefaultConfig())
+	var got []Message
+	b.Listen(80, func(c *Conn) {
+		c.OnMessage = func(m Message) { got = append(got, m) }
+	})
+	var cli *Conn
+	a.Dial(b.Node, 80, func(c *Conn, err error) { cli = c })
+	eng.Run()
+	cli.Send(nil, 128<<10, nil)
+	eng.Run()
+	if len(got) != 1 || got[0].Len != 128<<10 || got[0].Data != nil {
+		t.Fatalf("size-only message: %+v", got)
+	}
+}
+
+func TestRefused(t *testing.T) {
+	eng, a, b := newPair(t, DefaultConfig())
+	var gotErr error
+	a.Dial(b.Node, 81, func(c *Conn, err error) { gotErr = err })
+	eng.Run()
+	if gotErr != ErrRefused {
+		t.Fatalf("err = %v, want ErrRefused", gotErr)
+	}
+}
+
+func TestCloseNotifiesPeer(t *testing.T) {
+	eng, a, b := newPair(t, DefaultConfig())
+	var srvConn *Conn
+	var srvClosed error
+	closed := false
+	b.Listen(80, func(c *Conn) {
+		srvConn = c
+		c.OnClose = func(err error) { closed = true; srvClosed = err }
+	})
+	var cli *Conn
+	a.Dial(b.Node, 80, func(c *Conn, err error) { cli = c })
+	eng.Run()
+	cli.Close()
+	eng.Run()
+	if !closed || srvClosed != ErrClosed {
+		t.Fatalf("peer not notified of close: %v %v", closed, srvClosed)
+	}
+	if srvConn.Open() {
+		t.Fatal("server conn still open")
+	}
+	// Send after close errors.
+	var sendErr error
+	cli.Send([]byte("x"), 0, func(err error) { sendErr = err })
+	eng.Run()
+	if sendErr != ErrClosed {
+		t.Fatalf("send after close: %v", sendErr)
+	}
+}
+
+func TestKeepaliveDetectsDeadPeer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KeepaliveInterval = 5 * sim.Millisecond
+	cfg.KeepaliveTimeout = 10 * sim.Millisecond
+	eng, a, b := newPair(t, cfg)
+	b.Listen(80, func(c *Conn) {})
+	var cli *Conn
+	var deadErr error
+	a.Dial(b.Node, 80, func(c *Conn, err error) {
+		cli = c
+		c.OnClose = func(e error) { deadErr = e }
+	})
+	eng.RunFor(1 * sim.Millisecond)
+	if cli == nil {
+		t.Fatal("no connection")
+	}
+	b.Crash()
+	eng.RunFor(200 * sim.Millisecond)
+	if deadErr != ErrPeerDead {
+		t.Fatalf("keepalive never detected dead peer: %v", deadErr)
+	}
+	if cli.Open() {
+		t.Fatal("connection still open after keepalive timeout")
+	}
+}
+
+func TestKeepaliveQuietOnHealthyPeer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KeepaliveInterval = 5 * sim.Millisecond
+	cfg.KeepaliveTimeout = 10 * sim.Millisecond
+	eng, a, b := newPair(t, cfg)
+	b.Listen(80, func(c *Conn) {})
+	var cli *Conn
+	closed := false
+	a.Dial(b.Node, 80, func(c *Conn, err error) {
+		cli = c
+		c.OnClose = func(error) { closed = true }
+	})
+	eng.RunFor(100 * sim.Millisecond)
+	if cli == nil || closed || !cli.Open() {
+		t.Fatal("healthy idle connection was torn down")
+	}
+}
+
+func TestManyMessagesOrdered(t *testing.T) {
+	eng, a, b := newPair(t, DefaultConfig())
+	var got []Message
+	b.Listen(80, func(c *Conn) {
+		c.OnMessage = func(m Message) { got = append(got, m) }
+	})
+	var cli *Conn
+	a.Dial(b.Node, 80, func(c *Conn, err error) { cli = c })
+	eng.Run()
+	const n = 100
+	for i := 0; i < n; i++ {
+		cli.Send([]byte{byte(i)}, 0, nil)
+	}
+	eng.Run()
+	if len(got) != n {
+		t.Fatalf("received %d/%d", len(got), n)
+	}
+	for i, m := range got {
+		if m.Data[0] != byte(i) {
+			t.Fatalf("reordered at %d", i)
+		}
+	}
+	if a.MsgsSent != n || b.MsgsRecv != n {
+		t.Fatalf("counters %d/%d", a.MsgsSent, b.MsgsRecv)
+	}
+}

@@ -1,0 +1,261 @@
+// Package verbs is the libverbs/librdmacm-shaped facade over the RNIC
+// model: the API layer X-RDMA (and the baseline middlewares) program
+// against, mirroring the "complex ritual" §II-A describes — context, PD,
+// MR registration, QP creation, state modification, posting and polling.
+//
+// The connection manager reproduces librdmacm's cost structure: QP
+// creation and state transitions serialize on the NIC's hardware command
+// queue, address resolution and the REQ/REP/RTU rendezvous ride the
+// control plane. That is what makes establishment slow (§III Issue 3) and
+// what X-RDMA's QP cache attacks.
+package verbs
+
+import (
+	"errors"
+	"fmt"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+)
+
+// Context is the device context (ibv_context analogue).
+type Context struct {
+	NIC *rnic.NIC
+	Eng *sim.Engine
+}
+
+// Open wraps a NIC.
+func Open(nic *rnic.NIC) *Context {
+	return &Context{NIC: nic, Eng: nic.Engine()}
+}
+
+// PD is a protection domain. The model keeps one memory registry per NIC;
+// the PD exists to mirror the API shape and to count registrations per
+// owner.
+type PD struct {
+	ctx *Context
+	MRs int
+}
+
+// AllocPD creates a protection domain.
+func (c *Context) AllocPD() *PD { return &PD{ctx: c} }
+
+// RegMR registers size bytes and calls done when the driver finishes
+// (registration is a real, slow syscall: cost from rnic.RegCost).
+func (pd *PD) RegMR(size int, mode rnic.RegMode, done func(*rnic.MR)) {
+	pd.MRs++
+	mr := pd.ctx.NIC.Mem.Register(size, mode)
+	pd.ctx.Eng.After(rnic.RegCost(size, mode), func() { done(mr) })
+}
+
+// RegMRNow registers without modelling driver latency (setup-time use).
+func (pd *PD) RegMRNow(size int, mode rnic.RegMode) *rnic.MR {
+	pd.MRs++
+	return pd.ctx.NIC.Mem.Register(size, mode)
+}
+
+// DeregMR releases a region.
+func (pd *PD) DeregMR(mr *rnic.MR) {
+	pd.MRs--
+	pd.ctx.NIC.Mem.Deregister(mr)
+}
+
+// --- connection manager ---------------------------------------------------
+
+// ResolveCost models rdma_resolve_addr + rdma_resolve_route.
+const ResolveCost = 700 * sim.Microsecond
+
+// CMNetwork is the rendezvous control plane connecting every node's CM —
+// the role the IP network plays for librdmacm.
+type CMNetwork struct {
+	cms map[fabric.NodeID]*CM
+}
+
+// NewCMNetwork creates an empty control plane.
+func NewCMNetwork() *CMNetwork {
+	return &CMNetwork{cms: make(map[fabric.NodeID]*CM)}
+}
+
+// CM is one node's connection manager.
+type CM struct {
+	ctx  *Context
+	net  *CMNetwork
+	host *fabric.Host
+
+	listeners map[int]func(*ConnReq)
+	nextMsgID uint64
+	pending   map[uint64]*dialState
+
+	// EstablishedConns counts successful connects+accepts (monitoring).
+	EstablishedConns int64
+}
+
+// ConnReq is an inbound connection request delivered to a listener.
+type ConnReq struct {
+	cm          *CM
+	From        fabric.NodeID
+	FromQPN     uint32
+	Port        int
+	msgID       uint64
+	PrivateData []byte
+}
+
+// Conn is an established RC connection.
+type Conn struct {
+	QP     *rnic.QP
+	Remote fabric.NodeID
+}
+
+type dialState struct {
+	qp   *rnic.QP
+	done func(*Conn, error)
+}
+
+// cmMsg is the REQ/REP/RTU control payload.
+type cmMsg struct {
+	kind    uint8 // 0 REQ, 1 REP, 2 RTU, 3 REJ
+	msgID   uint64
+	port    int
+	qpn     uint32
+	private []byte
+	errText string
+}
+
+// NewCM attaches a connection manager to a node.
+func NewCM(ctx *Context, net *CMNetwork, host *fabric.Host) *CM {
+	cm := &CM{
+		ctx: ctx, net: net, host: host,
+		listeners: make(map[int]func(*ConnReq)),
+		pending:   make(map[uint64]*dialState),
+	}
+	host.AttachProto(fabric.ProtoCM, cm)
+	net.cms[host.ID] = cm
+	return cm
+}
+
+// Listen registers a handler for inbound requests on a port.
+func (cm *CM) Listen(port int, handler func(*ConnReq)) error {
+	if _, dup := cm.listeners[port]; dup {
+		return fmt.Errorf("verbs: port %d already listening", port)
+	}
+	cm.listeners[port] = handler
+	return nil
+}
+
+// send ships a CM control message over the fabric's control class.
+func (cm *CM) send(to fabric.NodeID, m *cmMsg) {
+	cm.host.Send(&fabric.Packet{
+		Src: cm.host.ID, Dst: to, Size: 64 + len(m.private),
+		Class: fabric.ClassCtrl, Proto: fabric.ProtoCM,
+		FlowHash: uint64(cm.host.ID)<<32 ^ uint64(to), Payload: m,
+	})
+}
+
+// Connect establishes an RC connection to (remote, port). If recycledQP is
+// non-nil it is reused — X-RDMA's QP cache path — skipping the expensive
+// creation command. done receives the connection after the full
+// REQ/REP/RTU rendezvous.
+func (cm *CM) Connect(remote fabric.NodeID, port int, privateData []byte, recycledQP *rnic.QP, depth int, sendCQ, recvCQ *rnic.CQ, srq *rnic.SRQ, done func(*Conn, error)) {
+	nic := cm.ctx.NIC
+	proceed := func(qp *rnic.QP) {
+		nic.ModifyQP(qp, rnic.QPInit, 0, 0, func(err error) {
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			cm.nextMsgID++
+			id := cm.nextMsgID
+			cm.pending[id] = &dialState{qp: qp, done: done}
+			cm.send(remote, &cmMsg{kind: 0, msgID: id, port: port, qpn: qp.QPN, private: privateData})
+		})
+	}
+	cm.ctx.Eng.After(ResolveCost, func() {
+		if recycledQP != nil {
+			proceed(recycledQP)
+			return
+		}
+		nic.CreateQP(depth, depth, sendCQ, recvCQ, srq, proceed)
+	})
+}
+
+// Accept completes the passive side with the given QP (create it first, or
+// pass a recycled one); the QP is driven to RTS.
+func (req *ConnReq) Accept(qp *rnic.QP, done func(*Conn, error)) {
+	cm := req.cm
+	nic := cm.ctx.NIC
+	step := func(st rnic.QPState, next func()) {
+		nic.ModifyQP(qp, st, req.From, req.FromQPN, func(err error) {
+			if err != nil {
+				cm.send(req.From, &cmMsg{kind: 3, msgID: req.msgID, errText: err.Error()})
+				done(nil, err)
+				return
+			}
+			next()
+		})
+	}
+	step(rnic.QPInit, func() {
+		step(rnic.QPRTR, func() {
+			step(rnic.QPRTS, func() {
+				cm.send(req.From, &cmMsg{kind: 1, msgID: req.msgID, qpn: qp.QPN})
+				cm.EstablishedConns++
+				done(&Conn{QP: qp, Remote: req.From}, nil)
+			})
+		})
+	})
+}
+
+// Reject refuses an inbound request.
+func (req *ConnReq) Reject(reason string) {
+	req.cm.send(req.From, &cmMsg{kind: 3, msgID: req.msgID, errText: reason})
+}
+
+// ErrRejected is returned to the dialer when the listener rejects.
+var ErrRejected = errors.New("verbs: connection rejected")
+
+// HandlePacket implements fabric.Endpoint for the CM control plane.
+func (cm *CM) HandlePacket(p *fabric.Packet) {
+	m, ok := p.Payload.(*cmMsg)
+	if !ok {
+		return
+	}
+	switch m.kind {
+	case 0: // REQ
+		h, ok := cm.listeners[m.port]
+		if !ok {
+			cm.send(p.Src, &cmMsg{kind: 3, msgID: m.msgID, errText: "connection refused"})
+			return
+		}
+		h(&ConnReq{cm: cm, From: p.Src, FromQPN: m.qpn, Port: m.port, msgID: m.msgID, PrivateData: m.private})
+	case 1: // REP
+		st, ok := cm.pending[m.msgID]
+		if !ok {
+			return
+		}
+		delete(cm.pending, m.msgID)
+		nic := cm.ctx.NIC
+		nic.ModifyQP(st.qp, rnic.QPRTR, p.Src, m.qpn, func(err error) {
+			if err != nil {
+				st.done(nil, err)
+				return
+			}
+			nic.ModifyQP(st.qp, rnic.QPRTS, 0, 0, func(err error) {
+				if err != nil {
+					st.done(nil, err)
+					return
+				}
+				cm.send(p.Src, &cmMsg{kind: 2, msgID: m.msgID})
+				cm.EstablishedConns++
+				st.done(&Conn{QP: st.qp, Remote: p.Src}, nil)
+			})
+		})
+	case 2: // RTU — passive side already RTS in this model; nothing to do.
+	case 3: // REJ
+		st, ok := cm.pending[m.msgID]
+		if !ok {
+			return
+		}
+		delete(cm.pending, m.msgID)
+		st.done(nil, fmt.Errorf("%w: %s", ErrRejected, m.errText))
+	}
+}

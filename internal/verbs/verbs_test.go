@@ -1,0 +1,242 @@
+package verbs
+
+import (
+	"testing"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+)
+
+type world struct {
+	eng  *sim.Engine
+	fab  *fabric.Fabric
+	net  *CMNetwork
+	ctxs []*Context
+	cms  []*CM
+}
+
+func newWorld(t testing.TB, hosts int) *world {
+	t.Helper()
+	eng := sim.NewEngine()
+	fab := fabric.New(eng, fabric.DefaultConfig(), 1)
+	fabric.BuildClos(fab, fabric.ClusterClos(hosts))
+	w := &world{eng: eng, fab: fab, net: NewCMNetwork()}
+	for i := 0; i < hosts; i++ {
+		nic := rnic.New(eng, fab.Host(fabric.NodeID(i)), rnic.DefaultConfig())
+		ctx := Open(nic)
+		w.ctxs = append(w.ctxs, ctx)
+		w.cms = append(w.cms, NewCM(ctx, w.net, fab.Host(fabric.NodeID(i))))
+	}
+	return w
+}
+
+// listenEcho makes host i accept connections and remember them.
+func listenEcho(t testing.TB, w *world, i, port int, got *[]*Conn) {
+	t.Helper()
+	err := w.cms[i].Listen(port, func(req *ConnReq) {
+		qp := w.ctxs[i].NIC.AllocQPNow(64, 64, rnic.NewCQ(128), rnic.NewCQ(128), nil)
+		req.Accept(qp, func(c *Conn, err error) {
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return
+			}
+			*got = append(*got, c)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectEstablishes(t *testing.T) {
+	w := newWorld(t, 4)
+	var accepted []*Conn
+	listenEcho(t, w, 1, 7000, &accepted)
+	var conn *Conn
+	var start, end sim.Time
+	start = w.eng.Now()
+	w.cms[0].Connect(1, 7000, nil, nil, 64, rnic.NewCQ(128), rnic.NewCQ(128), nil, func(c *Conn, err error) {
+		if err != nil {
+			t.Fatalf("connect: %v", err)
+		}
+		conn = c
+		end = w.eng.Now()
+	})
+	w.eng.Run()
+	if conn == nil || len(accepted) != 1 {
+		t.Fatalf("connection not established (conn=%v accepted=%d)", conn, len(accepted))
+	}
+	if conn.QP.State != rnic.QPRTS || accepted[0].QP.State != rnic.QPRTS {
+		t.Fatal("QPs not in RTS after establishment")
+	}
+	// Establishment must land in the milliseconds range dominated by QP
+	// creation (§III Issue 3: ~4 ms vs ~100 µs for TCP).
+	el := end.Sub(start)
+	if el < 2*sim.Millisecond || el > 8*sim.Millisecond {
+		t.Fatalf("establishment took %v, want milliseconds", el)
+	}
+	t.Logf("rdma_cm establishment: %v", el)
+}
+
+func TestConnectionCarriesTraffic(t *testing.T) {
+	w := newWorld(t, 4)
+	var accepted []*Conn
+	listenEcho(t, w, 2, 7100, &accepted)
+	var conn *Conn
+	w.cms[0].Connect(2, 7100, nil, nil, 64, rnic.NewCQ(128), rnic.NewCQ(128), nil, func(c *Conn, err error) {
+		conn = c
+	})
+	w.eng.Run()
+	if conn == nil || len(accepted) != 1 {
+		t.Fatal("setup failed")
+	}
+	srv := accepted[0]
+	srv.QP.PostRecv(rnic.RecvWR{ID: 1, Len: 4096})
+	payload := []byte("over the established pair")
+	conn.QP.PostSend(&rnic.SendWR{ID: 2, Op: rnic.OpSend, Len: len(payload), Data: payload})
+	w.eng.Run()
+	got := srv.QP.RecvCQ.Poll(1)
+	if len(got) != 1 || string(got[0].Data) != string(payload) {
+		t.Fatalf("traffic failed: %+v", got)
+	}
+}
+
+func TestRecycledQPSkipsCreation(t *testing.T) {
+	w := newWorld(t, 4)
+	var accepted []*Conn
+	listenEcho(t, w, 1, 7200, &accepted)
+
+	// Cold connect.
+	var coldDur, warmDur sim.Duration
+	var conn *Conn
+	start := w.eng.Now()
+	w.cms[0].Connect(1, 7200, nil, nil, 64, rnic.NewCQ(128), rnic.NewCQ(128), nil, func(c *Conn, err error) {
+		if err != nil {
+			t.Fatalf("cold: %v", err)
+		}
+		conn = c
+		coldDur = w.eng.Now().Sub(start)
+	})
+	w.eng.Run()
+
+	// Recycle: reset the QP (the X-RDMA QP-cache path) and reconnect.
+	nic := w.ctxs[0].NIC
+	if err := nic.ModifyQPNow(conn.QP, rnic.QPReset, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	start = w.eng.Now()
+	w.cms[0].Connect(1, 7200, nil, conn.QP, 64, nil, nil, nil, func(c *Conn, err error) {
+		if err != nil {
+			t.Fatalf("warm: %v", err)
+		}
+		warmDur = w.eng.Now().Sub(start)
+	})
+	w.eng.Run()
+
+	if warmDur >= coldDur {
+		t.Fatalf("recycled QP not faster: cold=%v warm=%v", coldDur, warmDur)
+	}
+	saved := coldDur - warmDur
+	if saved < sim.Duration(rnic.QPCreateCost)*9/10 {
+		t.Fatalf("recycling saved only %v, want ≈ creation cost %v", saved, sim.Duration(rnic.QPCreateCost))
+	}
+	t.Logf("cold=%v warm=%v saved=%v (%.0f%%)", coldDur, warmDur, saved, 100*float64(saved)/float64(coldDur))
+}
+
+func TestConnectRefused(t *testing.T) {
+	w := newWorld(t, 2)
+	var gotErr error
+	w.cms[0].Connect(1, 9999, nil, nil, 16, rnic.NewCQ(16), rnic.NewCQ(16), nil, func(c *Conn, err error) {
+		gotErr = err
+	})
+	w.eng.Run()
+	if gotErr == nil {
+		t.Fatal("expected refusal for unused port")
+	}
+}
+
+func TestReject(t *testing.T) {
+	w := newWorld(t, 2)
+	w.cms[1].Listen(7300, func(req *ConnReq) { req.Reject("busy") })
+	var gotErr error
+	w.cms[0].Connect(1, 7300, nil, nil, 16, rnic.NewCQ(16), rnic.NewCQ(16), nil, func(c *Conn, err error) {
+		gotErr = err
+	})
+	w.eng.Run()
+	if gotErr == nil {
+		t.Fatal("expected rejection error")
+	}
+}
+
+func TestDuplicateListen(t *testing.T) {
+	w := newWorld(t, 2)
+	if err := w.cms[0].Listen(7400, func(*ConnReq) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.cms[0].Listen(7400, func(*ConnReq) {}); err == nil {
+		t.Fatal("duplicate listen should fail")
+	}
+}
+
+func TestPrivateDataDelivered(t *testing.T) {
+	w := newWorld(t, 2)
+	var seen []byte
+	w.cms[1].Listen(7500, func(req *ConnReq) {
+		seen = req.PrivateData
+		req.Reject("just checking")
+	})
+	w.cms[0].Connect(1, 7500, []byte("hello-cm"), nil, 16, rnic.NewCQ(16), rnic.NewCQ(16), nil, func(*Conn, error) {})
+	w.eng.Run()
+	if string(seen) != "hello-cm" {
+		t.Fatalf("private data = %q", seen)
+	}
+}
+
+func TestMassEstablishmentSerializes(t *testing.T) {
+	// Many concurrent dials from one node serialize on the HW command
+	// queue: total time ≈ N × (create+modify) per §VII-C.
+	w := newWorld(t, 2)
+	var accepted []*Conn
+	listenEcho(t, w, 1, 7600, &accepted)
+	const n = 16
+	done := 0
+	for i := 0; i < n; i++ {
+		w.cms[0].Connect(1, 7600, nil, nil, 16, rnic.NewCQ(32), rnic.NewCQ(32), nil, func(c *Conn, err error) {
+			if err != nil {
+				t.Errorf("connect %v", err)
+			}
+			done++
+		})
+	}
+	w.eng.Run()
+	if done != n || len(accepted) != n {
+		t.Fatalf("established %d/%d", done, n)
+	}
+	el := sim.Duration(w.eng.Now())
+	perConn := el / n
+	if perConn < 1500*sim.Microsecond {
+		t.Fatalf("per-connection cost %v implausibly low (not serialized?)", perConn)
+	}
+	t.Logf("%d connections in %v (%v each)", n, el, perConn)
+}
+
+func TestRegMRCostOrdering(t *testing.T) {
+	w := newWorld(t, 1)
+	pd := w.ctxs[0].AllocPD()
+	var at4k, at4m sim.Time
+	start := w.eng.Now()
+	pd.RegMR(4096, rnic.RegNonContinuous, func(mr *rnic.MR) { at4k = w.eng.Now() })
+	w.eng.Run()
+	mid := w.eng.Now()
+	pd.RegMR(4<<20, rnic.RegNonContinuous, func(mr *rnic.MR) { at4m = w.eng.Now() })
+	w.eng.Run()
+	small := at4k.Sub(start)
+	big := at4m.Sub(mid)
+	if big <= small {
+		t.Fatalf("4MB registration (%v) should cost more than 4KB (%v)", big, small)
+	}
+	if pd.MRs != 2 {
+		t.Fatalf("PD counts %d MRs", pd.MRs)
+	}
+}

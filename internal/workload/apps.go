@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"xrdma/internal/cluster"
+	"xrdma/internal/sim"
+	"xrdma/internal/xrdma"
+)
+
+// Pangu models the distributed file system of §II-C: block servers accept
+// front-end writes and replicate each to Replicas chunk servers over
+// full-mesh X-RDMA channels; the write acks when every replica lands.
+// This fan-out is the incast traffic pattern the paper's flow control
+// targets.
+type Pangu struct {
+	Cluster      *cluster.Cluster
+	BlockServers []int
+	ChunkServers []int
+	Replicas     int
+
+	// StorageLatency models the chunk server's local write (NVMe-ish).
+	StorageLatency sim.Duration
+
+	// chans[b][c] is block server b's channel to chunk server c.
+	chans map[int]map[int]*xrdma.Channel
+	ready bool
+
+	// Counters.
+	Writes    int64
+	Replicas2 int64 // replica messages issued
+}
+
+// PanguPort is the CM port chunk servers listen on.
+const PanguPort = 7100
+
+// NewPangu wires the replication mesh; run the engine until Ready().
+func NewPangu(c *cluster.Cluster, blocks, chunks []int, replicas int) *Pangu {
+	p := &Pangu{
+		Cluster: c, BlockServers: blocks, ChunkServers: chunks,
+		Replicas: replicas, StorageLatency: 15 * sim.Microsecond,
+		chans: make(map[int]map[int]*xrdma.Channel),
+	}
+	// Chunk servers: storage write handler.
+	for _, cs := range chunks {
+		node := c.Nodes[cs]
+		node.Ctx.OnChannel(func(ch *xrdma.Channel) {
+			ch.OnMessage(func(m *xrdma.Msg) {
+				c.Eng.After(p.StorageLatency, func() { m.Reply(nil, 8) })
+			})
+		})
+		if err := node.Ctx.Listen(PanguPort); err != nil {
+			panic(err)
+		}
+	}
+	// Block servers: full mesh to every chunk server.
+	var pairs [][2]int
+	var index [][2]int
+	for _, bs := range blocks {
+		p.chans[bs] = make(map[int]*xrdma.Channel)
+		for _, cs := range chunks {
+			pairs = append(pairs, [2]int{bs, cs})
+			index = append(index, [2]int{bs, cs})
+		}
+	}
+	c.ConnectPairs(pairs, PanguPort, func(chs []*xrdma.Channel) {
+		for i, ch := range chs {
+			p.chans[index[i][0]][index[i][1]] = ch
+		}
+		p.ready = true
+	})
+	return p
+}
+
+// Ready reports whether the replication mesh is established.
+func (p *Pangu) Ready() bool { return p.ready }
+
+// Channel exposes the block→chunk channel (diagnostics).
+func (p *Pangu) Channel(block, chunk int) *xrdma.Channel { return p.chans[block][chunk] }
+
+// Write replicates size bytes from a block server to Replicas chunk
+// servers (round-robin placement by write count) and calls done when all
+// replicas ack.
+func (p *Pangu) Write(block int, size int, done func(err error)) {
+	p.Writes++
+	start := int(p.Writes) % len(p.ChunkServers)
+	remaining := p.Replicas
+	var failed error
+	for r := 0; r < p.Replicas; r++ {
+		cs := p.ChunkServers[(start+r)%len(p.ChunkServers)]
+		ch := p.chans[block][cs]
+		p.Replicas2++
+		ch.SendMsg(nil, size, func(m *xrdma.Msg, err error) {
+			if err != nil && failed == nil {
+				failed = err
+			}
+			remaining--
+			if remaining == 0 && done != nil {
+				done(failed)
+			}
+		})
+	}
+}
+
+// ESSD models the elastic block-storage front end: VMs running fixed
+// queue-depth write streams into Pangu block servers (§VII-C measures its
+// aggregate IOPS; Fig. 8 plots the ramp after a connection storm).
+type ESSD struct {
+	Pangu   *Pangu
+	Payload int
+	Depth   int // outstanding writes per VM stream
+
+	Completed int64
+	running   bool
+}
+
+// NewESSD attaches a front end issuing Payload-sized writes.
+func NewESSD(p *Pangu, payload, depth int) *ESSD {
+	return &ESSD{Pangu: p, Payload: payload, Depth: depth}
+}
+
+// Start launches one closed-loop stream per block server.
+func (e *ESSD) Start(onComplete func(block int, lat sim.Duration)) {
+	e.running = true
+	eng := e.Pangu.Cluster.Eng
+	for _, bs := range e.Pangu.BlockServers {
+		bs := bs
+		for d := 0; d < e.Depth; d++ {
+			var issue func()
+			issue = func() {
+				if !e.running {
+					return
+				}
+				start := eng.Now()
+				e.Pangu.Write(bs, e.Payload, func(err error) {
+					if err == nil {
+						e.Completed++
+						if onComplete != nil {
+							onComplete(bs, eng.Now().Sub(start))
+						}
+					}
+					issue()
+				})
+			}
+			issue()
+		}
+	}
+}
+
+// Stop drains the streams.
+func (e *ESSD) Stop() { e.running = false }
+
+// XDBProfile is the X-DB query mix: mostly small point queries with a
+// tail of larger scans (result sets above the 4 KB threshold exercise the
+// large-message path).
+func XDBProfile() SizeDist {
+	return func(r *sim.RNG) int {
+		switch {
+		case r.Float64() < 0.85:
+			return 256 + r.Intn(512) // point query
+		case r.Float64() < 0.7:
+			return 4 << 10 // medium row batch
+		default:
+			return 32 << 10 // scan chunk
+		}
+	}
+}

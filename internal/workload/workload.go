@@ -1,0 +1,150 @@
+// Package workload provides the traffic generators and application models
+// used by the evaluation: Poisson open-loop and fixed-depth closed-loop
+// request drivers, mice/elephant size mixes (§VI-B XR-Perf), and scaled
+// models of the three production systems of §II-C — Pangu's block→chunk
+// replication (the incast source), ESSD's virtual-machine front-ends, and
+// X-DB's query mix.
+package workload
+
+import (
+	"xrdma/internal/sim"
+	"xrdma/internal/xrdma"
+)
+
+// SizeDist draws request payload sizes.
+type SizeDist func(*sim.RNG) int
+
+// Fixed always returns n.
+func Fixed(n int) SizeDist { return func(*sim.RNG) int { return n } }
+
+// Uniform draws uniformly from [lo, hi].
+func Uniform(lo, hi int) SizeDist {
+	return func(r *sim.RNG) int { return lo + r.Intn(hi-lo+1) }
+}
+
+// MiceElephants mixes small (mice) and large (elephant) flows — the
+// XR-Perf flow-model knob of §VI-B.
+func MiceElephants(mice, elephant int, elephantFrac float64) SizeDist {
+	return func(r *sim.RNG) int {
+		if r.Float64() < elephantFrac {
+			return elephant
+		}
+		return mice
+	}
+}
+
+// Result is one completed request observation.
+type Result struct {
+	Latency sim.Duration
+	Size    int
+	Err     error
+}
+
+// OpenLoop issues requests with exponential inter-arrival times,
+// regardless of completions — the saturating/unsaturating pattern of
+// Fig. 3.
+type OpenLoop struct {
+	Ch       *xrdma.Channel
+	Mean     sim.Duration // mean inter-arrival
+	Sizes    SizeDist
+	OnResult func(Result)
+
+	rng     *sim.RNG
+	eng     *sim.Engine
+	running bool
+	Issued  int64
+	Done    int64
+}
+
+// NewOpenLoop builds a generator (call Start to begin).
+func NewOpenLoop(ch *xrdma.Channel, mean sim.Duration, sizes SizeDist, seed uint64) *OpenLoop {
+	return &OpenLoop{Ch: ch, Mean: mean, Sizes: sizes, rng: sim.NewRNG(seed), eng: ch.Context().Engine()}
+}
+
+// Start begins issuing; Stop halts after in-flight requests complete.
+func (g *OpenLoop) Start() {
+	if g.running {
+		return
+	}
+	g.running = true
+	g.tick()
+}
+
+// Stop halts new issues.
+func (g *OpenLoop) Stop() { g.running = false }
+
+// SetMean retargets the arrival rate (load steps in Fig. 12).
+func (g *OpenLoop) SetMean(mean sim.Duration) { g.Mean = mean }
+
+func (g *OpenLoop) tick() {
+	if !g.running {
+		return
+	}
+	g.eng.AfterBg(g.rng.Exp(g.Mean), func() {
+		if !g.running || g.Ch.Closed() {
+			return
+		}
+		g.issue()
+		g.tick()
+	})
+}
+
+func (g *OpenLoop) issue() {
+	size := g.Sizes(g.rng)
+	start := g.eng.Now()
+	g.Issued++
+	g.Ch.SendMsg(nil, size, func(m *xrdma.Msg, err error) {
+		g.Done++
+		if g.OnResult != nil {
+			g.OnResult(Result{Latency: g.eng.Now().Sub(start), Size: size, Err: err})
+		}
+	})
+}
+
+// ClosedLoop keeps Depth requests outstanding on a channel — the
+// queue-depth-driven I/O model of ESSD front-ends.
+type ClosedLoop struct {
+	Ch       *xrdma.Channel
+	Depth    int
+	Sizes    SizeDist
+	OnResult func(Result)
+
+	rng     *sim.RNG
+	eng     *sim.Engine
+	running bool
+	Done    int64
+}
+
+// NewClosedLoop builds a fixed-depth driver.
+func NewClosedLoop(ch *xrdma.Channel, depth int, sizes SizeDist, seed uint64) *ClosedLoop {
+	return &ClosedLoop{Ch: ch, Depth: depth, Sizes: sizes, rng: sim.NewRNG(seed), eng: ch.Context().Engine()}
+}
+
+// Start primes Depth requests.
+func (g *ClosedLoop) Start() {
+	if g.running {
+		return
+	}
+	g.running = true
+	for i := 0; i < g.Depth; i++ {
+		g.issue()
+	}
+}
+
+// Stop lets outstanding requests drain without replacement.
+func (g *ClosedLoop) Stop() { g.running = false }
+
+func (g *ClosedLoop) issue() {
+	if !g.running || g.Ch.Closed() {
+		return
+	}
+	size := g.Sizes(g.rng)
+	start := g.eng.Now()
+	g.Ch.SendMsg(nil, size, func(m *xrdma.Msg, err error) {
+		g.Done++
+		if g.OnResult != nil {
+			g.OnResult(Result{Latency: g.eng.Now().Sub(start), Size: size, Err: err})
+		}
+		g.issue()
+	})
+}

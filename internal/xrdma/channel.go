@@ -1,0 +1,471 @@
+package xrdma
+
+import (
+	"errors"
+	"fmt"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+	"xrdma/internal/verbs"
+)
+
+// Errors surfaced through channel callbacks.
+var (
+	ErrChannelClosed = errors.New("xrdma: channel closed")
+	ErrPeerDead      = errors.New("xrdma: keepalive declared peer dead")
+	ErrTimeout       = errors.New("xrdma: request timed out")
+)
+
+// ChannelStats are per-channel counters (the netstat-like rows of
+// XR-Stat, §VI-B).
+type ChannelStats struct {
+	MsgsSent, MsgsRecv   int64
+	BytesSent, BytesRecv int64
+	ReqsSent, RespsRecv  int64
+	LargeSent, LargeRecv int64
+	AcksSent, NopsSent   int64
+	WindowStalls         int64
+	SendQueuePeak        int
+	Pings                int64
+}
+
+// Channel is an established X-RDMA connection (one QP pair plus the
+// application-layer protocol state).
+type Channel struct {
+	ctx  *Context
+	qp   *rnic.QP
+	Peer fabric.NodeID
+
+	tx *txWindow
+	rx *rxWindow
+
+	sendQ   []*pendingSend
+	pending map[uint64]*reqState // msgID → response waiter
+
+	recvBufs map[uint64]Buffer // recv WR id → buffer (per-channel mode)
+
+	lastComm     sim.Time
+	lastProgress sim.Time
+	kaProbeAt    sim.Time
+	kaProbing    bool
+
+	recvSinceAck int
+	lastAckVal   uint64
+	ackEv        *sim.Event
+	nopInFlight  bool
+	stallFlag    bool
+
+	pings map[uint64]*pingState
+
+	closed bool
+	broken bool
+
+	onMessage func(*Msg)
+	onClose   func(error)
+
+	mock    *mockState
+	mockQPN uint32
+
+	Counters ChannelStats
+	OpenedAt sim.Time
+}
+
+type pendingSend struct {
+	kind    msgKind
+	data    []byte
+	size    int
+	msgID   uint64
+	staged  Buffer
+	staging bool
+	ready   bool // small, or staged
+	oneWay  bool
+}
+
+type reqState struct {
+	cb     func(*Msg, error)
+	sentAt sim.Time
+	traced bool
+}
+
+// Msg is a delivered message: a request to serve or a response to consume.
+// Data is only valid during the handler; use Retain to keep it.
+type Msg struct {
+	Ch    *Channel
+	Data  []byte
+	Len   int
+	IsReq bool
+	MsgID uint64
+	Seq   uint64
+
+	// RecvAt is the local engine time the payload became available.
+	RecvAt sim.Time
+	// T1 is the sender's clock at send time (req-rsp mode only).
+	T1     sim.Time
+	Traced bool
+
+	replied bool
+	release func() // frees a rendezvous buffer after the handler
+}
+
+// Retain copies the payload so it survives the handler.
+func (m *Msg) Retain() []byte {
+	if m.Data == nil {
+		return nil
+	}
+	cp := make([]byte, len(m.Data))
+	copy(cp, m.Data)
+	return cp
+}
+
+// --- establishment ----------------------------------------------------------
+
+// OnChannel installs the accept handler for listened ports.
+func (c *Context) OnChannel(fn func(*Channel)) { c.onChannel = fn }
+
+// Listen accepts X-RDMA channels on the given CM port (xrdma_listen).
+// Receive buffers are allocated before the CM reply goes out, so the
+// dialer can never race ahead of the receive queue — RNR-free from the
+// very first message.
+func (c *Context) Listen(port int) error {
+	return c.cm.Listen(port, func(req *verbs.ConnReq) {
+		c.allocRecvBufs(func(bufs []Buffer) {
+			c.withQP(func(qp *rnic.QP) {
+				req.Accept(qp, func(conn *verbs.Conn, err error) {
+					if err != nil {
+						c.QPs.Put(qp)
+						c.freeBufs(bufs)
+						return
+					}
+					ch := c.newChannel(conn, bufs)
+					if c.onChannel != nil {
+						c.onChannel(ch)
+					}
+				})
+			})
+		})
+	})
+}
+
+// allocRecvBufs obtains the standing receive pool for one channel; the
+// allocation overlaps the (much slower) connection handshake.
+func (c *Context) allocRecvBufs(cb func([]Buffer)) {
+	if c.cfg.UseSRQ {
+		cb(nil)
+		return
+	}
+	n := c.cfg.WindowDepth + c.cfg.CtrlReserve
+	bufs := make([]Buffer, 0, n)
+	remaining := n
+	for i := 0; i < n; i++ {
+		c.Mem.Alloc(c.recvBufSize(), func(b Buffer, err error) {
+			if err == nil {
+				bufs = append(bufs, b)
+			}
+			remaining--
+			if remaining == 0 {
+				cb(bufs)
+			}
+		})
+	}
+}
+
+func (c *Context) freeBufs(bufs []Buffer) {
+	for _, b := range bufs {
+		c.Mem.Free(b)
+	}
+}
+
+// Connect establishes a channel to (node, port) (xrdma_connect). The QP
+// cache is consulted first; on a miss a QP is created through the slow
+// hardware path.
+func (c *Context) Connect(node fabric.NodeID, port int, done func(*Channel, error)) {
+	var srq *rnic.SRQ
+	if c.cfg.UseSRQ {
+		srq = c.srq
+	}
+	c.allocRecvBufs(func(bufs []Buffer) {
+		if qp := c.QPs.Get(); qp != nil {
+			c.cm.Connect(node, port, nil, qp, c.qpDepth(), nil, nil, nil, func(conn *verbs.Conn, err error) {
+				if err != nil {
+					c.QPs.Put(qp)
+					c.freeBufs(bufs)
+					done(nil, err)
+					return
+				}
+				done(c.newChannel(conn, bufs), nil)
+			})
+			return
+		}
+		c.cm.Connect(node, port, nil, nil, c.qpDepth(), c.sendCQ, c.recvCQ, srq, func(conn *verbs.Conn, err error) {
+			if err != nil {
+				c.freeBufs(bufs)
+				done(nil, err)
+				return
+			}
+			done(c.newChannel(conn, bufs), nil)
+		})
+	})
+}
+
+// withQP obtains a QP from the cache or creates one asynchronously.
+func (c *Context) withQP(fn func(*rnic.QP)) {
+	if qp := c.QPs.Get(); qp != nil {
+		fn(qp)
+		return
+	}
+	var srq *rnic.SRQ
+	if c.cfg.UseSRQ {
+		srq = c.srq
+	}
+	c.vctx.NIC.CreateQP(c.qpDepth(), c.qpDepth(), c.sendCQ, c.recvCQ, srq, fn)
+}
+
+func (c *Context) qpDepth() int {
+	return 2*c.cfg.WindowDepth + c.cfg.CtrlReserve + c.cfg.MaxOutstandingWRs + 8
+}
+
+func (c *Context) newChannel(conn *verbs.Conn, bufs []Buffer) *Channel {
+	ch := &Channel{
+		ctx:          c,
+		qp:           conn.QP,
+		Peer:         conn.Remote,
+		tx:           newTxWindow(c.cfg.WindowDepth),
+		pending:      make(map[uint64]*reqState),
+		recvBufs:     make(map[uint64]Buffer),
+		lastComm:     c.eng.Now(),
+		lastProgress: c.eng.Now(),
+		OpenedAt:     c.eng.Now(),
+	}
+	ch.rx = newRxWindow(c.cfg.WindowDepth)
+	c.channels[ch.qp.QPN] = ch
+	c.Stats.ChannelsOpened++
+	// Post the pre-allocated standing receive pool — the buffers whose
+	// footprint the §III Issue-1 formula describes.
+	for _, buf := range bufs {
+		id := c.nextWRID()
+		ch.recvBufs[id] = buf
+		if err := ch.qp.PostRecv(rnic.RecvWR{ID: id, Addr: buf.Addr, Len: buf.Len}); err != nil {
+			delete(ch.recvBufs, id)
+			c.Mem.Free(buf)
+		}
+	}
+	return ch
+}
+
+// repostRecv returns one consumed receive buffer to the RQ.
+func (ch *Channel) repostRecv(wrID uint64) {
+	c := ch.ctx
+	if c.cfg.UseSRQ {
+		if buf, ok := c.srqBufs[wrID]; ok {
+			delete(c.srqBufs, wrID)
+			id := c.nextWRID()
+			c.srqBufs[id] = buf
+			if err := c.srq.Post(rnic.RecvWR{ID: id, Addr: buf.Addr, Len: buf.Len}); err != nil {
+				delete(c.srqBufs, id)
+				c.Mem.Free(buf)
+			}
+		}
+		return
+	}
+	buf, ok := ch.recvBufs[wrID]
+	if !ok || ch.closed || ch.qp.State == rnic.QPError {
+		return
+	}
+	delete(ch.recvBufs, wrID)
+	id := ch.ctx.nextWRID()
+	ch.recvBufs[id] = buf
+	if err := ch.qp.PostRecv(rnic.RecvWR{ID: id, Addr: buf.Addr, Len: buf.Len}); err != nil {
+		delete(ch.recvBufs, id)
+		ch.ctx.Mem.Free(buf)
+	}
+}
+
+// --- teardown ----------------------------------------------------------------
+
+// Close releases the channel gracefully: the QP is reset into the QP
+// cache, receive buffers return to the memory cache.
+func (ch *Channel) Close() {
+	ch.teardown(nil)
+}
+
+func (ch *Channel) fail(err error) {
+	if ch.closed {
+		return
+	}
+	if ch.mock != nil {
+		// Already degraded to TCP; stale RDMA completions are expected
+		// while the broken QP flushes.
+		return
+	}
+	if ch.ctx.cfg.MockEnabled && ch.ctx.tcp != nil {
+		// §VI-C: switch to TCP instead of dying.
+		ch.switchToMock(err)
+		return
+	}
+	ch.ctx.Stats.ChannelsBroken++
+	ch.ctx.logf("channel qpn=%d peer=%d broken: %v", ch.qp.QPN, ch.Peer, err)
+	ch.teardown(err)
+}
+
+func (ch *Channel) teardown(err error) {
+	if ch.closed {
+		return
+	}
+	ch.closed = true
+	ch.broken = err != nil
+	c := ch.ctx
+	delete(c.channels, ch.qp.QPN)
+	for i, w := range c.mockWaiters {
+		if w == ch {
+			c.mockWaiters = append(c.mockWaiters[:i], c.mockWaiters[i+1:]...)
+			break
+		}
+	}
+	c.Stats.ChannelsClosed++
+	// Fail outstanding requests.
+	failErr := err
+	if failErr == nil {
+		failErr = ErrChannelClosed
+	}
+	for id, rs := range ch.pending {
+		delete(ch.pending, id)
+		if rs.cb != nil {
+			rs.cb(nil, failErr)
+		}
+	}
+	for _, ps := range ch.sendQ {
+		if ps.staged.Valid() {
+			c.Mem.Free(ps.staged)
+		}
+	}
+	ch.sendQ = nil
+	// Receive buffers back to the cache.
+	for id, buf := range ch.recvBufs {
+		delete(ch.recvBufs, id)
+		c.Mem.Free(buf)
+	}
+	if ch.ackEv != nil {
+		c.eng.Cancel(ch.ackEv)
+	}
+	// The QP (reset) goes to the cache for fast re-establishment. A
+	// mocked channel already surrendered its QP when it switched.
+	if ch.mock == nil {
+		c.QPs.Put(ch.qp)
+	} else {
+		ch.closeMock()
+	}
+	if ch.onClose != nil {
+		ch.onClose(err)
+	}
+}
+
+// Closed reports whether the channel is down.
+func (ch *Channel) Closed() bool { return ch.closed }
+
+// OnMessage installs the request handler.
+func (ch *Channel) OnMessage(fn func(*Msg)) { ch.onMessage = fn }
+
+// OnClose installs the teardown notification.
+func (ch *Channel) OnClose(fn func(error)) { ch.onClose = fn }
+
+// Context returns the owning context.
+func (ch *Channel) Context() *Context { return ch.ctx }
+
+// QPN exposes the local queue pair number (diagnostics).
+func (ch *Channel) QPN() uint32 { return ch.qp.QPN }
+
+// QPCounters exposes the hardware-level counters (XR-Stat).
+func (ch *Channel) QPCounters() rnic.QPCounters { return ch.qp.Counters }
+
+// Inflight reports windowed messages awaiting ack.
+func (ch *Channel) Inflight() int { return int(ch.tx.inflight()) }
+
+// --- keepalive (§V-A) --------------------------------------------------------
+
+func (ch *Channel) keepaliveCheck(now sim.Time) {
+	if ch.closed || ch.mock != nil {
+		return
+	}
+	cfg := &ch.ctx.cfg
+	if ch.kaProbing {
+		// The probe is a reliable RC write: its failure (retry
+		// exhaustion) arrives through the completion below, so the
+		// wall-clock backstop must sit above the RC retry horizon —
+		// declaring death while the NIC is still legitimately
+		// retransmitting would turn every loss burst into a false
+		// positive.
+		nicCfg := &ch.ctx.vctx.NIC.Cfg
+		deadline := sim.Duration(nicCfg.RetryLimit+2) * nicCfg.RetransTimeout
+		if cfg.KeepaliveTimeout > deadline {
+			deadline = cfg.KeepaliveTimeout
+		}
+		if now.Sub(ch.kaProbeAt) > deadline {
+			ch.ctx.Stats.KeepaliveFails++
+			ch.ctx.logf("keepalive: peer %d unreachable, reclaiming channel qpn=%d", ch.Peer, ch.qp.QPN)
+			ch.fail(ErrPeerDead)
+		}
+		return
+	}
+	if now.Sub(ch.lastComm) < cfg.KeepaliveInterval {
+		return
+	}
+	// Probe: zero-byte RDMA write — acked by the peer RNIC without
+	// waking its application or touching RDMA-enabled memory.
+	ch.kaProbing = true
+	ch.kaProbeAt = now
+	ch.ctx.Stats.KeepaliveProbes++
+	wr := &rnic.SendWR{Op: rnic.OpWrite, Len: 0}
+	ch.ctx.flow.postDirect(ch.qp, wr, func(cqe rnic.CQE) {
+		if ch.closed {
+			return
+		}
+		ch.kaProbing = false
+		if cqe.Status != rnic.StatusOK {
+			ch.ctx.Stats.KeepaliveFails++
+			ch.fail(ErrPeerDead)
+			return
+		}
+		ch.lastComm = ch.ctx.eng.Now()
+	})
+}
+
+// --- deadlock breaker (§V-B) --------------------------------------------------
+
+func (ch *Channel) deadlockCheck() {
+	if ch.closed || ch.mock != nil || ch.nopInFlight {
+		return
+	}
+	if len(ch.sendQ) == 0 || ch.tx.canSend() {
+		return
+	}
+	if ch.ctx.eng.Now().Sub(ch.lastProgress) < ch.ctx.cfg.DeadlockScan {
+		return
+	}
+	// Window full with no progress: fire the reserved NOP to solicit an
+	// ack from the peer.
+	ch.nopInFlight = true
+	ch.Counters.NopsSent++
+	ch.ctx.Stats.NopsSent++
+	ch.sendCtrl(kindNop)
+}
+
+// expireRequests times out pending requests older than the deadline.
+func (ch *Channel) expireRequests(deadline sim.Time) {
+	for id, rs := range ch.pending {
+		if rs.sentAt < deadline {
+			delete(ch.pending, id)
+			ch.ctx.Stats.ReqTimeouts++
+			if rs.cb != nil {
+				rs.cb(nil, ErrTimeout)
+			}
+		}
+	}
+}
+
+// String renders a one-line XR-Stat row.
+func (ch *Channel) String() string {
+	return fmt.Sprintf("qpn=%d peer=%d inflight=%d sent=%d recv=%d stalls=%d rnr=%d",
+		ch.qp.QPN, ch.Peer, ch.Inflight(), ch.Counters.MsgsSent, ch.Counters.MsgsRecv,
+		ch.Counters.WindowStalls, ch.qp.Counters.RNRNakRecv)
+}

@@ -1,0 +1,264 @@
+package xrdma
+
+import (
+	"fmt"
+	"sort"
+
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+)
+
+// Config mirrors Table III: "online" parameters may be changed on a
+// running context through SetFlag (the XR-Adm path); "offline" parameters
+// are fixed at context creation.
+type Config struct {
+	// --- online ---------------------------------------------------------
+
+	// KeepaliveInterval is the idle time after which a zero-byte write
+	// probe is sent (keepalive_intv_ms).
+	KeepaliveInterval sim.Duration
+	// KeepaliveTimeout declares the peer dead when a probe gets no
+	// hardware ack for this long.
+	KeepaliveTimeout sim.Duration
+	// SlowThreshold: operations slower than this are recorded in the
+	// slow-op log (slow_threshold).
+	SlowThreshold sim.Duration
+	// PollingWarnCycle: a gap between two polls longer than this is a
+	// slow-poll incident (polling_warn_cycle).
+	PollingWarnCycle sim.Duration
+	// TraceSampleMask: a message is traced when (msgID & mask) == 0 and
+	// the context is in req-rsp mode. 0 traces everything.
+	TraceSampleMask uint64
+	// ReqRspMode turns on the tracing header (default off = bare-data,
+	// "to push for extreme performance", §VI-A).
+	ReqRspMode bool
+	// FilterDropRate / FilterDelay drive the fault-injection Filter.
+	FilterDropRate float64
+	FilterDelay    sim.Duration
+
+	// --- offline --------------------------------------------------------
+
+	// SmallMsgSize is the inline/rendezvous threshold (small_msg_size),
+	// 4 KB by default.
+	SmallMsgSize int
+	// WindowDepth is the seq-ack in-flight message window per channel.
+	WindowDepth int
+	// CtrlReserve is the number of extra receive buffers kept for
+	// window-exempt control messages (acks, NOPs).
+	CtrlReserve int
+	// AckEvery: a standalone ack is emitted after this many received
+	// messages without reverse traffic.
+	AckEvery int
+	// AckDelay flushes pending acks after this time even below AckEvery.
+	AckDelay sim.Duration
+	// DeadlockScan is the per-context timer period for the NOP deadlock
+	// breaker.
+	DeadlockScan sim.Duration
+	// FragmentSize splits large RDMA READ/WRITE work requests (§V-C);
+	// 64 KB in production.
+	FragmentSize int
+	// MaxOutstandingWRs is the flow-control queueing limit N (§V-C).
+	MaxOutstandingWRs int
+	// MRSize is the memory-cache region granularity (4 MB; §IV-E).
+	MRSize int
+	// MemMode selects the registration mode (§VII-F: non-continuous in
+	// production).
+	MemMode rnic.RegMode
+	// MemIsolation turns on canary-guarded allocations (§VI-C).
+	MemIsolation bool
+	// MemShrinkIdle reclaims a fully-free MR after this idle time.
+	MemShrinkIdle sim.Duration
+	// UseSRQ shares one receive queue across the context's channels
+	// (§VII-F: supported, disabled by default — it can reintroduce RNR).
+	UseSRQ bool
+	// SRQSize is the shared receive queue depth when UseSRQ is set.
+	SRQSize int
+	// PollInterval is the busy-polling period of the hybrid poller.
+	PollInterval sim.Duration
+	// PollCost is the CPU cost charged per poll iteration.
+	PollCost sim.Duration
+	// PerMsgCost is the middleware software overhead per dispatched
+	// message (X-RDMA's thin data path).
+	PerMsgCost sim.Duration
+	// TraceCost is the extra per-message cost in req-rsp mode (§VII-A
+	// measures ≈200 ns, a 2–4% ping-pong latency increase).
+	TraceCost sim.Duration
+	// RequestTimeout fails pending requests that got no response (0 =
+	// never). Checked by a coarse per-context timer.
+	RequestTimeout sim.Duration
+	// MockEnabled lets a channel fall back to TCP when RDMA breaks.
+	MockEnabled bool
+	// StatsInterval drives periodic statistics sampling.
+	StatsInterval sim.Duration
+}
+
+// DefaultConfig returns the production defaults described in the paper.
+func DefaultConfig() Config {
+	return Config{
+		KeepaliveInterval: 10 * sim.Millisecond,
+		KeepaliveTimeout:  50 * sim.Millisecond,
+		SlowThreshold:     100 * sim.Microsecond,
+		PollingWarnCycle:  50 * sim.Microsecond,
+		TraceSampleMask:   0,
+		ReqRspMode:        false,
+
+		SmallMsgSize:      4096,
+		WindowDepth:       32,
+		CtrlReserve:       16,
+		AckEvery:          8,
+		AckDelay:          50 * sim.Microsecond,
+		DeadlockScan:      500 * sim.Microsecond,
+		FragmentSize:      64 << 10,
+		MaxOutstandingWRs: 64,
+		MRSize:            4 << 20,
+		MemMode:           rnic.RegNonContinuous,
+		MemIsolation:      false,
+		MemShrinkIdle:     100 * sim.Millisecond,
+		UseSRQ:            false,
+		SRQSize:           4096,
+		PollInterval:      1 * sim.Microsecond,
+		PollCost:          60 * sim.Nanosecond,
+		PerMsgCost:        100 * sim.Nanosecond,
+		TraceCost:         50 * sim.Nanosecond,
+		RequestTimeout:    0,
+		MockEnabled:       false,
+		StatsInterval:     10 * sim.Millisecond,
+	}
+}
+
+// SetFlag changes an online parameter by name on a running context —
+// Table I's xrdma_set_flag, driven in production by XR-Adm. Offline
+// parameters are rejected.
+func (c *Context) SetFlag(name, value string) error {
+	set, ok := onlineFlags[name]
+	if !ok {
+		if _, offline := offlineFlagNames[name]; offline {
+			return fmt.Errorf("xrdma: %q is an offline parameter (fixed at context creation)", name)
+		}
+		return fmt.Errorf("xrdma: unknown flag %q", name)
+	}
+	if err := set(c, value); err != nil {
+		return fmt.Errorf("xrdma: set %s=%q: %w", name, value, err)
+	}
+	c.flagLog = append(c.flagLog, flagChange{At: c.eng.Now(), Name: name, Value: value})
+	return nil
+}
+
+// OnlineFlagNames lists the dynamically settable parameters (sorted).
+func OnlineFlagNames() []string {
+	names := make([]string, 0, len(onlineFlags))
+	for n := range onlineFlags {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+type flagChange struct {
+	At    sim.Time
+	Name  string
+	Value string
+}
+
+func parseDurMS(v string) (sim.Duration, error) {
+	var ms float64
+	if _, err := fmt.Sscanf(v, "%g", &ms); err != nil {
+		return 0, err
+	}
+	return sim.Duration(ms * float64(sim.Millisecond)), nil
+}
+
+func parseDurUS(v string) (sim.Duration, error) {
+	var us float64
+	if _, err := fmt.Sscanf(v, "%g", &us); err != nil {
+		return 0, err
+	}
+	return sim.Duration(us * float64(sim.Microsecond)), nil
+}
+
+var onlineFlags = map[string]func(*Context, string) error{
+	"keepalive_intv_ms": func(c *Context, v string) error {
+		d, err := parseDurMS(v)
+		if err != nil {
+			return err
+		}
+		c.cfg.KeepaliveInterval = d
+		return nil
+	},
+	"keepalive_timeout_ms": func(c *Context, v string) error {
+		d, err := parseDurMS(v)
+		if err != nil {
+			return err
+		}
+		c.cfg.KeepaliveTimeout = d
+		return nil
+	},
+	"slow_threshold_us": func(c *Context, v string) error {
+		d, err := parseDurUS(v)
+		if err != nil {
+			return err
+		}
+		c.cfg.SlowThreshold = d
+		return nil
+	},
+	"polling_warn_cycle_us": func(c *Context, v string) error {
+		d, err := parseDurUS(v)
+		if err != nil {
+			return err
+		}
+		c.cfg.PollingWarnCycle = d
+		return nil
+	},
+	"trace_sample_mask": func(c *Context, v string) error {
+		var m uint64
+		if _, err := fmt.Sscanf(v, "%d", &m); err != nil {
+			return err
+		}
+		c.cfg.TraceSampleMask = m
+		return nil
+	},
+	"reqrsp_mode": func(c *Context, v string) error {
+		switch v {
+		case "on", "true", "1":
+			c.cfg.ReqRspMode = true
+		case "off", "false", "0":
+			c.cfg.ReqRspMode = false
+		default:
+			return fmt.Errorf("want on/off")
+		}
+		return nil
+	},
+	"filter_drop_rate": func(c *Context, v string) error {
+		var r float64
+		if _, err := fmt.Sscanf(v, "%g", &r); err != nil {
+			return err
+		}
+		if r < 0 || r > 1 {
+			return fmt.Errorf("rate out of [0,1]")
+		}
+		c.cfg.FilterDropRate = r
+		c.syncFilter()
+		return nil
+	},
+	"filter_delay_us": func(c *Context, v string) error {
+		d, err := parseDurUS(v)
+		if err != nil {
+			return err
+		}
+		c.cfg.FilterDelay = d
+		c.syncFilter()
+		return nil
+	},
+}
+
+var offlineFlagNames = map[string]struct{}{
+	"use_srq":         {},
+	"srq_size":        {},
+	"small_msg_size":  {},
+	"window_depth":    {},
+	"fragment_size":   {},
+	"max_outstanding": {},
+	"mr_size":         {},
+	"mem_mode":        {},
+	"poll_interval":   {},
+}

@@ -1,0 +1,500 @@
+package xrdma
+
+import (
+	"fmt"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+	"xrdma/internal/tcpnet"
+	"xrdma/internal/verbs"
+)
+
+// Context is X-RDMA's per-thread execution domain (§IV-B): it owns the
+// completion queues, the memory and QP caches, the flow controller, the
+// per-thread timer and every channel created on it. All callbacks run
+// inside the context's run-to-complete poll loop — no locks, no cross-
+// context sharing.
+type Context struct {
+	eng  *sim.Engine
+	vctx *verbs.Context
+	cm   *verbs.CM
+	host *fabric.Host
+	cfg  Config
+
+	pd   *verbs.PD
+	Mem  *MemCache
+	QPs  *QPCache
+	flow *flowCtl
+
+	sendCQ, recvCQ *rnic.CQ
+	srq            *rnic.SRQ
+	srqBufs        map[uint64]Buffer // recv WR id → buffer (SRQ mode)
+
+	channels map[uint32]*Channel // by local QPN
+	wrCBs    map[uint64]func(rnic.CQE)
+	wrSeq    uint64
+	msgSeq   uint64
+
+	onChannel func(*Channel)
+
+	// Hybrid polling state (§IV-B).
+	pollEv      *sim.Event
+	lastPoll    sim.Time
+	idlePolls   int
+	eventMode   bool
+	busyUntil   sim.Time
+	started     bool
+	eventFD     int
+	wakePending bool
+
+	// Analysis framework.
+	trace   *Tracer
+	logbuf  []LogEntry
+	flagLog []flagChange
+	rng     *sim.RNG
+	monitor *Monitor
+
+	// Mock (TCP fallback).
+	tcp         *tcpnet.Stack
+	mockPort    int
+	mockWaiters []*Channel
+	mockParked  []parkedMock
+
+	// Clock skew of this node (set by the cluster harness) and the
+	// estimated offset table from the clock-sync service.
+	clockSkew sim.Duration
+	toff      map[fabric.NodeID]sim.Duration
+
+	Stats ContextStats
+}
+
+// ContextStats aggregates per-context counters for XR-Stat / Monitor.
+type ContextStats struct {
+	Polls           int64
+	SlowPolls       int64
+	EventWakes      int64
+	Dispatched      int64
+	ChannelsOpened  int64
+	ChannelsClosed  int64
+	ChannelsBroken  int64
+	KeepaliveProbes int64
+	KeepaliveFails  int64
+	NopsSent        int64
+	AcksSent        int64
+	ReqTimeouts     int64
+	MockSwitches    int64
+}
+
+// LogEntry is one line of the self-adaptive log (§VI-A method III).
+type LogEntry struct {
+	At   sim.Time
+	Text string
+}
+
+// Options wires a Context to its node.
+type Options struct {
+	Verbs   *verbs.Context
+	CM      *verbs.CM
+	Host    *fabric.Host
+	Config  Config
+	Monitor *Monitor
+	// TCP enables the Mock fallback plane; MockPort is where this node
+	// accepts mock connections.
+	TCP      *tcpnet.Stack
+	MockPort int
+	// ClockSkew offsets this node's local clock (tracing experiments).
+	ClockSkew sim.Duration
+	Seed      uint64
+}
+
+// NewContext builds a context and starts its poll loop and timers.
+func NewContext(o Options) *Context {
+	c := &Context{
+		eng:       o.Verbs.Eng,
+		vctx:      o.Verbs,
+		cm:        o.CM,
+		host:      o.Host,
+		cfg:       o.Config,
+		channels:  make(map[uint32]*Channel),
+		wrCBs:     make(map[uint64]func(rnic.CQE)),
+		rng:       sim.NewRNG(o.Seed ^ 0x9e37),
+		monitor:   o.Monitor,
+		tcp:       o.TCP,
+		mockPort:  o.MockPort,
+		clockSkew: o.ClockSkew,
+		toff:      make(map[fabric.NodeID]sim.Duration),
+		eventFD:   int(o.Host.ID)*16 + 3,
+	}
+	c.pd = c.vctx.AllocPD()
+	c.Mem = newMemCache(c, c.cfg.MRSize, c.cfg.MemMode)
+	c.QPs = newQPCache(c, 4096)
+	c.flow = newFlowCtl(c, c.cfg.MaxOutstandingWRs)
+	c.sendCQ = rnic.NewCQ(8192)
+	c.recvCQ = rnic.NewCQ(8192)
+	c.trace = newTracer(c)
+	if c.cfg.UseSRQ {
+		c.srq = rnic.NewSRQ(c.cfg.SRQSize)
+		c.srqBufs = make(map[uint64]Buffer)
+		c.fillSRQ()
+	}
+	c.sendCQ.OnCompletion(c.wake)
+	c.recvCQ.OnCompletion(c.wake)
+	if c.monitor != nil {
+		c.monitor.register(c)
+	}
+	if c.tcp != nil && c.mockPort > 0 {
+		c.listenMock()
+	}
+	c.startPolling()
+	c.startTimers()
+	return c
+}
+
+// Node returns this context's fabric node id.
+func (c *Context) Node() fabric.NodeID { return c.host.ID }
+
+// Engine exposes the simulation engine.
+func (c *Context) Engine() *sim.Engine { return c.eng }
+
+// Config returns a copy of the current configuration.
+func (c *Context) Config() Config { return c.cfg }
+
+// NumChannels reports live channels.
+func (c *Context) NumChannels() int { return len(c.channels) }
+
+// Channels returns a snapshot of live channels (XR-Stat).
+func (c *Context) Channels() []*Channel {
+	out := make([]*Channel, 0, len(c.channels))
+	for _, ch := range c.channels {
+		out = append(out, ch)
+	}
+	return out
+}
+
+// LocalClock is the node's wall clock including configured skew.
+func (c *Context) LocalClock() sim.Time { return c.eng.Now().Add(c.clockSkew) }
+
+func (c *Context) nextWRID() uint64  { c.wrSeq++; return c.wrSeq }
+func (c *Context) nextMsgID() uint64 { c.msgSeq++; return c.msgSeq }
+
+func (c *Context) logf(format string, args ...any) {
+	c.logbuf = append(c.logbuf, LogEntry{At: c.eng.Now(), Text: fmt.Sprintf(format, args...)})
+}
+
+// Log returns the accumulated self-adaptive log.
+func (c *Context) Log() []LogEntry { return c.logbuf }
+
+// FlagLog returns the history of online configuration changes.
+func (c *Context) FlagLog() []flagChange { return c.flagLog }
+
+// --- Table I: event-fd surface ---------------------------------------------
+
+// GetEventFD returns the pollable descriptor (xrdma_get_event_fd). The
+// model returns a stable synthetic fd; select/poll/epoll integration is
+// the hybrid poller itself.
+func (c *Context) GetEventFD() int { return c.eventFD }
+
+// ProcessEvent drains pending completions once (xrdma_process_event) —
+// what an application calls after its own epoll wakes it on the event fd.
+func (c *Context) ProcessEvent() int { return c.pollOnce() }
+
+// Polling polls the context once (xrdma_polling); returns the number of
+// completions processed.
+func (c *Context) Polling() int { return c.pollOnce() }
+
+// RegMem registers application memory (xrdma_reg_mem).
+func (c *Context) RegMem(size int, done func(*rnic.MR)) {
+	c.pd.RegMR(size, c.cfg.MemMode, done)
+}
+
+// DeregMem releases application memory (xrdma_dereg_mem).
+func (c *Context) DeregMem(mr *rnic.MR) { c.pd.DeregMR(mr) }
+
+// --- polling ----------------------------------------------------------------
+
+func (c *Context) startPolling() {
+	c.started = true
+	c.lastPoll = c.eng.Now()
+	c.schedulePoll(c.cfg.PollInterval)
+}
+
+func (c *Context) schedulePoll(d sim.Duration) {
+	if c.pollEv != nil && c.pollEv.Pending() {
+		return
+	}
+	c.pollEv = c.eng.After(d, c.pollTick)
+}
+
+// spinDetect is how quickly a busy-polling thread notices a fresh CQE.
+const spinDetect = 100 * sim.Nanosecond
+
+// wake is the comp-channel callback. In event mode it models the epoll
+// wake latency; in polling mode the spinning thread notices new
+// completions after only a spin-detect delay, so the pending poll tick is
+// pulled forward.
+func (c *Context) wake() {
+	if c.eventMode {
+		if c.wakePending {
+			return
+		}
+		c.wakePending = true
+		c.Stats.EventWakes++
+		c.eng.After(2*sim.Microsecond, func() {
+			c.wakePending = false
+			c.eventMode = false
+			c.idlePolls = 0
+			c.schedulePoll(0)
+		})
+		return
+	}
+	soon := c.eng.Now().Add(spinDetect)
+	if c.pollEv != nil && c.pollEv.Pending() {
+		if c.pollEv.At() <= soon {
+			return
+		}
+		c.eng.Cancel(c.pollEv)
+	}
+	c.pollEv = c.eng.After(spinDetect, c.pollTick)
+}
+
+func (c *Context) pollTick() {
+	if !c.started {
+		return
+	}
+	// Application work can hog the run-to-complete thread; the poller
+	// cannot run before it finishes (this is how slow-poll incidents
+	// happen, §VI-A method II).
+	if c.busyUntil > c.eng.Now() {
+		c.eng.At(c.busyUntil, c.pollTick)
+		return
+	}
+	n := c.pollOnce()
+	if n == 0 {
+		c.idlePolls++
+		if c.idlePolls >= 64 {
+			// Hybrid polling: long idle → event mode (epoll).
+			c.eventMode = true
+			return
+		}
+	} else {
+		c.idlePolls = 0
+	}
+	c.schedulePoll(c.cfg.PollInterval)
+}
+
+// pollOnce drains both CQs and dispatches completions, charging the
+// middleware's per-message software cost.
+func (c *Context) pollOnce() int {
+	now := c.eng.Now()
+	gap := now.Sub(c.lastPoll)
+	if gap > c.cfg.PollingWarnCycle && c.Stats.Polls > 0 {
+		c.Stats.SlowPolls++
+		c.logf("slow poll: %v gap (threshold %v)", gap, c.cfg.PollingWarnCycle)
+	}
+	c.lastPoll = now
+	c.Stats.Polls++
+
+	scqes := c.sendCQ.Poll(128)
+	rcqes := c.recvCQ.Poll(128)
+	n := len(scqes) + len(rcqes)
+	if n == 0 {
+		return 0
+	}
+	c.Stats.Dispatched += int64(n)
+	t := now.Add(c.cfg.PollCost)
+	for _, cqe := range scqes {
+		cqe := cqe
+		t = t.Add(c.cfg.PerMsgCost)
+		c.eng.At(t, func() { c.dispatchSend(cqe) })
+	}
+	for _, cqe := range rcqes {
+		cqe := cqe
+		cost := c.cfg.PerMsgCost
+		if c.cfg.ReqRspMode {
+			cost += c.cfg.TraceCost
+		}
+		t = t.Add(cost)
+		c.eng.At(t, func() { c.dispatchRecv(cqe) })
+	}
+	c.busyUntil = t
+	return n
+}
+
+func (c *Context) dispatchSend(cqe rnic.CQE) {
+	if cb, ok := c.wrCBs[cqe.WRID]; ok {
+		delete(c.wrCBs, cqe.WRID)
+		cb(cqe)
+		return
+	}
+	// Completion for an unknown WR: a flushed duplicate after error
+	// handling already ran. Ignore.
+}
+
+func (c *Context) dispatchRecv(cqe rnic.CQE) {
+	ch, ok := c.channels[cqe.QPN]
+	if !ok {
+		// Channel already torn down; recycle the SRQ buffer if any.
+		if c.srq != nil {
+			if buf, ok := c.srqBufs[cqe.WRID]; ok {
+				delete(c.srqBufs, cqe.WRID)
+				c.Mem.Free(buf)
+				c.fillSRQ()
+			}
+		}
+		return
+	}
+	if cqe.Status != rnic.StatusOK {
+		ch.fail(fmt.Errorf("xrdma: recv completion error: %v", cqe.Status))
+		return
+	}
+	ch.handleInbound(cqe)
+}
+
+// InjectWork simulates the application occupying the thread for d —
+// used by jitter experiments to create slow-poll incidents.
+func (c *Context) InjectWork(d sim.Duration) {
+	now := c.eng.Now()
+	if c.busyUntil < now {
+		c.busyUntil = now
+	}
+	c.busyUntil = c.busyUntil.Add(d)
+}
+
+// --- timers -----------------------------------------------------------------
+
+func (c *Context) startTimers() {
+	c.armKeepaliveScan()
+	c.armDeadlockScan()
+	c.armHousekeeping()
+}
+
+func (c *Context) armKeepaliveScan() {
+	period := c.cfg.KeepaliveInterval / 2
+	if period <= 0 {
+		period = 5 * sim.Millisecond
+	}
+	c.eng.AfterBg(period, func() {
+		if !c.started {
+			return
+		}
+		c.keepaliveScan()
+		c.armKeepaliveScan()
+	})
+}
+
+func (c *Context) armDeadlockScan() {
+	c.eng.AfterBg(c.cfg.DeadlockScan, func() {
+		if !c.started {
+			return
+		}
+		for _, ch := range c.channels {
+			ch.deadlockCheck()
+		}
+		c.armDeadlockScan()
+	})
+}
+
+func (c *Context) armHousekeeping() {
+	period := c.cfg.StatsInterval
+	if period <= 0 {
+		period = 10 * sim.Millisecond
+	}
+	c.eng.AfterBg(period, func() {
+		if !c.started {
+			return
+		}
+		c.Mem.shrink()
+		c.timeoutScan()
+		if c.monitor != nil {
+			c.monitor.sample(c)
+		}
+		c.armHousekeeping()
+	})
+}
+
+func (c *Context) timeoutScan() {
+	if c.cfg.RequestTimeout <= 0 {
+		return
+	}
+	deadline := c.eng.Now().Add(-c.cfg.RequestTimeout)
+	for _, ch := range c.channels {
+		ch.expireRequests(deadline)
+	}
+}
+
+func (c *Context) keepaliveScan() {
+	if c.cfg.KeepaliveInterval <= 0 {
+		return
+	}
+	now := c.eng.Now()
+	for _, ch := range c.channels {
+		ch.keepaliveCheck(now)
+	}
+}
+
+// Close tears down the context: all channels close, timers stop.
+func (c *Context) Close() {
+	for _, ch := range c.Channels() {
+		ch.Close()
+	}
+	c.started = false
+}
+
+// --- SRQ support -------------------------------------------------------------
+
+// fillSRQ keeps the shared receive queue topped up (§VII-F). Buffers come
+// from the memory cache like per-channel receives.
+func (c *Context) fillSRQ() {
+	size := c.recvBufSize()
+	for c.srq.Len() < c.cfg.SRQSize {
+		buf, ok := c.Mem.AllocNow(size)
+		if !ok {
+			// Grow asynchronously, then continue filling.
+			c.Mem.Alloc(size, func(b Buffer, err error) {
+				if err != nil {
+					return
+				}
+				id := c.nextWRID()
+				c.srqBufs[id] = b
+				c.srq.Post(rnic.RecvWR{ID: id, Addr: b.Addr, Len: b.Len})
+				c.fillSRQ()
+			})
+			return
+		}
+		id := c.nextWRID()
+		c.srqBufs[id] = buf
+		if err := c.srq.Post(rnic.RecvWR{ID: id, Addr: buf.Addr, Len: buf.Len}); err != nil {
+			c.srqBufs[id] = Buffer{}
+			delete(c.srqBufs, id)
+			c.Mem.Free(buf)
+			return
+		}
+	}
+}
+
+func (c *Context) recvBufSize() int {
+	return hdrSize + traceExtSize + c.cfg.SmallMsgSize
+}
+
+// --- filter sync -------------------------------------------------------------
+
+// syncFilter installs/updates the NIC fault-injection hook from the
+// online filter flags (§VI-C "Emulate Fault").
+func (c *Context) syncFilter() {
+	if c.cfg.FilterDropRate <= 0 && c.cfg.FilterDelay <= 0 {
+		c.vctx.NIC.FaultHook = nil
+		return
+	}
+	drop := c.cfg.FilterDropRate
+	delay := c.cfg.FilterDelay
+	c.vctx.NIC.FaultHook = func(p *fabric.Packet) (bool, sim.Duration) {
+		if p.Class == fabric.ClassCtrl {
+			return false, 0 // keep hardware acks/CNPs intact
+		}
+		if drop > 0 && c.rng.Float64() < drop {
+			return true, 0
+		}
+		return false, delay
+	}
+}

@@ -1,0 +1,148 @@
+package xrdma
+
+import (
+	"xrdma/internal/rnic"
+)
+
+// flowCtl implements §V-C: the context limits outstanding RDMA work
+// requests to N, queueing the excess, and splits large one-sided
+// operations into moderate fixed-size fragments so a single huge WR cannot
+// monopolise the RNIC pipeline. Both mechanisms are pure software on top
+// of the verbs API — "without specific hardware or software constraints".
+type flowCtl struct {
+	ctx         *Context
+	limit       int
+	outstanding int
+	queue       []flowItem
+
+	// Counters.
+	Queued    int64 // WRs that had to wait for a slot
+	Fragments int64 // fragments produced by splitting
+	Posted    int64
+	PeakQueue int
+}
+
+type flowItem struct {
+	qp *rnic.QP
+	wr *rnic.SendWR
+	cb func(rnic.CQE)
+}
+
+func newFlowCtl(ctx *Context, limit int) *flowCtl {
+	return &flowCtl{ctx: ctx, limit: limit}
+}
+
+// post submits a WR under the outstanding limit; cb fires on completion.
+// The limit governs the bulk one-sided data plane (the fragmented READs of
+// the rendezvous path): §V-C's congestion problem is "large size requests
+// block the RNIC". Inline SENDs are already bounded by the per-channel
+// seq-ack window, so they bypass the queue — throttling them would only
+// add latency to the traffic flow control exists to protect.
+func (f *flowCtl) post(qp *rnic.QP, wr *rnic.SendWR, cb func(rnic.CQE)) {
+	if wr.Op == rnic.OpRead && f.outstanding >= f.limit {
+		f.Queued++
+		f.queue = append(f.queue, flowItem{qp: qp, wr: wr, cb: cb})
+		if len(f.queue) > f.PeakQueue {
+			f.PeakQueue = len(f.queue)
+		}
+		return
+	}
+	f.doPost(qp, wr, cb)
+}
+
+// postDirect bypasses the limiter — keepalive probes and acks are tiny
+// and must not sit behind queued bulk data.
+func (f *flowCtl) postDirect(qp *rnic.QP, wr *rnic.SendWR, cb func(rnic.CQE)) {
+	wr.ID = f.ctx.nextWRID()
+	if cb != nil {
+		f.ctx.wrCBs[wr.ID] = cb
+	}
+	if err := qp.PostSend(wr); err != nil {
+		delete(f.ctx.wrCBs, wr.ID)
+		if cb != nil {
+			cb(rnic.CQE{WRID: wr.ID, QPN: qp.QPN, Op: wr.Op, Status: rnic.StatusFlushed})
+		}
+	}
+}
+
+func (f *flowCtl) doPost(qp *rnic.QP, wr *rnic.SendWR, cb func(rnic.CQE)) {
+	wr.ID = f.ctx.nextWRID()
+	counted := wr.Op == rnic.OpRead
+	if counted {
+		f.outstanding++
+	}
+	f.Posted++
+	f.ctx.wrCBs[wr.ID] = func(cqe rnic.CQE) {
+		if counted {
+			f.outstanding--
+			f.pump()
+		}
+		if cb != nil {
+			cb(cqe)
+		}
+	}
+	if err := qp.PostSend(wr); err != nil {
+		// QP unusable (broken mid-flight): complete as flushed.
+		delete(f.ctx.wrCBs, wr.ID)
+		if counted {
+			f.outstanding--
+		}
+		if cb != nil {
+			cb(rnic.CQE{WRID: wr.ID, QPN: qp.QPN, Op: wr.Op, Status: rnic.StatusFlushed})
+		}
+		f.pump()
+	}
+}
+
+func (f *flowCtl) pump() {
+	for f.outstanding < f.limit && len(f.queue) > 0 {
+		it := f.queue[0]
+		f.queue = f.queue[1:]
+		f.doPost(it.qp, it.wr, it.cb)
+	}
+}
+
+// fetchRemote pulls size bytes from a peer's staged buffer into local
+// registered memory using fragmented RDMA READs — the "read replace
+// write" data path (§IV-C) with §V-C fragmentation. done fires once every
+// fragment has landed; a failed fragment reports its status.
+func (f *flowCtl) fetchRemote(qp *rnic.QP, raddr uint64, rkey uint32, local Buffer, size int, done func(rnic.Status)) {
+	frag := f.ctx.cfg.FragmentSize
+	if frag <= 0 || frag > size {
+		frag = size
+	}
+	n := (size + frag - 1) / frag
+	if n == 0 {
+		n = 1
+	}
+	if n > 1 {
+		f.Fragments += int64(n)
+	}
+	remaining := n
+	failed := rnic.StatusOK
+	for off := 0; off < size || (size == 0 && off == 0); off += frag {
+		seg := size - off
+		if seg > frag {
+			seg = frag
+		}
+		wr := &rnic.SendWR{
+			Op:    rnic.OpRead,
+			Len:   seg,
+			Local: local.Addr + uint64(off),
+			RAddr: raddr + uint64(off),
+			RKey:  rkey,
+		}
+		f.post(qp, wr, func(cqe rnic.CQE) {
+			if cqe.Status != rnic.StatusOK && failed == rnic.StatusOK {
+				failed = cqe.Status
+			}
+			remaining--
+			if remaining == 0 {
+				done(failed)
+			}
+		})
+		if size == 0 {
+			break
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package xrdma
+
+import (
+	"errors"
+	"fmt"
+
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+)
+
+// MemCache manages per-context RDMA-enabled memory as a pool of
+// identically sized MRs (4 MB by default, §IV-E — LITE showed thousands of
+// small MRs collapse, so regions are few and large). Allocation is
+// first-fit within a region; when capacity runs out the cache grows by
+// registering a new MR (paying the driver's registration latency); fully
+// free regions idle longer than MemShrinkIdle are reclaimed.
+//
+// With MemIsolation on (§VI-C), each allocation is framed by canary bytes
+// and placed in the high, stack-adjacent address range the registry
+// already uses, so out-of-bound writes are detectable via CheckIntegrity.
+type MemCache struct {
+	ctx    *Context
+	mrSize int
+	mode   rnic.RegMode
+
+	regions []*memRegion
+	growing bool
+	waiters []memWaiter
+
+	// Counters (Fig. 11c plots Occupy vs In-use against bandwidth).
+	InUseBytes     int64
+	Allocs, Frees  int64
+	Grows, Shrinks int64
+	Corruptions    int64
+}
+
+const canary = 0x5C
+const canaryLen = 8
+
+type memRegion struct {
+	mr       *rnic.MR
+	free     []span // sorted by offset, coalesced
+	inUse    int
+	lastUsed sim.Time
+}
+
+type span struct{ off, len int }
+
+type memWaiter struct {
+	size int
+	cb   func(Buffer, error)
+}
+
+// Buffer is an allocation from the cache: registered memory usable as an
+// RDMA target.
+type Buffer struct {
+	MR   *rnic.MR
+	Addr uint64
+	Len  int
+
+	region   *memRegion
+	off      int
+	totalLen int // including canaries
+}
+
+// Valid reports whether the buffer is a real allocation.
+func (b Buffer) Valid() bool { return b.MR != nil }
+
+// Bytes exposes the backing storage.
+func (b Buffer) Bytes() []byte { return b.MR.Slice(b.Addr, b.Len) }
+
+// ErrOutOfMemory is surfaced when growth itself fails (not used by the
+// default unbounded policy, but kept for bounded configurations).
+var ErrOutOfMemory = errors.New("xrdma: memory cache exhausted")
+
+func newMemCache(ctx *Context, mrSize int, mode rnic.RegMode) *MemCache {
+	return &MemCache{ctx: ctx, mrSize: mrSize, mode: mode}
+}
+
+// OccupiedBytes is the total registered capacity.
+func (m *MemCache) OccupiedBytes() int64 { return int64(len(m.regions)) * int64(m.mrSize) }
+
+// Regions reports the number of live MRs.
+func (m *MemCache) Regions() int { return len(m.regions) }
+
+// Alloc returns a buffer of the given size, growing the cache (and thus
+// completing asynchronously) when needed. size must fit one region.
+func (m *MemCache) Alloc(size int, cb func(Buffer, error)) {
+	pad := 0
+	if m.ctx.cfg.MemIsolation {
+		pad = 2 * canaryLen
+	}
+	if size+pad > m.mrSize {
+		cb(Buffer{}, fmt.Errorf("xrdma: allocation %d exceeds MR size %d", size, m.mrSize))
+		return
+	}
+	if b, ok := m.tryAlloc(size); ok {
+		cb(b, nil)
+		return
+	}
+	m.waiters = append(m.waiters, memWaiter{size: size, cb: cb})
+	m.grow()
+}
+
+// AllocNow is the non-blocking variant; ok=false when the cache would
+// have to grow.
+func (m *MemCache) AllocNow(size int) (Buffer, bool) {
+	return m.tryAlloc(size)
+}
+
+func (m *MemCache) tryAlloc(size int) (Buffer, bool) {
+	total := size
+	if m.ctx.cfg.MemIsolation {
+		total += 2 * canaryLen
+	}
+	for _, r := range m.regions {
+		for i, s := range r.free {
+			if s.len < total {
+				continue
+			}
+			off := s.off
+			if s.len == total {
+				r.free = append(r.free[:i], r.free[i+1:]...)
+			} else {
+				r.free[i] = span{off: s.off + total, len: s.len - total}
+			}
+			r.inUse += total
+			r.lastUsed = m.ctx.eng.Now()
+			m.InUseBytes += int64(total)
+			m.Allocs++
+			b := Buffer{MR: r.mr, region: r, off: off, totalLen: total}
+			if m.ctx.cfg.MemIsolation {
+				b.Addr = r.mr.Base + uint64(off) + canaryLen
+				b.Len = size
+				m.paintCanaries(b)
+			} else {
+				b.Addr = r.mr.Base + uint64(off)
+				b.Len = size
+			}
+			return b, true
+		}
+	}
+	return Buffer{}, false
+}
+
+// Free returns a buffer to the cache, checking canaries in isolation mode.
+func (m *MemCache) Free(b Buffer) {
+	if !b.Valid() {
+		return
+	}
+	if m.ctx.cfg.MemIsolation && !m.checkCanaries(b) {
+		m.Corruptions++
+		m.ctx.logf("memcache: out-of-bound write detected at %#x (+%d)", b.Addr, b.Len)
+	}
+	r := b.region
+	r.inUse -= b.totalLen
+	r.lastUsed = m.ctx.eng.Now()
+	m.InUseBytes -= int64(b.totalLen)
+	m.Frees++
+	m.insertFree(r, span{off: b.off, len: b.totalLen})
+	m.serveWaiters()
+}
+
+func (m *MemCache) insertFree(r *memRegion, s span) {
+	i := 0
+	for i < len(r.free) && r.free[i].off < s.off {
+		i++
+	}
+	r.free = append(r.free, span{})
+	copy(r.free[i+1:], r.free[i:])
+	r.free[i] = s
+	// Coalesce with neighbours.
+	if i+1 < len(r.free) && r.free[i].off+r.free[i].len == r.free[i+1].off {
+		r.free[i].len += r.free[i+1].len
+		r.free = append(r.free[:i+1], r.free[i+2:]...)
+	}
+	if i > 0 && r.free[i-1].off+r.free[i-1].len == r.free[i].off {
+		r.free[i-1].len += r.free[i].len
+		r.free = append(r.free[:i], r.free[i+1:]...)
+	}
+}
+
+func (m *MemCache) paintCanaries(b Buffer) {
+	buf := b.MR.Slice(b.MR.Base+uint64(b.off), b.totalLen)
+	for i := 0; i < canaryLen; i++ {
+		buf[i] = canary
+		buf[b.totalLen-1-i] = canary
+	}
+}
+
+func (m *MemCache) checkCanaries(b Buffer) bool {
+	buf := b.MR.Slice(b.MR.Base+uint64(b.off), b.totalLen)
+	for i := 0; i < canaryLen; i++ {
+		if buf[i] != canary || buf[b.totalLen-1-i] != canary {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckIntegrity verifies canaries of a live buffer (debug hook).
+func (m *MemCache) CheckIntegrity(b Buffer) bool {
+	if !m.ctx.cfg.MemIsolation {
+		return true
+	}
+	return m.checkCanaries(b)
+}
+
+// grow registers one more MR asynchronously; waiters are served when it
+// lands.
+func (m *MemCache) grow() {
+	if m.growing {
+		return
+	}
+	m.growing = true
+	m.Grows++
+	m.ctx.pd.RegMR(m.mrSize, m.mode, func(mr *rnic.MR) {
+		m.growing = false
+		m.regions = append(m.regions, &memRegion{
+			mr:       mr,
+			free:     []span{{off: 0, len: m.mrSize}},
+			lastUsed: m.ctx.eng.Now(),
+		})
+		m.serveWaiters()
+		if len(m.waiters) > 0 {
+			m.grow()
+		}
+	})
+}
+
+func (m *MemCache) serveWaiters() {
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		b, ok := m.tryAlloc(w.size)
+		if !ok {
+			return
+		}
+		m.waiters = m.waiters[1:]
+		w.cb(b, nil)
+	}
+}
+
+// shrink reclaims fully-free regions idle past the configured threshold
+// (called from the context's periodic timer). At least one region is kept
+// warm.
+func (m *MemCache) shrink() {
+	now := m.ctx.eng.Now()
+	kept := m.regions[:0]
+	freed := 0
+	for _, r := range m.regions {
+		remaining := len(m.regions) - freed
+		if r.inUse == 0 && now.Sub(r.lastUsed) > m.ctx.cfg.MemShrinkIdle && remaining > 1 {
+			m.ctx.pd.DeregMR(r.mr)
+			m.Shrinks++
+			freed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	m.regions = kept
+}

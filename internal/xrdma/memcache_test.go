@@ -1,0 +1,198 @@
+package xrdma
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xrdma/internal/sim"
+)
+
+func memWorld(t testing.TB, mutate func(*Config)) (*testWorld, *MemCache) {
+	t.Helper()
+	w := newWorld(t, 1, func(i int, cfg *Config) {
+		cfg.MRSize = 1 << 20
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+	return w, w.ctxs[0].Mem
+}
+
+func TestMemCacheGrowAndAlloc(t *testing.T) {
+	w, m := memWorld(t, nil)
+	var bufs []Buffer
+	for i := 0; i < 8; i++ {
+		m.Alloc(200<<10, func(b Buffer, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			bufs = append(bufs, b)
+		})
+	}
+	w.eng.Run()
+	if len(bufs) != 8 {
+		t.Fatalf("allocated %d/8", len(bufs))
+	}
+	if m.Regions() < 2 {
+		t.Fatalf("8×200KB in 1MB regions should grow ≥2, got %d", m.Regions())
+	}
+	if m.InUseBytes != 8*200<<10 {
+		t.Fatalf("in-use = %d", m.InUseBytes)
+	}
+	// No overlaps.
+	for i := range bufs {
+		for j := i + 1; j < len(bufs); j++ {
+			a, b := bufs[i], bufs[j]
+			if a.MR == b.MR && a.Addr < b.Addr+uint64(b.Len) && b.Addr < a.Addr+uint64(a.Len) {
+				t.Fatalf("overlapping allocations %d and %d", i, j)
+			}
+		}
+	}
+	for _, b := range bufs {
+		m.Free(b)
+	}
+	if m.InUseBytes != 0 {
+		t.Fatalf("in-use after free = %d", m.InUseBytes)
+	}
+}
+
+func TestMemCacheCoalescing(t *testing.T) {
+	w, m := memWorld(t, nil)
+	var bufs []Buffer
+	for i := 0; i < 4; i++ {
+		m.Alloc(256<<10, func(b Buffer, err error) { bufs = append(bufs, b) })
+	}
+	w.eng.Run()
+	if m.Regions() != 1 {
+		t.Fatalf("4×256KB should fit one 1MB region, got %d regions", m.Regions())
+	}
+	// Free all; a full-region alloc must then succeed without growth.
+	for _, b := range bufs {
+		m.Free(b)
+	}
+	got := false
+	m.Alloc(1<<20, func(b Buffer, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = true
+	})
+	w.eng.Run()
+	if !got {
+		t.Fatal("full-region alloc failed")
+	}
+	if m.Regions() != 1 {
+		t.Fatalf("coalescing failed: grew to %d regions", m.Regions())
+	}
+}
+
+func TestMemCacheOversizeRejected(t *testing.T) {
+	w, m := memWorld(t, nil)
+	var gotErr error
+	m.Alloc(2<<20, func(b Buffer, err error) { gotErr = err })
+	w.eng.Run()
+	if gotErr == nil {
+		t.Fatal("allocation above MR size must fail")
+	}
+}
+
+func TestMemCacheShrink(t *testing.T) {
+	w, m := memWorld(t, func(cfg *Config) { cfg.MemShrinkIdle = 5 * sim.Millisecond })
+	var bufs []Buffer
+	for i := 0; i < 6; i++ {
+		m.Alloc(512<<10, func(b Buffer, err error) { bufs = append(bufs, b) })
+	}
+	w.eng.Run()
+	grown := m.Regions()
+	if grown < 3 {
+		t.Fatalf("regions = %d", grown)
+	}
+	for _, b := range bufs {
+		m.Free(b)
+	}
+	w.eng.RunFor(200 * sim.Millisecond)
+	if m.Regions() >= grown {
+		t.Fatalf("idle regions not reclaimed: %d → %d", grown, m.Regions())
+	}
+	if m.Regions() < 1 {
+		t.Fatal("shrink must keep one warm region")
+	}
+	if m.Shrinks == 0 {
+		t.Fatal("shrink counter untouched")
+	}
+}
+
+// Property: any alloc/free interleaving keeps accounting consistent and
+// allocations disjoint.
+func TestMemCacheAllocatorProperty(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		w, m := memWorld(t, nil)
+		live := []Buffer{}
+		ok := true
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				idx := int(op/3) % len(live)
+				m.Free(live[idx])
+				live = append(live[:idx], live[idx+1:]...)
+			} else {
+				size := int(op%64)*1024 + 64
+				m.Alloc(size, func(b Buffer, err error) {
+					if err != nil {
+						ok = false
+						return
+					}
+					live = append(live, b)
+				})
+				w.eng.Run()
+			}
+		}
+		var want int64
+		for i, a := range live {
+			want += int64(a.Len)
+			for j := i + 1; j < len(live); j++ {
+				b := live[j]
+				if a.MR == b.MR && a.Addr < b.Addr+uint64(b.Len) && b.Addr < a.Addr+uint64(a.Len) {
+					return false
+				}
+			}
+		}
+		return ok && m.InUseBytes == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQPCachePutGet(t *testing.T) {
+	w := newWorld(t, 2, nil)
+	cli, _ := w.connect(t, 0, 1, 5100)
+	q := w.ctxs[0].QPs
+	if q.Len() != 0 {
+		t.Fatal("cache should start empty")
+	}
+	cli.Close()
+	w.eng.Run()
+	if q.Len() != 1 {
+		t.Fatalf("cache len = %d after close", q.Len())
+	}
+	h0, m0 := q.Hits, q.Misses
+	qp := q.Get()
+	if qp == nil {
+		t.Fatal("Get returned nil with cache populated")
+	}
+	if q.Get() != nil {
+		t.Fatal("cache should be empty now")
+	}
+	if q.Hits != h0+1 || q.Misses != m0+1 {
+		t.Fatalf("hits/misses delta = %d/%d", q.Hits-h0, q.Misses-m0)
+	}
+	// Returned QP must be reusable from RESET.
+	if qp.State.String() != "RESET" {
+		t.Fatalf("cached QP in state %v", qp.State)
+	}
+	q.Put(qp)
+	q.Put(nil) // no-op
+	if q.Len() != 1 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}

@@ -1,0 +1,304 @@
+package xrdma
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/sim"
+	"xrdma/internal/tcpnet"
+)
+
+// Mock (§VI-C): when the RDMA path collapses — heavy anomaly, protocol
+// stack failure, broken QP — a channel can temporarily switch to the TCP
+// network, keeping the application's message flow alive at degraded
+// performance. The side with the lower node ID dials the peer's mock
+// port; the other side waits for the inbound connection and matches it to
+// the broken channel by QPN.
+
+type mockState struct {
+	conn    *tcpnet.Conn
+	ready   bool
+	waiting bool
+	q       []mockQueued
+}
+
+type mockQueued struct {
+	kind  msgKind
+	data  []byte
+	size  int
+	msgID uint64
+}
+
+const mockHelloMagic = 0x584D // "XM"
+
+func mockHello(targetQPN uint32) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint16(b, mockHelloMagic)
+	binary.LittleEndian.PutUint32(b[2:], targetQPN)
+	return b
+}
+
+func parseMockHello(b []byte) (uint32, bool) {
+	if len(b) < 8 || binary.LittleEndian.Uint16(b) != mockHelloMagic {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(b[2:]), true
+}
+
+// listenMock accepts fallback connections for broken channels. A hello
+// can arrive before this side has noticed its own RDMA failure (the two
+// keepalive clocks are independent), so unmatched connections are parked
+// briefly instead of rejected.
+func (c *Context) listenMock() {
+	c.tcp.Listen(c.mockPort, func(conn *tcpnet.Conn) {
+		conn.OnMessage = func(m tcpnet.Message) {
+			qpn, ok := parseMockHello(m.Data)
+			if !ok {
+				conn.Close()
+				return
+			}
+			// Find the waiting channel that owned this QPN.
+			for _, ch := range c.mockWaiters {
+				if ch.mockQPN == qpn {
+					ch.attachMock(conn)
+					return
+				}
+			}
+			// The peer switched but this side's channel is still live
+			// (failure detection is not synchronized): adopt the switch.
+			if ch, live := c.channels[qpn]; live && c.cfg.MockEnabled {
+				ch.enterMockMode(fmt.Errorf("peer-initiated mock switch"))
+				ch.attachMock(conn)
+				return
+			}
+			c.parkMockConn(qpn, conn)
+		}
+	})
+}
+
+type parkedMock struct {
+	qpn  uint32
+	conn *tcpnet.Conn
+}
+
+func (c *Context) parkMockConn(qpn uint32, conn *tcpnet.Conn) {
+	c.mockParked = append(c.mockParked, parkedMock{qpn: qpn, conn: conn})
+	grace := c.mockGrace()
+	c.eng.AfterBg(grace, func() {
+		for i, p := range c.mockParked {
+			if p.conn == conn {
+				c.mockParked = append(c.mockParked[:i], c.mockParked[i+1:]...)
+				conn.Close()
+				return
+			}
+		}
+	})
+}
+
+// claimParkedMock is called when a channel enters mock-waiting state: an
+// early-arriving peer connection may already be parked.
+func (c *Context) claimParkedMock(qpn uint32) *tcpnet.Conn {
+	for i, p := range c.mockParked {
+		if p.qpn == qpn {
+			c.mockParked = append(c.mockParked[:i], c.mockParked[i+1:]...)
+			return p.conn
+		}
+	}
+	return nil
+}
+
+// enterMockMode releases a channel's RDMA resources and migrates its
+// unsent queue to the (not yet connected) mock transport.
+func (ch *Channel) enterMockMode(cause error) {
+	c := ch.ctx
+	c.Stats.MockSwitches++
+	c.logf("channel qpn=%d peer=%d switching to TCP mock (%v)", ch.qp.QPN, ch.Peer, cause)
+
+	ch.mock = &mockState{}
+	ch.mockQPN = ch.qp.QPN
+
+	// Unsent queue migrates to the mock transport.
+	for _, ps := range ch.sendQ {
+		kind := ps.kind
+		ch.mock.q = append(ch.mock.q, mockQueued{kind: kind, data: ps.data, size: ps.size, msgID: ps.msgID})
+		if ps.staged.Valid() {
+			c.Mem.Free(ps.staged)
+		}
+	}
+	ch.sendQ = nil
+
+	// Release RDMA resources: the QP recycles through the cache, the
+	// receive buffers return to the memory cache.
+	delete(c.channels, ch.qp.QPN)
+	for id, buf := range ch.recvBufs {
+		delete(ch.recvBufs, id)
+		c.Mem.Free(buf)
+	}
+	c.QPs.Put(ch.qp)
+}
+
+// switchToMock degrades a failing channel onto TCP instead of killing it.
+func (ch *Channel) switchToMock(cause error) {
+	c := ch.ctx
+	remoteQPN := ch.qp.RemoteQPN
+	ch.enterMockMode(cause)
+
+	if c.Node() < ch.Peer {
+		// Dialer side.
+		c.tcp.Dial(ch.Peer, c.peerMockPort(ch.Peer), func(conn *tcpnet.Conn, err error) {
+			if err != nil || ch.closed {
+				ch.teardown(fmt.Errorf("xrdma: mock dial failed: %v (after %v)", err, cause))
+				return
+			}
+			conn.Send(mockHello(remoteQPN), 0, nil)
+			ch.attachMock(conn)
+		})
+	} else {
+		if conn := c.claimParkedMock(ch.mockQPN); conn != nil {
+			ch.attachMock(conn)
+			return
+		}
+		ch.mock.waiting = true
+		c.mockWaiters = append(c.mockWaiters, ch)
+		// Give the dialer a bounded window; a vanished peer must not
+		// leak a parked channel. Failure detection on the two sides can
+		// differ by a full RC retry horizon, so the window must cover
+		// at least two of them.
+		wait := c.mockGrace()
+		c.eng.AfterBg(wait, func() {
+			if !ch.closed && ch.mock != nil && ch.mock.waiting {
+				ch.teardown(fmt.Errorf("xrdma: mock fallback never connected (after %v)", cause))
+			}
+		})
+	}
+}
+
+// mockGrace bounds how long one side waits for the other to notice the
+// failure: two RC retry horizons, or the keepalive timeout if larger.
+func (c *Context) mockGrace() sim.Duration {
+	nic := &c.vctx.NIC.Cfg
+	g := 2 * sim.Duration(nic.RetryLimit+2) * nic.RetransTimeout
+	if 2*c.cfg.KeepaliveTimeout > g {
+		g = 2 * c.cfg.KeepaliveTimeout
+	}
+	return g
+}
+
+// peerMockPort assumes a fleet-wide mock port convention (same port
+// everywhere), which is how production config rolls out.
+func (c *Context) peerMockPort(_ fabric.NodeID) int { return c.mockPort }
+
+func (ch *Channel) attachMock(conn *tcpnet.Conn) {
+	c := ch.ctx
+	if ch.mock == nil {
+		ch.mock = &mockState{}
+	}
+	// Remove from waiters if present.
+	for i, w := range c.mockWaiters {
+		if w == ch {
+			c.mockWaiters = append(c.mockWaiters[:i], c.mockWaiters[i+1:]...)
+			break
+		}
+	}
+	ch.mock.conn = conn
+	ch.mock.ready = true
+	ch.mock.waiting = false
+	conn.OnMessage = func(m tcpnet.Message) { ch.mockInbound(m) }
+	conn.OnClose = func(err error) {
+		if !ch.closed {
+			ch.teardown(fmt.Errorf("xrdma: mock transport closed: %v", err))
+		}
+	}
+	// Flush queued messages.
+	q := ch.mock.q
+	ch.mock.q = nil
+	for _, it := range q {
+		ch.mockTransmit(it)
+	}
+}
+
+// mockSend routes a message over the TCP fallback.
+func (ch *Channel) mockSend(kind msgKind, data []byte, size int, msgID uint64) error {
+	it := mockQueued{kind: kind, data: data, size: size, msgID: msgID}
+	if !ch.mock.ready {
+		ch.mock.q = append(ch.mock.q, it)
+		return nil
+	}
+	ch.mockTransmit(it)
+	return nil
+}
+
+func (ch *Channel) mockTransmit(it mockQueued) {
+	h := wireHdr{Kind: it.kind, MsgID: it.msgID, Size: uint32(it.size)}
+	hb := h.wireBytes()
+	var buf []byte
+	wireLen := hb + it.size
+	if it.data != nil {
+		buf = make([]byte, hb+len(it.data))
+		h.encode(buf)
+		copy(buf[hb:], it.data)
+	} else {
+		buf = make([]byte, hb)
+		h.encode(buf)
+	}
+	ch.Counters.MsgsSent++
+	ch.Counters.BytesSent += int64(it.size)
+	ch.mock.conn.Send(buf, wireLen, nil)
+}
+
+func (ch *Channel) mockInbound(m tcpnet.Message) {
+	h, hdrLen, err := decodeHdr(m.Data)
+	if err != nil {
+		return
+	}
+	size := int(h.Size)
+	var pay []byte
+	if size > 0 && m.Data != nil && len(m.Data) >= hdrLen+size {
+		pay = m.Data[hdrLen : hdrLen+size]
+	}
+	msg := &Msg{
+		Ch: ch, Data: pay, Len: size, IsReq: h.Kind == kindReq,
+		MsgID: h.MsgID, RecvAt: ch.ctx.eng.Now(),
+	}
+	ch.Counters.MsgsRecv++
+	ch.Counters.BytesRecv += int64(size)
+	if msg.IsReq {
+		if ch.onMessage != nil {
+			ch.onMessage(msg)
+		}
+		return
+	}
+	if rs, ok := ch.pending[h.MsgID]; ok {
+		delete(ch.pending, h.MsgID)
+		ch.Counters.RespsRecv++
+		if rs.cb != nil {
+			rs.cb(msg, nil)
+		}
+	}
+}
+
+// Mocked reports whether the channel is running over the TCP fallback.
+func (ch *Channel) Mocked() bool { return ch.mock != nil }
+
+// ForceMock switches a healthy channel to TCP (the manual tuning-system
+// toggle). Requires MockEnabled and a TCP stack.
+func (ch *Channel) ForceMock() error {
+	if ch.ctx.tcp == nil || ch.ctx.mockPort == 0 {
+		return fmt.Errorf("xrdma: mock plane not configured")
+	}
+	if ch.mock != nil || ch.closed {
+		return nil
+	}
+	ch.switchToMock(fmt.Errorf("manual switch"))
+	return nil
+}
+
+func (ch *Channel) closeMock() {
+	if ch.mock != nil && ch.mock.conn != nil {
+		conn := ch.mock.conn
+		ch.mock.conn = nil
+		conn.OnClose = nil
+		conn.Close()
+	}
+}

@@ -1,0 +1,166 @@
+package xrdma
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/sim"
+)
+
+// Monitor is the centralized monitoring plane of §VI-B: contexts register
+// and periodically push samples; XR-Stat, XR-Ping's connection matrix and
+// the per-machine dashboards read from here.
+type Monitor struct {
+	contexts map[fabric.NodeID]*Context
+
+	// Samples per node, appended on every context housekeeping tick.
+	Samples map[fabric.NodeID][]Sample
+	// cap per node to bound memory in long runs.
+	MaxSamples int
+}
+
+// Sample is one periodic observation of a node.
+type Sample struct {
+	At          sim.Time
+	Channels    int
+	QPs         int
+	MemOccupied int64
+	MemInUse    int64
+	MsgsSent    int64
+	MsgsRecv    int64
+	BytesSent   int64
+	BytesRecv   int64
+	RNRRecv     int64
+	Retransmits int64
+	CNPRecv     int64
+	SlowPolls   int64
+}
+
+// NewMonitor creates an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{
+		contexts:   make(map[fabric.NodeID]*Context),
+		Samples:    make(map[fabric.NodeID][]Sample),
+		MaxSamples: 100000,
+	}
+}
+
+func (m *Monitor) register(c *Context) { m.contexts[c.Node()] = c }
+
+// Context returns a registered context by node.
+func (m *Monitor) Context(id fabric.NodeID) *Context { return m.contexts[id] }
+
+// Nodes lists registered nodes in order.
+func (m *Monitor) Nodes() []fabric.NodeID {
+	out := make([]fabric.NodeID, 0, len(m.contexts))
+	for id := range m.contexts {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (m *Monitor) sample(c *Context) {
+	var s Sample
+	s.At = c.eng.Now()
+	s.Channels = len(c.channels)
+	s.QPs = c.vctx.NIC.NumQPs()
+	s.MemOccupied = c.Mem.OccupiedBytes()
+	s.MemInUse = c.Mem.InUseBytes
+	nc := c.vctx.NIC.Counters
+	s.MsgsSent, s.MsgsRecv = nc.MsgsSent, nc.MsgsRecv
+	s.BytesSent, s.BytesRecv = nc.BytesSent, nc.BytesRecv
+	s.RNRRecv = nc.RNRNakRecv
+	s.Retransmits = nc.Retransmits
+	s.CNPRecv = nc.CNPRecv
+	s.SlowPolls = c.Stats.SlowPolls
+	node := c.Node()
+	m.Samples[node] = append(m.Samples[node], s)
+	if len(m.Samples[node]) > m.MaxSamples {
+		m.Samples[node] = m.Samples[node][1:]
+	}
+}
+
+// --- XR-Stat (§VI-B) ----------------------------------------------------------
+
+// XRStat renders the netstat-like per-connection table for one node.
+func XRStat(c *Context) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "node %d: %d channels, mem occupy=%d in-use=%d, qp-cache=%d\n",
+		c.Node(), c.NumChannels(), c.Mem.OccupiedBytes(), c.Mem.InUseBytes, c.QPs.Len())
+	fmt.Fprintf(&b, "%-6s %-6s %-9s %-9s %-10s %-10s %-7s %-6s %-6s\n",
+		"QPN", "PEER", "SENT", "RECV", "TXBYTES", "RXBYTES", "STALLS", "RNR", "RETX")
+	chs := c.Channels()
+	sort.Slice(chs, func(i, j int) bool { return chs[i].QPN() < chs[j].QPN() })
+	for _, ch := range chs {
+		qc := ch.QPCounters()
+		fmt.Fprintf(&b, "%-6d %-6d %-9d %-9d %-10d %-10d %-7d %-6d %-6d\n",
+			ch.QPN(), ch.Peer, ch.Counters.MsgsSent, ch.Counters.MsgsRecv,
+			ch.Counters.BytesSent, ch.Counters.BytesRecv,
+			ch.Counters.WindowStalls, qc.RNRNakRecv, qc.Retransmits)
+	}
+	return b.String()
+}
+
+// --- XR-Ping connection matrix (§VI-B) -----------------------------------------
+
+// PingMatrix pings every registered pair that shares a channel and returns
+// RTTs in a matrix keyed by [src][dst]; entries without a channel are
+// absent. done fires when all outstanding pings resolve.
+func (m *Monitor) PingMatrix(done func(map[fabric.NodeID]map[fabric.NodeID]sim.Duration)) {
+	result := make(map[fabric.NodeID]map[fabric.NodeID]sim.Duration)
+	outstanding := 0
+	finished := false
+	check := func() {
+		if outstanding == 0 && finished {
+			done(result)
+		}
+	}
+	for id, c := range m.contexts {
+		seen := make(map[fabric.NodeID]bool)
+		for _, ch := range c.Channels() {
+			if seen[ch.Peer] || ch.Closed() {
+				continue
+			}
+			seen[ch.Peer] = true
+			src, dst := id, ch.Peer
+			outstanding++
+			ch.Ping(func(rtt, _ sim.Duration, err error) {
+				outstanding--
+				if err == nil {
+					if result[src] == nil {
+						result[src] = make(map[fabric.NodeID]sim.Duration)
+					}
+					result[src][dst] = rtt
+				}
+				check()
+			})
+		}
+	}
+	finished = true
+	check()
+}
+
+// RenderMatrix prints a ping matrix with microsecond entries.
+func RenderMatrix(mx map[fabric.NodeID]map[fabric.NodeID]sim.Duration, nodes []fabric.NodeID) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s", "")
+	for _, d := range nodes {
+		fmt.Fprintf(&b, "%8d", d)
+	}
+	b.WriteByte('\n')
+	for _, s := range nodes {
+		fmt.Fprintf(&b, "%6d", s)
+		for _, d := range nodes {
+			if rtt, ok := mx[s][d]; ok {
+				fmt.Fprintf(&b, "%7.1fu", rtt.Micros())
+			} else {
+				fmt.Fprintf(&b, "%8s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

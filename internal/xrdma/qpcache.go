@@ -1,0 +1,55 @@
+package xrdma
+
+import "xrdma/internal/rnic"
+
+// QPCache recycles reset queue pairs so connection establishment skips the
+// expensive CreateQP hardware command (§IV-E: establishment drops from
+// 3946 µs to 2451 µs, a 38% saving in the paper's measurement). QPs enter
+// the cache when channels close or break; Connect pops one when available.
+type QPCache struct {
+	ctx  *Context
+	free []*rnic.QP
+	cap  int
+
+	Hits, Misses int64
+	Recycled     int64
+}
+
+func newQPCache(ctx *Context, capacity int) *QPCache {
+	return &QPCache{ctx: ctx, cap: capacity}
+}
+
+// Len reports cached QPs.
+func (q *QPCache) Len() int { return len(q.free) }
+
+// Get pops a recycled QP, or nil (miss → caller creates).
+func (q *QPCache) Get() *rnic.QP {
+	if len(q.free) == 0 {
+		q.Misses++
+		return nil
+	}
+	qp := q.free[len(q.free)-1]
+	q.free = q.free[:len(q.free)-1]
+	q.Hits++
+	return qp
+}
+
+// Put resets a QP and shelves it. QPs in any state are accepted: the
+// reset (IBV_QPS_RESET, §IV-E) clears error state and makes them
+// reusable. Beyond capacity the QP is destroyed instead.
+func (q *QPCache) Put(qp *rnic.QP) {
+	if qp == nil {
+		return
+	}
+	nic := q.ctx.vctx.NIC
+	if len(q.free) >= q.cap {
+		nic.DestroyQP(qp)
+		return
+	}
+	if err := nic.ModifyQPNow(qp, rnic.QPReset, 0, 0); err != nil {
+		nic.DestroyQP(qp)
+		return
+	}
+	q.Recycled++
+	q.free = append(q.free, qp)
+}

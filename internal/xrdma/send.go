@@ -1,0 +1,406 @@
+package xrdma
+
+import (
+	"errors"
+	"fmt"
+
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+)
+
+// ErrAlreadyReplied guards double replies.
+var ErrAlreadyReplied = errors.New("xrdma: message already replied")
+
+// SendMsg sends a request (xrdma_send_msg). data may be nil for size-only
+// simulation, in which case size gives the payload length. cb, when
+// non-nil, receives the response (request-response is X-RDMA's native mode,
+// §IV-C); a nil cb makes the message one-way.
+//
+// Small payloads (≤ SmallMsgSize) travel inline over SEND; larger ones are
+// staged in the memory cache and announced, and the receiver pulls them
+// with fragmented RDMA READ.
+func (ch *Channel) SendMsg(data []byte, size int, cb func(*Msg, error)) error {
+	if ch.closed {
+		return ErrChannelClosed
+	}
+	if data != nil {
+		size = len(data)
+	}
+	msgID := ch.ctx.nextMsgID()
+	if cb != nil {
+		ch.pending[msgID] = &reqState{cb: cb, sentAt: ch.ctx.eng.Now()}
+		ch.Counters.ReqsSent++
+	}
+	if ch.mock != nil {
+		return ch.mockSend(kindReq, data, size, msgID)
+	}
+	ps := &pendingSend{kind: kindReq, data: data, size: size, msgID: msgID}
+	if cb == nil {
+		ps.oneWay = true
+	}
+	ch.enqueue(ps)
+	return nil
+}
+
+// Reply answers a request (responses ride the same window; large ones use
+// read-replace-write: the responder stages the payload and the requester
+// pulls it with RDMA READ, §IV-C).
+func (m *Msg) Reply(data []byte, size int) error {
+	if !m.IsReq {
+		return fmt.Errorf("xrdma: Reply on a non-request message")
+	}
+	if m.replied {
+		return ErrAlreadyReplied
+	}
+	m.replied = true
+	ch := m.Ch
+	if ch.closed {
+		return ErrChannelClosed
+	}
+	if data != nil {
+		size = len(data)
+	}
+	if ch.mock != nil {
+		return ch.mockSend(kindResp, data, size, m.MsgID)
+	}
+	ch.enqueue(&pendingSend{kind: kindResp, data: data, size: size, msgID: m.MsgID})
+	return nil
+}
+
+func (ch *Channel) enqueue(ps *pendingSend) {
+	ch.sendQ = append(ch.sendQ, ps)
+	if len(ch.sendQ) > ch.Counters.SendQueuePeak {
+		ch.Counters.SendQueuePeak = len(ch.sendQ)
+	}
+	ch.pump()
+}
+
+// pump drains the send queue head-of-line in order: window slots gate
+// everything; rendezvous messages additionally wait for their staging
+// buffer. Strict FIFO keeps wire sequence numbers in submission order.
+func (ch *Channel) pump() {
+	c := ch.ctx
+	for len(ch.sendQ) > 0 && !ch.closed {
+		ps := ch.sendQ[0]
+		if !ch.tx.canSend() {
+			if !ch.stallFlag {
+				ch.stallFlag = true
+				ch.Counters.WindowStalls++
+				ch.tx.Stalls++
+			}
+			return
+		}
+		large := ps.size > c.cfg.SmallMsgSize
+		if large && !ps.ready {
+			if !ps.staging {
+				ps.staging = true
+				c.Mem.Alloc(ps.size, func(buf Buffer, err error) {
+					if ch.closed {
+						if err == nil {
+							c.Mem.Free(buf)
+						}
+						return
+					}
+					if err != nil {
+						ch.ctx.logf("stage alloc failed: %v", err)
+						ch.sendQ = ch.sendQ[1:]
+						ch.pump()
+						return
+					}
+					if ps.data != nil {
+						copy(buf.Bytes(), ps.data)
+					}
+					ps.staged = buf
+					ps.ready = true
+					ps.staging = false
+					ch.pump()
+				})
+			}
+			return
+		}
+		ch.stallFlag = false
+		ch.sendQ = ch.sendQ[1:]
+		ch.transmit(ps, large)
+	}
+}
+
+func (ch *Channel) transmit(ps *pendingSend, large bool) {
+	c := ch.ctx
+	kind := ps.kind
+	var onAcked func()
+	if large {
+		if kind == kindReq {
+			kind = kindLargeReq
+		} else {
+			kind = kindLargeResp
+		}
+		staged := ps.staged
+		onAcked = func() { c.Mem.Free(staged) }
+		ch.Counters.LargeSent++
+	}
+	seq := ch.tx.next(onAcked)
+	h := wireHdr{
+		Kind: kind, Seq: seq, Ack: ch.rx.ackValue(),
+		MsgID: ps.msgID, Size: uint32(ps.size),
+	}
+	if ps.oneWay {
+		h.Flags |= flagOneWay
+	}
+	if large {
+		h.Addr = ps.staged.Addr
+		h.RKey = ps.staged.MR.RKey
+	}
+	if c.cfg.ReqRspMode && (c.cfg.TraceSampleMask == 0 || ps.msgID&c.cfg.TraceSampleMask == 0) {
+		h.Flags |= flagTraced
+		h.T1 = int64(c.LocalClock())
+	}
+	hb := h.wireBytes()
+	wireLen := hb
+	if !large {
+		wireLen += ps.size
+	}
+	var buf []byte
+	if !large && ps.data != nil {
+		buf = make([]byte, hb+len(ps.data))
+		h.encode(buf)
+		copy(buf[hb:], ps.data)
+	} else {
+		buf = make([]byte, hb)
+		h.encode(buf)
+	}
+	ch.noteAckCarried()
+	wr := &rnic.SendWR{Op: rnic.OpSend, Len: wireLen, Data: buf}
+	c.flow.post(ch.qp, wr, func(cqe rnic.CQE) {
+		if cqe.Status != rnic.StatusOK && !ch.closed {
+			ch.fail(fmt.Errorf("xrdma: send failed: %v", cqe.Status))
+		}
+	})
+	ch.Counters.MsgsSent++
+	ch.Counters.BytesSent += int64(ps.size)
+	ch.lastComm = c.eng.Now()
+	if h.Flags&flagTraced != 0 {
+		c.trace.onSend(ch, &h)
+	}
+}
+
+// sendCtrl emits a window-exempt control message (ack/NOP/ping/pong).
+func (ch *Channel) sendCtrl(kind msgKind) {
+	ch.sendCtrlHdr(&wireHdr{Kind: kind, Ack: ch.rx.ackValue()})
+}
+
+func (ch *Channel) sendCtrlHdr(h *wireHdr) {
+	if ch.closed {
+		return
+	}
+	h.Ack = ch.rx.ackValue()
+	buf := make([]byte, h.wireBytes())
+	h.encode(buf)
+	wr := &rnic.SendWR{Op: rnic.OpSend, Len: len(buf), Data: buf}
+	ch.ctx.flow.postDirect(ch.qp, wr, func(cqe rnic.CQE) {
+		if cqe.Status != rnic.StatusOK && !ch.closed {
+			ch.fail(fmt.Errorf("xrdma: ctrl send failed: %v", cqe.Status))
+		}
+	})
+	if h.Kind == kindAck {
+		ch.Counters.AcksSent++
+		ch.ctx.Stats.AcksSent++
+	}
+	ch.noteAckCarried()
+	ch.lastComm = ch.ctx.eng.Now()
+}
+
+// noteAckCarried records that the current RTA went out with some message.
+func (ch *Channel) noteAckCarried() {
+	ch.lastAckVal = ch.rx.ackValue()
+	ch.recvSinceAck = 0
+	if ch.ackEv != nil {
+		ch.ctx.eng.Cancel(ch.ackEv)
+		ch.ackEv = nil
+	}
+}
+
+// maybeAck emits a standalone ack after AckEvery deliveries, or arms the
+// delayed-ack timer (§V-B: "after receiving N messages successfully but
+// without any ACK, a standalone ACK message will be triggered").
+func (ch *Channel) maybeAck() {
+	if ch.closed || ch.rx.ackValue() == ch.lastAckVal {
+		return
+	}
+	if ch.recvSinceAck >= ch.ctx.cfg.AckEvery {
+		ch.sendCtrl(kindAck)
+		return
+	}
+	if ch.ackEv == nil || !ch.ackEv.Pending() {
+		ch.ackEv = ch.ctx.eng.After(ch.ctx.cfg.AckDelay, func() {
+			if !ch.closed && ch.rx.ackValue() > ch.lastAckVal {
+				ch.sendCtrl(kindAck)
+			}
+		})
+	}
+}
+
+// --- inbound ----------------------------------------------------------------
+
+func (ch *Channel) handleInbound(cqe rnic.CQE) {
+	c := ch.ctx
+	ch.lastComm = c.eng.Now()
+	h, hdrLen, err := decodeHdr(cqe.Data)
+	ch.repostRecv(cqe.WRID)
+	if err != nil {
+		c.logf("inbound decode error from peer %d: %v", ch.Peer, err)
+		return
+	}
+	// Piggybacked cumulative ack (Algorithm 1 sender RECV_MESSAGE).
+	if h.Ack > ch.tx.acked {
+		ch.tx.ack(h.Ack)
+		ch.lastProgress = c.eng.Now()
+		ch.nopInFlight = false
+		ch.pump()
+	}
+
+	switch h.Kind {
+	case kindAck:
+		ch.nopInFlight = false
+	case kindNop:
+		// Deadlock breaker: answer with an immediate ack.
+		ch.sendCtrl(kindAck)
+	case kindPing:
+		ch.Counters.Pings++
+		// The pong carries this node's clock (trace extension) so the
+		// pinger can estimate the offset, NTP-style.
+		pong := &wireHdr{Kind: kindPong, MsgID: h.MsgID, Flags: flagTraced, T1: int64(c.LocalClock())}
+		ch.sendCtrlHdr(pong)
+	case kindPong:
+		ch.resolvePing(&h)
+	case kindReq, kindResp:
+		size := int(h.Size)
+		var pay []byte
+		if size > 0 && len(cqe.Data) >= hdrLen+size {
+			pay = cqe.Data[hdrLen : hdrLen+size]
+		}
+		msg := &Msg{
+			Ch: ch, Data: pay, Len: size, IsReq: h.Kind == kindReq,
+			MsgID: h.MsgID, Seq: h.Seq, RecvAt: c.eng.Now(),
+			T1: sim.Time(h.T1), Traced: h.Flags&flagTraced != 0,
+		}
+		ch.rx.receive(h.Seq, true)
+		ch.deliver(msg)
+	case kindLargeReq, kindLargeResp:
+		size := int(h.Size)
+		msg := &Msg{
+			Ch: ch, Len: size, IsReq: h.Kind == kindLargeReq,
+			MsgID: h.MsgID, Seq: h.Seq,
+			T1: sim.Time(h.T1), Traced: h.Flags&flagTraced != 0,
+		}
+		ch.rx.receive(h.Seq, false)
+		seqNo := h.Seq
+		raddr, rkey := h.Addr, h.RKey
+		c.Mem.Alloc(size, func(buf Buffer, err error) {
+			if ch.closed {
+				if err == nil {
+					c.Mem.Free(buf)
+				}
+				return
+			}
+			if err != nil {
+				ch.fail(fmt.Errorf("xrdma: rendezvous alloc: %w", err))
+				return
+			}
+			c.flow.fetchRemote(ch.qp, raddr, rkey, buf, size, func(st rnic.Status) {
+				if ch.closed {
+					c.Mem.Free(buf)
+					return
+				}
+				if st != rnic.StatusOK {
+					c.Mem.Free(buf)
+					ch.fail(fmt.Errorf("xrdma: rendezvous read failed: %v", st))
+					return
+				}
+				msg.Data = buf.Bytes()
+				msg.RecvAt = c.eng.Now()
+				msg.release = func() { c.Mem.Free(buf) }
+				ch.Counters.LargeRecv++
+				ch.rx.markRecved(seqNo)
+				ch.deliver(msg)
+			})
+		})
+	default:
+		c.logf("unknown message kind %d from peer %d", h.Kind, ch.Peer)
+	}
+}
+
+// deliver hands a completed inbound message to the application (inline
+// messages at arrival — in order among themselves — and rendezvous
+// messages when their pull finishes) and advances the ack machinery.
+func (ch *Channel) deliver(msg *Msg) {
+	c := ch.ctx
+	ch.Counters.MsgsRecv++
+	ch.Counters.BytesRecv += int64(msg.Len)
+	if msg.Traced {
+		c.trace.onRecv(ch, msg)
+	}
+	if msg.IsReq {
+		if ch.onMessage != nil {
+			ch.onMessage(msg)
+		}
+	} else {
+		rs, ok := ch.pending[msg.MsgID]
+		if ok {
+			delete(ch.pending, msg.MsgID)
+			ch.Counters.RespsRecv++
+			if rs.traced || msg.Traced {
+				c.trace.onResponse(ch, msg, rs.sentAt)
+			}
+			if rs.cb != nil {
+				rs.cb(msg, nil)
+			}
+		}
+	}
+	if msg.release != nil {
+		msg.release()
+		msg.release = nil
+		msg.Data = nil
+	}
+	ch.recvSinceAck++
+	ch.maybeAck()
+}
+
+// --- middleware-level ping (XR-Ping, §VI-B) -----------------------------------
+
+type pingState struct {
+	sentAt    sim.Time
+	sentClock sim.Time
+	cb        func(rtt sim.Duration, off sim.Duration, err error)
+}
+
+// Ping measures middleware-to-middleware RTT on this channel and estimates
+// the clock offset to the peer (the clock-sync service of §VI-A).
+func (ch *Channel) Ping(cb func(rtt sim.Duration, offset sim.Duration, err error)) {
+	if ch.closed {
+		cb(0, 0, ErrChannelClosed)
+		return
+	}
+	id := ch.ctx.nextMsgID()
+	if ch.pings == nil {
+		ch.pings = make(map[uint64]*pingState)
+	}
+	ch.pings[id] = &pingState{sentAt: ch.ctx.eng.Now(), sentClock: ch.ctx.LocalClock(), cb: cb}
+	ch.sendCtrlHdr(&wireHdr{Kind: kindPing, MsgID: id})
+}
+
+func (ch *Channel) resolvePing(h *wireHdr) {
+	st, ok := ch.pings[h.MsgID]
+	if !ok {
+		return
+	}
+	delete(ch.pings, h.MsgID)
+	now := ch.ctx.eng.Now()
+	rtt := now.Sub(st.sentAt)
+	// NTP-style offset: peer stamped its clock (h.T1) at the midpoint.
+	t3 := ch.ctx.LocalClock()
+	offset := sim.Duration(sim.Time(h.T1) - (st.sentClock+t3)/2)
+	ch.ctx.toff[ch.Peer] = offset
+	if st.cb != nil {
+		st.cb(rtt, offset, nil)
+	}
+}

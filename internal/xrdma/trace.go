@@ -1,0 +1,128 @@
+package xrdma
+
+import (
+	"fmt"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/sim"
+)
+
+// Tracer implements §VI-A: in req-rsp mode each traced message carries the
+// sender's clock; the receiver, knowing the estimated clock offset from
+// the sync service, decomposes request latency into network time and the
+// rest. Records live in a bounded ring consumed by XR-Stat / the monitor.
+type Tracer struct {
+	ctx  *Context
+	ring []TraceRecord
+	max  int
+
+	// Slow-operation incidents (threshold = Config.SlowThreshold).
+	SlowOps int64
+}
+
+// TraceRecord is one measured message (xrdma_trace_req's raw material).
+type TraceRecord struct {
+	Peer  fabric.NodeID
+	MsgID uint64
+	Kind  string
+	// One-way estimate: receiverClock − T1 − offset (valid when a clock
+	// offset for the peer is known; otherwise raw and skew-polluted).
+	OneWay sim.Duration
+	// RTT for completed request/response pairs (0 otherwise).
+	RTT sim.Duration
+	At  sim.Time
+}
+
+func newTracer(ctx *Context) *Tracer {
+	return &Tracer{ctx: ctx, max: 4096}
+}
+
+func (t *Tracer) push(r TraceRecord) {
+	if len(t.ring) >= t.max {
+		copy(t.ring, t.ring[1:])
+		t.ring[len(t.ring)-1] = r
+		return
+	}
+	t.ring = append(t.ring, r)
+}
+
+// Records returns the trace ring (oldest first).
+func (t *Tracer) Records() []TraceRecord { return t.ring }
+
+// onSend currently only counts; send-side state rides in the header.
+func (t *Tracer) onSend(ch *Channel, h *wireHdr) {}
+
+// onRecv computes the one-way latency of a traced inbound message.
+func (t *Tracer) onRecv(ch *Channel, m *Msg) {
+	off := t.ctx.toff[ch.Peer]
+	oneWay := sim.Duration(t.ctx.LocalClock()-m.T1) + off
+	kind := "RESP"
+	if m.IsReq {
+		kind = "REQ"
+	}
+	rec := TraceRecord{Peer: ch.Peer, MsgID: m.MsgID, Kind: kind, OneWay: oneWay, At: t.ctx.eng.Now()}
+	if oneWay > t.ctx.cfg.SlowThreshold {
+		t.SlowOps++
+		t.ctx.logf("slow %s msg %d from %d: one-way %v", kind, m.MsgID, ch.Peer, oneWay)
+	}
+	t.push(rec)
+}
+
+// onResponse records the full RTT of a completed request.
+func (t *Tracer) onResponse(ch *Channel, m *Msg, sentAt sim.Time) {
+	rtt := t.ctx.eng.Now().Sub(sentAt)
+	t.push(TraceRecord{Peer: ch.Peer, MsgID: m.MsgID, Kind: "RTT", RTT: rtt, At: t.ctx.eng.Now()})
+	if rtt > 2*t.ctx.cfg.SlowThreshold {
+		t.SlowOps++
+		t.ctx.logf("slow request %d to %d: rtt %v", m.MsgID, ch.Peer, rtt)
+	}
+}
+
+// Tracer returns the context's tracer (xrdma_trace_req's query surface).
+func (c *Context) Tracer() *Tracer { return c.trace }
+
+// SyncClock runs the clock synchronisation service against the channel's
+// peer: a few pings, median offset retained for trace decomposition.
+func (ch *Channel) SyncClock(rounds int, done func(offset sim.Duration, err error)) {
+	if rounds <= 0 {
+		rounds = 3
+	}
+	offsets := make([]sim.Duration, 0, rounds)
+	var step func()
+	step = func() {
+		ch.Ping(func(rtt, off sim.Duration, err error) {
+			if err != nil {
+				done(0, err)
+				return
+			}
+			offsets = append(offsets, off)
+			if len(offsets) < rounds {
+				step()
+				return
+			}
+			// median
+			for i := 1; i < len(offsets); i++ {
+				for j := i; j > 0 && offsets[j] < offsets[j-1]; j-- {
+					offsets[j], offsets[j-1] = offsets[j-1], offsets[j]
+				}
+			}
+			med := offsets[len(offsets)/2]
+			ch.ctx.toff[ch.Peer] = med
+			done(med, nil)
+		})
+	}
+	step()
+}
+
+// ClockOffset returns the current offset estimate for a peer.
+func (c *Context) ClockOffset(peer fabric.NodeID) (sim.Duration, bool) {
+	off, ok := c.toff[peer]
+	return off, ok
+}
+
+func (r TraceRecord) String() string {
+	if r.Kind == "RTT" {
+		return fmt.Sprintf("[%v] msg %d peer %d rtt=%v", r.At, r.MsgID, r.Peer, r.RTT)
+	}
+	return fmt.Sprintf("[%v] %s %d peer %d oneway=%v", r.At, r.Kind, r.MsgID, r.Peer, r.OneWay)
+}

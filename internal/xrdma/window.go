@@ -1,0 +1,118 @@
+package xrdma
+
+import "fmt"
+
+// The seq-ack window of Algorithm 1. Sequence numbers start at 1 and are
+// assigned per windowed message. The sender may have at most depth
+// messages between ACKED and SEQ; the receiver tracks WTA (highest
+// received) and RTA (highest ready-to-ack, i.e. contiguous and fully
+// received), delivering in order. This is what guarantees RNR-free
+// operation: the receiver pre-posts depth receive buffers, and the sender
+// never has more than depth windowed messages outstanding.
+
+// txWindow is the sender half.
+type txWindow struct {
+	depth uint64
+	seq   uint64 // last assigned sequence (paper: SEQ)
+	acked uint64 // highest cumulatively acked (paper: ACKED)
+
+	// onAcked callbacks by seq, fired as the ack edge advances
+	// (Algorithm 1's call on_acked(messages[i])).
+	pending map[uint64]func()
+
+	// Stalls counts times the window was full at send (queueing events).
+	Stalls int64
+}
+
+func newTxWindow(depth int) *txWindow {
+	return &txWindow{depth: uint64(depth), pending: make(map[uint64]func())}
+}
+
+// canSend reports whether a window slot is free.
+func (w *txWindow) canSend() bool { return w.seq-w.acked < w.depth }
+
+// next assigns the next sequence number; onAcked (optional) fires when
+// the peer acknowledges it.
+func (w *txWindow) next(onAcked func()) uint64 {
+	if !w.canSend() {
+		panic("xrdma: txWindow overflow — caller must check canSend")
+	}
+	w.seq++
+	if onAcked != nil {
+		w.pending[w.seq] = onAcked
+	}
+	return w.seq
+}
+
+// inflight reports unacknowledged windowed messages.
+func (w *txWindow) inflight() uint64 { return w.seq - w.acked }
+
+// ack advances the cumulative ack edge, firing on_acked callbacks in
+// order. Acks never regress; a stale ack is ignored.
+func (w *txWindow) ack(ack uint64) {
+	if ack > w.seq {
+		panic(fmt.Sprintf("xrdma: ack %d beyond seq %d", ack, w.seq))
+	}
+	for w.acked < ack {
+		w.acked++
+		if fn, ok := w.pending[w.acked]; ok {
+			delete(w.pending, w.acked)
+			fn()
+		}
+	}
+}
+
+// rxWindow is the receiver half. It tracks which in-window sequences are
+// fully received so RTA (the cumulative ack edge) advances only through
+// contiguous completed messages — Algorithm 1's receiver. Application
+// delivery is the channel's business and happens as soon as a message's
+// payload is available: inline messages deliver at arrival (hence in
+// order among themselves), rendezvous messages deliver when their pull
+// completes. Acks stay strictly cumulative either way.
+type rxWindow struct {
+	depth  uint64
+	wta    uint64 // highest sequence received (paper: WTA)
+	rta    uint64 // highest ready-to-ack, contiguous (paper: RTA)
+	recved []bool
+}
+
+func newRxWindow(depth int) *rxWindow {
+	return &rxWindow{depth: uint64(depth), recved: make([]bool, depth)}
+}
+
+// receive registers an arriving windowed message. recved=false marks a
+// rendezvous message whose payload is still being pulled (markRecved
+// completes it). The RC transport delivers in order, so seq must be
+// wta+1; anything else indicates a protocol bug and panics loudly.
+func (w *rxWindow) receive(seq uint64, recved bool) {
+	if seq != w.wta+1 {
+		panic(fmt.Sprintf("xrdma: out-of-order window receive seq=%d wta=%d", seq, w.wta))
+	}
+	if seq-w.rta > w.depth {
+		panic(fmt.Sprintf("xrdma: window overrun seq=%d rta=%d depth=%d — peer violated the window", seq, w.rta, w.depth))
+	}
+	w.wta = seq
+	w.recved[seq%w.depth] = recved
+	if recved {
+		w.advance()
+	}
+}
+
+// markRecved flags a rendezvous message as fully pulled (Algorithm 1's
+// rdma_read_done) and advances RTA through any contiguous ready run.
+func (w *rxWindow) markRecved(seq uint64) {
+	if seq <= w.rta || seq > w.wta {
+		return // stale retry duplicate — tolerated
+	}
+	w.recved[seq%w.depth] = true
+	w.advance()
+}
+
+func (w *rxWindow) advance() {
+	for w.rta < w.wta && w.recved[(w.rta+1)%w.depth] {
+		w.rta++
+	}
+}
+
+// ackValue is the cumulative ack to piggyback on outbound traffic.
+func (w *rxWindow) ackValue() uint64 { return w.rta }

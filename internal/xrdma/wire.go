@@ -1,0 +1,134 @@
+package xrdma
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// X-RDMA reconstructs the payload so that every message carries a header
+// inside it (§VI-A). The header is a fixed 64-byte block, followed by an
+// optional 16-byte trace extension in req-rsp mode, followed by the
+// application payload (for inline messages).
+
+const (
+	hdrMagic   = 0x5852 // "XR"
+	hdrVersion = 1
+
+	hdrSize      = 64
+	traceExtSize = 16
+)
+
+type msgKind uint8
+
+const (
+	kindReq       msgKind = iota // request, payload inline
+	kindResp                     // response, payload inline
+	kindAck                      // standalone ack (window-exempt)
+	kindNop                      // deadlock breaker, solicits an ack
+	kindLargeReq                 // rendezvous: request payload staged at sender
+	kindLargeResp                // rendezvous: response payload staged at responder
+	kindReadDone                 // receiver finished pulling a staged buffer
+	kindPing                     // middleware-level ping (XR-Ping)
+	kindPong
+)
+
+func (k msgKind) String() string {
+	names := [...]string{"REQ", "RESP", "ACK", "NOP", "LARGE_REQ", "LARGE_RESP", "READ_DONE", "PING", "PONG"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "?"
+}
+
+// windowed reports whether this kind occupies a seq-ack window slot.
+// Control messages are window-exempt so acks can always flow.
+func (k msgKind) windowed() bool {
+	switch k {
+	case kindReq, kindResp, kindLargeReq, kindLargeResp:
+		return true
+	}
+	return false
+}
+
+const (
+	flagTraced = 1 << iota // trace extension present
+	flagOneWay             // request wants no response
+)
+
+// wireHdr is the decoded header.
+type wireHdr struct {
+	Kind  msgKind
+	Flags uint16
+	Seq   uint64 // window sequence (0 for window-exempt kinds)
+	Ack   uint64 // piggybacked cumulative ack (receiver's RTA)
+	MsgID uint64 // request/response correlation
+	Size  uint32 // application payload size
+	Addr  uint64 // staged buffer address (rendezvous kinds)
+	RKey  uint32 // staged buffer rkey
+	T1    int64  // trace: sender clock at send (req-rsp mode)
+}
+
+// encode writes the header (and trace extension when flagged) into buf and
+// returns the number of bytes written.
+func (h *wireHdr) encode(buf []byte) int {
+	binary.LittleEndian.PutUint16(buf[0:], hdrMagic)
+	buf[2] = hdrVersion
+	buf[3] = byte(h.Kind)
+	binary.LittleEndian.PutUint16(buf[4:], h.Flags)
+	binary.LittleEndian.PutUint32(buf[6:], h.Size)
+	binary.LittleEndian.PutUint64(buf[10:], h.Seq)
+	binary.LittleEndian.PutUint64(buf[18:], h.Ack)
+	binary.LittleEndian.PutUint64(buf[26:], h.MsgID)
+	binary.LittleEndian.PutUint64(buf[34:], h.Addr)
+	binary.LittleEndian.PutUint32(buf[42:], h.RKey)
+	n := hdrSize
+	if h.Flags&flagTraced != 0 {
+		binary.LittleEndian.PutUint64(buf[hdrSize:], uint64(h.T1))
+		n += traceExtSize
+	}
+	return n
+}
+
+// wireBytes is the total header length for this message.
+func (h *wireHdr) wireBytes() int {
+	if h.Flags&flagTraced != 0 {
+		return hdrSize + traceExtSize
+	}
+	return hdrSize
+}
+
+// errBadHeader marks undecodable inbound messages (foreign traffic or
+// corruption).
+var errBadHeader = errors.New("xrdma: bad message header")
+
+// decode parses a header from buf.
+func decodeHdr(buf []byte) (wireHdr, int, error) {
+	var h wireHdr
+	if len(buf) < hdrSize {
+		return h, 0, fmt.Errorf("%w: %d bytes", errBadHeader, len(buf))
+	}
+	if binary.LittleEndian.Uint16(buf[0:]) != hdrMagic {
+		return h, 0, fmt.Errorf("%w: magic %#x", errBadHeader, binary.LittleEndian.Uint16(buf[0:]))
+	}
+	if buf[2] != hdrVersion {
+		return h, 0, fmt.Errorf("%w: version %d", errBadHeader, buf[2])
+	}
+	h.Kind = msgKind(buf[3])
+	h.Flags = binary.LittleEndian.Uint16(buf[4:])
+	h.Size = binary.LittleEndian.Uint32(buf[6:])
+	h.Seq = binary.LittleEndian.Uint64(buf[10:])
+	h.Ack = binary.LittleEndian.Uint64(buf[18:])
+	h.MsgID = binary.LittleEndian.Uint64(buf[26:])
+	h.Addr = binary.LittleEndian.Uint64(buf[34:])
+	h.RKey = binary.LittleEndian.Uint32(buf[42:])
+	n := hdrSize
+	if h.Flags&flagTraced != 0 {
+		if len(buf) < hdrSize+traceExtSize {
+			return h, 0, fmt.Errorf("%w: truncated trace extension", errBadHeader)
+		}
+		h.T1 = int64(binary.LittleEndian.Uint64(buf[hdrSize:]))
+		n += traceExtSize
+	}
+	return h, n, nil
+}

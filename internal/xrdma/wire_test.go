@@ -1,0 +1,95 @@
+package xrdma
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHdrRoundTrip(t *testing.T) {
+	h := wireHdr{
+		Kind: kindLargeReq, Flags: flagOneWay, Seq: 12345, Ack: 12000,
+		MsgID: 999, Size: 1 << 20, Addr: 0x7f00_1234_0000, RKey: 42,
+	}
+	buf := make([]byte, h.wireBytes())
+	n := h.encode(buf)
+	if n != hdrSize {
+		t.Fatalf("encoded %d bytes", n)
+	}
+	got, n2, err := decodeHdr(buf)
+	if err != nil || n2 != n {
+		t.Fatalf("decode: %v (%d)", err, n2)
+	}
+	if got != h {
+		t.Fatalf("roundtrip mismatch:\n%+v\n%+v", got, h)
+	}
+}
+
+func TestHdrTraceExtension(t *testing.T) {
+	h := wireHdr{Kind: kindReq, Flags: flagTraced, Seq: 1, T1: 123456789}
+	buf := make([]byte, h.wireBytes())
+	n := h.encode(buf)
+	if n != hdrSize+traceExtSize {
+		t.Fatalf("traced header length %d", n)
+	}
+	got, _, err := decodeHdr(buf)
+	if err != nil || got.T1 != 123456789 {
+		t.Fatalf("trace extension lost: %v %d", err, got.T1)
+	}
+}
+
+func TestHdrRejectsGarbage(t *testing.T) {
+	if _, _, err := decodeHdr(nil); err == nil {
+		t.Fatal("nil decoded")
+	}
+	if _, _, err := decodeHdr(make([]byte, hdrSize)); err == nil {
+		t.Fatal("zero magic decoded")
+	}
+	h := wireHdr{Kind: kindReq}
+	buf := make([]byte, hdrSize)
+	h.encode(buf)
+	buf[2] = 99 // wrong version
+	if _, _, err := decodeHdr(buf); err == nil {
+		t.Fatal("wrong version decoded")
+	}
+	// Truncated trace extension.
+	ht := wireHdr{Kind: kindReq, Flags: flagTraced}
+	buf2 := make([]byte, hdrSize+traceExtSize)
+	ht.encode(buf2)
+	if _, _, err := decodeHdr(buf2[:hdrSize]); err == nil {
+		t.Fatal("truncated trace extension decoded")
+	}
+}
+
+// Property: encode/decode is the identity on all field values.
+func TestHdrRoundTripProperty(t *testing.T) {
+	prop := func(kind uint8, flags uint16, seq, ack, msgID, addr uint64, size, rkey uint32, t1 int64) bool {
+		h := wireHdr{
+			Kind: msgKind(kind % 9), Flags: flags & (flagTraced | flagOneWay),
+			Seq: seq, Ack: ack, MsgID: msgID, Size: size, Addr: addr, RKey: rkey,
+		}
+		if h.Flags&flagTraced != 0 {
+			h.T1 = t1
+		}
+		buf := make([]byte, h.wireBytes())
+		h.encode(buf)
+		got, _, err := decodeHdr(buf)
+		return err == nil && got == h
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindProperties(t *testing.T) {
+	for k := kindReq; k <= kindPong; k++ {
+		if k.String() == "?" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	windowedKinds := map[msgKind]bool{kindReq: true, kindResp: true, kindLargeReq: true, kindLargeResp: true}
+	for k := kindReq; k <= kindPong; k++ {
+		if k.windowed() != windowedKinds[k] {
+			t.Fatalf("windowed(%v) wrong", k)
+		}
+	}
+}
