@@ -1,12 +1,22 @@
 // reproduce runs every experiment of DESIGN.md's per-experiment index and
 // prints the paper-style tables. Quick scale by default; -full runs closer
 // to paper scale (slower). Individual experiments select with -only.
+//
+// Experiments are independent simulations (each builds its own engine and
+// RNG from the seed), so -j runs them on a worker pool; output order is
+// the registry order regardless of which worker finished first, and the
+// numbers are bit-identical to a -j 1 run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strings"
+	"sync"
 
 	"xrdma/internal/bench"
 )
@@ -15,13 +25,18 @@ func main() {
 	full := flag.Bool("full", false, "run at near-paper scale (slow)")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig7,fig10,establish)")
 	seed := flag.Uint64("seed", 42, "simulation seed")
+	jobs := flag.Int("j", runtime.NumCPU(), "experiments to run concurrently")
+	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	flag.Parse()
 
-	sc := bench.Quick()
-	if *full {
-		sc = bench.FullScale()
+	reg := bench.Experiments()
+	valid := make(map[string]bool, len(reg))
+	ids := make([]string, 0, len(reg))
+	for _, e := range reg {
+		valid[e.ID] = true
+		ids = append(ids, e.ID)
 	}
-	sc.Seed = *seed
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -29,53 +44,94 @@ func main() {
 			want[id] = true
 		}
 	}
-	sel := func(id string) bool { return len(want) == 0 || want[id] }
+	var unknown []string
+	for id := range want {
+		if !valid[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "reproduce: unknown experiment id(s): %s\nvalid ids: %s\n",
+			strings.Join(unknown, ", "), strings.Join(ids, ", "))
+		os.Exit(2)
+	}
 
-	if sel("fig7") {
-		fmt.Println(bench.Fig7Left(sc).Table_.String())
-		fmt.Println(bench.Fig7Middle(sc).Table_.String())
-		fmt.Println(bench.Fig7Right(sc).Table_.String())
-		fmt.Println(bench.TracingOverhead(sc).Table_.String())
+	sc := bench.Quick()
+	if *full {
+		sc = bench.FullScale()
 	}
-	if sel("establish") {
-		fmt.Println(bench.Establishment(sc).Table_.String())
+	sc.Seed = *seed
+
+	var selected []bench.Experiment
+	for _, e := range reg {
+		if len(want) == 0 || want[e.ID] {
+			selected = append(selected, e)
+		}
 	}
-	if sel("fig8") {
-		fmt.Println(bench.Fig8EssdRamp(sc).Table_.String())
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
-	if sel("fig9") {
-		fmt.Println(bench.Fig9RNRCounter(sc).Table_.String())
+
+	run(selected, sc, *jobs)
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	if sel("fig10") {
-		fmt.Println(bench.Fig10FlowControl(sc).Table_.String())
-		fmt.Println(bench.FragmentSweep(sc).Table_.String())
+}
+
+// run executes the selected experiments on up to jobs workers and prints
+// each experiment's tables in selection order.
+func run(selected []bench.Experiment, sc bench.Scale, jobs int) {
+	if jobs < 1 {
+		jobs = 1
 	}
-	if sel("fig11") {
-		fmt.Println(bench.Fig11OnlineUpgrade(sc).Table_.String())
+	if jobs > len(selected) {
+		jobs = len(selected)
 	}
-	if sel("fig12") {
-		fmt.Println(bench.Fig12AntiJitter(sc, "ESSD").Table_.String())
-		fmt.Println(bench.Fig12AntiJitter(sc, "X-DB").Table_.String())
+	results := make([][]*bench.Table, len(selected))
+	next := make(chan int, len(selected))
+	for i := range selected {
+		next <- i
 	}
-	if sel("qpscale") {
-		fmt.Println(bench.QPScaling(sc).Table_.String())
+	close(next)
+
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = selected[i].Run(sc)
+			}
+		}()
 	}
-	if sel("srq") {
-		fmt.Println(bench.SRQTradeoff(sc).Table_.String())
-	}
-	if sel("memmodes") {
-		fmt.Println(bench.MemoryModes(sc).Table_.String())
-	}
-	if sel("footprint") {
-		fmt.Println(bench.MixedFootprint(sc).Table_.String())
-	}
-	if sel("peak") {
-		fmt.Println(bench.PeakStress(sc).Table_.String())
-	}
-	if sel("fig3") {
-		fmt.Println(bench.Fig3Diurnal(sc).Table_.String())
-	}
-	if sel("loc") {
-		fmt.Println(bench.LoCComparison().Table_.String())
+	wg.Wait()
+
+	for _, ts := range results {
+		for _, t := range ts {
+			fmt.Println(t.String())
+		}
 	}
 }

@@ -58,7 +58,7 @@ func main() {
 	fmt.Printf("xr-perf: %d channels up at %v\n", len(chans), c.Eng.Now())
 
 	sizes := workload.MiceElephants(*mice, *elephant, *elephantFrac)
-	lat := sim.NewSummary()
+	lat := sim.NewSummaryCap(1 << 16)
 	record := func(r workload.Result) {
 		if r.Err == nil {
 			lat.AddDuration(r.Latency)

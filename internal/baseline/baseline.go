@@ -61,6 +61,9 @@ type endpoint struct {
 	onResp func(size int)
 
 	readCbs []func()
+
+	// Reused poll buffers (allocation-free CQ draining).
+	scqeBuf, rcqeBuf []rnic.CQE
 }
 
 const recvDepth = 128
@@ -115,7 +118,8 @@ func (ep *endpoint) attach() {
 }
 
 func (ep *endpoint) drainSend() {
-	for _, cqe := range ep.qp.SendCQ.Poll(1024) {
+	ep.scqeBuf = ep.qp.SendCQ.PollAppend(ep.scqeBuf[:0], 1024)
+	for _, cqe := range ep.scqeBuf {
 		if cqe.Op == rnic.OpRead && len(ep.readCbs) > 0 {
 			cb := ep.readCbs[0]
 			ep.readCbs = ep.readCbs[1:]
@@ -125,7 +129,8 @@ func (ep *endpoint) drainSend() {
 }
 
 func (ep *endpoint) drainRecv() {
-	for _, cqe := range ep.qp.RecvCQ.Poll(1024) {
+	ep.rcqeBuf = ep.qp.RecvCQ.PollAppend(ep.rcqeBuf[:0], 1024)
+	for _, cqe := range ep.rcqeBuf {
 		cqe := cqe
 		ep.eng.After(ep.p.RecvCost, func() { ep.handle(cqe) })
 	}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"testing"
+
+	"xrdma/internal/sim"
+)
+
+// Golden-seed determinism anchors. These exact numbers were captured on
+// the container/heap scheduler before the 4-ary-heap/pooling rewrite and
+// must never drift: the simulation is run-to-complete with a total event
+// order of (time, sequence), so any change to these values means the
+// kernel reordered events or a model drew differently from its RNG —
+// i.e. the experiments in REPRODUCE.md are no longer comparable across
+// versions. Update them only for a deliberate, documented model change.
+const (
+	goldenSeed       = 42
+	goldenPingSize   = 512
+	goldenPingCount  = 50
+	goldenFiredCount = 4476
+	goldenMeanRTT    = 7165 * sim.Nanosecond
+	goldenFig9Raw    = 1297.0
+	goldenFig9XRDMA  = 0.0
+)
+
+func TestGoldenSeedDeterminism(t *testing.T) {
+	f := newPingFixture(goldenSeed, nil)
+	rtt := f.rtt(goldenPingSize, goldenPingCount)
+	if rtt != goldenMeanRTT {
+		t.Errorf("mean RTT for seed=%d: got %v, want %v", goldenSeed, rtt, goldenMeanRTT)
+	}
+	if fired := f.c.Eng.Fired(); fired != goldenFiredCount {
+		t.Errorf("Engine.Fired() for seed=%d: got %d, want %d", goldenSeed, fired, goldenFiredCount)
+	}
+}
+
+func TestGoldenSeedFig9(t *testing.T) {
+	r := Fig9RNRCounter(Quick())
+	if r.RawRNRPerSec != goldenFig9Raw {
+		t.Errorf("Fig9 raw RNR/s: got %v, want %v", r.RawRNRPerSec, goldenFig9Raw)
+	}
+	if r.XRDMARNRPerSec != goldenFig9XRDMA {
+		t.Errorf("Fig9 X-RDMA RNR/s: got %v, want %v", r.XRDMARNRPerSec, goldenFig9XRDMA)
+	}
+}
+
+// Re-running the same seed twice in one process must be bit-identical:
+// engine-keyed pools and free-lists must not let one run's state leak
+// into the next.
+func TestGoldenSeedRepeatable(t *testing.T) {
+	a := newPingFixture(goldenSeed, nil)
+	rttA, firedA := a.rtt(goldenPingSize, goldenPingCount), a.c.Eng.Fired()
+	b := newPingFixture(goldenSeed, nil)
+	rttB, firedB := b.rtt(goldenPingSize, goldenPingCount), b.c.Eng.Fired()
+	if rttA != rttB || firedA != firedB {
+		t.Errorf("same seed diverged: rtt %v vs %v, fired %d vs %d", rttA, rttB, firedA, firedB)
+	}
+}

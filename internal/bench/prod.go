@@ -192,8 +192,10 @@ func fig12Run(sc Scale, sizes workload.SizeDist, payload int, antiJitter bool) (
 	c.Eng.Run()
 	latChans, dataChans := chans[:senders], chans[senders:]
 
-	baseLat := sim.NewSummary()
-	burstLat := sim.NewSummary()
+	// Pre-size for a full phase of closed-loop mice so recording stays
+	// allocation-free on the measurement path.
+	baseLat := sim.NewSummaryCap(1 << 15)
+	burstLat := sim.NewSummaryCap(1 << 15)
 	var mice []*workload.ClosedLoop
 	for i, ch := range latChans {
 		g := workload.NewClosedLoop(ch, 1, sizes, sc.Seed+uint64(i))

@@ -1,0 +1,70 @@
+package bench
+
+// Experiment is one entry of DESIGN.md's per-experiment index: a stable
+// id (what cmd/reproduce -only matches), a title, and a Run function
+// producing the rendered tables. Every Run builds its own Engine, Fabric
+// and RNG from the Scale it is handed, so distinct experiments are fully
+// isolated and safe to run on concurrent goroutines.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(sc Scale) []*Table
+}
+
+func tables(ts ...Table) []*Table {
+	out := make([]*Table, len(ts))
+	for i := range ts {
+		t := ts[i]
+		out[i] = &t
+	}
+	return out
+}
+
+// Experiments returns the registry in canonical print order — the order
+// cmd/reproduce emits tables regardless of how many workers ran them.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "fig7", Title: "Latency/throughput vs baselines + tracing overhead", Run: func(sc Scale) []*Table {
+			return tables(Fig7Left(sc).Table_, Fig7Middle(sc).Table_, Fig7Right(sc).Table_, TracingOverhead(sc).Table_)
+		}},
+		{ID: "establish", Title: "Connection establishment (QP cache)", Run: func(sc Scale) []*Table {
+			return tables(Establishment(sc).Table_)
+		}},
+		{ID: "fig8", Title: "ESSD ramp", Run: func(sc Scale) []*Table {
+			return tables(Fig8EssdRamp(sc).Table_)
+		}},
+		{ID: "fig9", Title: "RNR NAK counter", Run: func(sc Scale) []*Table {
+			return tables(Fig9RNRCounter(sc).Table_)
+		}},
+		{ID: "fig10", Title: "Flow control + fragment sweep", Run: func(sc Scale) []*Table {
+			return tables(Fig10FlowControl(sc).Table_, FragmentSweep(sc).Table_)
+		}},
+		{ID: "fig11", Title: "Online upgrade", Run: func(sc Scale) []*Table {
+			return tables(Fig11OnlineUpgrade(sc).Table_)
+		}},
+		{ID: "fig12", Title: "Anti-jitter (ESSD, X-DB)", Run: func(sc Scale) []*Table {
+			return tables(Fig12AntiJitter(sc, "ESSD").Table_, Fig12AntiJitter(sc, "X-DB").Table_)
+		}},
+		{ID: "qpscale", Title: "QP scaling", Run: func(sc Scale) []*Table {
+			return tables(QPScaling(sc).Table_)
+		}},
+		{ID: "srq", Title: "SRQ trade-off", Run: func(sc Scale) []*Table {
+			return tables(SRQTradeoff(sc).Table_)
+		}},
+		{ID: "memmodes", Title: "Memory registration modes", Run: func(sc Scale) []*Table {
+			return tables(MemoryModes(sc).Table_)
+		}},
+		{ID: "footprint", Title: "Mixed-deployment footprint", Run: func(sc Scale) []*Table {
+			return tables(MixedFootprint(sc).Table_)
+		}},
+		{ID: "peak", Title: "Peak stress", Run: func(sc Scale) []*Table {
+			return tables(PeakStress(sc).Table_)
+		}},
+		{ID: "fig3", Title: "Diurnal load", Run: func(sc Scale) []*Table {
+			return tables(Fig3Diurnal(sc).Table_)
+		}},
+		{ID: "loc", Title: "Lines-of-code comparison", Run: func(Scale) []*Table {
+			return tables(LoCComparison().Table_)
+		}},
+	}
+}

@@ -25,6 +25,34 @@ type Fabric struct {
 	rng      *sim.RNG
 	hosts    map[NodeID]*Host
 	switches []*Switch
+
+	// pktFree recycles Packet structs: at steady state every hop of every
+	// flow reuses the same handful of nodes instead of hammering the GC.
+	pktFree []*Packet
+}
+
+// NewPacket returns a zeroed packet from the fabric's free-list (or a fresh
+// one on a cold start). Senders fill it and pass it to Host.Send; the
+// fabric reclaims it at its single termination point (delivery or drop).
+func (f *Fabric) NewPacket() *Packet {
+	if k := len(f.pktFree) - 1; k >= 0 {
+		p := f.pktFree[k]
+		f.pktFree[k] = nil
+		f.pktFree = f.pktFree[:k]
+		return p
+	}
+	return &Packet{}
+}
+
+// FreePacket zeroes p and returns it to the free-list. Callers must hold
+// the only live reference; endpoints never retain packets past
+// HandlePacket, so the delivery path can free unconditionally.
+func (f *Fabric) FreePacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	*p = Packet{}
+	f.pktFree = append(f.pktFree, p)
 }
 
 // New creates an empty fabric; attach hosts and switches via the topology
@@ -76,6 +104,10 @@ func (h *Host) Attach(ep Endpoint) { h.AttachProto(ProtoRDMA, ep) }
 // AttachProto registers the consumer for one protocol plane.
 func (h *Host) AttachProto(proto Proto, ep Endpoint) { h.eps[proto] = ep }
 
+// Fabric returns the fabric this host is attached to (packet-pool access
+// for the protocol models riding on the host).
+func (h *Host) Fabric() *Fabric { return h.fab }
+
 // Send puts a packet on the wire toward its destination.
 func (h *Host) Send(p *Packet) {
 	p.SentAt = h.fab.Eng.Now()
@@ -104,6 +136,8 @@ func (h *Host) receive(p *Packet, in *Port) {
 	if ep := h.eps[p.Proto]; ep != nil {
 		ep.HandlePacket(p)
 	}
+	// Delivery is the packet's end of life; endpoints copy what they keep.
+	h.fab.FreePacket(p)
 }
 
 // Switch is a store-and-forward device with per-destination ECMP route
@@ -149,6 +183,7 @@ func (s *Switch) receive(p *Packet, in *Port) {
 	out := s.route(p)
 	if out == nil {
 		s.fab.Stats.Drops++
+		s.fab.FreePacket(p)
 		return
 	}
 	in.accountIngress(p)

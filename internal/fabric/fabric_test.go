@@ -8,13 +8,13 @@ import (
 )
 
 type sink struct {
-	got   []*Packet
+	got   []Packet // copies: the fabric recycles packets after delivery
 	times []sim.Time
 	eng   *sim.Engine
 }
 
 func (s *sink) HandlePacket(p *Packet) {
-	s.got = append(s.got, p)
+	s.got = append(s.got, *p)
 	s.times = append(s.times, s.eng.Now())
 }
 

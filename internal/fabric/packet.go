@@ -66,7 +66,10 @@ type Packet struct {
 func (p *Packet) wireSize() int { return p.Size + EthOverhead }
 
 // Endpoint consumes packets delivered to a host. The RNIC model implements
-// this.
+// this. Ownership contract: the packet is only valid for the duration of
+// the HandlePacket call — the fabric recycles it immediately afterwards,
+// so implementations must copy any fields (or payload references) they
+// need beyond that point.
 type Endpoint interface {
 	HandlePacket(p *Packet)
 }

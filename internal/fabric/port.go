@@ -65,8 +65,8 @@ type Port struct {
 	bps       int64
 	propDelay sim.Duration
 
-	ctrlQ []*Packet
-	dataQ []*Packet
+	ctrlQ pktRing
+	dataQ pktRing
 	qlen  int // queued data bytes (for ECN marking decisions)
 
 	busy   bool
@@ -101,7 +101,7 @@ func (pt *Port) Paused() bool { return pt.paused }
 // send enqueues a packet for transmission out of this port.
 func (pt *Port) send(p *Packet) {
 	if p.Class == ClassCtrl {
-		pt.ctrlQ = append(pt.ctrlQ, p)
+		pt.ctrlQ.push(p)
 	} else {
 		// With PFC on, ingress admission keeps buffers bounded and the
 		// fabric is lossless; tail drops only exist in lossy mode.
@@ -109,10 +109,11 @@ func (pt *Port) send(p *Packet) {
 			pt.Drops++
 			pt.fab.Stats.Drops++
 			pt.releaseIngress(p)
+			pt.fab.FreePacket(p)
 			return
 		}
 		pt.markECN(p)
-		pt.dataQ = append(pt.dataQ, p)
+		pt.dataQ.push(p)
 		pt.qlen += p.wireSize()
 	}
 	pt.kick()
@@ -149,12 +150,10 @@ func (pt *Port) kick() {
 	}
 	var p *Packet
 	switch {
-	case len(pt.ctrlQ) > 0:
-		p = pt.ctrlQ[0]
-		pt.ctrlQ = pt.ctrlQ[1:]
-	case len(pt.dataQ) > 0 && !pt.paused:
-		p = pt.dataQ[0]
-		pt.dataQ = pt.dataQ[1:]
+	case pt.ctrlQ.len() > 0:
+		p = pt.ctrlQ.pop()
+	case pt.dataQ.len() > 0 && !pt.paused:
+		p = pt.dataQ.pop()
 		pt.qlen -= p.wireSize()
 	default:
 		return
@@ -218,4 +217,43 @@ func (pt *Port) sendPFC(pause bool) {
 			peer.kick()
 		}
 	})
+}
+
+// pktRing is a FIFO of packets backed by a power-of-two circular buffer:
+// steady-state enqueue/dequeue never allocates, unlike the previous
+// append/reslice queues that leaked their backing-array heads.
+type pktRing struct {
+	buf        []*Packet
+	head, tail int // monotonically increasing; index = pos & (len(buf)-1)
+}
+
+func (r *pktRing) len() int { return r.tail - r.head }
+
+func (r *pktRing) push(p *Packet) {
+	if r.tail-r.head == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.tail&(len(r.buf)-1)] = p
+	r.tail++
+}
+
+func (r *pktRing) pop() *Packet {
+	i := r.head & (len(r.buf) - 1)
+	p := r.buf[i]
+	r.buf[i] = nil
+	r.head++
+	return p
+}
+
+func (r *pktRing) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	nb := make([]*Packet, n)
+	cnt := r.tail - r.head
+	for i := 0; i < cnt; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head, r.tail = nb, 0, cnt
 }

@@ -50,8 +50,8 @@ type dcqcnState struct {
 	byteEvents  int   // byte-counter expiries since last cut
 	bytesSent   int64 // toward the byte counter
 
-	alphaEv *sim.Event
-	rateEv  *sim.Event
+	alphaEv sim.Event
+	rateEv  sim.Event
 
 	// RateCuts counts CNP-triggered reductions (diagnostics).
 	RateCuts int64
@@ -95,9 +95,7 @@ func (s *dcqcnState) onCNP() {
 }
 
 func (s *dcqcnState) armAlpha() {
-	if s.alphaEv != nil {
-		s.eng.Cancel(s.alphaEv)
-	}
+	s.eng.Cancel(s.alphaEv)
 	s.alphaEv = s.eng.After(s.cfg.AlphaTimer, func() {
 		s.alpha *= 1 - s.cfg.G
 		if s.alpha > 0.001 {
@@ -107,9 +105,7 @@ func (s *dcqcnState) armAlpha() {
 }
 
 func (s *dcqcnState) armRate() {
-	if s.rateEv != nil {
-		s.eng.Cancel(s.rateEv)
-	}
+	s.eng.Cancel(s.rateEv)
 	s.rateEv = s.eng.After(s.cfg.RateTimer, func() {
 		s.timerEvents++
 		s.increase()

@@ -21,13 +21,15 @@ func (n *NIC) dropJobsFor(qp *QP) {
 	kept := n.jobs[:0]
 	for _, j := range n.jobs {
 		if j.qp == qp {
-			j.dead = true
+			n.pool.putJob(j)
 			continue
 		}
 		kept = append(kept, j)
 	}
 	n.jobs = kept
 	if n.current != nil && n.current.qp == qp {
+		// The in-flight packet-phase closure still references it; the
+		// closure observes dead and releases it to the pool.
 		n.current.dead = true
 		n.current = nil
 	}
@@ -73,6 +75,8 @@ func (n *NIC) pickJob() (*txJob, sim.Time) {
 	for _, j := range n.jobs {
 		if !j.dead {
 			kept = append(kept, j)
+		} else {
+			n.pool.putJob(j)
 		}
 	}
 	n.jobs = kept
@@ -82,7 +86,11 @@ func (n *NIC) pickJob() (*txJob, sim.Time) {
 func (n *NIC) stepEngine() {
 	if !n.alive {
 		n.engineBusy = false
-		n.jobs = nil
+		for _, j := range n.jobs {
+			n.pool.putJob(j)
+		}
+		n.jobs = n.jobs[:0]
+		// current may be held by an in-flight closure that releases it.
 		n.current = nil
 		return
 	}
@@ -106,6 +114,7 @@ func (n *NIC) stepEngine() {
 	job := n.current
 	if job.dead {
 		n.current = nil
+		n.pool.putJob(job)
 		n.stepEngine()
 		return
 	}
@@ -127,6 +136,8 @@ func (n *NIC) stepEngine() {
 			if n.current == job {
 				n.current = nil
 			}
+			n.pool.putJob(job)
+			n.freePacket(pkt) // never hit the wire
 			n.stepEngine()
 			return
 		}
@@ -142,6 +153,7 @@ func (n *NIC) stepEngine() {
 		if done {
 			n.finishJob(job)
 			n.current = nil
+			n.pool.putJob(job)
 		}
 		n.stepEngine()
 	})
@@ -190,20 +202,18 @@ func (n *NIC) buildPacket(job *txJob) (*fabric.Packet, int, bool) {
 		if seg > mtu {
 			seg = mtu
 		}
-		h := &hdr{
-			SrcQPN: qp.QPN, DstQPN: job.respQPN,
-			Op: opReadResp, MsgLen: job.respLen, Offset: job.offset,
-			First: job.offset == 0, Last: job.offset+seg >= job.respLen,
-			ReadID: job.readID,
-		}
+		h := n.pool.hdr()
+		h.SrcQPN, h.DstQPN = qp.QPN, job.respQPN
+		h.Op, h.MsgLen, h.Offset = opReadResp, job.respLen, job.offset
+		h.First, h.Last = job.offset == 0, job.offset+seg >= job.respLen
+		h.ReadID = job.readID
 		if job.respData != nil {
 			h.Data = job.respData[job.offset : job.offset+seg]
 		}
 		job.offset += seg
-		p := &fabric.Packet{
-			Src: n.Node, Dst: job.respTo, Size: seg + 16,
-			FlowHash: qp.flowHash, ECT: true, Payload: h,
-		}
+		p := n.fab.NewPacket()
+		p.Src, p.Dst, p.Size = n.Node, job.respTo, seg+16
+		p.FlowHash, p.ECT, p.Payload = qp.flowHash, true, h
 		return p, seg + 16, h.Last
 	}
 
@@ -219,12 +229,11 @@ func (n *NIC) buildPacket(job *txJob) (*fabric.Packet, int, bool) {
 	if mtu > 0 {
 		idx = job.offset / mtu
 	}
-	h := &hdr{
-		SrcQPN: qp.QPN, DstQPN: qp.RemoteQPN,
-		Op: wr.Op, PSN: wr.firstPSN + uint32(idx),
-		MsgID: wr.ID, MsgLen: wr.Len, Offset: job.offset,
-		First: job.offset == 0, Last: job.offset+seg >= wr.Len,
-	}
+	h := n.pool.hdr()
+	h.SrcQPN, h.DstQPN = qp.QPN, qp.RemoteQPN
+	h.Op, h.PSN = wr.Op, wr.firstPSN+uint32(idx)
+	h.MsgID, h.MsgLen, h.Offset = wr.ID, wr.Len, job.offset
+	h.First, h.Last = job.offset == 0, job.offset+seg >= wr.Len
 	if h.First {
 		h.RAddr, h.RKey = wr.RAddr, wr.RKey
 		if wr.Op == OpRead {
@@ -249,10 +258,9 @@ func (n *NIC) buildPacket(job *txJob) (*fabric.Packet, int, bool) {
 		wire = 32 // request carries no payload
 	}
 	job.offset += seg
-	p := &fabric.Packet{
-		Src: n.Node, Dst: qp.RemoteNode, Size: wire,
-		FlowHash: qp.flowHash, ECT: true, Payload: h,
-	}
+	p := n.fab.NewPacket()
+	p.Src, p.Dst, p.Size = n.Node, qp.RemoteNode, wire
+	p.FlowHash, p.ECT, p.Payload = qp.flowHash, true, h
 	done := h.Last || wr.Op == OpRead
 	return p, wire, done
 }
@@ -276,6 +284,7 @@ func (n *NIC) emit(p *fabric.Packet) {
 	if n.FaultHook != nil {
 		drop, delay := n.FaultHook(p)
 		if drop {
+			n.freePacket(p)
 			return
 		}
 		if delay > 0 {
@@ -286,9 +295,23 @@ func (n *NIC) emit(p *fabric.Packet) {
 	n.host.Send(p)
 }
 
-// sendCtrl emits a small control packet (ACK/NAK/CNP).
-func (n *NIC) sendCtrl(dst fabric.NodeID, h *hdr) {
-	p := &fabric.Packet{Src: n.Node, Dst: dst, Size: 16, Class: fabric.ClassCtrl, Payload: h}
+// freePacket reclaims a packet (and its header) that never reached the
+// wire: fault-injected drops and jobs killed mid-transmission.
+func (n *NIC) freePacket(p *fabric.Packet) {
+	if h, ok := p.Payload.(*hdr); ok {
+		n.pool.putHdr(h)
+	}
+	n.fab.FreePacket(p)
+}
+
+// sendCtrl emits a small control packet (ACK/NAK/CNP). The header is
+// passed by value and copied onto a pooled node.
+func (n *NIC) sendCtrl(dst fabric.NodeID, h hdr) {
+	hp := n.pool.hdr()
+	*hp = h
+	p := n.fab.NewPacket()
+	p.Src, p.Dst, p.Size = n.Node, dst, 16
+	p.Class, p.Payload = fabric.ClassCtrl, hp
 	n.emit(p)
 }
 
@@ -318,11 +341,9 @@ func (qp *QP) paceCharge(now sim.Time, bytes int) {
 
 func (qp *QP) armRTO() {
 	n := qp.nic
-	if qp.rtoEvent != nil {
-		n.eng.Cancel(qp.rtoEvent)
-	}
+	n.eng.Cancel(qp.rtoEvent)
 	if len(qp.unacked) == 0 {
-		qp.rtoEvent = nil
+		qp.rtoEvent = sim.Event{}
 		return
 	}
 	qp.rtoEvent = n.eng.After(n.Cfg.RetransTimeout, func() { qp.onRTO() })
@@ -362,7 +383,9 @@ func (qp *QP) retransmitUnacked() {
 		if wr.Op == OpRead || queued[wr] {
 			continue
 		}
-		n.enqueueJob(&txJob{qp: qp, wr: wr})
+		j := n.pool.job()
+		j.qp, j.wr = qp, wr
+		n.enqueueJob(j)
 	}
 }
 
@@ -373,9 +396,7 @@ func (n *NIC) armReadTimer(qp *QP, wr *SendWR) {
 	if !ok {
 		return
 	}
-	if st.timer != nil {
-		n.eng.Cancel(st.timer)
-	}
+	n.eng.Cancel(st.timer)
 	st.timer = n.eng.After(n.Cfg.RetransTimeout, func() {
 		if qp.State != QPRTS {
 			return
@@ -392,7 +413,9 @@ func (n *NIC) armReadTimer(qp *QP, wr *SendWR) {
 		n.Counters.Retransmits++
 		qp.Counters.Retransmits++
 		st.got = 0
-		n.enqueueJob(&txJob{qp: qp, wr: wr})
+		j := n.pool.job()
+		j.qp, j.wr = qp, wr
+		n.enqueueJob(j)
 		n.armReadTimer(qp, wr)
 	})
 }

@@ -97,6 +97,7 @@ type txJob struct {
 	// progress
 	offset int
 	dead   bool
+	pooled bool // on the free-list; guards against double-release
 }
 
 // NIC is one node's RDMA adapter.
@@ -107,6 +108,8 @@ type NIC struct {
 
 	eng  *sim.Engine
 	host *fabric.Host
+	fab  *fabric.Fabric
+	pool *pools
 
 	alive bool
 
@@ -150,6 +153,8 @@ func New(eng *sim.Engine, host *fabric.Host, cfg Config) *NIC {
 		Cfg:     cfg,
 		eng:     eng,
 		host:    host,
+		fab:     host.Fabric(),
+		pool:    poolsFor(eng),
 		alive:   true,
 		qps:     make(map[uint32]*QP),
 		nextQPN: 1,
@@ -271,16 +276,13 @@ func (n *NIC) modifyQPNow(qp *QP, to QPState, remote fabric.NodeID, remoteQPN ui
 		// Reset clears all transient state; the QP cache uses this to
 		// recycle QPs without paying creation cost again.
 		n.dropJobsFor(qp)
-		if qp.rtoEvent != nil {
-			n.eng.Cancel(qp.rtoEvent)
-		}
-		if qp.ackTimer != nil {
-			n.eng.Cancel(qp.ackTimer)
-		}
+		n.eng.Cancel(qp.rtoEvent)
+		n.eng.Cancel(qp.ackTimer)
 		for _, st := range qp.pendingReads {
-			if st.timer != nil {
-				n.eng.Cancel(st.timer)
-			}
+			n.eng.Cancel(st.timer)
+		}
+		if qp.assemble != nil {
+			n.pool.putAsm(qp.assemble)
 		}
 		*qp = QP{QPN: qp.QPN, nic: n, State: QPReset, SQCap: qp.SQCap, RQCap: qp.RQCap,
 			SendCQ: qp.SendCQ, RecvCQ: qp.RecvCQ, srq: qp.srq, CreatedAt: qp.CreatedAt}

@@ -56,11 +56,13 @@ type CQE struct {
 
 // CQ is a completion queue. Depth is advisory: overflow is counted rather
 // than fatal (real CQ overflow kills the QP; the middleware sizes CQs so
-// it never happens, and the counter proves it).
+// it never happens, and the counter proves it). Entries live in a circular
+// buffer, so steady-state push/poll cycles never allocate.
 type CQ struct {
 	Depth     int
 	Overflows int64
-	queue     []CQE
+	buf       []CQE
+	head, cnt int
 	notify    func()
 }
 
@@ -72,29 +74,63 @@ func NewCQ(depth int) *CQ { return &CQ{Depth: depth} }
 func (cq *CQ) OnCompletion(fn func()) { cq.notify = fn }
 
 func (cq *CQ) push(e CQE) {
-	if cq.Depth > 0 && len(cq.queue) >= cq.Depth {
+	if cq.Depth > 0 && cq.cnt >= cq.Depth {
 		cq.Overflows++
 	}
-	wasEmpty := len(cq.queue) == 0
-	cq.queue = append(cq.queue, e)
-	if wasEmpty && cq.notify != nil {
+	if cq.cnt == len(cq.buf) {
+		cq.grow()
+	}
+	cq.buf[(cq.head+cq.cnt)&(len(cq.buf)-1)] = e
+	cq.cnt++
+	if cq.cnt == 1 && cq.notify != nil {
 		cq.notify()
 	}
 }
 
-// Poll removes up to n completions.
-func (cq *CQ) Poll(n int) []CQE {
-	if n > len(cq.queue) {
-		n = len(cq.queue)
+func (cq *CQ) grow() {
+	n := len(cq.buf) * 2
+	if n == 0 {
+		n = 16
 	}
-	out := make([]CQE, n)
-	copy(out, cq.queue[:n])
-	cq.queue = cq.queue[n:]
-	return out
+	nb := make([]CQE, n)
+	for i := 0; i < cq.cnt; i++ {
+		nb[i] = cq.buf[(cq.head+i)&(len(cq.buf)-1)]
+	}
+	cq.buf, cq.head = nb, 0
+}
+
+// PollAppend drains up to max completions into dst and returns the
+// extended slice. Passing a reused dst[:0] makes polling allocation-free;
+// vacated ring slots are cleared so payload references do not linger.
+func (cq *CQ) PollAppend(dst []CQE, max int) []CQE {
+	n := max
+	if n > cq.cnt {
+		n = cq.cnt
+	}
+	for i := 0; i < n; i++ {
+		idx := cq.head & (len(cq.buf) - 1)
+		dst = append(dst, cq.buf[idx])
+		cq.buf[idx] = CQE{}
+		cq.head++
+	}
+	cq.cnt -= n
+	return dst
+}
+
+// Poll removes up to n completions. Convenience wrapper around PollAppend
+// that allocates the result; hot paths should use PollAppend directly.
+func (cq *CQ) Poll(n int) []CQE {
+	if n > cq.cnt {
+		n = cq.cnt
+	}
+	if n == 0 {
+		return nil
+	}
+	return cq.PollAppend(make([]CQE, 0, n), n)
 }
 
 // Len reports queued completions.
-func (cq *CQ) Len() int { return len(cq.queue) }
+func (cq *CQ) Len() int { return cq.cnt }
 
 // SendWR is a send-queue work request.
 type SendWR struct {
@@ -197,7 +233,7 @@ type QP struct {
 	rnrBackoffUntil sim.Time
 	retries         int
 	rnrRetries      int
-	rtoEvent        *sim.Event
+	rtoEvent        sim.Event
 	nextTxTime      sim.Time
 	pendingReads    map[uint64]*readState
 	lastSeenAck     uint32
@@ -212,7 +248,7 @@ type QP struct {
 	expected     uint32 // next expected PSN
 	assemble     *assembly
 	pktsSinceAck int
-	ackTimer     *sim.Event
+	ackTimer     sim.Event
 	nakedAt      uint32 // last PSN we NAKed, to suppress NAK storms
 	nakValid     bool
 
@@ -244,7 +280,7 @@ type readState struct {
 	got     int
 	data    []byte
 	retries int
-	timer   *sim.Event
+	timer   sim.Event
 }
 
 // errors returned by the posting API.
@@ -294,7 +330,9 @@ func (qp *QP) PostSend(wr *SendWR) error {
 	}
 	wr.postedAt = qp.nic.eng.Now()
 	qp.sq = append(qp.sq, wr)
-	qp.nic.enqueueJob(&txJob{qp: qp, wr: wr})
+	j := qp.nic.pool.job()
+	j.qp, j.wr = qp, wr
+	qp.nic.enqueueJob(j)
 	return nil
 }
 
@@ -318,18 +356,12 @@ func (qp *QP) enterError(st Status) {
 		return
 	}
 	qp.State = QPError
-	if qp.rtoEvent != nil {
-		qp.nic.eng.Cancel(qp.rtoEvent)
-		qp.rtoEvent = nil
-	}
-	if qp.ackTimer != nil {
-		qp.nic.eng.Cancel(qp.ackTimer)
-		qp.ackTimer = nil
-	}
+	qp.nic.eng.Cancel(qp.rtoEvent)
+	qp.rtoEvent = sim.Event{}
+	qp.nic.eng.Cancel(qp.ackTimer)
+	qp.ackTimer = sim.Event{}
 	for id, rs := range qp.pendingReads {
-		if rs.timer != nil {
-			qp.nic.eng.Cancel(rs.timer)
-		}
+		qp.nic.eng.Cancel(rs.timer)
 		qp.completeSend(rs.wr, st)
 		delete(qp.pendingReads, id)
 	}

@@ -2,18 +2,22 @@ package rnic
 
 import (
 	"xrdma/internal/fabric"
+	"xrdma/internal/sim"
 )
 
 // HandlePacket is the fabric delivery entry point. Protocol processing
 // (sequencing, acks, naks) is immediate; CQE visibility pays the
 // completion + QP-cache costs.
 func (n *NIC) HandlePacket(p *fabric.Packet) {
-	if !n.alive {
-		return // crashed machine: packets vanish, no notification (§III)
-	}
 	h, ok := p.Payload.(*hdr)
 	if !ok {
 		return // foreign traffic (e.g. tcpnet) on a shared host
+	}
+	if !n.alive {
+		// Crashed machine: packets vanish, no notification (§III). The
+		// header still returns to the pool.
+		n.pool.putHdr(h)
+		return
 	}
 	n.Counters.PktsRecv++
 	switch h.Op {
@@ -41,6 +45,9 @@ func (n *NIC) HandlePacket(p *fabric.Packet) {
 	default:
 		n.handleData(p, h)
 	}
+	// End of life for the header: every handler above copies what it
+	// keeps (payload bytes move into assembly or read state).
+	n.pool.putHdr(h)
 }
 
 // maybeCNP implements the DCQCN notification point: an ECN-marked data
@@ -57,7 +64,7 @@ func (n *NIC) maybeCNP(p *fabric.Packet, h *hdr) {
 	}
 	n.lastCNP[key] = now
 	n.Counters.CNPSent++
-	n.sendCtrl(p.Src, &hdr{Op: opCNP, DstQPN: h.SrcQPN, SrcQPN: h.DstQPN})
+	n.sendCtrl(p.Src, hdr{Op: opCNP, DstQPN: h.SrcQPN, SrcQPN: h.DstQPN})
 }
 
 // handleReadReq services an inbound RDMA READ without any CPU
@@ -73,7 +80,7 @@ func (n *NIC) handleReadReq(p *fabric.Packet, h *hdr) {
 	mr, err := n.Mem.Lookup(h.RKey, h.RAddr, h.MsgLen)
 	if err != nil {
 		n.Counters.AccessErrors++
-		n.sendCtrl(p.Src, &hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakAccess})
+		n.sendCtrl(p.Src, hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakAccess})
 		qp.enterError(StatusRemoteAccessErr)
 		return
 	}
@@ -82,12 +89,15 @@ func (n *NIC) handleReadReq(p *fabric.Packet, h *hdr) {
 		data = make([]byte, h.MsgLen)
 		copy(data, mr.Slice(h.RAddr, h.MsgLen))
 	}
+	// The packet and header are recycled when this handler returns; copy
+	// everything the deferred response needs.
+	src, srcQPN, readID, msgLen := p.Src, h.SrcQPN, h.ReadID, h.MsgLen
 	n.eng.After(n.Cfg.RxProcess+n.touchQP(qp.QPN), func() {
-		n.enqueueJob(&txJob{
-			qp: qp, isResp: true,
-			respTo: p.Src, respQPN: h.SrcQPN,
-			readID: h.ReadID, respData: data, respLen: h.MsgLen,
-		})
+		j := n.pool.job()
+		j.qp, j.isResp = qp, true
+		j.respTo, j.respQPN = src, srcQPN
+		j.readID, j.respData, j.respLen = readID, data, msgLen
+		n.enqueueJob(j)
 	})
 }
 
@@ -121,9 +131,7 @@ func (qp *QP) handleReadResp(h *hdr) {
 		return
 	}
 	delete(qp.pendingReads, h.ReadID)
-	if st.timer != nil {
-		n.eng.Cancel(st.timer)
-	}
+	n.eng.Cancel(st.timer)
 	wr := st.wr
 	qp.Counters.BytesRecv += int64(wr.Len)
 	// Scatter into the local buffer when it is registered memory.
@@ -162,7 +170,7 @@ func (n *NIC) handleData(p *fabric.Packet, h *hdr) {
 			qp.nakValid = true
 			qp.nakedAt = qp.expected
 			n.Counters.SeqNakSent++
-			n.sendCtrl(p.Src, &hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakSeqErr, AckPSN: qp.expected})
+			n.sendCtrl(p.Src, hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakSeqErr, AckPSN: qp.expected})
 		}
 		return
 	}
@@ -174,16 +182,18 @@ func (n *NIC) handleData(p *fabric.Packet, h *hdr) {
 		if !ok {
 			n.Counters.RNRNakSent++
 			qp.Counters.RNRNakSent++
-			n.sendCtrl(p.Src, &hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakRNR, AckPSN: qp.expected})
+			n.sendCtrl(p.Src, hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakRNR, AckPSN: qp.expected})
 			return
 		}
 		if (h.Op == OpSend || h.Op == OpSendImm) && h.MsgLen > wr.Len {
 			n.Counters.AccessErrors++
-			n.sendCtrl(p.Src, &hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakAccess})
+			n.sendCtrl(p.Src, hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakAccess})
 			qp.enterError(StatusRemoteAccessErr)
 			return
 		}
-		qp.assemble = &assembly{op: h.Op, msgLen: h.MsgLen, recvWR: wr, hasWR: true}
+		a := n.pool.asm()
+		a.op, a.msgLen, a.recvWR, a.hasWR = h.Op, h.MsgLen, wr, true
+		qp.assemble = a
 	}
 	if h.First && (h.Op == OpWrite || h.Op == OpWriteImm) {
 		var mr *MR
@@ -192,7 +202,7 @@ func (n *NIC) handleData(p *fabric.Packet, h *hdr) {
 			mr, err = n.Mem.Lookup(h.RKey, h.RAddr, h.MsgLen)
 			if err != nil {
 				n.Counters.AccessErrors++
-				n.sendCtrl(p.Src, &hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakAccess})
+				n.sendCtrl(p.Src, hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakAccess})
 				qp.enterError(StatusRemoteAccessErr)
 				return
 			}
@@ -204,7 +214,9 @@ func (n *NIC) handleData(p *fabric.Packet, h *hdr) {
 			}
 		}
 		if qp.assemble == nil {
-			qp.assemble = &assembly{op: h.Op, msgLen: h.MsgLen}
+			a := n.pool.asm()
+			a.op, a.msgLen = h.Op, h.MsgLen
+			qp.assemble = a
 		}
 		qp.assemble.mr = mr
 		qp.assemble.raddr = h.RAddr
@@ -250,6 +262,7 @@ func (n *NIC) handleData(p *fabric.Packet, h *hdr) {
 		qp.Counters.MsgsRecv++
 		qp.Counters.BytesRecv += int64(a.msgLen)
 		n.deliver(qp, a, h)
+		n.pool.putAsm(a) // deliver copied the CQE (incl. the data slice)
 	}
 	qp.scheduleAck(h.Last)
 }
@@ -290,20 +303,18 @@ func (qp *QP) scheduleAck(boundary bool) {
 		qp.sendAckNow()
 		return
 	}
-	if qp.ackTimer == nil || !qp.ackTimer.Pending() {
+	if !qp.ackTimer.Pending() {
 		qp.ackTimer = qp.nic.eng.After(qp.nic.Cfg.AckDelay, qp.sendAckNow)
 	}
 }
 
 func (qp *QP) sendAckNow() {
 	n := qp.nic
-	if qp.ackTimer != nil {
-		n.eng.Cancel(qp.ackTimer)
-		qp.ackTimer = nil
-	}
+	n.eng.Cancel(qp.ackTimer)
+	qp.ackTimer = sim.Event{}
 	qp.pktsSinceAck = 0
 	n.Counters.AcksSent++
-	n.sendCtrl(qp.RemoteNode, &hdr{Op: opAck, DstQPN: qp.RemoteQPN, SrcQPN: qp.QPN, AckPSN: qp.expected})
+	n.sendCtrl(qp.RemoteNode, hdr{Op: opAck, DstQPN: qp.RemoteQPN, SrcQPN: qp.QPN, AckPSN: qp.expected})
 }
 
 // --- ack / nak handling at the requester -----------------------------------

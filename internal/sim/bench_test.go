@@ -1,0 +1,60 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures the steady-state schedule→fire cycle:
+// a fixed-size event population where every fired event schedules its
+// successor. This is the kernel's hot path — every packet hop, timer and
+// completion in the simulator goes through exactly this cycle.
+func BenchmarkEngineSchedule(b *testing.B) {
+	for _, depth := range []int{16, 256, 4096} {
+		b.Run(benchName("depth", depth), func(b *testing.B) {
+			e := NewEngine()
+			var tick func()
+			tick = func() { e.After(100, tick) }
+			for i := 0; i < depth; i++ {
+				e.After(Duration(i), tick)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkEngineChurn measures the schedule+cancel pattern that dominates
+// timer-heavy models (RTO re-arming, ack coalescing): each iteration
+// schedules two events, cancels one, and fires the other.
+func BenchmarkEngineChurn(b *testing.B) {
+	e := NewEngine()
+	// A standing population so cancels hit mid-heap, not the root.
+	for i := 0; i < 64; i++ {
+		e.After(Duration(1_000_000+i), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keep := e.After(10, func() {})
+		drop := e.After(500, func() {})
+		e.Cancel(drop)
+		_ = keep
+		e.Step()
+	}
+}
+
+func benchName(k string, v int) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return k + "=0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v%10]
+		v /= 10
+	}
+	return k + "=" + string(buf[i:])
+}

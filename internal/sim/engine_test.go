@@ -50,15 +50,15 @@ func TestEngineCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	// Double-cancel and nil-cancel are no-ops.
+	// Double-cancel and zero-handle cancel are no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Event{})
 }
 
 func TestEngineCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	evs := make([]*Event, 10)
+	evs := make([]Event, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = e.After(Duration(10*(i+1)), func() { got = append(got, i) })
@@ -180,6 +180,138 @@ func TestEngineOrderingProperty(t *testing.T) {
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// Cancelling a background event must undo AfterBg's nonBg compensation,
+// not double-decrement it — otherwise Run would exit early (or spin) once
+// foreground work remains.
+func TestEngineCancelBackgroundAccounting(t *testing.T) {
+	e := NewEngine()
+	bg := e.AfterBg(1000, func() {})
+	if e.nonBg != 0 {
+		t.Fatalf("nonBg after AfterBg = %d, want 0", e.nonBg)
+	}
+	e.Cancel(bg)
+	if e.nonBg != 0 {
+		t.Fatalf("nonBg after cancelling bg event = %d, want 0", e.nonBg)
+	}
+	fired := false
+	e.After(10, func() { fired = true })
+	if e.nonBg != 1 {
+		t.Fatalf("nonBg with one fg event = %d, want 1", e.nonBg)
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("foreground event did not fire after bg cancel")
+	}
+	if e.nonBg != 0 {
+		t.Fatalf("nonBg after drain = %d, want 0", e.nonBg)
+	}
+	// Mixed population: cancel fg and bg, drain, accounting must balance.
+	fg := e.After(100, func() {})
+	bg2 := e.AfterBg(100, func() {})
+	e.After(50, func() {})
+	e.Cancel(fg)
+	e.Cancel(bg2)
+	e.Run()
+	if e.nonBg != 0 || e.Pending() != 0 {
+		t.Fatalf("after mixed cancel: nonBg=%d pending=%d, want 0/0", e.nonBg, e.Pending())
+	}
+}
+
+// Cancelling from inside a firing callback: both another pending event and
+// the (already-released) firing event itself must be safe.
+func TestEngineCancelInsideCallback(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	var self, victim Event
+	self = e.After(10, func() {
+		fired = append(fired, "a")
+		e.Cancel(self)   // self-cancel while firing: no-op
+		e.Cancel(victim) // cancel a later event mid-callback
+	})
+	victim = e.After(20, func() { fired = append(fired, "victim") })
+	e.After(30, func() { fired = append(fired, "c") })
+	e.Run()
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "c" {
+		t.Fatalf("fired = %v, want [a c]", fired)
+	}
+	if e.nonBg != 0 {
+		t.Fatalf("nonBg = %d, want 0", e.nonBg)
+	}
+}
+
+// A stale handle to a fired event must not cancel the unrelated event that
+// recycled its node — the generation counter is what prevents it.
+func TestEngineStaleHandleAfterReuse(t *testing.T) {
+	e := NewEngine()
+	firstFired := false
+	stale := e.After(10, func() { firstFired = true })
+	e.Run()
+	if !firstFired || stale.Pending() {
+		t.Fatal("first event should have fired and be non-pending")
+	}
+	// The next schedule reuses the pooled node.
+	secondFired := false
+	fresh := e.After(10, func() { secondFired = true })
+	if !fresh.Pending() {
+		t.Fatal("fresh event should be pending")
+	}
+	if stale.Pending() {
+		t.Fatal("stale handle reports pending after node reuse")
+	}
+	e.Cancel(stale) // must NOT cancel the recycled event
+	if !fresh.Pending() {
+		t.Fatal("stale cancel killed the recycled event")
+	}
+	e.Run()
+	if !secondFired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+// FIFO ordering of same-instant events must survive node reuse: recycled
+// nodes get fresh sequence numbers, never their old ones.
+func TestEngineFIFOAcrossPoolReuse(t *testing.T) {
+	e := NewEngine()
+	const k = 32
+	for round := 0; round < 5; round++ {
+		var got []int
+		at := e.Now().Add(100)
+		// Interleave schedule/cancel so reuse order is scrambled.
+		for i := 0; i < k; i++ {
+			i := i
+			ev := e.At(at, func() { got = append(got, -1) })
+			e.Cancel(ev)
+			e.At(at, func() { got = append(got, i) })
+		}
+		e.Run()
+		if len(got) != k {
+			t.Fatalf("round %d: fired %d events, want %d", round, len(got), k)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("round %d: same-instant events not FIFO after reuse: %v", round, got)
+			}
+		}
+	}
+}
+
+// The free-list must actually be used: steady-state churn should not grow
+// the live node population.
+func TestEnginePoolReuse(t *testing.T) {
+	e := NewEngine()
+	e.After(1, func() {})
+	e.Run()
+	if len(e.free) != 1 {
+		t.Fatalf("free-list size = %d, want 1", len(e.free))
+	}
+	n := e.free[0]
+	ev := e.After(1, func() {})
+	if ev.n != n {
+		t.Fatal("schedule did not reuse the pooled node")
+	}
+	e.Run()
 }
 
 func TestDurationHelpers(t *testing.T) {

@@ -21,6 +21,17 @@ func NewSummary() *Summary {
 	return &Summary{min: math.Inf(1), max: math.Inf(-1)}
 }
 
+// NewSummaryCap returns an empty summary pre-sized for n samples, so a
+// harness that knows its sample count up front (e.g. a fixed-iteration
+// benchmark loop) takes no append-growth allocations while recording.
+func NewSummaryCap(n int) *Summary {
+	s := NewSummary()
+	if n > 0 {
+		s.samples = make([]float64, 0, n)
+	}
+	return s
+}
+
 // Add records one sample.
 func (s *Summary) Add(v float64) {
 	s.samples = append(s.samples, v)

@@ -157,3 +157,23 @@ func TestRateBucketing(t *testing.T) {
 		t.Fatalf("bucket times = %v", out.Times)
 	}
 }
+
+func TestSummaryCapNoGrowth(t *testing.T) {
+	s := NewSummaryCap(100)
+	if s.Count() != 0 || s.Mean() != 0 {
+		t.Fatal("pre-sized summary should start empty")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		s.samples = s.samples[:0]
+		s.sum, s.min, s.max = 0, math.Inf(1), math.Inf(-1)
+		for i := 0; i < 100; i++ {
+			s.Add(float64(i))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Add within cap allocated %.0f times per run", allocs)
+	}
+	if s.Count() != 100 || s.Min() != 0 || s.Max() != 99 {
+		t.Errorf("Count=%d Min=%v Max=%v", s.Count(), s.Min(), s.Max())
+	}
+}

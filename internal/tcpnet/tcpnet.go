@@ -148,7 +148,7 @@ type Conn struct {
 	OnClose   func(error)
 
 	lastHeard sim.Time
-	kaEvent   *sim.Event
+	kaEvent   sim.Event
 	kaWaiting bool
 
 	// dialDone is stashed on the dialing side until the SYNACK arrives.
@@ -189,11 +189,11 @@ func (s *Stack) send(to fabric.NodeID, seg *segment, size int) {
 	if !s.alive {
 		return
 	}
-	s.host.Send(&fabric.Packet{
-		Src: s.Node, Dst: to, Size: size, Proto: fabric.ProtoTCP,
-		FlowHash: uint64(seg.srcPort)<<16 ^ uint64(seg.dstPort) ^ uint64(to)<<32 ^ uint64(s.Node)<<48,
-		Payload:  seg,
-	})
+	p := s.host.Fabric().NewPacket()
+	p.Src, p.Dst, p.Size, p.Proto = s.Node, to, size, fabric.ProtoTCP
+	p.FlowHash = uint64(seg.srcPort)<<16 ^ uint64(seg.dstPort) ^ uint64(to)<<32 ^ uint64(s.Node)<<48
+	p.Payload = seg
+	s.host.Send(p)
 }
 
 // Send transmits one message; cb (optional) fires when the last byte hits
@@ -301,10 +301,8 @@ func (c *Conn) armKA() {
 }
 
 func (c *Conn) stopKA() {
-	if c.kaEvent != nil {
-		c.stack.eng.Cancel(c.kaEvent)
-		c.kaEvent = nil
-	}
+	c.stack.eng.Cancel(c.kaEvent)
+	c.kaEvent = sim.Event{}
 }
 
 // --- receive ---------------------------------------------------------------
@@ -325,18 +323,20 @@ func (s *Stack) HandlePacket(p *fabric.Packet) {
 			s.send(p.Src, &segment{kind: 7, srcPort: seg.dstPort, dstPort: seg.srcPort}, 40)
 			return
 		}
-		key := connKey{localPort: seg.dstPort, remote: p.Src, remotePort: seg.srcPort}
-		c := &Conn{stack: s, key: key, Remote: p.Src, RemotePort: seg.srcPort, open: true}
+		src := p.Src // p is recycled before the deferred work runs
+		key := connKey{localPort: seg.dstPort, remote: src, remotePort: seg.srcPort}
+		c := &Conn{stack: s, key: key, Remote: src, RemotePort: seg.srcPort, open: true}
 		c.lastHeard = s.eng.Now()
 		s.conns[key] = c
 		// Accept-side kernel work before SYNACK.
 		s.eng.After(25*sim.Microsecond, func() {
-			s.send(p.Src, &segment{kind: 2, srcPort: seg.dstPort, dstPort: seg.srcPort}, 40)
+			s.send(src, &segment{kind: 2, srcPort: c.key.localPort, dstPort: c.key.remotePort}, 40)
 			c.armKA()
 			accept(c)
 		})
 	case 2: // SYNACK
-		key := connKey{localPort: seg.dstPort, remote: p.Src, remotePort: seg.srcPort}
+		src := p.Src // p is recycled before the deferred work runs
+		key := connKey{localPort: seg.dstPort, remote: src, remotePort: seg.srcPort}
 		c := s.conns[key]
 		if c == nil || c.open {
 			return
@@ -344,7 +344,7 @@ func (s *Stack) HandlePacket(p *fabric.Packet) {
 		s.eng.After(25*sim.Microsecond, func() {
 			c.open = true
 			c.lastHeard = s.eng.Now()
-			s.send(p.Src, &segment{kind: 3, srcPort: seg.dstPort, dstPort: seg.srcPort}, 40)
+			s.send(src, &segment{kind: 3, srcPort: c.key.localPort, dstPort: c.key.remotePort}, 40)
 			c.armKA()
 			if c.dialDone != nil {
 				done := c.dialDone

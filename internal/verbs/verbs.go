@@ -145,11 +145,11 @@ func (cm *CM) Listen(port int, handler func(*ConnReq)) error {
 
 // send ships a CM control message over the fabric's control class.
 func (cm *CM) send(to fabric.NodeID, m *cmMsg) {
-	cm.host.Send(&fabric.Packet{
-		Src: cm.host.ID, Dst: to, Size: 64 + len(m.private),
-		Class: fabric.ClassCtrl, Proto: fabric.ProtoCM,
-		FlowHash: uint64(cm.host.ID)<<32 ^ uint64(to), Payload: m,
-	})
+	p := cm.host.Fabric().NewPacket()
+	p.Src, p.Dst, p.Size = cm.host.ID, to, 64+len(m.private)
+	p.Class, p.Proto = fabric.ClassCtrl, fabric.ProtoCM
+	p.FlowHash, p.Payload = uint64(cm.host.ID)<<32^uint64(to), m
+	cm.host.Send(p)
 }
 
 // Connect establishes an RC connection to (remote, port). If recycledQP is
@@ -234,7 +234,8 @@ func (cm *CM) HandlePacket(p *fabric.Packet) {
 		}
 		delete(cm.pending, m.msgID)
 		nic := cm.ctx.NIC
-		nic.ModifyQP(st.qp, rnic.QPRTR, p.Src, m.qpn, func(err error) {
+		src := p.Src // p is recycled before the async transitions finish
+		nic.ModifyQP(st.qp, rnic.QPRTR, src, m.qpn, func(err error) {
 			if err != nil {
 				st.done(nil, err)
 				return
@@ -244,9 +245,9 @@ func (cm *CM) HandlePacket(p *fabric.Packet) {
 					st.done(nil, err)
 					return
 				}
-				cm.send(p.Src, &cmMsg{kind: 2, msgID: m.msgID})
+				cm.send(src, &cmMsg{kind: 2, msgID: m.msgID})
 				cm.EstablishedConns++
-				st.done(&Conn{QP: st.qp, Remote: p.Src}, nil)
+				st.done(&Conn{QP: st.qp, Remote: src}, nil)
 			})
 		})
 	case 2: // RTU — passive side already RTS in this model; nothing to do.

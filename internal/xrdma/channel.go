@@ -52,7 +52,7 @@ type Channel struct {
 
 	recvSinceAck int
 	lastAckVal   uint64
-	ackEv        *sim.Event
+	ackEv        sim.Event
 	nopInFlight  bool
 	stallFlag    bool
 
@@ -345,9 +345,7 @@ func (ch *Channel) teardown(err error) {
 		delete(ch.recvBufs, id)
 		c.Mem.Free(buf)
 	}
-	if ch.ackEv != nil {
-		c.eng.Cancel(ch.ackEv)
-	}
+	c.eng.Cancel(ch.ackEv)
 	// The QP (reset) goes to the cache for fast re-establishment. A
 	// mocked channel already surrendered its QP when it switched.
 	if ch.mock == nil {

@@ -38,8 +38,12 @@ type Context struct {
 
 	onChannel func(*Channel)
 
+	// Reused CQE buffers: pollOnce drains into these so the poll loop is
+	// allocation-free (dispatch closures copy the CQE values they need).
+	scqeBuf, rcqeBuf []rnic.CQE
+
 	// Hybrid polling state (§IV-B).
-	pollEv      *sim.Event
+	pollEv      sim.Event
 	lastPoll    sim.Time
 	idlePolls   int
 	eventMode   bool
@@ -220,7 +224,7 @@ func (c *Context) startPolling() {
 }
 
 func (c *Context) schedulePoll(d sim.Duration) {
-	if c.pollEv != nil && c.pollEv.Pending() {
+	if c.pollEv.Pending() {
 		return
 	}
 	c.pollEv = c.eng.After(d, c.pollTick)
@@ -249,7 +253,7 @@ func (c *Context) wake() {
 		return
 	}
 	soon := c.eng.Now().Add(spinDetect)
-	if c.pollEv != nil && c.pollEv.Pending() {
+	if c.pollEv.Pending() {
 		if c.pollEv.At() <= soon {
 			return
 		}
@@ -295,8 +299,9 @@ func (c *Context) pollOnce() int {
 	c.lastPoll = now
 	c.Stats.Polls++
 
-	scqes := c.sendCQ.Poll(128)
-	rcqes := c.recvCQ.Poll(128)
+	c.scqeBuf = c.sendCQ.PollAppend(c.scqeBuf[:0], 128)
+	c.rcqeBuf = c.recvCQ.PollAppend(c.rcqeBuf[:0], 128)
+	scqes, rcqes := c.scqeBuf, c.rcqeBuf
 	n := len(scqes) + len(rcqes)
 	if n == 0 {
 		return 0

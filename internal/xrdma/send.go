@@ -213,10 +213,8 @@ func (ch *Channel) sendCtrlHdr(h *wireHdr) {
 func (ch *Channel) noteAckCarried() {
 	ch.lastAckVal = ch.rx.ackValue()
 	ch.recvSinceAck = 0
-	if ch.ackEv != nil {
-		ch.ctx.eng.Cancel(ch.ackEv)
-		ch.ackEv = nil
-	}
+	ch.ctx.eng.Cancel(ch.ackEv)
+	ch.ackEv = sim.Event{}
 }
 
 // maybeAck emits a standalone ack after AckEvery deliveries, or arms the
@@ -230,7 +228,7 @@ func (ch *Channel) maybeAck() {
 		ch.sendCtrl(kindAck)
 		return
 	}
-	if ch.ackEv == nil || !ch.ackEv.Pending() {
+	if !ch.ackEv.Pending() {
 		ch.ackEv = ch.ctx.eng.After(ch.ctx.cfg.AckDelay, func() {
 			if !ch.closed && ch.rx.ackValue() > ch.lastAckVal {
 				ch.sendCtrl(kindAck)

@@ -1,0 +1,71 @@
+#!/bin/sh
+# bench.sh — run the simulation-kernel microbenchmarks and emit
+# BENCH_kernel.json: current ns/op + allocs/op per benchmark next to the
+# committed container/heap baseline, with the speedup factor.
+#
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_kernel.json)
+# Set REPRODUCE=1 to also time cmd/reproduce -full at -j 1 vs -j nproc
+# (slow; the ratio only exceeds 1 on multi-core hosts).
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_kernel.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test ./internal/sim/ -run '^$' -bench 'BenchmarkEngine' -benchmem \
+    -benchtime=2s -count=1 | tee "$tmp" >&2
+
+# Baseline: container/heap scheduler + per-event heap allocation, measured
+# on the same benchmarks before the 4-ary-heap/free-list rewrite.
+awk '
+BEGIN {
+    base["EngineSchedule/depth=16"]   = 127.4; base_allocs["EngineSchedule/depth=16"]   = 1
+    base["EngineSchedule/depth=256"]  = 224.3; base_allocs["EngineSchedule/depth=256"]  = 1
+    base["EngineSchedule/depth=4096"] = 363.1; base_allocs["EngineSchedule/depth=4096"] = 1
+    base["EngineChurn"]               = 319.2; base_allocs["EngineChurn"]               = 2
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    names[n] = name; nsop[n] = ns; al[n] = allocs; n++
+}
+END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) {
+        b = (names[i] in base) ? base[names[i]] : 0
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s",
+               names[i], nsop[i], (al[i] == "" ? "null" : al[i])
+        if (b > 0)
+            printf ", \"baseline_ns_per_op\": %s, \"baseline_allocs_per_op\": %s, \"speedup\": %.2f",
+                   b, base_allocs[names[i]], b / nsop[i]
+        printf "}%s\n", (i < n - 1 ? "," : "")
+    }
+    printf "  ],\n  \"baseline\": \"container/heap scheduler, pre-rewrite\"\n}\n"
+}
+' "$tmp" > "$out"
+
+if [ "${REPRODUCE:-0}" = "1" ]; then
+    go build -o "$tmp.bin" ./cmd/reproduce
+    ncpu="$(getconf _NPROCESSORS_ONLN)"
+    t0=$(date +%s); "$tmp.bin" -full -j 1 > /dev/null; t1=$(date +%s)
+    "$tmp.bin" -full -j "$ncpu" > /dev/null; t2=$(date +%s)
+    rm -f "$tmp.bin"
+    seq=$((t1 - t0)); par=$((t2 - t1))
+    [ "$par" -gt 0 ] || par=1
+    # Splice the reproduce timing into the JSON before the closing brace.
+    sed '$d' "$out" > "$tmp" && mv "$tmp" "$out"
+    trap - EXIT
+    printf ',\n  "reproduce_full": {"cpus": %s, "j1_seconds": %s, "jN_seconds": %s, "speedup": %s}\n}\n' \
+        "$ncpu" "$seq" "$par" "$(awk "BEGIN{printf \"%.2f\", $seq/$par}")" >> "$out"
+fi
+
+echo "wrote $out" >&2
