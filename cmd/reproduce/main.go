@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"xrdma/internal/bench"
+	"xrdma/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +29,8 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "experiments to run concurrently")
 	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
+	metrics := flag.Bool("metrics", false, "print the per-world metric registry after each experiment")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline of every observed world to this file")
 	flag.Parse()
 
 	reg := bench.Experiments()
@@ -63,6 +66,24 @@ func main() {
 	}
 	sc.Seed = *seed
 
+	// Telemetry collector: observes every engine the experiments create.
+	// Timelines are captured only when -trace asks for them; each world's
+	// ring is truncated at DefaultTraceCap events (oldest dropped first)
+	// so a full run cannot produce a multi-gigabyte file by accident.
+	var col *telemetry.Collector
+	if *metrics || *tracePath != "" {
+		col = &telemetry.Collector{}
+		if *tracePath != "" {
+			col.TraceCap = telemetry.DefaultTraceCap
+		}
+		sc.Observe = col.Observe
+	}
+	if *tracePath != "" && len(want) == 0 {
+		fmt.Fprintf(os.Stderr, "reproduce: warning: -trace without -only captures every experiment's timeline; "+
+			"rings truncate at %d events per world — use -only fig9,fig10 (or similar) for complete timelines\n",
+			telemetry.DefaultTraceCap)
+	}
+
 	var selected []bench.Experiment
 	for _, e := range reg {
 		if len(want) == 0 || want[e.ID] {
@@ -85,6 +106,18 @@ func main() {
 	}
 
 	run(selected, sc, *jobs)
+
+	if col != nil {
+		if *metrics {
+			printMetrics(col)
+		}
+		if *tracePath != "" {
+			if err := writeTrace(col, *tracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -134,4 +167,42 @@ func run(selected []bench.Experiment, sc bench.Scale, jobs int) {
 			fmt.Println(t.String())
 		}
 	}
+}
+
+// printMetrics renders every observed world's metric registry as an
+// aligned table, in label order (deterministic across -j values).
+func printMetrics(col *telemetry.Collector) {
+	for _, ob := range col.Observations() {
+		fmt.Printf("== metrics: %s ==\n", ob.Label)
+		fmt.Print(ob.Set.Reg.Table())
+		fmt.Println()
+	}
+}
+
+// writeTrace emits the merged Chrome trace_event JSON (one process per
+// observed world) and reports any rings that overflowed.
+func writeTrace(col *telemetry.Collector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := col.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	events, dropped := 0, uint64(0)
+	for _, ob := range col.Observations() {
+		events += ob.Set.Trace.Len()
+		if d := ob.Set.Trace.Dropped(); d > 0 {
+			dropped += d
+			fmt.Fprintf(os.Stderr, "reproduce: trace ring for %q dropped %d oldest events (cap %d)\n",
+				ob.Label, d, telemetry.DefaultTraceCap)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "reproduce: wrote %d trace events (%d worlds, %d dropped) to %s\n",
+		events, len(col.Observations()), dropped, path)
+	return nil
 }

@@ -1,6 +1,8 @@
 // xr-stat is the netstat analogue of §VI-B: it runs a brief workload on a
-// small cluster and dumps the per-connection statistics table for every
-// node, plus the monitor's periodic samples for one of them.
+// small cluster and prints, for every node, the per-connection table
+// pivoted from the telemetry registry's per-channel gauges, then the
+// monitor's periodic samples for node 0, the full metric registry
+// (grouped netstat -s style) with -all, and any flight-recorder dumps.
 package main
 
 import (
@@ -10,6 +12,7 @@ import (
 	"xrdma/internal/cluster"
 	"xrdma/internal/fabric"
 	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
 	"xrdma/internal/workload"
 	"xrdma/internal/xrdma"
 )
@@ -18,6 +21,7 @@ func main() {
 	nodes := flag.Int("nodes", 4, "cluster size")
 	dur := flag.Duration("dur", 0, "simulated workload duration (default 200ms)")
 	seed := flag.Uint64("seed", 1, "seed")
+	all := flag.Bool("all", false, "also print the full metric registry (every layer's counters)")
 	flag.Parse()
 
 	horizon := 200 * sim.Millisecond
@@ -54,5 +58,18 @@ func main() {
 	for _, s := range c.Mon.Samples[0] {
 		fmt.Printf("  t=%-14v qps=%-3d occupy=%-9d in-use=%-9d sent=%-6d recv=%-6d slowpolls=%d\n",
 			s.At, s.QPs, s.MemOccupied, s.MemInUse, s.MsgsSent, s.MsgsRecv, s.SlowPolls)
+	}
+
+	// One engine → one telemetry set, shared by every layer of this world.
+	tel := telemetry.For(c.Eng)
+	if *all {
+		fmt.Println("\nmetric registry:")
+		fmt.Print(tel.Reg.Table())
+	}
+	if dumps := tel.Flight.Dumps(); len(dumps) > 0 {
+		fmt.Printf("\nflight recorder: %d dump(s)\n", len(dumps))
+		for _, d := range dumps {
+			fmt.Println(d.String())
+		}
 	}
 }

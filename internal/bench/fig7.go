@@ -17,9 +17,9 @@ type pingFixture struct {
 	cli *xrdma.Channel
 }
 
-func newPingFixture(seed uint64, mutate func(*xrdma.Config)) *pingFixture {
+func newPingFixture(sc Scale, label string, mutate func(*xrdma.Config)) *pingFixture {
 	c := cluster.New(cluster.Options{
-		Topology: fabric.SmallClos(), Nodes: 6, Seed: seed,
+		Topology: fabric.SmallClos(), Nodes: 6, Seed: sc.Seed,
 		Config: func(node int, cfg *xrdma.Config) {
 			cfg.KeepaliveInterval = 0 // quiesce probes during measurement
 			if mutate != nil {
@@ -27,6 +27,7 @@ func newPingFixture(seed uint64, mutate func(*xrdma.Config)) *pingFixture {
 			}
 		},
 	})
+	sc.observe(c.Eng, label)
 	c.ListenAll(7000, func(n *cluster.Node, ch *xrdma.Channel) {
 		ch.OnMessage(func(m *xrdma.Msg) { m.Reply(nil, m.Len) })
 	})
@@ -68,8 +69,8 @@ func (f *pingFixture) rtt(size, n int) sim.Duration {
 }
 
 // xrdmaRTT builds a fresh fixture and measures one point.
-func xrdmaRTT(seed uint64, mutate func(*xrdma.Config), size, n int) sim.Duration {
-	return newPingFixture(seed, mutate).rtt(size, n)
+func xrdmaRTT(sc Scale, label string, mutate func(*xrdma.Config), size, n int) sim.Duration {
+	return newPingFixture(sc, label, mutate).rtt(size, n)
 }
 
 func fig7Sizes(lo, hi int) []int {
@@ -100,9 +101,9 @@ func Fig7Left(sc Scale) *Fig7LeftResult {
 	r := &Fig7LeftResult{Sizes: sizes}
 	smallMode := func(cfg *xrdma.Config) { cfg.SmallMsgSize = 32 << 10 }
 	largeMode := func(cfg *xrdma.Config) { cfg.SmallMsgSize = 0 }
-	fSmall := newPingFixture(sc.Seed, smallMode)
-	fLarge := newPingFixture(sc.Seed, largeMode)
-	fMixed := newPingFixture(sc.Seed, nil)
+	fSmall := newPingFixture(sc, "fig7-left/small", smallMode)
+	fLarge := newPingFixture(sc, "fig7-left/large", largeMode)
+	fMixed := newPingFixture(sc, "fig7-left/mixed", nil)
 	for _, s := range sizes {
 		r.Small = append(r.Small, fSmall.rtt(s, n).Micros())
 		r.Large = append(r.Large, fLarge.rtt(s, n).Micros())
@@ -141,11 +142,12 @@ func Fig7Middle(sc Scale) *Fig7MiddleResult {
 		Stacks: []string{"xrdma-BD", "xrdma-reqrsp", "ibv-pingpong", "ucx-am-rc", "libfabric", "xio"},
 		RTT:    make(map[string][]float64),
 	}
-	fBD := newPingFixture(sc.Seed, nil)
-	fRR := newPingFixture(sc.Seed, func(cfg *xrdma.Config) { cfg.ReqRspMode = true })
+	fBD := newPingFixture(sc, "fig7-middle/xrdma-BD", nil)
+	fRR := newPingFixture(sc, "fig7-middle/xrdma-reqrsp", func(cfg *xrdma.Config) { cfg.ReqRspMode = true })
 	pairs := map[string]*baseline.Pair{}
 	for _, p := range baseline.Profiles() {
 		eng := sim.NewEngine()
+		sc.observe(eng, "fig7-middle/"+p.Name)
 		fab := fabric.New(eng, fabric.DefaultConfig(), sc.Seed)
 		fabric.BuildClos(fab, fabric.SmallClos())
 		a := rnic.New(eng, fab.Host(0), rnic.DefaultConfig())
@@ -193,12 +195,13 @@ func Fig7Right(sc Scale) *Fig7RightResult {
 		Stacks: []string{"xrdma", "ibv-pingpong", "ucx-am-rc", "libfabric"},
 		RTT:    make(map[string][]float64),
 	}
-	fx := newPingFixture(sc.Seed, nil)
+	fx := newPingFixture(sc, "fig7-right/xrdma", nil)
 	for _, s := range sizes {
 		r.RTT["xrdma"] = append(r.RTT["xrdma"], fx.rtt(s, n).Micros())
 	}
 	for _, p := range []baseline.Profile{baseline.IbvPingpong, baseline.UcxAmRc, baseline.Libfabric} {
 		eng := sim.NewEngine()
+		sc.observe(eng, "fig7-right/"+p.Name)
 		fab := fabric.New(eng, fabric.DefaultConfig(), sc.Seed)
 		fabric.BuildClos(fab, fabric.SmallClos())
 		a := rnic.New(eng, fab.Host(0), rnic.DefaultConfig())
@@ -238,8 +241,8 @@ func TracingOverhead(sc Scale) *TracingOverheadResult {
 	}
 	sizes := []int{64, 512, 4096}
 	r := &TracingOverheadResult{Sizes: sizes}
-	fB := newPingFixture(sc.Seed, nil)
-	fT := newPingFixture(sc.Seed, func(cfg *xrdma.Config) { cfg.ReqRspMode = true })
+	fB := newPingFixture(sc, "tracing/bare", nil)
+	fT := newPingFixture(sc, "tracing/reqrsp", func(cfg *xrdma.Config) { cfg.ReqRspMode = true })
 	t := Table{ID: "E4/§VII-A", Title: "tracing overhead: bare-data vs req-rsp (µs)",
 		Header: []string{"size", "bare", "req-rsp", "overhead%"}}
 	for _, s := range sizes {

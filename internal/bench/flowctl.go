@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"xrdma/internal/cluster"
 	"xrdma/internal/fabric"
 	"xrdma/internal/sim"
@@ -44,6 +46,11 @@ func fig10Run(sc Scale, payload int, fc bool, mean sim.Duration, horizon sim.Dur
 			}
 		},
 	})
+	variant := fmt.Sprintf("fig10/%dKB", payload>>10)
+	if fc {
+		variant += "-fc"
+	}
+	sc.observe(c.Eng, variant)
 	victim := 0
 	var recvBytes int64
 	series = &sim.Series{Name: "goodput"}
@@ -168,6 +175,7 @@ func FragmentSweep(sc Scale) *FragmentSweepResult {
 				cfg.FragmentSize = kb << 10
 			},
 		})
+		sc.observe(c.Eng, fmt.Sprintf("frag-sweep/%dKB", kb))
 		var recvBytes int64
 		c.Nodes[0].Ctx.OnChannel(func(ch *xrdma.Channel) {
 			ch.OnMessage(func(m *xrdma.Msg) {

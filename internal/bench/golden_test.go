@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"sync"
 	"testing"
 
 	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
 )
 
 // Golden-seed determinism anchors. These exact numbers were captured on
@@ -24,7 +26,7 @@ const (
 )
 
 func TestGoldenSeedDeterminism(t *testing.T) {
-	f := newPingFixture(goldenSeed, nil)
+	f := newPingFixture(Scale{Seed: goldenSeed}, "golden", nil)
 	rtt := f.rtt(goldenPingSize, goldenPingCount)
 	if rtt != goldenMeanRTT {
 		t.Errorf("mean RTT for seed=%d: got %v, want %v", goldenSeed, rtt, goldenMeanRTT)
@@ -48,11 +50,46 @@ func TestGoldenSeedFig9(t *testing.T) {
 // engine-keyed pools and free-lists must not let one run's state leak
 // into the next.
 func TestGoldenSeedRepeatable(t *testing.T) {
-	a := newPingFixture(goldenSeed, nil)
+	a := newPingFixture(Scale{Seed: goldenSeed}, "golden", nil)
 	rttA, firedA := a.rtt(goldenPingSize, goldenPingCount), a.c.Eng.Fired()
-	b := newPingFixture(goldenSeed, nil)
+	b := newPingFixture(Scale{Seed: goldenSeed}, "golden", nil)
 	rttB, firedB := b.rtt(goldenPingSize, goldenPingCount), b.c.Eng.Fired()
 	if rttA != rttB || firedA != firedB {
 		t.Errorf("same seed diverged: rtt %v vs %v, fired %d vs %d", rttA, rttB, firedA, firedB)
+	}
+}
+
+// metricsDigest runs the golden ping workload and returns the full metric
+// registry rendered as sorted name=value lines.
+func metricsDigest() string {
+	f := newPingFixture(Scale{Seed: goldenSeed}, "golden", nil)
+	f.rtt(goldenPingSize, goldenPingCount)
+	return telemetry.For(f.c.Eng).Reg.Digest()
+}
+
+// The telemetry registry is part of the determinism contract: the digest
+// of every metric after the golden workload must be bit-identical whether
+// experiments run sequentially or concurrently (cmd/reproduce -j N keys
+// each engine's registry off the engine, so runs share nothing).
+func TestGoldenMetricsDigestAcrossParallelism(t *testing.T) {
+	want := metricsDigest()
+	if want == "" {
+		t.Fatal("empty metrics digest — no metrics registered")
+	}
+	const workers = 8
+	got := make([]string, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = metricsDigest()
+		}(i)
+	}
+	wg.Wait()
+	for i, g := range got {
+		if g != want {
+			t.Fatalf("worker %d digest diverged from sequential run:\n--- want ---\n%s--- got ---\n%s", i, want, g)
+		}
 	}
 }

@@ -35,6 +35,7 @@ func Fig11OnlineUpgrade(sc Scale) *Fig11Result {
 		horizon = 6 * sim.Second
 	}
 	c := cluster.New(cluster.Options{Topology: fabric.ClusterClos(nodes), Nodes: nodes, Seed: sc.Seed})
+	sc.observe(c.Eng, "fig11")
 	server := 0
 	r := &Fig11Result{
 		QPs: &sim.Series{Name: "QPs"}, IOPS: &sim.Series{Name: "IOPS"},
@@ -169,6 +170,11 @@ func fig12Run(sc Scale, sizes workload.SizeDist, payload int, antiJitter bool) (
 			}
 		},
 	})
+	if antiJitter {
+		sc.observe(c.Eng, "fig12/anti-jitter-on")
+	} else {
+		sc.observe(c.Eng, "fig12/anti-jitter-off")
+	}
 	server := 0
 	var miceBytes, bulkBytes int64
 	inBurst := false
@@ -296,6 +302,7 @@ func PeakStress(sc Scale) *PeakStressResult {
 		depth = 32
 	}
 	c := cluster.New(cluster.Options{Topology: fabric.ClusterClos(nodes), Nodes: nodes, Seed: sc.Seed})
+	sc.observe(c.Eng, "peak")
 	c.ListenAll(7000, func(n *cluster.Node, ch *xrdma.Channel) {
 		ch.OnMessage(func(m *xrdma.Msg) { m.Reply(nil, 64) })
 	})
@@ -353,6 +360,7 @@ type Fig3Result struct {
 // two-level day/night pattern.
 func Fig3Diurnal(sc Scale) *Fig3Result {
 	c := cluster.New(cluster.Options{Topology: fabric.SmallClos(), Nodes: 2, Seed: sc.Seed})
+	sc.observe(c.Eng, "fig3")
 	c.ListenAll(7000, func(n *cluster.Node, ch *xrdma.Channel) {
 		ch.OnMessage(func(m *xrdma.Msg) { m.Reply(nil, 64) })
 	})

@@ -31,6 +31,7 @@ func Establishment(sc Scale) *EstablishmentResult {
 	// Single connection, cold then warm.
 	{
 		c := cluster.New(cluster.Options{Topology: fabric.SmallClos(), Nodes: 2, Seed: sc.Seed})
+		sc.observe(c.Eng, "establish/single")
 		c.ListenAll(7000, nil)
 		var ch *xrdma.Channel
 		t0 := c.Eng.Now()
@@ -64,6 +65,11 @@ func Establishment(sc Scale) *EstablishmentResult {
 	r.MassConns = conns
 	massRun := func(prewarm bool) float64 {
 		c := cluster.New(cluster.Options{Topology: fabric.ClusterClos(16), Nodes: 16, Seed: sc.Seed})
+		if prewarm {
+			sc.observe(c.Eng, "establish/mass-warm")
+		} else {
+			sc.observe(c.Eng, "establish/mass-cold")
+		}
 		c.ListenAll(7000, nil)
 		if prewarm {
 			// Fill QP caches — on both ends — by opening and closing a
@@ -105,6 +111,7 @@ func Establishment(sc Scale) *EstablishmentResult {
 	// TCP comparison point (§III Issue 3: ~100 µs).
 	{
 		eng := sim.NewEngine()
+		sc.observe(eng, "establish/tcp")
 		fab := fabric.New(eng, fabric.DefaultConfig(), sc.Seed)
 		fabric.BuildClos(fab, fabric.SmallClos())
 		a := tcpnet.New(eng, fab.Host(0), tcpnet.DefaultConfig())
@@ -167,6 +174,7 @@ func Fig8EssdRamp(sc Scale) *Fig8Result {
 		depth = 16
 	}
 	c := cluster.New(cluster.Options{Topology: fabric.ClusterClos(nodes), Nodes: nodes, Seed: sc.Seed})
+	sc.observe(c.Eng, "fig8")
 	r := &Fig8Result{IOPS: &sim.Series{Name: "IOPS"}}
 	rate := sim.NewRate(c.Eng, 100*sim.Millisecond, r.IOPS)
 
@@ -227,6 +235,7 @@ func Fig9RNRCounter(sc Scale) *Fig9Result {
 	// the realistic condition the paper describes).
 	{
 		eng := sim.NewEngine()
+		sc.observe(eng, "fig9/raw")
 		fab := fabric.New(eng, fabric.DefaultConfig(), sc.Seed)
 		fabric.BuildClos(fab, fabric.SmallClos())
 		cfg := rnic.DefaultConfig()
@@ -277,6 +286,7 @@ func Fig9RNRCounter(sc Scale) *Fig9Result {
 	// X-RDMA: same offered burst pattern through channels.
 	{
 		c := cluster.New(cluster.Options{Topology: fabric.SmallClos(), Nodes: 6, Seed: sc.Seed})
+		sc.observe(c.Eng, "fig9/xrdma")
 		c.ListenAll(7000, func(n *cluster.Node, ch *xrdma.Channel) {
 			ch.OnMessage(func(m *xrdma.Msg) {
 				// Application processing delay, like the raw case.

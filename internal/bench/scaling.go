@@ -35,6 +35,7 @@ func QPScaling(sc Scale) *QPScalingResult {
 	r := &QPScalingResult{QPCounts: counts}
 	for _, n := range counts {
 		eng := sim.NewEngine()
+		sc.observe(eng, fmt.Sprintf("qpscale/%d", n))
 		fab := fabric.New(eng, fabric.DefaultConfig(), sc.Seed)
 		fabric.BuildClos(fab, fabric.SmallClos())
 		a := rnic.New(eng, fab.Host(0), rnic.DefaultConfig())
@@ -114,6 +115,11 @@ func SRQTradeoff(sc Scale) *SRQResult {
 				}
 			},
 		})
+		if useSRQ {
+			sc.observe(c.Eng, "srq/shared")
+		} else {
+			sc.observe(c.Eng, "srq/per-channel")
+		}
 		srv := c.Nodes[0].Ctx
 		srv.OnChannel(func(ch *xrdma.Channel) {
 			ch.OnMessage(func(m *xrdma.Msg) {
@@ -176,7 +182,7 @@ func MemoryModes(sc Scale) *MemoryModesResult {
 	for _, mode := range []rnic.RegMode{rnic.RegNonContinuous, rnic.RegContinuous, rnic.RegHugePage} {
 		mode := mode
 		cost := float64(rnic.RegCost(64<<20, mode)) / 1e6
-		lat := xrdmaRTT(sc.Seed, func(cfg *xrdma.Config) { cfg.MemMode = mode }, 64<<10, n).Micros()
+		lat := xrdmaRTT(sc, "memmodes/"+mode.String(), func(cfg *xrdma.Config) { cfg.MemMode = mode }, 64<<10, n).Micros()
 		r.Modes = append(r.Modes, mode.String())
 		r.RegCostMS = append(r.RegCostMS, cost)
 		r.PingUS = append(r.PingUS, lat)
@@ -218,6 +224,11 @@ func MixedFootprint(sc Scale) *FootprintResult {
 					}
 				},
 			})
+			if smallMode {
+				sc.observe(c.Eng, fmt.Sprintf("footprint/depth%d-small", d))
+			} else {
+				sc.observe(c.Eng, fmt.Sprintf("footprint/depth%d-mixed", d))
+			}
 			c.ListenAll(7000, func(n *cluster.Node, ch *xrdma.Channel) {
 				ch.OnMessage(func(m *xrdma.Msg) { m.Reply(nil, 8) })
 			})

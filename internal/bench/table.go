@@ -10,6 +10,8 @@ package bench
 import (
 	"fmt"
 	"strings"
+
+	"xrdma/internal/sim"
 )
 
 // Scale selects experiment sizing.
@@ -18,6 +20,18 @@ type Scale struct {
 	Full bool
 	// Seed drives all randomness.
 	Seed uint64
+	// Observe, when non-nil, is called once per simulation engine an
+	// experiment creates, before the workload runs. cmd/reproduce uses it
+	// to attach the telemetry collector (metrics snapshots + timeline
+	// capture) to every world without the experiments knowing about it.
+	Observe func(eng *sim.Engine, label string)
+}
+
+// observe invokes the Observe hook if one is installed.
+func (sc Scale) observe(eng *sim.Engine, label string) {
+	if sc.Observe != nil {
+		sc.Observe(eng, label)
+	}
 }
 
 // Quick is the default test/bench scale.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
 )
 
 // Stats aggregates fabric-wide counters; the paper's Fig. 10 plots CNPs and
@@ -23,6 +24,7 @@ type Fabric struct {
 
 	cfg      Config
 	rng      *sim.RNG
+	tel      *telemetry.Set
 	hosts    map[NodeID]*Host
 	switches []*Switch
 
@@ -58,12 +60,40 @@ func (f *Fabric) FreePacket(p *Packet) {
 // New creates an empty fabric; attach hosts and switches via the topology
 // builders.
 func New(eng *sim.Engine, cfg Config, seed uint64) *Fabric {
-	return &Fabric{
+	f := &Fabric{
 		Eng:   eng,
 		cfg:   cfg,
 		rng:   sim.NewRNG(seed),
 		hosts: make(map[NodeID]*Host),
+		tel:   telemetry.For(eng),
 	}
+	// Aggregate counters are plain fields; the registry reads them through
+	// GaugeFuncs at snapshot time, so the packet path pays nothing. The
+	// queue gauges iterate whatever switches the topology builder attaches
+	// later — closures see the live slice.
+	reg := f.tel.Reg
+	reg.GaugeFunc("fabric.ecn_marks", func() int64 { return f.Stats.ECNMarks })
+	reg.GaugeFunc("fabric.pause_tx", func() int64 { return f.Stats.PauseTX })
+	reg.GaugeFunc("fabric.drops", func() int64 { return f.Stats.Drops })
+	reg.GaugeFunc("fabric.delivered", func() int64 { return f.Stats.Delivered })
+	reg.GaugeFunc("fabric.data_bytes", func() int64 { return f.Stats.DataBytes })
+	reg.GaugeFunc("fabric.queue_bytes", func() int64 {
+		var total int64
+		for _, s := range f.switches {
+			total += int64(s.QueueBytes())
+		}
+		return total
+	})
+	reg.GaugeFunc("fabric.max_port_queue", func() int64 {
+		var m int64
+		for _, s := range f.switches {
+			if q := int64(s.MaxPortQueue()); q > m {
+				m = q
+			}
+		}
+		return m
+	})
+	return f
 }
 
 // Config returns the fabric configuration.

@@ -1,6 +1,9 @@
 package fabric
 
-import "xrdma/internal/sim"
+import (
+	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
+)
 
 // Config holds fabric-wide parameters. Defaults model the paper's testbed:
 // dual-port 25 Gbps ConnectX-4 Lx hosts on a 3-tier clos.
@@ -81,6 +84,7 @@ type Port struct {
 	// stop sending.
 	ingressBytes int
 	pauseSent    bool
+	pfcPauseAt   sim.Time // when the current pause window opened
 
 	// Counters.
 	TxBytes   int64
@@ -207,8 +211,16 @@ func (pt *Port) accountIngress(p *Packet) {
 // tiny and ride the wire ahead of data; the model applies them after one
 // propagation delay without occupying the queue.
 func (pt *Port) sendPFC(pause bool) {
+	now := pt.eng.Now()
 	if pause {
 		pt.fab.Stats.PauseTX++
+		pt.pfcPauseAt = now
+		pt.fab.tel.Flight.Record(now, telemetry.CatPFCPause, -1, 0, int64(pt.ingressBytes), 1)
+		pt.fab.tel.Trace.Instant("pfc.pause", "fabric", now, int64(pt.ingressBytes))
+	} else {
+		// The window closes when the resume goes out; the span covers
+		// the whole ingress-pressure episode on this port.
+		pt.fab.tel.Trace.Complete("pfc.pause", "fabric", pt.pfcPauseAt, now.Sub(pt.pfcPauseAt), int64(pt.ingressBytes))
 	}
 	peer := pt.peer
 	pt.eng.After(pt.propDelay, func() {

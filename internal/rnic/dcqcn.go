@@ -1,6 +1,9 @@
 package rnic
 
-import "xrdma/internal/sim"
+import (
+	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
+)
 
 // DCQCNConfig parameterises the end-to-end congestion control loop
 // (Zhu et al., SIGCOMM'15) that Alibaba deploys fine-tuned (§II-C). The
@@ -41,6 +44,8 @@ type dcqcnState struct {
 	cfg     *DCQCNConfig
 	eng     *sim.Engine
 	lineBps int64
+	nic     *NIC // telemetry sink; nil in bare unit tests
+	qpn     uint32
 
 	rc, rt  int64 // current and target rate (bits/s)
 	alpha   float64
@@ -57,8 +62,9 @@ type dcqcnState struct {
 	RateCuts int64
 }
 
-func newDCQCN(cfg *DCQCNConfig, eng *sim.Engine, lineBps int64) *dcqcnState {
-	s := &dcqcnState{cfg: cfg, eng: eng, lineBps: lineBps, rc: lineBps, rt: lineBps, alpha: 1, lastCut: -1 << 60}
+func newDCQCN(cfg *DCQCNConfig, eng *sim.Engine, lineBps int64, nic *NIC, qpn uint32) *dcqcnState {
+	s := &dcqcnState{cfg: cfg, eng: eng, lineBps: lineBps, nic: nic, qpn: qpn,
+		rc: lineBps, rt: lineBps, alpha: 1, lastCut: -1 << 60}
 	return s
 }
 
@@ -87,6 +93,11 @@ func (s *dcqcnState) onCNP() {
 	s.rc = int64(float64(s.rc) * (1 - s.alpha/2))
 	if s.rc < s.cfg.MinRateBps {
 		s.rc = s.cfg.MinRateBps
+	}
+	if n := s.nic; n != nil {
+		n.dcqcnCuts.Inc()
+		n.tel.Flight.Record(now, telemetry.CatDCQCNCut, int32(n.Node), s.qpn, s.rc, s.rt)
+		n.tel.Trace.Instant("dcqcn.cut", n.track, now, s.rc)
 	}
 	s.alpha = (1-s.cfg.G)*s.alpha + s.cfg.G
 	s.timerEvents, s.byteEvents, s.bytesSent = 0, 0, 0

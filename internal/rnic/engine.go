@@ -3,6 +3,7 @@ package rnic
 import (
 	"xrdma/internal/fabric"
 	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
 )
 
 // The transmit engine models the property §V-C builds on: the RNIC
@@ -361,6 +362,8 @@ func (qp *QP) onRTO() {
 	}
 	n.Counters.Retransmits++
 	qp.Counters.Retransmits++
+	n.tel.Flight.Record(n.eng.Now(), telemetry.CatRetransmit, int32(n.Node), qp.QPN, int64(qp.retries), 0)
+	n.tel.Trace.Instant("retransmit", n.track, n.eng.Now(), int64(qp.QPN))
 	qp.retransmitUnacked()
 	qp.armRTO()
 }
@@ -412,6 +415,8 @@ func (n *NIC) armReadTimer(qp *QP, wr *SendWR) {
 		}
 		n.Counters.Retransmits++
 		qp.Counters.Retransmits++
+		n.tel.Flight.Record(n.eng.Now(), telemetry.CatRetransmit, int32(n.Node), qp.QPN, int64(st.retries), 0)
+		n.tel.Trace.Instant("retransmit", n.track, n.eng.Now(), int64(qp.QPN))
 		st.got = 0
 		j := n.pool.job()
 		j.qp, j.wr = qp, wr

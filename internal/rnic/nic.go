@@ -5,6 +5,7 @@ import (
 
 	"xrdma/internal/fabric"
 	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
 )
 
 // Config holds the NIC timing and protocol parameters. Defaults
@@ -134,6 +135,12 @@ type NIC struct {
 
 	Counters Counters
 
+	// Telemetry: handles pre-resolved at creation so protocol code never
+	// does a registry lookup. track is this NIC's timeline thread name.
+	tel       *telemetry.Set
+	track     string
+	dcqcnCuts telemetry.Counter
+
 	// FaultHook, when set, inspects every outbound packet; returning
 	// false drops it, and a returned delay defers it. X-RDMA's Filter
 	// (§VI-C) installs this.
@@ -160,9 +167,47 @@ func New(eng *sim.Engine, host *fabric.Host, cfg Config) *NIC {
 		nextQPN: 1,
 		lastCNP: make(map[uint64]sim.Time),
 		cache:   newQPCache(cfg.QPCacheEntries),
+		tel:     telemetry.For(eng),
 	}
+	n.track = fmt.Sprintf("rnic.%d", host.ID)
+	n.dcqcnCuts = n.tel.Reg.Counter(n.track + ".dcqcn_cuts")
+	n.registerGauges()
 	host.Attach(n)
 	return n
+}
+
+// registerGauges exposes the NIC-wide counters through the registry.
+// GaugeFuncs read the existing fields only at snapshot time, so the
+// protocol hot paths keep their plain increments.
+func (n *NIC) registerGauges() {
+	reg, c := n.tel.Reg, &n.Counters
+	for _, g := range []struct {
+		name string
+		fn   func() int64
+	}{
+		{"msgs_sent", func() int64 { return c.MsgsSent }},
+		{"msgs_recv", func() int64 { return c.MsgsRecv }},
+		{"bytes_sent", func() int64 { return c.BytesSent }},
+		{"bytes_recv", func() int64 { return c.BytesRecv }},
+		{"pkts_sent", func() int64 { return c.PktsSent }},
+		{"pkts_recv", func() int64 { return c.PktsRecv }},
+		{"acks_sent", func() int64 { return c.AcksSent }},
+		{"acks_recv", func() int64 { return c.AcksRecv }},
+		{"rnr_nak_sent", func() int64 { return c.RNRNakSent }},
+		{"rnr_nak_recv", func() int64 { return c.RNRNakRecv }},
+		{"seq_nak_sent", func() int64 { return c.SeqNakSent }},
+		{"seq_nak_recv", func() int64 { return c.SeqNakRecv }},
+		{"retransmits", func() int64 { return c.Retransmits }},
+		{"cnp_sent", func() int64 { return c.CNPSent }},
+		{"cnp_recv", func() int64 { return c.CNPRecv }},
+		{"access_errors", func() int64 { return c.AccessErrors }},
+		{"qp_cache_misses", func() int64 { return c.QPCacheMisses }},
+		{"qp_cache_hits", func() int64 { return c.QPCacheHits }},
+		{"qps", func() int64 { return int64(n.NumQPs()) }},
+		{"cmd_queue", func() int64 { return int64(n.CmdQueueLen()) }},
+	} {
+		reg.GaugeFunc(n.track+"."+g.name, g.fn)
+	}
 }
 
 // Engine exposes the simulation engine (middleware timers ride on it).
@@ -298,7 +343,7 @@ func (n *NIC) modifyQPNow(qp *QP, to QPState, remote fabric.NodeID, remoteQPN ui
 		qp.RemoteNode = remote
 		qp.RemoteQPN = remoteQPN
 		qp.flowHash = uint64(n.Node)<<40 ^ uint64(remote)<<20 ^ uint64(qp.QPN)
-		qp.rate = newDCQCN(&n.Cfg.DCQCN, n.eng, n.LineBps())
+		qp.rate = newDCQCN(&n.Cfg.DCQCN, n.eng, n.LineBps(), n, qp.QPN)
 		qp.State = QPRTR
 	case QPRTS:
 		if qp.State != QPRTR {
@@ -308,6 +353,8 @@ func (n *NIC) modifyQPNow(qp *QP, to QPState, remote fabric.NodeID, remoteQPN ui
 	default:
 		return fmt.Errorf("%w: cannot modify to %v", ErrQPState, to)
 	}
+	n.tel.Flight.Record(n.eng.Now(), telemetry.CatQPState, int32(n.Node), qp.QPN, int64(to), 0)
+	n.tel.Trace.Instant("qp.state", n.track, n.eng.Now(), int64(to))
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"xrdma/internal/fabric"
 	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
 )
 
 // QPState is the RC queue-pair state machine (a subset: the states the
@@ -356,6 +357,18 @@ func (qp *QP) enterError(st Status) {
 		return
 	}
 	qp.State = QPError
+	n := qp.nic
+	now := n.eng.Now()
+	n.tel.Flight.Record(now, telemetry.CatQPError, int32(n.Node), qp.QPN, int64(st), 0)
+	n.tel.Trace.Instant("qp.error", n.track, now, int64(st))
+	// Retry exhaustion is a broken protocol invariant: freeze the flight
+	// recorder so the dump shows what led up to it.
+	switch st {
+	case StatusRetryExceeded:
+		n.tel.Flight.Trip(now, telemetry.CatRetryExhausted, int32(n.Node), qp.QPN)
+	case StatusRNRRetryExceeded:
+		n.tel.Flight.Trip(now, telemetry.CatRNRStorm, int32(n.Node), qp.QPN)
+	}
 	qp.nic.eng.Cancel(qp.rtoEvent)
 	qp.rtoEvent = sim.Event{}
 	qp.nic.eng.Cancel(qp.ackTimer)

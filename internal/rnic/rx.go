@@ -3,6 +3,7 @@ package rnic
 import (
 	"xrdma/internal/fabric"
 	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
 )
 
 // HandlePacket is the fabric delivery entry point. Protocol processing
@@ -182,6 +183,8 @@ func (n *NIC) handleData(p *fabric.Packet, h *hdr) {
 		if !ok {
 			n.Counters.RNRNakSent++
 			qp.Counters.RNRNakSent++
+			n.tel.Flight.Record(n.eng.Now(), telemetry.CatRNRNakSent, int32(n.Node), qp.QPN, int64(qp.expected), 0)
+			n.tel.Trace.Instant("rnr.nak.sent", n.track, n.eng.Now(), int64(qp.QPN))
 			n.sendCtrl(p.Src, hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakRNR, AckPSN: qp.expected})
 			return
 		}
@@ -355,6 +358,8 @@ func (qp *QP) handleNak(h *hdr) {
 	case nakRNR:
 		n.Counters.RNRNakRecv++
 		qp.Counters.RNRNakRecv++
+		n.tel.Flight.Record(n.eng.Now(), telemetry.CatRNRNakRecv, int32(n.Node), qp.QPN, int64(qp.rnrRetries), 0)
+		n.tel.Trace.Instant("rnr.nak.recv", n.track, n.eng.Now(), int64(qp.QPN))
 		qp.handleAck(h.AckPSN)
 		qp.rnrRetries++
 		if qp.rnrRetries > n.Cfg.RNRRetryLimit {

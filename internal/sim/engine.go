@@ -144,6 +144,19 @@ func (e *Engine) SetAux(key, val any) {
 	e.aux[key] = val
 }
 
+// AuxInit returns the value stored under key, calling mk and storing its
+// result on first use. This is the attachment hook for engine-keyed
+// subsystems — the telemetry Set in particular — that must exist exactly
+// once per engine regardless of which layer reaches for it first.
+func (e *Engine) AuxInit(key any, mk func() any) any {
+	if v := e.Aux(key); v != nil {
+		return v
+	}
+	v := mk()
+	e.SetAux(key, v)
+	return v
+}
+
 // alloc takes a node from the free-list (or the heap allocator on a cold
 // start) and stamps it with a fresh sequence number.
 func (e *Engine) alloc(at Time, fn func()) *event {

@@ -1,0 +1,54 @@
+package telemetry
+
+import "testing"
+
+// The telemetry hot paths share the kernel's allocation discipline:
+// scripts/bench.sh records these in BENCH_kernel.json and the CI bench
+// smoke step fails the build if any reports >0 allocs/op.
+
+func BenchmarkTelemetryCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench.counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkTelemetryHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench.hist")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkTelemetrySpanEmit(b *testing.B) {
+	var tl Timeline
+	tl.Enable(1 << 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Complete("rtt", "xrdma.0", 1000, 7165, int64(i))
+	}
+}
+
+func BenchmarkTelemetryInstantEmit(b *testing.B) {
+	var tl Timeline
+	tl.Enable(1 << 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Instant("dcqcn.cut", "rnic.0", 1000, int64(i))
+	}
+}
+
+func BenchmarkTelemetryFlightRecord(b *testing.B) {
+	f := NewFlight(DefaultFlightCap)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Record(1000, CatRetransmit, 0, 7, int64(i), 0)
+	}
+}

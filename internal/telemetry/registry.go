@@ -1,0 +1,296 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// kind discriminates the metric variants stored in a Registry.
+type kind uint8
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	gaugeFuncKind
+	histKind
+)
+
+type metric struct {
+	name string
+	kind kind
+	v    int64
+	fn   func() int64
+	h    *histData
+}
+
+// histData is a log₂-bucket histogram: bucket i counts observations v
+// with bits.Len64(uint64(v)) == i, i.e. bucket 0 holds zeros and bucket
+// i≥1 holds [2^(i-1), 2^i).
+type histData struct {
+	buckets [64]int64
+	count   int64
+	sum     int64
+}
+
+// Counter is a pre-resolved handle to a monotonically increasing value.
+// The zero Counter is a no-op, so optional instrumentation needs no nil
+// checks at call sites.
+type Counter struct{ m *metric }
+
+// Add increments the counter by d.
+func (c Counter) Add(d int64) {
+	if c.m != nil {
+		c.m.v += d
+	}
+}
+
+// Inc increments the counter by one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Value reads the current count.
+func (c Counter) Value() int64 {
+	if c.m == nil {
+		return 0
+	}
+	return c.m.v
+}
+
+// Gauge is a pre-resolved handle to a value that can move both ways.
+type Gauge struct{ m *metric }
+
+// Set stores v.
+func (g Gauge) Set(v int64) {
+	if g.m != nil {
+		g.m.v = v
+	}
+}
+
+// Add moves the gauge by d.
+func (g Gauge) Add(d int64) {
+	if g.m != nil {
+		g.m.v += d
+	}
+}
+
+// Value reads the gauge.
+func (g Gauge) Value() int64 {
+	if g.m == nil {
+		return 0
+	}
+	return g.m.v
+}
+
+// Histogram is a pre-resolved handle to a log₂-bucket histogram.
+type Histogram struct{ h *histData }
+
+// Observe records one sample. Negative samples land in bucket 0.
+func (h Histogram) Observe(v int64) {
+	if h.h == nil {
+		return
+	}
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.h.buckets[idx]++
+	h.h.count++
+	h.h.sum += v
+}
+
+// Count reports how many samples were observed.
+func (h Histogram) Count() int64 {
+	if h.h == nil {
+		return 0
+	}
+	return h.h.count
+}
+
+// quantile returns an upper bound for the q-th percentile (0 < q ≤ 100)
+// from the log₂ buckets: the inclusive upper edge of the bucket where
+// the cumulative count crosses ⌈count·q/100⌉.
+func (d *histData) quantile(q int64) int64 {
+	if d.count == 0 {
+		return 0
+	}
+	target := (d.count*q + 99) / 100
+	var cum int64
+	for i, n := range d.buckets {
+		cum += n
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return (int64(1) << uint(i)) - 1
+		}
+	}
+	return int64(^uint64(0) >> 1)
+}
+
+// Entry is one named value in a registry snapshot.
+type Entry struct {
+	Name  string
+	Value int64
+}
+
+// Registry holds the named metrics of one engine. It is not
+// goroutine-safe: like the engine it is keyed to, a registry belongs to
+// exactly one experiment goroutine.
+type Registry struct {
+	byName map[string]*metric
+	order  []*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+func (r *Registry) get(name string, k kind) *metric {
+	if m, ok := r.byName[name]; ok {
+		if m.kind != k {
+			panic(fmt.Sprintf("telemetry: %q re-registered with a different kind", name))
+		}
+		return m
+	}
+	m := &metric{name: name, kind: k}
+	if k == histKind {
+		m.h = &histData{}
+	}
+	r.byName[name] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter resolves (registering on first use) a counter handle.
+func (r *Registry) Counter(name string) Counter {
+	return Counter{m: r.get(name, counterKind)}
+}
+
+// Gauge resolves (registering on first use) a gauge handle.
+func (r *Registry) Gauge(name string) Gauge {
+	return Gauge{m: r.get(name, gaugeKind)}
+}
+
+// Histogram resolves (registering on first use) a histogram handle.
+func (r *Registry) Histogram(name string) Histogram {
+	return Histogram{h: r.get(name, histKind).h}
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn, evaluated
+// only at snapshot time — the mechanism for exposing existing counter
+// structs with zero hot-path cost. Re-registering a name replaces fn.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	m := r.get(name, gaugeFuncKind)
+	m.fn = fn
+}
+
+// Unregister removes a metric (no-op if absent). Needed for per-channel
+// metrics whose QP numbers recycle through the QP cache.
+func (r *Registry) Unregister(name string) {
+	m, ok := r.byName[name]
+	if !ok {
+		return
+	}
+	delete(r.byName, name)
+	for i, o := range r.order {
+		if o == m {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Value evaluates the metric called name; ok is false when absent.
+// Histograms report their sample count.
+func (r *Registry) Value(name string) (v int64, ok bool) {
+	m, present := r.byName[name]
+	if !present {
+		return 0, false
+	}
+	switch m.kind {
+	case gaugeFuncKind:
+		return m.fn(), true
+	case histKind:
+		return m.h.count, true
+	default:
+		return m.v, true
+	}
+}
+
+// Snapshot evaluates every metric and returns entries sorted by name.
+// Histograms expand into .count, .sum, .p50 and .p99 entries.
+func (r *Registry) Snapshot() []Entry {
+	out := make([]Entry, 0, len(r.order)+3*len(r.order)/2)
+	for _, m := range r.order {
+		switch m.kind {
+		case gaugeFuncKind:
+			out = append(out, Entry{m.name, m.fn()})
+		case histKind:
+			out = append(out,
+				Entry{m.name + ".count", m.h.count},
+				Entry{m.name + ".sum", m.h.sum},
+				Entry{m.name + ".p50", m.h.quantile(50)},
+				Entry{m.name + ".p99", m.h.quantile(99)})
+		default:
+			out = append(out, Entry{m.name, m.v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Digest renders the snapshot as sorted "name=value" lines — the
+// bit-identical-across-`-j` determinism fingerprint.
+func (r *Registry) Digest() string {
+	var b strings.Builder
+	for _, e := range r.Snapshot() {
+		fmt.Fprintf(&b, "%s=%d\n", e.Name, e.Value)
+	}
+	return b.String()
+}
+
+// Diff returns after-minus-before for every name in after (names only
+// in before are dropped; names only in after diff against zero).
+func Diff(before, after []Entry) []Entry {
+	prev := make(map[string]int64, len(before))
+	for _, e := range before {
+		prev[e.Name] = e.Value
+	}
+	out := make([]Entry, 0, len(after))
+	for _, e := range after {
+		out = append(out, Entry{e.Name, e.Value - prev[e.Name]})
+	}
+	return out
+}
+
+// Table renders the snapshot as a netstat-style aligned table, grouped
+// by the first dotted name component with a blank line between groups.
+func (r *Registry) Table() string {
+	return RenderEntries(r.Snapshot())
+}
+
+// RenderEntries renders pre-snapshotted entries the way Table does.
+func RenderEntries(entries []Entry) string {
+	width := 0
+	for _, e := range entries {
+		if len(e.Name) > width {
+			width = len(e.Name)
+		}
+	}
+	var b strings.Builder
+	group := ""
+	for i, e := range entries {
+		g := e.Name
+		if dot := strings.IndexByte(g, '.'); dot >= 0 {
+			g = g[:dot]
+		}
+		if i > 0 && g != group {
+			b.WriteByte('\n')
+		}
+		group = g
+		fmt.Fprintf(&b, "%-*s %12d\n", width, e.Name, e.Value)
+	}
+	return b.String()
+}

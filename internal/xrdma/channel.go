@@ -7,6 +7,7 @@ import (
 	"xrdma/internal/fabric"
 	"xrdma/internal/rnic"
 	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
 	"xrdma/internal/verbs"
 )
 
@@ -66,6 +67,10 @@ type Channel struct {
 
 	mock    *mockState
 	mockQPN uint32
+
+	// telNames are the per-channel gauge names registered for XR-Stat,
+	// kept for unregistration when the QPN is recycled.
+	telNames []string
 
 	Counters ChannelStats
 	OpenedAt sim.Time
@@ -250,7 +255,42 @@ func (c *Context) newChannel(conn *verbs.Conn, bufs []Buffer) *Channel {
 			c.Mem.Free(buf)
 		}
 	}
+	ch.registerGauges()
 	return ch
+}
+
+// registerGauges publishes the XR-Stat row for this channel under
+// "xrdma.<node>.ch.<qpn>.". Closures evaluate at snapshot time only.
+func (ch *Channel) registerGauges() {
+	c := ch.ctx
+	prefix := fmt.Sprintf("%s.ch.%d.", c.track, ch.qp.QPN)
+	for _, g := range []struct {
+		name string
+		fn   func() int64
+	}{
+		{"peer", func() int64 { return int64(ch.Peer) }},
+		{"sent", func() int64 { return ch.Counters.MsgsSent }},
+		{"recv", func() int64 { return ch.Counters.MsgsRecv }},
+		{"txbytes", func() int64 { return ch.Counters.BytesSent }},
+		{"rxbytes", func() int64 { return ch.Counters.BytesRecv }},
+		{"stalls", func() int64 { return ch.Counters.WindowStalls }},
+		{"rnr", func() int64 { return ch.qp.Counters.RNRNakRecv }},
+		{"retx", func() int64 { return ch.qp.Counters.Retransmits }},
+		{"inflight", func() int64 { return int64(ch.tx.inflight()) }},
+	} {
+		n := prefix + g.name
+		ch.telNames = append(ch.telNames, n)
+		c.tel.Reg.GaugeFunc(n, g.fn)
+	}
+}
+
+// unregisterGauges removes the channel's row so a recycled QPN can host a
+// fresh channel's gauges. Idempotent.
+func (ch *Channel) unregisterGauges() {
+	for _, n := range ch.telNames {
+		ch.ctx.tel.Reg.Unregister(n)
+	}
+	ch.telNames = nil
 }
 
 // repostRecv returns one consumed receive buffer to the RQ.
@@ -315,6 +355,7 @@ func (ch *Channel) teardown(err error) {
 	ch.closed = true
 	ch.broken = err != nil
 	c := ch.ctx
+	ch.unregisterGauges()
 	delete(c.channels, ch.qp.QPN)
 	for i, w := range c.mockWaiters {
 		if w == ch {
@@ -400,6 +441,8 @@ func (ch *Channel) keepaliveCheck(now sim.Time) {
 		}
 		if now.Sub(ch.kaProbeAt) > deadline {
 			ch.ctx.Stats.KeepaliveFails++
+			ch.ctx.tel.Flight.Trip(now, telemetry.CatKeepaliveFail, int32(ch.ctx.Node()), ch.qp.QPN)
+			ch.ctx.tel.Trace.Instant("keepalive.fail", ch.ctx.track, now, int64(ch.Peer))
 			ch.ctx.logf("keepalive: peer %d unreachable, reclaiming channel qpn=%d", ch.Peer, ch.qp.QPN)
 			ch.fail(ErrPeerDead)
 		}
@@ -413,6 +456,8 @@ func (ch *Channel) keepaliveCheck(now sim.Time) {
 	ch.kaProbing = true
 	ch.kaProbeAt = now
 	ch.ctx.Stats.KeepaliveProbes++
+	ch.ctx.tel.Flight.Record(now, telemetry.CatKeepaliveProbe, int32(ch.ctx.Node()), ch.qp.QPN, int64(ch.Peer), 0)
+	ch.ctx.tel.Trace.Instant("keepalive.probe", ch.ctx.track, now, int64(ch.Peer))
 	wr := &rnic.SendWR{Op: rnic.OpWrite, Len: 0}
 	ch.ctx.flow.postDirect(ch.qp, wr, func(cqe rnic.CQE) {
 		if ch.closed {
@@ -421,6 +466,9 @@ func (ch *Channel) keepaliveCheck(now sim.Time) {
 		ch.kaProbing = false
 		if cqe.Status != rnic.StatusOK {
 			ch.ctx.Stats.KeepaliveFails++
+			now := ch.ctx.eng.Now()
+			ch.ctx.tel.Flight.Trip(now, telemetry.CatKeepaliveFail, int32(ch.ctx.Node()), ch.qp.QPN)
+			ch.ctx.tel.Trace.Instant("keepalive.fail", ch.ctx.track, now, int64(ch.Peer))
 			ch.fail(ErrPeerDead)
 			return
 		}
@@ -445,6 +493,9 @@ func (ch *Channel) deadlockCheck() {
 	ch.nopInFlight = true
 	ch.Counters.NopsSent++
 	ch.ctx.Stats.NopsSent++
+	now := ch.ctx.eng.Now()
+	ch.ctx.tel.Flight.Trip(now, telemetry.CatWindowStall, int32(ch.ctx.Node()), ch.qp.QPN)
+	ch.ctx.tel.Trace.Instant("window.stall", ch.ctx.track, now, int64(len(ch.sendQ)))
 	ch.sendCtrl(kindNop)
 }
 
@@ -454,6 +505,7 @@ func (ch *Channel) expireRequests(deadline sim.Time) {
 		if rs.sentAt < deadline {
 			delete(ch.pending, id)
 			ch.ctx.Stats.ReqTimeouts++
+			ch.ctx.tel.Flight.Record(ch.ctx.eng.Now(), telemetry.CatReqTimeout, int32(ch.ctx.Node()), ch.qp.QPN, int64(id), 0)
 			if rs.cb != nil {
 				rs.cb(nil, ErrTimeout)
 			}

@@ -7,6 +7,7 @@ import (
 	"xrdma/internal/rnic"
 	"xrdma/internal/sim"
 	"xrdma/internal/tcpnet"
+	"xrdma/internal/telemetry"
 	"xrdma/internal/verbs"
 )
 
@@ -70,6 +71,12 @@ type Context struct {
 	clockSkew sim.Duration
 	toff      map[fabric.NodeID]sim.Duration
 
+	// Telemetry: the engine-keyed set, this node's track name
+	// ("xrdma.<node>") and the pre-resolved RTT histogram handle.
+	tel     *telemetry.Set
+	track   string
+	rttHist telemetry.Histogram
+
 	Stats ContextStats
 }
 
@@ -130,6 +137,9 @@ func NewContext(o Options) *Context {
 		toff:      make(map[fabric.NodeID]sim.Duration),
 		eventFD:   int(o.Host.ID)*16 + 3,
 	}
+	c.tel = telemetry.For(c.eng)
+	c.track = fmt.Sprintf("xrdma.%d", c.host.ID)
+	c.rttHist = c.tel.Reg.Histogram(c.track + ".rtt_ns")
 	c.pd = c.vctx.AllocPD()
 	c.Mem = newMemCache(c, c.cfg.MRSize, c.cfg.MemMode)
 	c.QPs = newQPCache(c, 4096)
@@ -137,6 +147,7 @@ func NewContext(o Options) *Context {
 	c.sendCQ = rnic.NewCQ(8192)
 	c.recvCQ = rnic.NewCQ(8192)
 	c.trace = newTracer(c)
+	c.registerGauges()
 	if c.cfg.UseSRQ {
 		c.srq = rnic.NewSRQ(c.cfg.SRQSize)
 		c.srqBufs = make(map[uint64]Buffer)
@@ -154,6 +165,42 @@ func NewContext(o Options) *Context {
 	c.startTimers()
 	return c
 }
+
+// registerGauges publishes every ContextStats field plus the live
+// resource levels into the engine's metric registry. GaugeFuncs are
+// evaluated only at snapshot time, so the hot path pays nothing.
+func (c *Context) registerGauges() {
+	reg, s := c.tel.Reg, &c.Stats
+	for _, g := range []struct {
+		name string
+		fn   func() int64
+	}{
+		{"polls", func() int64 { return s.Polls }},
+		{"slow_polls", func() int64 { return s.SlowPolls }},
+		{"event_wakes", func() int64 { return s.EventWakes }},
+		{"dispatched", func() int64 { return s.Dispatched }},
+		{"channels_opened", func() int64 { return s.ChannelsOpened }},
+		{"channels_closed", func() int64 { return s.ChannelsClosed }},
+		{"channels_broken", func() int64 { return s.ChannelsBroken }},
+		{"keepalive_probes", func() int64 { return s.KeepaliveProbes }},
+		{"keepalive_fails", func() int64 { return s.KeepaliveFails }},
+		{"nops_sent", func() int64 { return s.NopsSent }},
+		{"acks_sent", func() int64 { return s.AcksSent }},
+		{"req_timeouts", func() int64 { return s.ReqTimeouts }},
+		{"mock_switches", func() int64 { return s.MockSwitches }},
+		{"channels", func() int64 { return int64(len(c.channels)) }},
+		{"mem_occupied", func() int64 { return c.Mem.OccupiedBytes() }},
+		{"mem_inuse", func() int64 { return c.Mem.InUseBytes }},
+		{"qp_cache", func() int64 { return int64(c.QPs.Len()) }},
+		{"slow_ops", func() int64 { return c.trace.SlowOps }},
+	} {
+		reg.GaugeFunc(c.track+"."+g.name, g.fn)
+	}
+}
+
+// Telemetry returns the engine-keyed telemetry set this context reports
+// into (shared with the fabric and every NIC on the same engine).
+func (c *Context) Telemetry() *telemetry.Set { return c.tel }
 
 // Node returns this context's fabric node id.
 func (c *Context) Node() fabric.NodeID { return c.host.ID }
@@ -294,6 +341,8 @@ func (c *Context) pollOnce() int {
 	gap := now.Sub(c.lastPoll)
 	if gap > c.cfg.PollingWarnCycle && c.Stats.Polls > 0 {
 		c.Stats.SlowPolls++
+		c.tel.Flight.Record(now, telemetry.CatSlowPoll, int32(c.Node()), 0, int64(gap), 0)
+		c.tel.Trace.Instant("slow.poll", c.track, now, int64(gap))
 		c.logf("slow poll: %v gap (threshold %v)", gap, c.cfg.PollingWarnCycle)
 	}
 	c.lastPoll = now
@@ -498,6 +547,7 @@ func (c *Context) syncFilter() {
 			return false, 0 // keep hardware acks/CNPs intact
 		}
 		if drop > 0 && c.rng.Float64() < drop {
+			c.tel.Flight.Record(c.eng.Now(), telemetry.CatFilterDrop, int32(c.Node()), 0, int64(p.Size), 0)
 			return true, 0
 		}
 		return false, delay

@@ -7,6 +7,7 @@ import (
 	"xrdma/internal/fabric"
 	"xrdma/internal/sim"
 	"xrdma/internal/tcpnet"
+	"xrdma/internal/telemetry"
 )
 
 // Mock (§VI-C): when the RDMA path collapses — heavy anomaly, protocol
@@ -113,6 +114,9 @@ func (c *Context) claimParkedMock(qpn uint32) *tcpnet.Conn {
 func (ch *Channel) enterMockMode(cause error) {
 	c := ch.ctx
 	c.Stats.MockSwitches++
+	now := c.eng.Now()
+	c.tel.Flight.Trip(now, telemetry.CatMockSwitch, int32(c.Node()), ch.qp.QPN)
+	c.tel.Trace.Instant("mock.switch", c.track, now, int64(ch.Peer))
 	c.logf("channel qpn=%d peer=%d switching to TCP mock (%v)", ch.qp.QPN, ch.Peer, cause)
 
 	ch.mock = &mockState{}
@@ -129,7 +133,9 @@ func (ch *Channel) enterMockMode(cause error) {
 	ch.sendQ = nil
 
 	// Release RDMA resources: the QP recycles through the cache, the
-	// receive buffers return to the memory cache.
+	// receive buffers return to the memory cache. The XR-Stat row goes
+	// with them — the recycled QPN may soon host a new channel.
+	ch.unregisterGauges()
 	delete(c.channels, ch.qp.QPN)
 	for id, buf := range ch.recvBufs {
 		delete(ch.recvBufs, id)

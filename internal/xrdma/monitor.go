@@ -3,6 +3,7 @@ package xrdma
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"xrdma/internal/fabric"
@@ -62,20 +63,32 @@ func (m *Monitor) Nodes() []fabric.NodeID {
 	return out
 }
 
+// sample reads one observation off the metric registry. The monitor is a
+// pure registry consumer: every figure below comes from a gauge that the
+// context or NIC registered, not from reaching into their structs.
 func (m *Monitor) sample(c *Context) {
-	var s Sample
-	s.At = c.eng.Now()
-	s.Channels = len(c.channels)
-	s.QPs = c.vctx.NIC.NumQPs()
-	s.MemOccupied = c.Mem.OccupiedBytes()
-	s.MemInUse = c.Mem.InUseBytes
-	nc := c.vctx.NIC.Counters
-	s.MsgsSent, s.MsgsRecv = nc.MsgsSent, nc.MsgsRecv
-	s.BytesSent, s.BytesRecv = nc.BytesSent, nc.BytesRecv
-	s.RNRRecv = nc.RNRNakRecv
-	s.Retransmits = nc.Retransmits
-	s.CNPRecv = nc.CNPRecv
-	s.SlowPolls = c.Stats.SlowPolls
+	reg := c.tel.Reg
+	get := func(name string) int64 {
+		v, _ := reg.Value(name)
+		return v
+	}
+	xt := c.track + "."
+	nt := fmt.Sprintf("rnic.%d.", c.Node())
+	s := Sample{
+		At:          c.eng.Now(),
+		Channels:    int(get(xt + "channels")),
+		QPs:         int(get(nt + "qps")),
+		MemOccupied: get(xt + "mem_occupied"),
+		MemInUse:    get(xt + "mem_inuse"),
+		MsgsSent:    get(nt + "msgs_sent"),
+		MsgsRecv:    get(nt + "msgs_recv"),
+		BytesSent:   get(nt + "bytes_sent"),
+		BytesRecv:   get(nt + "bytes_recv"),
+		RNRRecv:     get(nt + "rnr_nak_recv"),
+		Retransmits: get(nt + "retransmits"),
+		CNPRecv:     get(nt + "cnp_recv"),
+		SlowPolls:   get(xt + "slow_polls"),
+	}
 	node := c.Node()
 	m.Samples[node] = append(m.Samples[node], s)
 	if len(m.Samples[node]) > m.MaxSamples {
@@ -85,21 +98,51 @@ func (m *Monitor) sample(c *Context) {
 
 // --- XR-Stat (§VI-B) ----------------------------------------------------------
 
-// XRStat renders the netstat-like per-connection table for one node.
+// XRStat renders the netstat-like per-connection table for one node. It
+// is a pure registry consumer: the header reads the context gauges and
+// each row is pivoted from the node's per-channel gauge entries
+// ("xrdma.<node>.ch.<qpn>.<field>") in one registry snapshot.
 func XRStat(c *Context) string {
+	reg := c.tel.Reg
+	get := func(name string) int64 {
+		v, _ := reg.Value(c.track + "." + name)
+		return v
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "node %d: %d channels, mem occupy=%d in-use=%d, qp-cache=%d\n",
-		c.Node(), c.NumChannels(), c.Mem.OccupiedBytes(), c.Mem.InUseBytes, c.QPs.Len())
+		c.Node(), get("channels"), get("mem_occupied"), get("mem_inuse"), get("qp_cache"))
 	fmt.Fprintf(&b, "%-6s %-6s %-9s %-9s %-10s %-10s %-7s %-6s %-6s\n",
 		"QPN", "PEER", "SENT", "RECV", "TXBYTES", "RXBYTES", "STALLS", "RNR", "RETX")
-	chs := c.Channels()
-	sort.Slice(chs, func(i, j int) bool { return chs[i].QPN() < chs[j].QPN() })
-	for _, ch := range chs {
-		qc := ch.QPCounters()
+	chPrefix := c.track + ".ch."
+	rows := make(map[int]map[string]int64)
+	var qpns []int
+	for _, e := range reg.Snapshot() {
+		if !strings.HasPrefix(e.Name, chPrefix) {
+			continue
+		}
+		rest := e.Name[len(chPrefix):]
+		dot := strings.IndexByte(rest, '.')
+		if dot < 0 {
+			continue
+		}
+		qpn, err := strconv.Atoi(rest[:dot])
+		if err != nil {
+			continue
+		}
+		row, ok := rows[qpn]
+		if !ok {
+			row = make(map[string]int64)
+			rows[qpn] = row
+			qpns = append(qpns, qpn)
+		}
+		row[rest[dot+1:]] = e.Value
+	}
+	sort.Ints(qpns)
+	for _, q := range qpns {
+		r := rows[q]
 		fmt.Fprintf(&b, "%-6d %-6d %-9d %-9d %-10d %-10d %-7d %-6d %-6d\n",
-			ch.QPN(), ch.Peer, ch.Counters.MsgsSent, ch.Counters.MsgsRecv,
-			ch.Counters.BytesSent, ch.Counters.BytesRecv,
-			ch.Counters.WindowStalls, qc.RNRNakRecv, qc.Retransmits)
+			q, r["peer"], r["sent"], r["recv"], r["txbytes"], r["rxbytes"],
+			r["stalls"], r["rnr"], r["retx"])
 	}
 	return b.String()
 }

@@ -178,6 +178,7 @@ func (ch *Channel) transmit(ps *pendingSend, large bool) {
 	ch.Counters.MsgsSent++
 	ch.Counters.BytesSent += int64(ps.size)
 	ch.lastComm = c.eng.Now()
+	c.tel.Trace.Instant("msg.send", c.track, ch.lastComm, int64(ps.size))
 	if h.Flags&flagTraced != 0 {
 		c.trace.onSend(ch, &h)
 	}
@@ -334,6 +335,7 @@ func (ch *Channel) deliver(msg *Msg) {
 	c := ch.ctx
 	ch.Counters.MsgsRecv++
 	ch.Counters.BytesRecv += int64(msg.Len)
+	c.tel.Trace.Instant("msg.deliver", c.track, c.eng.Now(), int64(msg.Len))
 	if msg.Traced {
 		c.trace.onRecv(ch, msg)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"xrdma/internal/fabric"
 	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
 )
 
 // Tracer implements §VI-A: in req-rsp mode each traced message carries the
@@ -13,8 +14,7 @@ import (
 // rest. Records live in a bounded ring consumed by XR-Stat / the monitor.
 type Tracer struct {
 	ctx  *Context
-	ring []TraceRecord
-	max  int
+	ring *telemetry.Ring[TraceRecord]
 
 	// Slow-operation incidents (threshold = Config.SlowThreshold).
 	SlowOps int64
@@ -33,21 +33,21 @@ type TraceRecord struct {
 	At  sim.Time
 }
 
+const tracerRingCap = 4096
+
 func newTracer(ctx *Context) *Tracer {
-	return &Tracer{ctx: ctx, max: 4096}
+	return &Tracer{ctx: ctx, ring: telemetry.NewRing[TraceRecord](tracerRingCap)}
 }
 
-func (t *Tracer) push(r TraceRecord) {
-	if len(t.ring) >= t.max {
-		copy(t.ring, t.ring[1:])
-		t.ring[len(t.ring)-1] = r
-		return
-	}
-	t.ring = append(t.ring, r)
-}
+// push appends one record, overwriting the oldest when full. O(1): the
+// telemetry ring advances head/tail cursors instead of shifting elements.
+func (t *Tracer) push(r TraceRecord) { t.ring.Push(r) }
 
-// Records returns the trace ring (oldest first).
-func (t *Tracer) Records() []TraceRecord { return t.ring }
+// Records returns a copy of the trace ring (oldest first).
+func (t *Tracer) Records() []TraceRecord { return t.ring.Snapshot() }
+
+// Dropped reports how many records were overwritten since creation.
+func (t *Tracer) Dropped() uint64 { return t.ring.Dropped() }
 
 // onSend currently only counts; send-side state rides in the header.
 func (t *Tracer) onSend(ch *Channel, h *wireHdr) {}
@@ -60,9 +60,12 @@ func (t *Tracer) onRecv(ch *Channel, m *Msg) {
 	if m.IsReq {
 		kind = "REQ"
 	}
-	rec := TraceRecord{Peer: ch.Peer, MsgID: m.MsgID, Kind: kind, OneWay: oneWay, At: t.ctx.eng.Now()}
+	now := t.ctx.eng.Now()
+	rec := TraceRecord{Peer: ch.Peer, MsgID: m.MsgID, Kind: kind, OneWay: oneWay, At: now}
 	if oneWay > t.ctx.cfg.SlowThreshold {
 		t.SlowOps++
+		t.ctx.tel.Flight.Record(now, telemetry.CatSlowOp, int32(t.ctx.Node()), ch.qp.QPN, int64(oneWay), int64(m.MsgID))
+		t.ctx.tel.Trace.Instant("slow.op", t.ctx.track, now, int64(oneWay))
 		t.ctx.logf("slow %s msg %d from %d: one-way %v", kind, m.MsgID, ch.Peer, oneWay)
 	}
 	t.push(rec)
@@ -70,10 +73,15 @@ func (t *Tracer) onRecv(ch *Channel, m *Msg) {
 
 // onResponse records the full RTT of a completed request.
 func (t *Tracer) onResponse(ch *Channel, m *Msg, sentAt sim.Time) {
-	rtt := t.ctx.eng.Now().Sub(sentAt)
-	t.push(TraceRecord{Peer: ch.Peer, MsgID: m.MsgID, Kind: "RTT", RTT: rtt, At: t.ctx.eng.Now()})
+	now := t.ctx.eng.Now()
+	rtt := now.Sub(sentAt)
+	t.push(TraceRecord{Peer: ch.Peer, MsgID: m.MsgID, Kind: "RTT", RTT: rtt, At: now})
+	t.ctx.rttHist.Observe(int64(rtt))
+	t.ctx.tel.Trace.Complete("rtt", t.ctx.track, sentAt, rtt, int64(m.MsgID))
 	if rtt > 2*t.ctx.cfg.SlowThreshold {
 		t.SlowOps++
+		t.ctx.tel.Flight.Record(now, telemetry.CatSlowOp, int32(t.ctx.Node()), ch.qp.QPN, int64(rtt), int64(m.MsgID))
+		t.ctx.tel.Trace.Instant("slow.op", t.ctx.track, now, int64(rtt))
 		t.ctx.logf("slow request %d to %d: rtt %v", m.MsgID, ch.Peer, rtt)
 	}
 }

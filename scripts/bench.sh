@@ -1,7 +1,9 @@
 #!/bin/sh
-# bench.sh — run the simulation-kernel microbenchmarks and emit
-# BENCH_kernel.json: current ns/op + allocs/op per benchmark next to the
-# committed container/heap baseline, with the speedup factor.
+# bench.sh — run the simulation-kernel and telemetry microbenchmarks and
+# emit BENCH_kernel.json: current ns/op + allocs/op per benchmark next to
+# the committed container/heap baseline, with the speedup factor.
+# Telemetry benchmarks have no pre-rewrite baseline; their contract is
+# allocs/op == 0 (enforced by the CI bench smoke).
 #
 # Usage: scripts/bench.sh [output.json]   (default: BENCH_kernel.json)
 # Set REPRODUCE=1 to also time cmd/reproduce -full at -j 1 vs -j nproc
@@ -13,7 +15,8 @@ out="${1:-BENCH_kernel.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test ./internal/sim/ -run '^$' -bench 'BenchmarkEngine' -benchmem \
+go test ./internal/sim/ ./internal/telemetry/ -run '^$' \
+    -bench 'BenchmarkEngine|BenchmarkTelemetry' -benchmem \
     -benchtime=2s -count=1 | tee "$tmp" >&2
 
 # Baseline: container/heap scheduler + per-event heap allocation, measured
