@@ -9,8 +9,10 @@ package main
 import (
 	"fmt"
 
+	"xrdma/internal/chaos"
 	"xrdma/internal/cluster"
 	"xrdma/internal/fabric"
+	"xrdma/internal/rnic"
 	"xrdma/internal/sim"
 	"xrdma/internal/xrdma"
 )
@@ -58,7 +60,9 @@ func main() {
 	c.Nodes[2].TCP.Crash()
 	ch02.OnClose(func(err error) { reclaimed = true; fmt.Printf("drill 2 (keepalive): reclaimed: %v\n", err) })
 	c.Nodes[2].NIC.Crash()
-	c.Eng.RunFor(300 * sim.Millisecond)
+	// Reclaim = keepalive deadline (one RC retry horizon) + the bounded
+	// mock dial retries against the dead TCP stack before giving up.
+	c.Eng.RunFor(600 * sim.Millisecond)
 	if !reclaimed {
 		panic("keepalive failed to reclaim dead peer")
 	}
@@ -91,6 +95,53 @@ func main() {
 		}
 	}
 	fmt.Printf("drill 4 (tracing): %d slow-poll incidents in the self-adaptive log\n", slow)
+
+	// ---- drill 5: chaos scheduler + health state machine ---------------
+	// A fresh cluster with the recovery plane armed (RecoverPort) and a
+	// short RC retry horizon, driven by the deterministic fault
+	// scheduler: a pulled cable degrades the channel and recovery brings
+	// it back to RDMA; a dead HCA exhausts the retry budget and lands on
+	// the Mock fallback; the rebooted HCA is reclaimed by failback.
+	nicCfg := rnic.DefaultConfig()
+	nicCfg.RetransTimeout = 2 * sim.Millisecond
+	nicCfg.RetryLimit = 3
+	c5 := cluster.New(cluster.Options{
+		Topology:    fabric.SmallClos(),
+		NICCfg:      nicCfg,
+		Nodes:       8,
+		MockPort:    9000,
+		RecoverPort: 9100,
+		Config: func(node int, cfg *xrdma.Config) {
+			cfg.MockEnabled = true
+			cfg.KeepaliveInterval = 2 * sim.Millisecond
+			cfg.KeepaliveTimeout = 8 * sim.Millisecond
+		},
+	})
+	c5.ListenAll(7000, func(n *cluster.Node, ch *xrdma.Channel) {
+		ch.OnMessage(func(m *xrdma.Msg) { m.Reply(m.Retain(), 0) })
+	})
+	var ch05 *xrdma.Channel
+	c5.Connect(0, 4, 7000, func(ch *xrdma.Channel, err error) { ch05 = ch })
+	c5.Eng.Run()
+	ch05.OnHealthChange(func(h xrdma.HealthState) {
+		fmt.Printf("drill 5 (chaos): t=%v channel -> %v\n", c5.Eng.Now(), h)
+	})
+	inj := chaos.New(c5)
+	inj.Schedule([]chaos.Step{
+		{At: 10 * sim.Millisecond, Name: "cable out", Do: func(i *chaos.Injector) { i.HostLinkDown(4) }},
+		{At: 60 * sim.Millisecond, Name: "cable in", Do: func(i *chaos.Injector) { i.HostLinkUp(4) }},
+		{At: 200 * sim.Millisecond, Name: "HCA dies", Do: func(i *chaos.Injector) { i.NicCrash(4) }},
+		{At: 500 * sim.Millisecond, Name: "HCA swapped", Do: func(i *chaos.Injector) { i.NodeRestart(4) }},
+	})
+	c5.Eng.RunFor(800 * sim.Millisecond)
+	fmt.Printf("drill 5: final health=%v mocked=%v (degraded=%d recoveries=%d mock-switches=%d failbacks=%d)\n",
+		ch05.Health(), ch05.Mocked(),
+		c5.Nodes[0].Ctx.Stats.Degraded, c5.Nodes[0].Ctx.Stats.Recoveries,
+		c5.Nodes[0].Ctx.Stats.MockSwitches, c5.Nodes[0].Ctx.Stats.Failbacks)
+	fmt.Println("drill 5 fault timeline:")
+	for _, line := range inj.Digest() {
+		fmt.Println("  " + line)
+	}
 
 	fmt.Println("\nfinal XR-Stat on node 0:")
 	fmt.Print(xrdma.XRStat(c.Nodes[0].Ctx))

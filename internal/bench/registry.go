@@ -63,6 +63,9 @@ func Experiments() []Experiment {
 		{ID: "fig3", Title: "Diurnal load", Run: func(sc Scale) []*Table {
 			return tables(Fig3Diurnal(sc).Table_)
 		}},
+		{ID: "robust", Title: "Chaos drill: fault classes, recovery and fallback", Run: func(sc Scale) []*Table {
+			return tables(ChaosDrill(sc).Table_)
+		}},
 		{ID: "loc", Title: "Lines-of-code comparison", Run: func(Scale) []*Table {
 			return tables(LoCComparison().Table_)
 		}},

@@ -28,7 +28,10 @@ type Options struct {
 	ClockSkew func(node int) sim.Duration
 	// MockPort enables the TCP fallback plane when >0.
 	MockPort int
-	Seed     uint64
+	// RecoverPort enables the channel health state machine (RDMA
+	// re-establishment for degraded channels) when >0.
+	RecoverPort int
+	Seed        uint64
 }
 
 // Node is one machine: NIC, TCP stack and X-RDMA context.
@@ -87,7 +90,7 @@ func New(o Options) *Cluster {
 		}
 		ctx := xrdma.NewContext(xrdma.Options{
 			Verbs: vc, CM: cm, Host: host, Config: cfg, Monitor: c.Mon,
-			TCP: tcp, MockPort: o.MockPort, ClockSkew: skew,
+			TCP: tcp, MockPort: o.MockPort, RecoverPort: o.RecoverPort, ClockSkew: skew,
 			Seed: o.Seed ^ uint64(i)*0x9e3779b97f4a7c15,
 		})
 		c.Nodes = append(c.Nodes, &Node{ID: host.ID, NIC: nic, TCP: tcp, Ctx: ctx})

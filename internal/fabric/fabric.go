@@ -12,9 +12,11 @@ import (
 type Stats struct {
 	ECNMarks  int64 // data packets marked congestion-experienced
 	PauseTX   int64 // PFC pause frames emitted
-	Drops     int64 // tail drops (PFC off or buffer exhaustion)
+	Drops     int64 // tail drops (PFC off, buffer exhaustion, dead links)
 	Delivered int64 // packets handed to endpoints
 	DataBytes int64 // payload bytes delivered
+	Corrupted int64 // frames damaged by chaos corruption injection
+	Rerouted  int64 // packets ECMP re-hashed around a dead link
 }
 
 // Fabric owns the devices, links, global counters and the marking RNG.
@@ -27,6 +29,11 @@ type Fabric struct {
 	tel      *telemetry.Set
 	hosts    map[NodeID]*Host
 	switches []*Switch
+
+	// downPorts counts port halves currently administratively down. While
+	// zero (the healthy fabric — and every golden run), routing takes the
+	// original fast path with no viability checks at all.
+	downPorts int
 
 	// pktFree recycles Packet structs: at steady state every hop of every
 	// flow reuses the same handful of nodes instead of hammering the GC.
@@ -77,6 +84,8 @@ func New(eng *sim.Engine, cfg Config, seed uint64) *Fabric {
 	reg.GaugeFunc("fabric.drops", func() int64 { return f.Stats.Drops })
 	reg.GaugeFunc("fabric.delivered", func() int64 { return f.Stats.Delivered })
 	reg.GaugeFunc("fabric.data_bytes", func() int64 { return f.Stats.DataBytes })
+	reg.GaugeFunc("fabric.corrupted", func() int64 { return f.Stats.Corrupted })
+	reg.GaugeFunc("fabric.rerouted", func() int64 { return f.Stats.Rerouted })
 	reg.GaugeFunc("fabric.queue_bytes", func() int64 {
 		var total int64
 		for _, s := range f.switches {
@@ -185,6 +194,15 @@ type Switch struct {
 	uplinks   []*Port
 	downlinks []downlink
 	hostPorts []hostlink
+
+	// down marks a failed switch: in-flight arrivals drop, and every
+	// egress port is dead so neighbours' ECMP steers around it.
+	down bool
+
+	// Per-switch fault counters (chaos observability).
+	Drops     int64 // packets this switch had to discard
+	DeadDrops int64 // discarded because every candidate egress was dead
+	Rerouted  int64 // re-hashed onto a live port after the primary died
 }
 
 func (s *Switch) name() string { return s.Label }
@@ -210,8 +228,16 @@ func (s *Switch) MaxPortQueue() int {
 }
 
 func (s *Switch) receive(p *Packet, in *Port) {
+	if s.down {
+		// A dead switch sinks whatever was already in flight toward it.
+		s.Drops++
+		s.fab.Stats.Drops++
+		s.fab.FreePacket(p)
+		return
+	}
 	out := s.route(p)
 	if out == nil {
+		s.Drops++
 		s.fab.Stats.Drops++
 		s.fab.FreePacket(p)
 		return
@@ -222,15 +248,72 @@ func (s *Switch) receive(p *Packet, in *Port) {
 	})
 }
 
+// routeViabilityDepth bounds the viability recursion: the longest clos
+// path is tor→leaf→spine→leaf→tor→host, so looking four switches ahead
+// sees every possible dead end.
+const routeViabilityDepth = 4
+
 func (s *Switch) route(p *Packet) *Port {
 	cands := s.routes[p.Dst]
 	if len(cands) == 0 {
 		return nil
 	}
+	var pick *Port
 	if len(cands) == 1 {
-		return cands[0]
+		pick = cands[0]
+	} else {
+		// ECMP: deterministic per-flow hash so a flow never reorders.
+		h := p.FlowHash * 0x9e3779b97f4a7c15
+		pick = cands[h%uint64(len(cands))]
 	}
-	// ECMP: deterministic per-flow hash so a flow never reorders.
+	if s.fab.downPorts == 0 || s.viable(pick, p.Dst, routeViabilityDepth) {
+		return pick
+	}
+	// Primary path is dead — either this very link or everything past the
+	// next hop (a leaf that lost its only downlink to the destination
+	// ToR, the converged-routing view a real fabric gets from its IGP
+	// withdrawing the prefix). Re-hash the same flow key over the viable
+	// subset so routing stays deterministic per flow, or drop if the
+	// destination is unreachable from here.
+	var liveArr [8]*Port
+	live := liveArr[:0]
+	for _, c := range cands {
+		if s.viable(c, p.Dst, routeViabilityDepth) {
+			live = append(live, c)
+		}
+	}
+	if len(live) == 0 {
+		s.DeadDrops++
+		return nil
+	}
+	s.Rerouted++
+	s.fab.Stats.Rerouted++
 	h := p.FlowHash * 0x9e3779b97f4a7c15
-	return cands[h%uint64(len(cands))]
+	return live[h%uint64(len(live))]
+}
+
+// viable reports whether pt can still make progress toward dst: the link
+// is up and, when the next hop is a switch, that switch retains a viable
+// route of its own. Clos route tables descend the hierarchy monotonically
+// (up toward spines, then strictly down), so the recursion cannot loop.
+func (s *Switch) viable(pt *Port, dst NodeID, depth int) bool {
+	if !pt.linkUp() {
+		return false
+	}
+	next, ok := pt.peer.owner.(*Switch)
+	if !ok {
+		return true // host port: delivery itself
+	}
+	if next.down {
+		return false
+	}
+	if depth <= 0 {
+		return true
+	}
+	for _, c := range next.routes[dst] {
+		if next.viable(c, dst, depth-1) {
+			return true
+		}
+	}
+	return false
 }

@@ -49,6 +49,11 @@ type Packet struct {
 	ECT    bool // ECN-capable transport (DCQCN data packets)
 	Marked bool // congestion experienced (set by switches)
 
+	// Corrupt marks a frame whose payload was damaged in flight (chaos
+	// injection). The fabric still delivers it — FCS checking happens at
+	// the receiving NIC, which drops and counts it.
+	Corrupt bool
+
 	// Payload is opaque to the fabric; the RNIC model stores its
 	// protocol header here.
 	Payload any

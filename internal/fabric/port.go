@@ -75,6 +75,15 @@ type Port struct {
 	busy   bool
 	paused bool // peer asked us to stop sending ClassData
 
+	// Fault-injection state (chaos). down kills the egress half of the
+	// link: queued packets are flushed and new sends drop. lossRate and
+	// corruptRate model a browned-out optic (applied per transmitted RDMA
+	// data frame); extraDelay adds fixed latency to propagation.
+	down        bool
+	lossRate    float64
+	corruptRate float64
+	extraDelay  sim.Duration
+
 	// unbounded marks host-side ports: the sender's RNIC regulates its
 	// own queue, so the host egress never tail-drops.
 	unbounded bool
@@ -102,8 +111,52 @@ func (pt *Port) QueueBytes() int { return pt.qlen }
 // Paused reports whether the peer has PFC-paused this port's data class.
 func (pt *Port) Paused() bool { return pt.paused }
 
+// linkUp reports whether both halves of the full-duplex link are alive.
+func (pt *Port) linkUp() bool { return !pt.down && !pt.peer.down }
+
+// setDown marks the egress half dead and flushes everything queued on it.
+// In-flight frames (already serialized onto the wire) still deliver.
+// Idempotent: the fabric-wide down-port count must stay exact, since a
+// zero count is the routing fast path's licence to skip viability checks.
+func (pt *Port) setDown() {
+	if pt.down {
+		return
+	}
+	pt.down = true
+	pt.fab.downPorts++
+	for pt.ctrlQ.len() > 0 {
+		pt.dropFlushed(pt.ctrlQ.pop())
+	}
+	for pt.dataQ.len() > 0 {
+		p := pt.dataQ.pop()
+		pt.qlen -= p.wireSize()
+		pt.dropFlushed(p)
+	}
+}
+
+// setUp revives the egress half and restarts transmission.
+func (pt *Port) setUp() {
+	if !pt.down {
+		return
+	}
+	pt.down = false
+	pt.fab.downPorts--
+	pt.kick()
+}
+
+func (pt *Port) dropFlushed(p *Packet) {
+	pt.Drops++
+	pt.fab.Stats.Drops++
+	pt.releaseIngress(p)
+	pt.fab.FreePacket(p)
+}
+
 // send enqueues a packet for transmission out of this port.
 func (pt *Port) send(p *Packet) {
+	if pt.down {
+		pt.dropFlushed(p)
+		return
+	}
 	if p.Class == ClassCtrl {
 		pt.ctrlQ.push(p)
 	} else {
@@ -149,7 +202,7 @@ func (pt *Port) markECN(p *Packet) {
 
 // kick starts transmission if the port is idle and has eligible traffic.
 func (pt *Port) kick() {
-	if pt.busy {
+	if pt.busy || pt.down {
 		return
 	}
 	var p *Packet
@@ -169,7 +222,24 @@ func (pt *Port) kick() {
 		pt.TxBytes += int64(p.wireSize())
 		pt.TxPackets++
 		pt.releaseIngress(p)
-		arrival := pt.propDelay
+		// Brownout impairments: drawn only when a rate is configured, so
+		// the golden path never touches the RNG here. Only RDMA data
+		// frames are impaired — the kernel TCP fallback path is assumed
+		// to ride a separate, healthy NIC port.
+		if pt.lossRate > 0 && p.Proto == ProtoRDMA && p.Class == ClassData &&
+			pt.fab.rng.Float64() < pt.lossRate {
+			pt.Drops++
+			pt.fab.Stats.Drops++
+			pt.fab.FreePacket(p)
+			pt.kick()
+			return
+		}
+		if pt.corruptRate > 0 && p.Proto == ProtoRDMA && p.Class == ClassData &&
+			pt.fab.rng.Float64() < pt.corruptRate {
+			p.Corrupt = true
+			pt.fab.Stats.Corrupted++
+		}
+		arrival := pt.propDelay + pt.extraDelay
 		peer := pt.peer
 		pt.eng.After(arrival, func() {
 			peer.owner.receive(p, peer)

@@ -98,6 +98,10 @@ type hostlink struct {
 func (f *Fabric) newSwitch(label string, tier int) *Switch {
 	s := &Switch{Label: label, Tier: tier, fab: f, routes: make(map[NodeID][]*Port)}
 	f.switches = append(f.switches, s)
+	reg := f.tel.Reg
+	reg.GaugeFunc("fabric."+label+".drops", func() int64 { return s.Drops })
+	reg.GaugeFunc("fabric."+label+".dead_drops", func() int64 { return s.DeadDrops })
+	reg.GaugeFunc("fabric."+label+".rerouted", func() int64 { return s.Rerouted })
 	return s
 }
 

@@ -144,6 +144,16 @@ func (m *Memory) Deregister(mr *MR) {
 	m.RegisteredBytes -= int64(mr.Len)
 }
 
+// InvalidateAll drops every MR at once (node reboot): all later lookups
+// fail with ErrMRAccess, exactly as if each region had been deregistered.
+func (m *Memory) InvalidateAll() {
+	for _, mr := range m.byKey {
+		m.RegisteredBytes -= int64(mr.Len)
+	}
+	m.byKey = make(map[uint32]*MR)
+	m.sorted = nil
+}
+
 // Lookup validates a remote access of n bytes at addr under rkey.
 func (m *Memory) Lookup(rkey uint32, addr uint64, n int) (*MR, error) {
 	mr, ok := m.byKey[rkey]

@@ -81,6 +81,7 @@ type Counters struct {
 	AccessErrors           int64
 	QPCacheMisses          int64
 	QPCacheHits            int64
+	CorruptDrops           int64
 }
 
 // txJob is one unit of engine work: transmit (part of) a WR's packets, or
@@ -201,6 +202,7 @@ func (n *NIC) registerGauges() {
 		{"cnp_sent", func() int64 { return c.CNPSent }},
 		{"cnp_recv", func() int64 { return c.CNPRecv }},
 		{"access_errors", func() int64 { return c.AccessErrors }},
+		{"corrupt_drops", func() int64 { return c.CorruptDrops }},
 		{"qp_cache_misses", func() int64 { return c.QPCacheMisses }},
 		{"qp_cache_hits", func() int64 { return c.QPCacheHits }},
 		{"qps", func() int64 { return int64(n.NumQPs()) }},
@@ -222,6 +224,23 @@ func (n *NIC) Crash() { n.alive = false }
 
 // Revive restores a crashed NIC (host reboot).
 func (n *NIC) Revive() { n.alive = true }
+
+// Restart models the full machine reboot after a Crash: every QP flushes
+// its outstanding work as errors, all registered memory is invalidated
+// (a rebooted kernel holds no pins), and the adapter comes back alive.
+// Software above must re-register memory and re-establish connections.
+func (n *NIC) Restart() {
+	for _, qp := range n.qps {
+		qp.enterError(StatusFlushed)
+		// A rebooted adapter starts with pristine QP contexts. Leaving
+		// recycled QPs in Error would poison the middleware's QP cache:
+		// the next Get() would hand out a QP that can never leave Error.
+		n.modifyQPNow(qp, QPReset, 0, 0)
+	}
+	n.Mem.InvalidateAll()
+	n.lastCNP = make(map[uint64]sim.Time)
+	n.alive = true
+}
 
 // LineBps returns the host link rate.
 func (n *NIC) LineBps() int64 { return n.host.LinkBps() }

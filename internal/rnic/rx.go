@@ -20,6 +20,14 @@ func (n *NIC) HandlePacket(p *fabric.Packet) {
 		n.pool.putHdr(h)
 		return
 	}
+	if p.Corrupt {
+		// Failed FCS check: the frame never reaches protocol processing.
+		// The sender's RTO recovers it like any other loss.
+		n.Counters.CorruptDrops++
+		n.tel.Flight.Record(n.eng.Now(), telemetry.CatCorruptDrop, int32(n.Node), h.DstQPN, int64(p.Size), 0)
+		n.pool.putHdr(h)
+		return
+	}
 	n.Counters.PktsRecv++
 	switch h.Op {
 	case opAck:

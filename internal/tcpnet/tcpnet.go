@@ -61,6 +61,7 @@ var (
 	ErrRefused  = errors.New("tcpnet: connection refused")
 	ErrClosed   = errors.New("tcpnet: connection closed")
 	ErrPeerDead = errors.New("tcpnet: keepalive timeout")
+	ErrReset    = errors.New("tcpnet: connection reset (segment loss)")
 )
 
 // Message is what OnMessage delivers.
@@ -393,9 +394,13 @@ func (s *Stack) HandlePacket(p *fabric.Packet) {
 		c.lastHeard = s.eng.Now()
 		c.kaWaiting = false
 		if seg.seq != c.recvSeq {
-			// The lossless fabric should never reorder a flow; a gap
-			// means the model is broken, so fail loudly.
-			panic(fmt.Sprintf("tcpnet: out-of-order segment seq=%d want=%d", seg.seq, c.recvSeq))
+			// A gap means segments died on the wire (a downed link or
+			// failed switch flushed them). The model has no retransmit,
+			// so behave like a hard reset: RST the sender and tear down.
+			// Layers above (the Mock channel) own reconnection.
+			s.send(p.Src, &segment{kind: 7, srcPort: seg.dstPort, dstPort: seg.srcPort}, 40)
+			c.teardown(ErrReset)
+			return
 		}
 		c.recvSeq++
 		if seg.offset == 0 {

@@ -34,6 +34,12 @@ const (
 	CatQPState
 	CatQPError
 	CatReqTimeout
+	CatChannelDegraded
+	CatChannelRecovered
+	CatFailback
+	CatChaosFault
+	CatChaosHeal
+	CatCorruptDrop
 	catCount
 )
 
@@ -55,7 +61,13 @@ var catNames = [catCount]string{
 	CatPFCPause:       "pfc.pause",
 	CatQPState:        "qp.state",
 	CatQPError:        "qp.error",
-	CatReqTimeout:     "req.timeout",
+	CatReqTimeout:       "req.timeout",
+	CatChannelDegraded:  "ch.degraded",
+	CatChannelRecovered: "ch.recovered",
+	CatFailback:         "ch.failback",
+	CatChaosFault:       "chaos.fault",
+	CatChaosHeal:        "chaos.heal",
+	CatCorruptDrop:      "corrupt.drop",
 }
 
 func (c Category) String() string {

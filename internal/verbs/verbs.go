@@ -219,6 +219,11 @@ func (cm *CM) HandlePacket(p *fabric.Packet) {
 	if !ok {
 		return
 	}
+	if !cm.ctx.NIC.Alive() {
+		// Crashed machine: the control plane dies with it. Dialers must
+		// run their own timeout — there is no one here to REJ.
+		return
+	}
 	switch m.kind {
 	case 0: // REQ
 		h, ok := cm.listeners[m.port]

@@ -16,7 +16,36 @@ var (
 	ErrChannelClosed = errors.New("xrdma: channel closed")
 	ErrPeerDead      = errors.New("xrdma: keepalive declared peer dead")
 	ErrTimeout       = errors.New("xrdma: request timed out")
+	ErrNICRestart    = errors.New("xrdma: local NIC restarted")
 )
+
+// HealthState is the channel's fault-tolerance state machine. Healthy
+// runs on RDMA; Degraded has lost the RDMA path and holds traffic while
+// re-establishment is attempted; Fallback runs on the TCP Mock
+// transport; Recovering has a re-establishment (or failback) dial in
+// flight. The seq-ack window of Algorithm 1 makes every cutover between
+// transports exactly-once in both directions.
+type HealthState uint8
+
+const (
+	HealthHealthy HealthState = iota
+	HealthDegraded
+	HealthFallback
+	HealthRecovering
+)
+
+func (h HealthState) String() string {
+	switch h {
+	case HealthDegraded:
+		return "degraded"
+	case HealthFallback:
+		return "fallback"
+	case HealthRecovering:
+		return "recovering"
+	default:
+		return "healthy"
+	}
+}
 
 // ChannelStats are per-channel counters (the netstat-like rows of
 // XR-Stat, §VI-B).
@@ -67,6 +96,23 @@ type Channel struct {
 
 	mock    *mockState
 	mockQPN uint32
+
+	// Health state machine (chaos hardening).
+	health      HealthState
+	degradedAt  sim.Time
+	peerQPN     uint32 // peer's QPN at establishment — the recovery rendezvous key
+	recEpoch    uint64   // invalidates stale recovery dials
+	recAttempts int
+	qpns        []uint32 // every local QPN this channel has owned (recoverIdx keys)
+	resumeOnRx  bool // passive side: hold replay until the peer's QP is live
+	onHealth    func(HealthState)
+
+	// sent keeps windowed messages by sequence until acked, so a
+	// recovery or fallback cutover can replay the unacked tail
+	// exactly-once. pulls guards against double rendezvous reads when an
+	// announce is replayed.
+	sent  map[uint64]*pendingSend
+	pulls map[uint64]bool
 
 	// telNames are the per-channel gauge names registered for XR-Stat,
 	// kept for unregistration when the QPN is recycled.
@@ -238,12 +284,16 @@ func (c *Context) newChannel(conn *verbs.Conn, bufs []Buffer) *Channel {
 		tx:           newTxWindow(c.cfg.WindowDepth),
 		pending:      make(map[uint64]*reqState),
 		recvBufs:     make(map[uint64]Buffer),
+		sent:         make(map[uint64]*pendingSend),
+		pulls:        make(map[uint64]bool),
+		peerQPN:      conn.QP.RemoteQPN,
 		lastComm:     c.eng.Now(),
 		lastProgress: c.eng.Now(),
 		OpenedAt:     c.eng.Now(),
 	}
 	ch.rx = newRxWindow(c.cfg.WindowDepth)
 	c.channels[ch.qp.QPN] = ch
+	c.indexChannel(ch, ch.qp.QPN)
 	c.Stats.ChannelsOpened++
 	// Post the pre-allocated standing receive pool — the buffers whose
 	// footprint the §III Issue-1 formula describes.
@@ -277,6 +327,7 @@ func (ch *Channel) registerGauges() {
 		{"rnr", func() int64 { return ch.qp.Counters.RNRNakRecv }},
 		{"retx", func() int64 { return ch.qp.Counters.Retransmits }},
 		{"inflight", func() int64 { return int64(ch.tx.inflight()) }},
+		{"state", func() int64 { return int64(ch.health) }},
 	} {
 		n := prefix + g.name
 		ch.telNames = append(ch.telNames, n)
@@ -338,6 +389,17 @@ func (ch *Channel) fail(err error) {
 		// while the broken QP flushes.
 		return
 	}
+	if ch.health != HealthHealthy {
+		// Already degraded; the recovery machinery owns the channel and
+		// further flushed completions carry no new information.
+		return
+	}
+	if ch.ctx.recoverPort > 0 {
+		// Health state machine: hold traffic and try to re-establish
+		// RDMA before giving up on it.
+		ch.enterDegraded(err)
+		return
+	}
 	if ch.ctx.cfg.MockEnabled && ch.ctx.tcp != nil {
 		// §VI-C: switch to TCP instead of dying.
 		ch.switchToMock(err)
@@ -381,6 +443,25 @@ func (ch *Channel) teardown(err error) {
 		}
 	}
 	ch.sendQ = nil
+	// Transmitted-but-unacked rendezvous payloads are still staged; a
+	// dead channel can never get their acks, so reclaim them here (the
+	// §V-A keepalive reclamation must leave no memory behind).
+	for _, ps := range ch.sent {
+		if ps.staged.Valid() {
+			c.Mem.Free(ps.staged)
+		}
+	}
+	ch.sent = nil
+	// Return window credits held by the unacked tail and drop their
+	// on-ack closures — the channel is dead, nothing will ack, and the
+	// keepalive reclamation contract is "no resource left behind".
+	ch.tx.rewind()
+	for _, q := range ch.qpns {
+		if c.recoverIdx[q] == ch {
+			delete(c.recoverIdx, q)
+		}
+	}
+	ch.recEpoch++ // strand any in-flight recovery dial
 	// Receive buffers back to the cache.
 	for id, buf := range ch.recvBufs {
 		delete(ch.recvBufs, id)
@@ -420,10 +501,27 @@ func (ch *Channel) QPCounters() rnic.QPCounters { return ch.qp.Counters }
 // Inflight reports windowed messages awaiting ack.
 func (ch *Channel) Inflight() int { return int(ch.tx.inflight()) }
 
+// Health reports the channel's fault-tolerance state.
+func (ch *Channel) Health() HealthState { return ch.health }
+
+// OnHealthChange installs an observer for health transitions — drills
+// and tests record recovery timelines through it.
+func (ch *Channel) OnHealthChange(fn func(HealthState)) { ch.onHealth = fn }
+
+func (ch *Channel) setHealth(h HealthState) {
+	if ch.health == h {
+		return
+	}
+	ch.health = h
+	if ch.onHealth != nil {
+		ch.onHealth(h)
+	}
+}
+
 // --- keepalive (§V-A) --------------------------------------------------------
 
 func (ch *Channel) keepaliveCheck(now sim.Time) {
-	if ch.closed || ch.mock != nil {
+	if ch.closed || ch.mock != nil || ch.health != HealthHealthy || ch.resumeOnRx {
 		return
 	}
 	cfg := &ch.ctx.cfg
@@ -479,7 +577,14 @@ func (ch *Channel) keepaliveCheck(now sim.Time) {
 // --- deadlock breaker (§V-B) --------------------------------------------------
 
 func (ch *Channel) deadlockCheck() {
-	if ch.closed || ch.mock != nil || ch.nopInFlight {
+	if ch.closed || ch.nopInFlight || ch.resumeOnRx {
+		return
+	}
+	if ch.mock != nil {
+		if !ch.mock.ready {
+			return
+		}
+	} else if ch.health != HealthHealthy {
 		return
 	}
 	if len(ch.sendQ) == 0 || ch.tx.canSend() {

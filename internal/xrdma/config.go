@@ -88,6 +88,28 @@ type Config struct {
 	RequestTimeout sim.Duration
 	// MockEnabled lets a channel fall back to TCP when RDMA breaks.
 	MockEnabled bool
+	// MockDialRetries bounds how often a fallback TCP dial is retried
+	// before the channel is declared dead (the first failure used to be
+	// terminal, which turned transient dial races into hard teardowns).
+	MockDialRetries int
+	// MockDialBackoff is the delay before the first mock redial; it
+	// doubles per attempt.
+	MockDialBackoff sim.Duration
+	// RecoverRetries bounds RDMA re-establishment attempts for a degraded
+	// channel before it gives up and falls back to Mock (or tears down).
+	// Recovery as a whole is enabled per context via Options.RecoverPort.
+	RecoverRetries int
+	// RecoverBackoff is the initial delay between recovery dials; it
+	// doubles per attempt up to RecoverBackoffMax, with ±25% jitter.
+	RecoverBackoff sim.Duration
+	// RecoverBackoffMax caps the exponential recovery backoff.
+	RecoverBackoffMax sim.Duration
+	// RecoverDialTimeout abandons a single recovery dial that got no
+	// REP/REJ (the peer's control plane may be dead with its NIC).
+	RecoverDialTimeout sim.Duration
+	// FailbackInterval is how often a channel running on the Mock
+	// fallback probes RDMA to fail back (0 = stay on Mock forever).
+	FailbackInterval sim.Duration
 	// StatsInterval drives periodic statistics sampling.
 	StatsInterval sim.Duration
 }
@@ -122,7 +144,16 @@ func DefaultConfig() Config {
 		TraceCost:         50 * sim.Nanosecond,
 		RequestTimeout:    0,
 		MockEnabled:       false,
-		StatsInterval:     10 * sim.Millisecond,
+		MockDialRetries:   3,
+		MockDialBackoff:   2 * sim.Millisecond,
+
+		RecoverRetries:     4,
+		RecoverBackoff:     1 * sim.Millisecond,
+		RecoverBackoffMax:  50 * sim.Millisecond,
+		RecoverDialTimeout: 25 * sim.Millisecond,
+		FailbackInterval:   100 * sim.Millisecond,
+
+		StatsInterval: 10 * sim.Millisecond,
 	}
 }
 
@@ -261,4 +292,9 @@ var offlineFlagNames = map[string]struct{}{
 	"mr_size":         {},
 	"mem_mode":        {},
 	"poll_interval":   {},
+	"mock_dial_retries":       {},
+	"recover_retries":         {},
+	"recover_backoff_ms":      {},
+	"recover_dial_timeout_ms": {},
+	"failback_interval_ms":    {},
 }

@@ -64,7 +64,15 @@ type Context struct {
 	tcp         *tcpnet.Stack
 	mockPort    int
 	mockWaiters []*Channel
-	mockParked  []parkedMock
+	mockParked  []*parkedMock
+
+	// Recovery (health state machine). recoverPort > 0 enables RDMA
+	// re-establishment for degraded channels; recoverIdx maps every
+	// local QPN a channel has ever owned to the channel, because a
+	// dialing peer names the last QPN it saw — possibly several
+	// adoptions (or a fallback) ago.
+	recoverPort int
+	recoverIdx  map[uint32]*Channel
 
 	// Clock skew of this node (set by the cluster harness) and the
 	// estimated offset table from the clock-sync service.
@@ -76,6 +84,7 @@ type Context struct {
 	tel     *telemetry.Set
 	track   string
 	rttHist telemetry.Histogram
+	recHist telemetry.Histogram
 
 	Stats ContextStats
 }
@@ -95,6 +104,10 @@ type ContextStats struct {
 	AcksSent        int64
 	ReqTimeouts     int64
 	MockSwitches    int64
+	Degraded        int64
+	RecoverAttempts int64
+	Recoveries      int64
+	Failbacks       int64
 }
 
 // LogEntry is one line of the self-adaptive log (§VI-A method III).
@@ -114,6 +127,10 @@ type Options struct {
 	// accepts mock connections.
 	TCP      *tcpnet.Stack
 	MockPort int
+	// RecoverPort, when non-zero, enables the channel health state
+	// machine: degraded channels re-establish RDMA through a CM listener
+	// on this port instead of failing straight to Mock/teardown.
+	RecoverPort int
 	// ClockSkew offsets this node's local clock (tracing experiments).
 	ClockSkew sim.Duration
 	Seed      uint64
@@ -133,6 +150,8 @@ func NewContext(o Options) *Context {
 		monitor:   o.Monitor,
 		tcp:       o.TCP,
 		mockPort:  o.MockPort,
+		recoverPort: o.RecoverPort,
+		recoverIdx:  make(map[uint32]*Channel),
 		clockSkew: o.ClockSkew,
 		toff:      make(map[fabric.NodeID]sim.Duration),
 		eventFD:   int(o.Host.ID)*16 + 3,
@@ -140,6 +159,7 @@ func NewContext(o Options) *Context {
 	c.tel = telemetry.For(c.eng)
 	c.track = fmt.Sprintf("xrdma.%d", c.host.ID)
 	c.rttHist = c.tel.Reg.Histogram(c.track + ".rtt_ns")
+	c.recHist = c.tel.Reg.Histogram(c.track + ".recovery_ns")
 	c.pd = c.vctx.AllocPD()
 	c.Mem = newMemCache(c, c.cfg.MRSize, c.cfg.MemMode)
 	c.QPs = newQPCache(c, 4096)
@@ -160,6 +180,9 @@ func NewContext(o Options) *Context {
 	}
 	if c.tcp != nil && c.mockPort > 0 {
 		c.listenMock()
+	}
+	if c.recoverPort > 0 {
+		c.listenRecover()
 	}
 	c.startPolling()
 	c.startTimers()
@@ -188,6 +211,10 @@ func (c *Context) registerGauges() {
 		{"acks_sent", func() int64 { return s.AcksSent }},
 		{"req_timeouts", func() int64 { return s.ReqTimeouts }},
 		{"mock_switches", func() int64 { return s.MockSwitches }},
+		{"degraded", func() int64 { return s.Degraded }},
+		{"recover_attempts", func() int64 { return s.RecoverAttempts }},
+		{"recoveries", func() int64 { return s.Recoveries }},
+		{"failbacks", func() int64 { return s.Failbacks }},
 		{"channels", func() int64 { return int64(len(c.channels)) }},
 		{"mem_occupied", func() int64 { return c.Mem.OccupiedBytes() }},
 		{"mem_inuse", func() int64 { return c.Mem.InUseBytes }},
@@ -493,6 +520,19 @@ func (c *Context) Close() {
 		ch.Close()
 	}
 	c.started = false
+}
+
+// OnNICRestart rebuilds memory-dependent state after the local NIC came
+// back from a crash with its registered memory gone (a machine reboot in
+// the chaos scenarios): the memory cache drops its dead regions and every
+// channel is failed so the health machinery re-establishes it on fresh
+// QPs and MRs. SRQ mode is not rebuilt — the chaos drills run per-channel
+// receive queues.
+func (c *Context) OnNICRestart() {
+	c.Mem.Reset()
+	for _, ch := range c.Channels() {
+		ch.fail(ErrNICRestart)
+	}
 }
 
 // --- SRQ support -------------------------------------------------------------

@@ -25,6 +25,7 @@ type MemCache struct {
 
 	regions []*memRegion
 	growing bool
+	gen     int // bumped by Reset so in-flight grows land in the right era
 	waiters []memWaiter
 
 	// Counters (Fig. 11c plots Occupy vs In-use against bandwidth).
@@ -42,6 +43,7 @@ type memRegion struct {
 	free     []span // sorted by offset, coalesced
 	inUse    int
 	lastUsed sim.Time
+	dead     bool // region lost to a NIC restart; frees become no-ops
 }
 
 type span struct{ off, len int }
@@ -144,8 +146,10 @@ func (m *MemCache) tryAlloc(size int) (Buffer, bool) {
 }
 
 // Free returns a buffer to the cache, checking canaries in isolation mode.
+// Buffers whose region died in a NIC restart are silently dropped — their
+// storage is gone along with the MR.
 func (m *MemCache) Free(b Buffer) {
-	if !b.Valid() {
+	if !b.Valid() || b.region == nil || b.region.dead {
 		return
 	}
 	if m.ctx.cfg.MemIsolation && !m.checkCanaries(b) {
@@ -206,6 +210,22 @@ func (m *MemCache) CheckIntegrity(b Buffer) bool {
 	return m.checkCanaries(b)
 }
 
+// Reset abandons every region after the NIC lost its registered memory
+// (machine reboot). Buffers handed out earlier become no-ops on Free;
+// pending waiters are served from freshly registered regions.
+func (m *MemCache) Reset() {
+	for _, r := range m.regions {
+		r.dead = true
+	}
+	m.regions = nil
+	m.InUseBytes = 0
+	m.gen++
+	m.growing = false
+	if len(m.waiters) > 0 {
+		m.grow()
+	}
+}
+
 // grow registers one more MR asynchronously; waiters are served when it
 // lands.
 func (m *MemCache) grow() {
@@ -214,7 +234,13 @@ func (m *MemCache) grow() {
 	}
 	m.growing = true
 	m.Grows++
+	gen := m.gen
 	m.ctx.pd.RegMR(m.mrSize, m.mode, func(mr *rnic.MR) {
+		if gen != m.gen {
+			// The cache was reset while this registration was in flight:
+			// the MR belongs to the pre-restart NIC and is already dead.
+			return
+		}
 		m.growing = false
 		m.regions = append(m.regions, &memRegion{
 			mr:       mr,

@@ -16,19 +16,16 @@ import (
 // performance. The side with the lower node ID dials the peer's mock
 // port; the other side waits for the inbound connection and matches it to
 // the broken channel by QPN.
+//
+// The mock transport carries the same wire headers (Seq/Ack included) as
+// the RDMA path, so the seq-ack window spans both transports: a cutover
+// in either direction replays the unacked tail and the receiver's window
+// dedups whatever already made it across — exactly-once, both directions.
 
 type mockState struct {
 	conn    *tcpnet.Conn
 	ready   bool
 	waiting bool
-	q       []mockQueued
-}
-
-type mockQueued struct {
-	kind  msgKind
-	data  []byte
-	size  int
-	msgID uint64
 }
 
 const mockHelloMagic = 0x584D // "XM"
@@ -66,9 +63,26 @@ func (c *Context) listenMock() {
 					return
 				}
 			}
-			// The peer switched but this side's channel is still live
-			// (failure detection is not synchronized): adopt the switch.
-			if ch, live := c.channels[qpn]; live && c.cfg.MockEnabled {
+			// The peer switched but this side's channel is still live or
+			// degraded (failure detection is not synchronized): adopt the
+			// switch. The recovery index resolves QPNs from adoptions ago.
+			ch := c.channels[qpn]
+			if ch == nil {
+				ch = c.recoverIdx[qpn]
+			}
+			if ch != nil && !ch.closed && c.cfg.MockEnabled {
+				if ch.mock != nil {
+					// Redial of an already-mocked channel (the old conn
+					// died on the peer's side first).
+					if old := ch.mock.conn; old != nil && old != conn {
+						old.OnClose = nil
+						old.Close()
+						ch.mock.conn = nil
+						ch.mock.ready = false
+					}
+					ch.attachMock(conn)
+					return
+				}
 				ch.enterMockMode(fmt.Errorf("peer-initiated mock switch"))
 				ch.attachMock(conn)
 				return
@@ -81,15 +95,41 @@ func (c *Context) listenMock() {
 type parkedMock struct {
 	qpn  uint32
 	conn *tcpnet.Conn
+	// buf holds frames the dialer pumped before this side claimed the
+	// conn: the dialer attaches (and replays its unacked tail) as soon as
+	// the TCP handshake completes, which can be a full failure-detection
+	// gap before the local channel degrades. Dropping those frames would
+	// lose them for good — the mock transport is reliable, so nothing
+	// retransmits them short of another cutover.
+	buf [][]byte
 }
 
+// parkMockConn holds an unmatched inbound mock connection until the local
+// channel notices its failure and claims it. A parked conn that dies
+// (peer gave up) leaves the list immediately, and the grace timer closes
+// whatever is still unclaimed — parked conns never outlive the grace.
 func (c *Context) parkMockConn(qpn uint32, conn *tcpnet.Conn) {
-	c.mockParked = append(c.mockParked, parkedMock{qpn: qpn, conn: conn})
+	p := &parkedMock{qpn: qpn, conn: conn}
+	c.mockParked = append(c.mockParked, p)
+	conn.OnMessage = func(m tcpnet.Message) {
+		b := make([]byte, len(m.Data))
+		copy(b, m.Data)
+		p.buf = append(p.buf, b)
+	}
+	conn.OnClose = func(error) {
+		for i, q := range c.mockParked {
+			if q == p {
+				c.mockParked = append(c.mockParked[:i], c.mockParked[i+1:]...)
+				return
+			}
+		}
+	}
 	grace := c.mockGrace()
 	c.eng.AfterBg(grace, func() {
-		for i, p := range c.mockParked {
-			if p.conn == conn {
+		for i, q := range c.mockParked {
+			if q == p {
 				c.mockParked = append(c.mockParked[:i], c.mockParked[i+1:]...)
+				conn.OnClose = nil
 				conn.Close()
 				return
 			}
@@ -98,19 +138,27 @@ func (c *Context) parkMockConn(qpn uint32, conn *tcpnet.Conn) {
 }
 
 // claimParkedMock is called when a channel enters mock-waiting state: an
-// early-arriving peer connection may already be parked.
-func (c *Context) claimParkedMock(qpn uint32) *tcpnet.Conn {
-	for i, p := range c.mockParked {
-		if p.qpn == qpn {
-			c.mockParked = append(c.mockParked[:i], c.mockParked[i+1:]...)
-			return p.conn
+// early-arriving peer connection may already be parked. Dead parked conns
+// (closed between the OnClose callback and now) are discarded.
+func (c *Context) claimParkedMock(qpn uint32) *parkedMock {
+	for i := 0; i < len(c.mockParked); i++ {
+		p := c.mockParked[i]
+		if p.qpn != qpn {
+			continue
 		}
+		c.mockParked = append(c.mockParked[:i], c.mockParked[i+1:]...)
+		p.conn.OnClose = nil
+		if p.conn.Open() {
+			return p
+		}
+		i--
 	}
 	return nil
 }
 
-// enterMockMode releases a channel's RDMA resources and migrates its
-// unsent queue to the (not yet connected) mock transport.
+// enterMockMode releases a channel's RDMA resources; the send queue and
+// the unacked window tail stay with the channel and replay over the mock
+// transport once it attaches.
 func (ch *Channel) enterMockMode(cause error) {
 	c := ch.ctx
 	c.Stats.MockSwitches++
@@ -121,16 +169,30 @@ func (ch *Channel) enterMockMode(cause error) {
 
 	ch.mock = &mockState{}
 	ch.mockQPN = ch.qp.QPN
+	ch.setHealth(HealthFallback)
+	ch.recEpoch++ // strand any in-flight recovery dial
+	ch.resumeOnRx = false
 
-	// Unsent queue migrates to the mock transport.
+	// Staged rendezvous payloads are RDMA-only; the mock transport sends
+	// every message inline from ps.data, so release them — both the
+	// unsent queue and the transmitted-but-unacked tail a cutover will
+	// replay.
 	for _, ps := range ch.sendQ {
-		kind := ps.kind
-		ch.mock.q = append(ch.mock.q, mockQueued{kind: kind, data: ps.data, size: ps.size, msgID: ps.msgID})
 		if ps.staged.Valid() {
 			c.Mem.Free(ps.staged)
+			ps.staged = Buffer{}
 		}
+		ps.ready = false
+		ps.staging = false
 	}
-	ch.sendQ = nil
+	for _, ps := range ch.sent {
+		if ps.staged.Valid() {
+			c.Mem.Free(ps.staged)
+			ps.staged = Buffer{}
+		}
+		ps.ready = false
+		ps.staging = false
+	}
 
 	// Release RDMA resources: the QP recycles through the cache, the
 	// receive buffers return to the memory cache. The XR-Stat row goes
@@ -141,43 +203,91 @@ func (ch *Channel) enterMockMode(cause error) {
 		delete(ch.recvBufs, id)
 		c.Mem.Free(buf)
 	}
+	c.eng.Cancel(ch.ackEv)
+	ch.ackEv = sim.Event{}
+	ch.kaProbing = false
+	ch.nopInFlight = false
+	ch.stallFlag = false
 	c.QPs.Put(ch.qp)
 }
 
 // switchToMock degrades a failing channel onto TCP instead of killing it.
 func (ch *Channel) switchToMock(cause error) {
-	c := ch.ctx
-	remoteQPN := ch.qp.RemoteQPN
 	ch.enterMockMode(cause)
+	ch.connectMock(cause)
+}
 
+// connectMock runs the mock rendezvous for a channel already in mock
+// mode: the lower node ID dials, the higher one waits (claiming an
+// early-parked conn if the dialer beat it here).
+func (ch *Channel) connectMock(cause error) {
+	c := ch.ctx
 	if c.Node() < ch.Peer {
-		// Dialer side.
-		c.tcp.Dial(ch.Peer, c.peerMockPort(ch.Peer), func(conn *tcpnet.Conn, err error) {
-			if err != nil || ch.closed {
-				ch.teardown(fmt.Errorf("xrdma: mock dial failed: %v (after %v)", err, cause))
-				return
+		ch.mockDial(cause, 0)
+		return
+	}
+	if p := c.claimParkedMock(ch.mockQPN); p != nil {
+		ch.attachMock(p.conn)
+		// Deliver frames the dialer sent while the conn sat parked, in
+		// arrival order; the window dedups anything replayed again later.
+		for _, b := range p.buf {
+			if ch.mock == nil || ch.mock.conn != p.conn {
+				break
 			}
-			conn.Send(mockHello(remoteQPN), 0, nil)
-			ch.attachMock(conn)
-		})
-	} else {
-		if conn := c.claimParkedMock(ch.mockQPN); conn != nil {
+			ch.mockInbound(tcpnet.Message{Data: b, Len: len(b)})
+		}
+		return
+	}
+	ch.mock.waiting = true
+	c.mockWaiters = append(c.mockWaiters, ch)
+	// Give the dialer a bounded window; a vanished peer must not leak a
+	// parked channel. Failure detection on the two sides can differ by a
+	// full RC retry horizon, so the window must cover at least two.
+	wait := c.mockGrace()
+	c.eng.AfterBg(wait, func() {
+		if !ch.closed && ch.mock != nil && ch.mock.waiting {
+			ch.teardown(fmt.Errorf("xrdma: mock fallback never connected (after %v)", cause))
+		}
+	})
+}
+
+// mockDial is the dialer side of the mock rendezvous, retried with
+// exponential backoff: a single failed dial (the peer's listener mid-
+// restart, a dropped SYN) used to be terminal, turning transient races
+// into hard teardowns.
+func (ch *Channel) mockDial(cause error, attempt int) {
+	c := ch.ctx
+	c.tcp.Dial(ch.Peer, c.peerMockPort(ch.Peer), func(conn *tcpnet.Conn, err error) {
+		if ch.closed || ch.mock == nil || ch.mock.ready {
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		if err == nil {
+			conn.Send(mockHello(ch.peerQPN), 0, nil)
 			ch.attachMock(conn)
 			return
 		}
-		ch.mock.waiting = true
-		c.mockWaiters = append(c.mockWaiters, ch)
-		// Give the dialer a bounded window; a vanished peer must not
-		// leak a parked channel. Failure detection on the two sides can
-		// differ by a full RC retry horizon, so the window must cover
-		// at least two of them.
-		wait := c.mockGrace()
-		c.eng.AfterBg(wait, func() {
-			if !ch.closed && ch.mock != nil && ch.mock.waiting {
-				ch.teardown(fmt.Errorf("xrdma: mock fallback never connected (after %v)", cause))
+		retries := c.cfg.MockDialRetries
+		if retries < 1 {
+			retries = 1
+		}
+		if attempt+1 >= retries {
+			ch.teardown(fmt.Errorf("xrdma: mock dial failed after %d attempts: %v (after %v)", attempt+1, err, cause))
+			return
+		}
+		backoff := c.cfg.MockDialBackoff << uint(attempt)
+		if backoff <= 0 {
+			backoff = sim.Millisecond
+		}
+		c.eng.AfterBg(backoff, func() {
+			if ch.closed || ch.mock == nil || ch.mock.ready {
+				return
 			}
+			ch.mockDial(cause, attempt+1)
 		})
-	}
+	})
 }
 
 // mockGrace bounds how long one side waits for the other to notice the
@@ -212,45 +322,30 @@ func (ch *Channel) attachMock(conn *tcpnet.Conn) {
 	ch.mock.waiting = false
 	conn.OnMessage = func(m tcpnet.Message) { ch.mockInbound(m) }
 	conn.OnClose = func(err error) {
-		if !ch.closed {
-			ch.teardown(fmt.Errorf("xrdma: mock transport closed: %v", err))
+		if ch.closed || ch.mock == nil || ch.mock.conn != conn {
+			return
 		}
+		ch.mock.conn = nil
+		ch.mock.ready = false
+		if ch.health == HealthRecovering {
+			// A failback probe is in flight; its completion decides
+			// whether to adopt RDMA or rebuild the mock conn.
+			return
+		}
+		if c.recoverPort > 0 {
+			// The fallback plane hiccupped but the channel can survive:
+			// re-run the mock rendezvous.
+			ch.connectMock(fmt.Errorf("xrdma: mock transport closed: %v", err))
+			return
+		}
+		ch.teardown(fmt.Errorf("xrdma: mock transport closed: %v", err))
 	}
-	// Flush queued messages.
-	q := ch.mock.q
-	ch.mock.q = nil
-	for _, it := range q {
-		ch.mockTransmit(it)
-	}
-}
-
-// mockSend routes a message over the TCP fallback.
-func (ch *Channel) mockSend(kind msgKind, data []byte, size int, msgID uint64) error {
-	it := mockQueued{kind: kind, data: data, size: size, msgID: msgID}
-	if !ch.mock.ready {
-		ch.mock.q = append(ch.mock.q, it)
-		return nil
-	}
-	ch.mockTransmit(it)
-	return nil
-}
-
-func (ch *Channel) mockTransmit(it mockQueued) {
-	h := wireHdr{Kind: it.kind, MsgID: it.msgID, Size: uint32(it.size)}
-	hb := h.wireBytes()
-	var buf []byte
-	wireLen := hb + it.size
-	if it.data != nil {
-		buf = make([]byte, hb+len(it.data))
-		h.encode(buf)
-		copy(buf[hb:], it.data)
-	} else {
-		buf = make([]byte, hb)
-		h.encode(buf)
-	}
-	ch.Counters.MsgsSent++
-	ch.Counters.BytesSent += int64(it.size)
-	ch.mock.conn.Send(buf, wireLen, nil)
+	ch.setHealth(HealthFallback)
+	// Replay the unacked window tail (the receiver's window dedups), then
+	// drain whatever queued while disconnected.
+	ch.requeueUnacked()
+	ch.armFailback()
+	ch.pump()
 }
 
 func (ch *Channel) mockInbound(m tcpnet.Message) {
@@ -258,30 +353,12 @@ func (ch *Channel) mockInbound(m tcpnet.Message) {
 	if err != nil {
 		return
 	}
-	size := int(h.Size)
+	ch.lastComm = ch.ctx.eng.Now()
 	var pay []byte
-	if size > 0 && m.Data != nil && len(m.Data) >= hdrLen+size {
+	if size := int(h.Size); size > 0 && m.Data != nil && len(m.Data) >= hdrLen+size {
 		pay = m.Data[hdrLen : hdrLen+size]
 	}
-	msg := &Msg{
-		Ch: ch, Data: pay, Len: size, IsReq: h.Kind == kindReq,
-		MsgID: h.MsgID, RecvAt: ch.ctx.eng.Now(),
-	}
-	ch.Counters.MsgsRecv++
-	ch.Counters.BytesRecv += int64(size)
-	if msg.IsReq {
-		if ch.onMessage != nil {
-			ch.onMessage(msg)
-		}
-		return
-	}
-	if rs, ok := ch.pending[h.MsgID]; ok {
-		delete(ch.pending, h.MsgID)
-		ch.Counters.RespsRecv++
-		if rs.cb != nil {
-			rs.cb(msg, nil)
-		}
-	}
+	ch.handleWire(&h, pay, true)
 }
 
 // Mocked reports whether the channel is running over the TCP fallback.

@@ -18,7 +18,10 @@ var ErrAlreadyReplied = errors.New("xrdma: message already replied")
 //
 // Small payloads (≤ SmallMsgSize) travel inline over SEND; larger ones are
 // staged in the memory cache and announced, and the receiver pulls them
-// with fragmented RDMA READ.
+// with fragmented RDMA READ. Every message goes through the seq-ack
+// window regardless of transport — a channel that is degraded, recovering
+// or running on the TCP mock keeps accepting sends, and the window
+// replays/dedups across cutovers.
 func (ch *Channel) SendMsg(data []byte, size int, cb func(*Msg, error)) error {
 	if ch.closed {
 		return ErrChannelClosed
@@ -30,9 +33,6 @@ func (ch *Channel) SendMsg(data []byte, size int, cb func(*Msg, error)) error {
 	if cb != nil {
 		ch.pending[msgID] = &reqState{cb: cb, sentAt: ch.ctx.eng.Now()}
 		ch.Counters.ReqsSent++
-	}
-	if ch.mock != nil {
-		return ch.mockSend(kindReq, data, size, msgID)
 	}
 	ps := &pendingSend{kind: kindReq, data: data, size: size, msgID: msgID}
 	if cb == nil {
@@ -60,9 +60,6 @@ func (m *Msg) Reply(data []byte, size int) error {
 	if data != nil {
 		size = len(data)
 	}
-	if ch.mock != nil {
-		return ch.mockSend(kindResp, data, size, m.MsgID)
-	}
 	ch.enqueue(&pendingSend{kind: kindResp, data: data, size: size, msgID: m.MsgID})
 	return nil
 }
@@ -78,9 +75,22 @@ func (ch *Channel) enqueue(ps *pendingSend) {
 // pump drains the send queue head-of-line in order: window slots gate
 // everything; rendezvous messages additionally wait for their staging
 // buffer. Strict FIFO keeps wire sequence numbers in submission order.
+// The pump also encodes the health gates: a degraded/recovering channel
+// holds traffic, a mocked channel waits for its TCP conn, and a freshly
+// recovered passive side holds until the peer's QP proves live.
 func (ch *Channel) pump() {
 	c := ch.ctx
 	for len(ch.sendQ) > 0 && !ch.closed {
+		if ch.resumeOnRx {
+			return
+		}
+		if ch.mock != nil {
+			if !ch.mock.ready {
+				return
+			}
+		} else if ch.health != HealthHealthy {
+			return
+		}
 		ps := ch.sendQ[0]
 		if !ch.tx.canSend() {
 			if !ch.stallFlag {
@@ -90,14 +100,23 @@ func (ch *Channel) pump() {
 			}
 			return
 		}
-		large := ps.size > c.cfg.SmallMsgSize
+		// Over the mock transport everything goes inline — TCP has no
+		// rendezvous read, and ps.data is still at hand.
+		large := ps.size > c.cfg.SmallMsgSize && ch.mock == nil
 		if large && !ps.ready {
 			if !ps.staging {
 				ps.staging = true
 				c.Mem.Alloc(ps.size, func(buf Buffer, err error) {
-					if ch.closed {
+					if ch.closed || ch.mock != nil {
+						// The channel died or cut over to mock while the
+						// staging allocation was in flight; the message
+						// will go inline (or nowhere).
 						if err == nil {
 							c.Mem.Free(buf)
+						}
+						ps.staging = false
+						if !ch.closed {
+							ch.pump()
 						}
 						return
 					}
@@ -127,18 +146,26 @@ func (ch *Channel) pump() {
 func (ch *Channel) transmit(ps *pendingSend, large bool) {
 	c := ch.ctx
 	kind := ps.kind
-	var onAcked func()
 	if large {
 		if kind == kindReq {
 			kind = kindLargeReq
 		} else {
 			kind = kindLargeResp
 		}
-		staged := ps.staged
-		onAcked = func() { c.Mem.Free(staged) }
 		ch.Counters.LargeSent++
 	}
-	seq := ch.tx.next(onAcked)
+	// The record in ch.sent keeps the message replayable until the peer
+	// acks it; the on-acked callback retires it and frees any staged
+	// rendezvous payload.
+	var seq uint64
+	seq = ch.tx.next(func() {
+		delete(ch.sent, seq)
+		if ps.staged.Valid() {
+			c.Mem.Free(ps.staged)
+			ps.staged = Buffer{}
+		}
+	})
+	ch.sent[seq] = ps
 	h := wireHdr{
 		Kind: kind, Seq: seq, Ack: ch.rx.ackValue(),
 		MsgID: ps.msgID, Size: uint32(ps.size),
@@ -169,6 +196,17 @@ func (ch *Channel) transmit(ps *pendingSend, large bool) {
 		h.encode(buf)
 	}
 	ch.noteAckCarried()
+	if ch.mock != nil {
+		ch.mock.conn.Send(buf, wireLen, nil)
+		ch.Counters.MsgsSent++
+		ch.Counters.BytesSent += int64(ps.size)
+		ch.lastComm = c.eng.Now()
+		c.tel.Trace.Instant("msg.send", c.track, ch.lastComm, int64(ps.size))
+		if h.Flags&flagTraced != 0 {
+			c.trace.onSend(ch, &h)
+		}
+		return
+	}
 	wr := &rnic.SendWR{Op: rnic.OpSend, Len: wireLen, Data: buf}
 	c.flow.post(ch.qp, wr, func(cqe rnic.CQE) {
 		if cqe.Status != rnic.StatusOK && !ch.closed {
@@ -194,6 +232,26 @@ func (ch *Channel) sendCtrlHdr(h *wireHdr) {
 		return
 	}
 	h.Ack = ch.rx.ackValue()
+	if ch.mock != nil {
+		if !ch.mock.ready {
+			return
+		}
+		buf := make([]byte, h.wireBytes())
+		h.encode(buf)
+		ch.mock.conn.Send(buf, len(buf), nil)
+		if h.Kind == kindAck {
+			ch.Counters.AcksSent++
+			ch.ctx.Stats.AcksSent++
+		}
+		ch.noteAckCarried()
+		ch.lastComm = ch.ctx.eng.Now()
+		return
+	}
+	if ch.health != HealthHealthy || ch.resumeOnRx {
+		// No live RDMA path to put this on; control traffic is advisory
+		// (cumulative acks re-ride the next message).
+		return
+	}
 	buf := make([]byte, h.wireBytes())
 	h.encode(buf)
 	wr := &rnic.SendWR{Op: rnic.OpSend, Len: len(buf), Data: buf}
@@ -249,6 +307,24 @@ func (ch *Channel) handleInbound(cqe rnic.CQE) {
 		c.logf("inbound decode error from peer %d: %v", ch.Peer, err)
 		return
 	}
+	var pay []byte
+	if size := int(h.Size); size > 0 && len(cqe.Data) >= hdrLen+size {
+		pay = cqe.Data[hdrLen : hdrLen+size]
+	}
+	ch.handleWire(&h, pay, false)
+}
+
+// handleWire is the transport-independent inbound path: RDMA receive
+// completions and mock TCP messages both land here with a decoded header
+// and the inline payload (if carried).
+func (ch *Channel) handleWire(h *wireHdr, pay []byte, overMock bool) {
+	c := ch.ctx
+	if ch.resumeOnRx && !overMock {
+		// First traffic over the recovered RDMA path: the peer's QP is
+		// provably in RTS, release the held replay.
+		ch.resumeOnRx = false
+		ch.pump()
+	}
 	// Piggybacked cumulative ack (Algorithm 1 sender RECV_MESSAGE).
 	if h.Ack > ch.tx.acked {
 		ch.tx.ack(h.Ack)
@@ -270,19 +346,25 @@ func (ch *Channel) handleInbound(cqe rnic.CQE) {
 		pong := &wireHdr{Kind: kindPong, MsgID: h.MsgID, Flags: flagTraced, T1: int64(c.LocalClock())}
 		ch.sendCtrlHdr(pong)
 	case kindPong:
-		ch.resolvePing(&h)
+		ch.resolvePing(h)
 	case kindReq, kindResp:
 		size := int(h.Size)
-		var pay []byte
-		if size > 0 && len(cqe.Data) >= hdrLen+size {
-			pay = cqe.Data[hdrLen : hdrLen+size]
-		}
 		msg := &Msg{
 			Ch: ch, Data: pay, Len: size, IsReq: h.Kind == kindReq,
 			MsgID: h.MsgID, Seq: h.Seq, RecvAt: c.eng.Now(),
 			T1: sim.Time(h.T1), Traced: h.Flags&flagTraced != 0,
 		}
-		ch.rx.receive(h.Seq, true)
+		if !ch.rx.receive(h.Seq, true) {
+			// A cutover replay. If the original delivery completed, just
+			// refresh the (evidently lost) ack. If it was announced as a
+			// rendezvous whose pull died with the old transport, this
+			// inline replay IS the payload — deliver it.
+			if ch.rx.isRecved(h.Seq) {
+				ch.sendCtrl(kindAck)
+				return
+			}
+			ch.rx.markRecved(h.Seq)
+		}
 		ch.deliver(msg)
 	case kindLargeReq, kindLargeResp:
 		size := int(h.Size)
@@ -291,21 +373,35 @@ func (ch *Channel) handleInbound(cqe rnic.CQE) {
 			MsgID: h.MsgID, Seq: h.Seq,
 			T1: sim.Time(h.T1), Traced: h.Flags&flagTraced != 0,
 		}
-		ch.rx.receive(h.Seq, false)
+		if !ch.rx.receive(h.Seq, false) {
+			if ch.rx.isRecved(h.Seq) {
+				ch.sendCtrl(kindAck)
+				return
+			}
+			if ch.pulls[h.Seq] {
+				// A pull for this sequence is already in flight (the
+				// replay raced a surviving fetch); let it finish.
+				return
+			}
+		}
 		seqNo := h.Seq
+		ch.pulls[seqNo] = true
 		raddr, rkey := h.Addr, h.RKey
 		c.Mem.Alloc(size, func(buf Buffer, err error) {
-			if ch.closed {
+			if ch.closed || ch.mock != nil || ch.health != HealthHealthy {
 				if err == nil {
 					c.Mem.Free(buf)
 				}
+				delete(ch.pulls, seqNo)
 				return
 			}
 			if err != nil {
+				delete(ch.pulls, seqNo)
 				ch.fail(fmt.Errorf("xrdma: rendezvous alloc: %w", err))
 				return
 			}
 			c.flow.fetchRemote(ch.qp, raddr, rkey, buf, size, func(st rnic.Status) {
+				delete(ch.pulls, seqNo)
 				if ch.closed {
 					c.Mem.Free(buf)
 					return
@@ -313,6 +409,12 @@ func (ch *Channel) handleInbound(cqe rnic.CQE) {
 				if st != rnic.StatusOK {
 					c.Mem.Free(buf)
 					ch.fail(fmt.Errorf("xrdma: rendezvous read failed: %v", st))
+					return
+				}
+				if ch.rx.isRecved(seqNo) {
+					// A replayed announce re-pulled this message and won
+					// the race; drop the duplicate payload.
+					c.Mem.Free(buf)
 					return
 				}
 				msg.Data = buf.Bytes()

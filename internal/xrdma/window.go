@@ -62,6 +62,15 @@ func (w *txWindow) ack(ack uint64) {
 	}
 }
 
+// rewind drops the unacked tail, moving the send edge back to the ack
+// edge. A recovering channel re-queues everything unacked through the
+// normal send path, which re-assigns the same sequence numbers, so the
+// per-seq callbacks registered for the old transmissions are discarded.
+func (w *txWindow) rewind() {
+	w.seq = w.acked
+	w.pending = make(map[uint64]func())
+}
+
 // rxWindow is the receiver half. It tracks which in-window sequences are
 // fully received so RTA (the cumulative ack edge) advances only through
 // contiguous completed messages — Algorithm 1's receiver. Application
@@ -80,11 +89,18 @@ func newRxWindow(depth int) *rxWindow {
 	return &rxWindow{depth: uint64(depth), recved: make([]bool, depth)}
 }
 
-// receive registers an arriving windowed message. recved=false marks a
-// rendezvous message whose payload is still being pulled (markRecved
-// completes it). The RC transport delivers in order, so seq must be
-// wta+1; anything else indicates a protocol bug and panics loudly.
-func (w *rxWindow) receive(seq uint64, recved bool) {
+// receive registers an arriving windowed message and reports whether it
+// is fresh. recved=false marks a rendezvous message whose payload is
+// still being pulled (markRecved completes it). Both transports deliver
+// in order, so a fresh message carries exactly wta+1; anything beyond
+// that indicates a protocol bug and panics loudly. Sequences at or below
+// wta are duplicates — a recovery replay from a sender that never saw
+// our ack — and return false so the channel can re-ack without
+// re-delivering.
+func (w *rxWindow) receive(seq uint64, recved bool) bool {
+	if seq <= w.wta {
+		return false
+	}
 	if seq != w.wta+1 {
 		panic(fmt.Sprintf("xrdma: out-of-order window receive seq=%d wta=%d", seq, w.wta))
 	}
@@ -96,6 +112,20 @@ func (w *rxWindow) receive(seq uint64, recved bool) {
 	if recved {
 		w.advance()
 	}
+	return true
+}
+
+// isRecved reports whether seq's payload has been fully received (and,
+// for anything at or below the ack edge, delivered). Only meaningful for
+// sequences already registered via receive.
+func (w *rxWindow) isRecved(seq uint64) bool {
+	if seq <= w.rta {
+		return true
+	}
+	if seq > w.wta {
+		return false
+	}
+	return w.recved[seq%w.depth]
 }
 
 // markRecved flags a rendezvous message as fully pulled (Algorithm 1's
