@@ -1,16 +1,21 @@
 // xr-stat is the netstat analogue of §VI-B: it runs a brief workload on a
 // small cluster and prints, for every node, the per-connection table
-// pivoted from the telemetry registry's per-channel gauges, then the
-// monitor's periodic samples for node 0, the full metric registry
-// (grouped netstat -s style) with -all, and any flight-recorder dumps.
+// pivoted from the telemetry registry's per-channel gauges (including the
+// path-doctor columns SCORE/VERDICT/REHASH/RETRY), then the monitor's
+// periodic samples for node 0, the full metric registry (grouped
+// netstat -s style) with -all, and any flight-recorder dumps. With -gray
+// it browns out one spine path mid-run so the path-doctor columns and the
+// path.verdict/path.rehash flight events show live values.
 package main
 
 import (
 	"flag"
 	"fmt"
 
+	"xrdma/internal/chaos"
 	"xrdma/internal/cluster"
 	"xrdma/internal/fabric"
+	"xrdma/internal/rnic"
 	"xrdma/internal/sim"
 	"xrdma/internal/telemetry"
 	"xrdma/internal/workload"
@@ -22,21 +27,45 @@ func main() {
 	dur := flag.Duration("dur", 0, "simulated workload duration (default 200ms)")
 	seed := flag.Uint64("seed", 1, "seed")
 	all := flag.Bool("all", false, "also print the full metric registry (every layer's counters)")
+	gray := flag.Bool("gray", false, "brown out one spine path mid-run (path-doctor demo)")
 	flag.Parse()
 
 	horizon := 200 * sim.Millisecond
 	if *dur > 0 {
 		horizon = sim.Dur(*dur)
 	}
+	topo := fabric.ClusterClos(*nodes)
+	n := *nodes
+	nicCfg := rnic.Config{}
+	if *gray {
+		// The gray demo needs two ToRs sharing an ECMP leaf tier, and a
+		// deep RC retry horizon so the brownout stays gray (absorbed by
+		// go-back-N) instead of escalating to retry exhaustion.
+		topo = fabric.SmallClos()
+		n = 8
+		nicCfg = rnic.DefaultConfig()
+		nicCfg.RetransTimeout = 1 * sim.Millisecond
+		nicCfg.RetryLimit = 12
+	}
 	c := cluster.New(cluster.Options{
-		Topology: fabric.ClusterClos(*nodes), Nodes: *nodes, Seed: *seed,
-		Config:   func(node int, cfg *xrdma.Config) { cfg.StatsInterval = 20 * sim.Millisecond },
+		Topology: topo, NICCfg: nicCfg, Nodes: n, Seed: *seed,
+		Config: func(node int, cfg *xrdma.Config) {
+			cfg.StatsInterval = 20 * sim.Millisecond
+			if *gray {
+				cfg.StatsInterval = 1 * sim.Millisecond // doctor scan cadence
+				cfg.PathRehashCooldown = 4 * sim.Millisecond
+				cfg.RequestTimeout = 25 * sim.Millisecond
+				cfg.RequestRetries = 2
+				cfg.RetryBackoff = 1 * sim.Millisecond
+			}
+		},
 	})
-	c.ListenAll(7000, func(n *cluster.Node, ch *xrdma.Channel) {
+	c.ListenAll(7000, func(nd *cluster.Node, ch *xrdma.Channel) {
 		ch.OnMessage(func(m *xrdma.Msg) { m.Reply(nil, 128) })
 	})
+	pairs := cluster.FullMeshPairs(n)
 	var chans []*xrdma.Channel
-	c.ConnectPairs(cluster.FullMeshPairs(*nodes), 7000, func(chs []*xrdma.Channel) { chans = chs })
+	c.ConnectPairs(pairs, 7000, func(chs []*xrdma.Channel) { chans = chs })
 	c.Eng.Run()
 	var gens []*workload.OpenLoop
 	for i, ch := range chans {
@@ -44,24 +73,52 @@ func main() {
 		g.Start()
 		gens = append(gens, g)
 	}
-	c.Eng.RunFor(horizon)
+	if *gray {
+		// Warm up on the clean fabric, then degrade the exact spine path
+		// the 0→4 channel rides (loss + corruption + added latency) and
+		// let the doctor find its way off it.
+		c.Eng.RunFor(50 * sim.Millisecond)
+		var victim *xrdma.Channel
+		for i, p := range pairs {
+			if p[0] == 0 && p[1] == 4 {
+				victim = chans[i]
+			}
+		}
+		inj := chaos.New(c)
+		leaf := fmt.Sprintf("pod0-leaf%d", fabric.ECMPIndex(victim.FlowHash(), 2))
+		inj.Brownout("pod0-tor0", leaf, 0.1, 0.03, 20*sim.Microsecond)
+		c.Eng.RunFor(horizon)
+	} else {
+		c.Eng.RunFor(horizon)
+	}
 	for _, g := range gens {
 		g.Stop()
 	}
 	c.Eng.RunFor(20 * sim.Millisecond)
 
-	for _, n := range c.Nodes {
-		fmt.Print(xrdma.XRStat(n.Ctx))
+	// One engine → one telemetry set, shared by every layer of this world.
+	tel := telemetry.For(c.Eng)
+	if *gray {
+		// Freeze the flight ring so the path.verdict / path.rehash events
+		// of the episode are preserved in a dump below.
+		tel.Flight.ForceDump(c.Eng.Now(), "xr-stat: gray-path episode")
+	}
+
+	for _, nd := range c.Nodes {
+		fmt.Print(xrdma.XRStat(nd.Ctx))
 		fmt.Println()
 	}
 	fmt.Println("monitor samples for node 0 (QPs, mem, msgs):")
-	for _, s := range c.Mon.Samples[0] {
+	samples := c.Mon.Samples[0]
+	if len(samples) > 20 {
+		fmt.Printf("  (%d earlier samples elided)\n", len(samples)-20)
+		samples = samples[len(samples)-20:]
+	}
+	for _, s := range samples {
 		fmt.Printf("  t=%-14v qps=%-3d occupy=%-9d in-use=%-9d sent=%-6d recv=%-6d slowpolls=%d\n",
 			s.At, s.QPs, s.MemOccupied, s.MemInUse, s.MsgsSent, s.MsgsRecv, s.SlowPolls)
 	}
 
-	// One engine → one telemetry set, shared by every layer of this world.
-	tel := telemetry.For(c.Eng)
 	if *all {
 		fmt.Println("\nmetric registry:")
 		fmt.Print(tel.Reg.Table())

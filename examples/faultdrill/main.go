@@ -2,8 +2,10 @@
 // bug classes of Table II: inject drops with the Filter and watch the
 // reliability layer absorb them, crash a peer and watch keepalive reclaim
 // the connection, break the RDMA plane with Mock enabled and watch the
-// channel fall back to TCP, and read the slow-poll log after the
-// application hogs its thread.
+// channel fall back to TCP, read the slow-poll log after the application
+// hogs its thread, and brown out a spine path to watch the path doctor
+// walk the verdict ladder, re-path via an ECMP flow-label rotation, and
+// cover a withheld response with a budgeted request retry.
 package main
 
 import (
@@ -142,6 +144,101 @@ func main() {
 	for _, line := range inj.Digest() {
 		fmt.Println("  " + line)
 	}
+
+	// ---- drill 6: gray failure — path doctor + budgeted retries --------
+	// A brownout (loss + corruption + added latency, the link is up the
+	// whole time) degrades the spine path the channel rides. The doctor
+	// walks Clean → Suspect → Sick, rotates the QP flow label so ECMP
+	// steers onto the other leaf, and the verdict returns to Clean — no
+	// QP teardown, no recovery plane involved. Then the server withholds
+	// one response past the request timeout and a budgeted retry covers
+	// it, with receiver-side dedup keeping delivery exactly-once.
+	nic6 := rnic.DefaultConfig()
+	nic6.RetransTimeout = 1 * sim.Millisecond
+	nic6.RetryLimit = 12 // deep horizon: the brownout must stay gray
+	c6 := cluster.New(cluster.Options{
+		Topology: fabric.SmallClos(),
+		NICCfg:   nic6,
+		Nodes:    8,
+		Config: func(node int, cfg *xrdma.Config) {
+			cfg.StatsInterval = 1 * sim.Millisecond // doctor scan cadence
+			cfg.PathRehashCooldown = 4 * sim.Millisecond
+			cfg.RequestTimeout = 10 * sim.Millisecond
+			cfg.RequestRetries = 2
+			cfg.RetryBackoff = 1 * sim.Millisecond
+		},
+	})
+	withhold := false
+	handled := 0
+	c6.ListenAll(7000, func(n *cluster.Node, ch *xrdma.Channel) {
+		ch.OnMessage(func(m *xrdma.Msg) {
+			handled++
+			if withhold {
+				withhold = false
+				data := m.Retain()
+				mm := m
+				c6.Eng.After(15*sim.Millisecond, func() { mm.Reply(data, 0) })
+				return
+			}
+			m.Reply(m.Retain(), 0)
+		})
+	})
+	var ch06 *xrdma.Channel
+	c6.Connect(0, 4, 7000, func(ch *xrdma.Channel, err error) { ch06 = ch })
+	c6.Eng.Run()
+	ch06.OnPathVerdict(func(v xrdma.PathVerdict) {
+		fmt.Printf("drill 6 (gray): t=%v path -> %v (rehashes=%d)\n",
+			c6.Eng.Now(), v, ch06.Rehashes())
+	})
+	inj6 := chaos.New(c6)
+	leaf := fmt.Sprintf("pod0-leaf%d", fabric.ECMPIndex(ch06.FlowHash(), 2))
+	resps, errs := 0, 0
+	stop := false
+	var tick func()
+	tick = func() {
+		if stop {
+			return
+		}
+		ch06.SendMsg([]byte("gray load"), 0, func(m *xrdma.Msg, err error) {
+			if err == nil {
+				resps++
+			} else {
+				errs++
+			}
+		})
+		c6.Eng.AfterBg(500*sim.Microsecond, tick)
+	}
+	c6.Eng.AfterBg(500*sim.Microsecond, tick)
+	c6.Eng.AfterBg(20*sim.Millisecond, func() {
+		inj6.Brownout("pod0-tor0", leaf, 0.12, 0.05, 20*sim.Microsecond)
+	})
+	c6.Eng.RunFor(150 * sim.Millisecond)
+	stop = true
+	c6.Eng.RunFor(50 * sim.Millisecond)
+	inj6.ClearBrownout("pod0-tor0", leaf)
+	fmt.Printf("drill 6: %d/%d responses under brownout (%d timed out), rehashes=%d retries=%d\n",
+		resps, resps+errs, errs, ch06.Rehashes(), ch06.Counters.ReqRetries)
+	for _, line := range ch06.PathLog() {
+		fmt.Println("  " + line)
+	}
+
+	// Now the retry: one response is withheld past the request timeout;
+	// the budgeted retry is deduplicated at the receiver (the handler
+	// must not run again) and the late reply satisfies the request.
+	withhold = true
+	base := handled
+	baseRetries := ch06.Counters.ReqRetries
+	got6, errs6 := 0, 0
+	ch06.SendMsg([]byte("withheld"), 0, func(m *xrdma.Msg, err error) {
+		if err == nil {
+			got6++
+		} else {
+			errs6++
+		}
+	})
+	c6.Eng.RunFor(50 * sim.Millisecond)
+	fmt.Printf("drill 6: withheld response — handler ran %d time(s), retries=%d, responses=%d errors=%d\n",
+		handled-base, ch06.Counters.ReqRetries-baseRetries, got6, errs6)
 
 	fmt.Println("\nfinal XR-Stat on node 0:")
 	fmt.Print(xrdma.XRStat(c.Nodes[0].Ctx))

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"xrdma/internal/chaos"
+	"xrdma/internal/cluster"
+	"xrdma/internal/fabric"
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+	"xrdma/internal/xrdma"
+)
+
+// E20 "grayhaul": the gray-failure drill. One spine path of a SmallClos
+// browns out permanently (loss + corruption + added latency, never a
+// hard link-down) under a steady cross-ToR request load. RC go-back-N
+// absorbs the damage, so the PR 3 health machine correctly never fires —
+// and without further help the channel pays the degraded path forever.
+// The experiment runs three arms on identical worlds:
+//
+//	clean       no fault            — the baseline tail
+//	doctor-off  fault, doctor off   — the gray failure: p99 stays inflated
+//	doctor-on   fault, doctor on    — the path doctor detects the sick
+//	            path from counter deltas and rotates the ECMP flow label
+//	            onto the healthy spine; the tail returns to ~baseline
+//
+// The acceptance criteria live in TestGrayhaul: doctor-on p99 within
+// 1.15× of clean, doctor-off visibly worse, zero lost and zero duplicate
+// requests everywhere, and a bit-identical digest across runs and -j.
+
+// GrayArm is the outcome of one arm.
+type GrayArm struct {
+	Name string
+
+	Sent      int // requests issued by the client
+	Delivered int // requests the server saw at least once
+	Dups      int // requests the server saw more than once
+	Lost      int // requests the server never saw
+	Resps     int // responses the client consumed
+	SendErrs  int // SendMsg rejections (channel dead — must stay 0)
+
+	Retries  int64 // client request retries (budgeted)
+	Rehashes int64 // flow-label rotations, client + server
+	// FirstRehash is fault→first client-side rotation (0 = none).
+	FirstRehash sim.Duration
+
+	// P50/P99 are over requests issued in the tail window (sentAt ≥
+	// grayTailFrom), after any re-pathing has settled.
+	P50, P99 sim.Duration
+
+	PathLog  []string // client then server doctor logs
+	ChaosLog []string
+}
+
+// GrayhaulResult aggregates the drill.
+type GrayhaulResult struct {
+	Clean, Off, On *GrayArm
+	Table_         Table
+}
+
+// Digest renders every arm's fault log, doctor log and final counters as
+// one deterministic line list: same seed ⇒ bit-identical digest.
+func (r *GrayhaulResult) Digest() []string {
+	var out []string
+	for _, a := range []*GrayArm{r.Clean, r.Off, r.On} {
+		out = append(out, "arm "+a.Name)
+		out = append(out, a.ChaosLog...)
+		out = append(out, a.PathLog...)
+		out = append(out, fmt.Sprintf("sent=%d delivered=%d dups=%d lost=%d resps=%d errs=%d retries=%d rehashes=%d p50=%v p99=%v",
+			a.Sent, a.Delivered, a.Dups, a.Lost, a.Resps, a.SendErrs, a.Retries, a.Rehashes, a.P50, a.P99))
+	}
+	return out
+}
+
+const (
+	grayFaultAt  = 100 * sim.Millisecond
+	grayTick     = 500 * sim.Microsecond
+	graySendStop = 500 * sim.Millisecond
+	grayHorizon  = 650 * sim.Millisecond
+	grayTailFrom = 350 * sim.Millisecond
+)
+
+// grayKnobs compresses the doctor's clocks to the drill horizon. The
+// retry budget is enabled so the tail of requests stranded on the old
+// path during re-pathing gets re-issued instead of timing out.
+func grayKnobs(doctor bool) func(int, *xrdma.Config) {
+	return func(_ int, cfg *xrdma.Config) {
+		cfg.PathDoctor = doctor
+		cfg.PathRehashLimit = 6
+		cfg.PathRehashCooldown = 4 * sim.Millisecond
+		cfg.StatsInterval = 1 * sim.Millisecond // doctor scan cadence
+		cfg.RequestTimeout = 25 * sim.Millisecond
+		cfg.RequestRetries = 2
+		cfg.RetryBackoff = 1 * sim.Millisecond
+		cfg.KeepaliveInterval = 5 * sim.Millisecond
+		cfg.KeepaliveTimeout = 50 * sim.Millisecond
+	}
+}
+
+// grayNIC keeps the RC retry horizon deep: a brownout must be absorbed
+// by go-back-N (the gray failure), never escalate to retry exhaustion
+// (the PR 3 hard-failure path).
+func grayNIC() rnic.Config {
+	nic := rnic.DefaultConfig()
+	nic.RetransTimeout = 1 * sim.Millisecond
+	nic.RetryLimit = 12
+	return nic
+}
+
+func grayPercentile(ds []sim.Duration, p float64) sim.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]sim.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// runGrayArm drives one arm on a fresh SmallClos world: client node 0
+// (pod0-tor0) to server node 4 (pod0-tor1), so every request crosses the
+// leaf tier the brownout hits. No Mock or recovery plane is attached —
+// the doctor must heal the path without them (SendErrs asserts that the
+// escalation path never fired).
+func runGrayArm(sc Scale, name string, doctor, fault bool) *GrayArm {
+	a := &GrayArm{Name: name}
+	c := cluster.New(cluster.Options{
+		Topology: fabric.SmallClos(),
+		NICCfg:   grayNIC(),
+		Nodes:    8,
+		Config:   grayKnobs(doctor),
+		Seed:     sc.Seed,
+	})
+	sc.observe(c.Eng, "gray/"+name)
+	eng := c.Eng
+
+	recvCount := map[uint64]int{}
+	var srv *xrdma.Channel
+	c.ListenAll(7400, func(n *cluster.Node, ch *xrdma.Channel) {
+		if n.ID == 4 {
+			srv = ch
+		}
+		ch.OnMessage(func(m *xrdma.Msg) {
+			id := binary.LittleEndian.Uint64(m.Data)
+			recvCount[id]++
+			m.Reply(m.Data[:8], 0)
+		})
+	})
+
+	var ch *xrdma.Channel
+	c.Connect(0, 4, 7400, func(cch *xrdma.Channel, err error) {
+		if err != nil {
+			panic(err)
+		}
+		ch = cch
+	})
+	eng.Run()
+	if ch == nil || srv == nil {
+		panic("grayhaul: channel never established")
+	}
+
+	// Steady load: one 16-byte id-carrying request per tick. Latency is
+	// recorded per id so the tail window can be sliced by issue time.
+	start := eng.Now()
+	var nextID uint64
+	sentAt := map[uint64]sim.Time{}
+	respSeen := map[uint64]int{}
+	var tailLats []sim.Duration
+	var tick func()
+	tick = func() {
+		if eng.Now().Sub(start) >= graySendStop {
+			return
+		}
+		id := nextID
+		nextID++
+		buf := make([]byte, 16)
+		binary.LittleEndian.PutUint64(buf, id)
+		a.Sent++
+		sentAt[id] = eng.Now()
+		err := ch.SendMsg(buf, 0, func(m *xrdma.Msg, err error) {
+			if err != nil {
+				return
+			}
+			rid := binary.LittleEndian.Uint64(m.Data)
+			respSeen[rid]++
+			if at := sentAt[rid]; at.Sub(start) >= grayTailFrom {
+				tailLats = append(tailLats, eng.Now().Sub(at))
+			}
+		})
+		if err != nil {
+			a.SendErrs++
+		}
+		eng.AfterBg(grayTick, tick)
+	}
+	eng.AfterBg(grayTick, tick)
+
+	inj := chaos.New(c)
+	if fault {
+		// Brown out exactly the spine path the client's requests ride:
+		// the ToR's uplink candidates are in leaf order, so the ECMP
+		// index of the channel's flow key names the leaf directly.
+		inj.Schedule([]chaos.Step{{At: grayFaultAt, Name: "gray brownout", Do: func(i *chaos.Injector) {
+			idx := fabric.ECMPIndex(ch.FlowHash(), 2)
+			i.Brownout("pod0-tor0", fmt.Sprintf("pod0-leaf%d", idx), 0.12, 0.05, 20*sim.Microsecond)
+		}}})
+	}
+
+	eng.RunUntil(start.Add(grayHorizon))
+
+	a.Retries = ch.Counters.ReqRetries
+	a.Rehashes = ch.Rehashes() + srv.Rehashes()
+	if at := ch.FirstRehashAt(); at != 0 {
+		a.FirstRehash = at.Sub(start.Add(grayFaultAt))
+	}
+	for _, l := range ch.PathLog() {
+		a.PathLog = append(a.PathLog, "client "+l)
+	}
+	for _, l := range srv.PathLog() {
+		a.PathLog = append(a.PathLog, "server "+l)
+	}
+	a.ChaosLog = inj.Digest()
+	for id := uint64(0); id < nextID; id++ {
+		n := recvCount[id]
+		switch {
+		case n == 0:
+			a.Lost++
+		default:
+			a.Delivered++
+			if n > 1 {
+				a.Dups++
+			}
+		}
+	}
+	a.Resps = len(respSeen)
+	a.P50 = grayPercentile(tailLats, 0.50)
+	a.P99 = grayPercentile(tailLats, 0.99)
+	return a
+}
+
+// Grayhaul runs the three arms and renders the E20 table.
+func Grayhaul(sc Scale) *GrayhaulResult {
+	r := &GrayhaulResult{
+		Clean: runGrayArm(sc, "clean", true, false),
+		Off:   runGrayArm(sc, "doctor-off", false, true),
+		On:    runGrayArm(sc, "doctor-on", true, true),
+	}
+	t := Table{
+		ID:    "E20/Grayhaul",
+		Title: "Gray failure: permanent spine brownout vs path doctor (cross-ToR pair, SmallClos)",
+		Header: []string{"arm", "p50", "p99", "sent", "resps", "retries", "rehashes", "1st-rehash", "dups", "lost"},
+	}
+	for _, a := range []*GrayArm{r.Clean, r.Off, r.On} {
+		fr := "-"
+		if a.FirstRehash != 0 {
+			fr = a.FirstRehash.String()
+		}
+		t.Addf(a.Name, a.P50.String(), a.P99.String(), a.Sent, a.Resps, a.Retries, a.Rehashes, fr, a.Dups, a.Lost)
+	}
+	t.Note("p50/p99 over requests issued after t=%v (re-pathing settled); brownout never clears", grayTailFrom)
+	t.Note("doctor-on must return the tail to ≤1.15× clean; doctor-off stays degraded — the health machine alone never acts on a gray path")
+	r.Table_ = t
+	return r
+}

@@ -66,6 +66,9 @@ func Experiments() []Experiment {
 		{ID: "robust", Title: "Chaos drill: fault classes, recovery and fallback", Run: func(sc Scale) []*Table {
 			return tables(ChaosDrill(sc).Table_)
 		}},
+		{ID: "gray", Title: "Gray failure: path doctor, ECMP re-pathing, budgeted retries", Run: func(sc Scale) []*Table {
+			return tables(Grayhaul(sc).Table_)
+		}},
 		{ID: "loc", Title: "Lines-of-code comparison", Run: func(Scale) []*Table {
 			return tables(LoCComparison().Table_)
 		}},

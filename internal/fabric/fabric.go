@@ -253,6 +253,19 @@ func (s *Switch) receive(p *Packet, in *Port) {
 // sees every possible dead end.
 const routeViabilityDepth = 4
 
+// ecmpMix is the multiplicative mix every switch applies to a flow key
+// before reducing it to a candidate index.
+const ecmpMix = 0x9e3779b97f4a7c15
+
+// ECMPIndex is the deterministic per-flow candidate choice among n
+// equal-cost ports. Exported so path-aware tooling (the gray-failure
+// doctor's experiments and drills) can predict which leaf a given QP
+// flow key rides — ToR uplink candidates are appended in leaf order, so
+// the index maps directly to "podX-leaf<idx>".
+func ECMPIndex(hash uint64, n int) int {
+	return int((hash * ecmpMix) % uint64(n))
+}
+
 func (s *Switch) route(p *Packet) *Port {
 	cands := s.routes[p.Dst]
 	if len(cands) == 0 {
@@ -263,8 +276,7 @@ func (s *Switch) route(p *Packet) *Port {
 		pick = cands[0]
 	} else {
 		// ECMP: deterministic per-flow hash so a flow never reorders.
-		h := p.FlowHash * 0x9e3779b97f4a7c15
-		pick = cands[h%uint64(len(cands))]
+		pick = cands[ECMPIndex(p.FlowHash, len(cands))]
 	}
 	if s.fab.downPorts == 0 || s.viable(pick, p.Dst, routeViabilityDepth) {
 		return pick
@@ -288,8 +300,7 @@ func (s *Switch) route(p *Packet) *Port {
 	}
 	s.Rerouted++
 	s.fab.Stats.Rerouted++
-	h := p.FlowHash * 0x9e3779b97f4a7c15
-	return live[h%uint64(len(live))]
+	return live[ECMPIndex(p.FlowHash, len(live))]
 }
 
 // viable reports whether pt can still make progress toward dst: the link

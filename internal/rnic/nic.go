@@ -361,7 +361,9 @@ func (n *NIC) modifyQPNow(qp *QP, to QPState, remote fabric.NodeID, remoteQPN ui
 		}
 		qp.RemoteNode = remote
 		qp.RemoteQPN = remoteQPN
-		qp.flowHash = uint64(n.Node)<<40 ^ uint64(remote)<<20 ^ uint64(qp.QPN)
+		qp.flowBase = uint64(n.Node)<<40 ^ uint64(remote)<<20 ^ uint64(qp.QPN)
+		qp.flowLabel = 0
+		qp.flowHash = qp.flowBase
 		qp.rate = newDCQCN(&n.Cfg.DCQCN, n.eng, n.LineBps(), n, qp.QPN)
 		qp.State = QPRTR
 	case QPRTS:
@@ -380,6 +382,30 @@ func (n *NIC) modifyQPNow(qp *QP, to QPState, remote fabric.NodeID, remoteQPN ui
 // ModifyQPNow is the zero-latency variant for setup code and tests.
 func (n *NIC) ModifyQPNow(qp *QP, to QPState, remote fabric.NodeID, remoteQPN uint32) error {
 	return n.modifyQPNow(qp, to, remote, remoteQPN)
+}
+
+// ModifyFlowLabel rewrites a connected QP's flow label — the RoCEv2
+// UDP-source-port rotation trick: the connection identity is untouched,
+// but every subsequent packet carries a different ECMP flow key, so the
+// fabric's deterministic per-flow hash steers the flow onto a different
+// equal-cost path. A plain attribute write on the driver fast path, not a
+// serialized hardware command: in-flight packets keep the old key and
+// go-back-N absorbs any reordering across the switch.
+func (n *NIC) ModifyFlowLabel(qpn uint32, label uint64) error {
+	qp := n.qps[qpn]
+	if qp == nil {
+		return fmt.Errorf("rnic: ModifyFlowLabel: no QP %d", qpn)
+	}
+	if qp.State != QPRTR && qp.State != QPRTS {
+		return fmt.Errorf("%w: %v (flow label needs RTR/RTS)", ErrQPState, qp.State)
+	}
+	qp.flowLabel = label
+	if label == 0 {
+		qp.flowHash = qp.flowBase
+		return nil
+	}
+	qp.flowHash = qp.flowBase ^ (label*0x9e3779b97f4a7c15 | 1)
+	return nil
 }
 
 // DestroyQP releases the QP entirely.

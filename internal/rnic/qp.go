@@ -221,9 +221,16 @@ type QP struct {
 	RecvCQ *CQ
 	srq    *SRQ
 
-	// Connection identity, set at RTR.
+	// Connection identity, set at RTR. flowBase is the connection's
+	// canonical ECMP flow key; flowLabel is the mutable RoCEv2
+	// UDP-source-port analogue the middleware rotates to steer the flow
+	// onto a different equal-cost path, and flowHash is the effective key
+	// stamped into every outbound packet (flowBase perturbed by the
+	// label).
 	RemoteNode fabric.NodeID
 	RemoteQPN  uint32
+	flowBase   uint64
+	flowLabel  uint64
 	flowHash   uint64
 
 	// Transmit side.
@@ -290,6 +297,14 @@ var (
 	ErrSQFull  = errors.New("rnic: send queue full")
 	ErrRQFull  = errors.New("rnic: receive queue full")
 )
+
+// FlowHash reports the effective ECMP flow key stamped into this QP's
+// outbound packets (diagnostics; path-doctor tooling predicts the leaf
+// choice with fabric.ECMPIndex).
+func (qp *QP) FlowHash() uint64 { return qp.flowHash }
+
+// FlowLabel reports the current flow label (0 = the canonical path).
+func (qp *QP) FlowLabel() uint64 { return qp.flowLabel }
 
 // PostRecv queues a receive buffer.
 func (qp *QP) PostRecv(wr RecvWR) error {

@@ -40,6 +40,9 @@ const (
 	CatChaosFault
 	CatChaosHeal
 	CatCorruptDrop
+	CatPathVerdict
+	CatPathRehash
+	CatReqRetry
 	catCount
 )
 
@@ -68,6 +71,9 @@ var catNames = [catCount]string{
 	CatChaosFault:       "chaos.fault",
 	CatChaosHeal:        "chaos.heal",
 	CatCorruptDrop:      "corrupt.drop",
+	CatPathVerdict:      "path.verdict",
+	CatPathRehash:       "path.rehash",
+	CatReqRetry:         "req.retry",
 }
 
 func (c Category) String() string {

@@ -41,6 +41,13 @@ type PD struct {
 // AllocPD creates a protection domain.
 func (c *Context) AllocPD() *PD { return &PD{ctx: c} }
 
+// ModifyFlowLabel rotates a QP's ECMP flow label (the RoCEv2
+// UDP-source-port trick). Unlike ModifyQP this is a driver fast-path
+// attribute write: it does not serialize on the hardware command queue.
+func (c *Context) ModifyFlowLabel(qpn uint32, label uint64) error {
+	return c.NIC.ModifyFlowLabel(qpn, label)
+}
+
 // RegMR registers size bytes and calls done when the driver finishes
 // (registration is a real, slow syscall: cost from rnic.RegCost).
 func (pd *PD) RegMR(size int, mode rnic.RegMode, done func(*rnic.MR)) {

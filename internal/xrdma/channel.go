@@ -58,6 +58,7 @@ type ChannelStats struct {
 	WindowStalls         int64
 	SendQueuePeak        int
 	Pings                int64
+	ReqRetries           int64
 }
 
 // Channel is an established X-RDMA connection (one QP pair plus the
@@ -114,6 +115,15 @@ type Channel struct {
 	sent  map[uint64]*pendingSend
 	pulls map[uint64]bool
 
+	// Gray-failure plane (pathdoctor.go): the per-path scorer, the
+	// request-retry token bucket and the receiver-side idempotency cache
+	// that makes retried requests exactly-once at the application.
+	doctor        pathDoctor
+	onPathVerdict func(PathVerdict)
+	retryTokens   float64
+	respCache     map[uint64]*respEntry
+	respOrder     []uint64
+
 	// telNames are the per-channel gauge names registered for XR-Stat,
 	// kept for unregistration when the QPN is recycled.
 	telNames []string
@@ -137,6 +147,23 @@ type reqState struct {
 	cb     func(*Msg, error)
 	sentAt sim.Time
 	traced bool
+
+	// Retry state (RequestRetries > 0 only): the payload is retained so
+	// timeoutScan can re-issue the request under the same MsgID.
+	retries int
+	data    []byte
+	size    int
+}
+
+// respEntry is one receiver-side idempotency record: a retried request
+// arrives with a fresh wire sequence (the seq window cannot catch it),
+// so dedup keys on MsgID. Once the application replies, the response is
+// retained so a later duplicate can be answered without re-invoking the
+// handler.
+type respEntry struct {
+	data    []byte
+	size    int
+	replied bool
 }
 
 // Msg is a delivered message: a request to serve or a response to consume.
@@ -290,6 +317,7 @@ func (c *Context) newChannel(conn *verbs.Conn, bufs []Buffer) *Channel {
 		lastComm:     c.eng.Now(),
 		lastProgress: c.eng.Now(),
 		OpenedAt:     c.eng.Now(),
+		retryTokens:  retryBudgetCap,
 	}
 	ch.rx = newRxWindow(c.cfg.WindowDepth)
 	c.channels[ch.qp.QPN] = ch
@@ -328,6 +356,10 @@ func (ch *Channel) registerGauges() {
 		{"retx", func() int64 { return ch.qp.Counters.Retransmits }},
 		{"inflight", func() int64 { return int64(ch.tx.inflight()) }},
 		{"state", func() int64 { return int64(ch.health) }},
+		{"path_score", func() int64 { return ch.PathScore() }},
+		{"path_verdict", func() int64 { return int64(ch.doctor.verdict) }},
+		{"rehashes", func() int64 { return ch.doctor.rehashes }},
+		{"req_retries", func() int64 { return ch.Counters.ReqRetries }},
 	} {
 		n := prefix + g.name
 		ch.telNames = append(ch.telNames, n)
@@ -604,17 +636,77 @@ func (ch *Channel) deadlockCheck() {
 	ch.sendCtrl(kindNop)
 }
 
+// Request-retry budget (gRPC-style): a channel starts with a full token
+// bucket, every retry spends a token, every clean response drips a
+// fraction back. Under a persistent fault the bucket drains and retries
+// stop — amplification is provably bounded even when every request in
+// flight times out at once.
+const (
+	retryBudgetCap        = 8.0
+	retryCreditPerSuccess = 0.1
+)
+
+// respCacheCap bounds the receiver-side idempotency cache (FIFO evict).
+const respCacheCap = 512
+
 // expireRequests times out pending requests older than the deadline.
+// When RequestRetries is enabled and the budget allows, a timed-out
+// request is re-issued under the same MsgID instead of failing — the
+// receiver's MsgID dedup keeps delivery exactly-once.
 func (ch *Channel) expireRequests(deadline sim.Time) {
+	c := ch.ctx
+	now := c.eng.Now()
 	for id, rs := range ch.pending {
-		if rs.sentAt < deadline {
-			delete(ch.pending, id)
-			ch.ctx.Stats.ReqTimeouts++
-			ch.ctx.tel.Flight.Record(ch.ctx.eng.Now(), telemetry.CatReqTimeout, int32(ch.ctx.Node()), ch.qp.QPN, int64(id), 0)
-			if rs.cb != nil {
-				rs.cb(nil, ErrTimeout)
-			}
+		if rs.sentAt >= deadline {
+			continue
 		}
+		if c.cfg.RequestRetries > 0 && rs.retries < c.cfg.RequestRetries &&
+			ch.retryTokens >= 1 && !ch.closed {
+			ch.retryTokens--
+			rs.retries++
+			rs.sentAt = now
+			ch.Counters.ReqRetries++
+			c.Stats.ReqRetries++
+			c.tel.Flight.Record(now, telemetry.CatReqRetry, int32(c.Node()), ch.qp.QPN, int64(id), int64(rs.retries))
+			c.tel.Trace.Instant("req.retry", c.track, now, int64(rs.retries))
+			ps := &pendingSend{kind: kindReq, data: rs.data, size: rs.size, msgID: id}
+			backoff := c.cfg.RetryBackoff << uint(rs.retries-1)
+			if backoff > 0 {
+				c.eng.AfterBg(backoff, func() {
+					if ch.closed {
+						return
+					}
+					if _, still := ch.pending[id]; !still {
+						return // the original response arrived after all
+					}
+					ch.enqueue(ps)
+				})
+			} else {
+				ch.enqueue(ps)
+			}
+			continue
+		}
+		delete(ch.pending, id)
+		c.Stats.ReqTimeouts++
+		c.tel.Flight.Record(now, telemetry.CatReqTimeout, int32(c.Node()), ch.qp.QPN, int64(id), int64(rs.retries))
+		if rs.cb != nil {
+			rs.cb(nil, ErrTimeout)
+		}
+	}
+}
+
+// rememberReq records an inbound request MsgID in the idempotency cache,
+// evicting the oldest entry once the cache is full.
+func (ch *Channel) rememberReq(msgID uint64) {
+	if ch.respCache == nil {
+		ch.respCache = make(map[uint64]*respEntry)
+	}
+	ch.respCache[msgID] = &respEntry{}
+	ch.respOrder = append(ch.respOrder, msgID)
+	if len(ch.respOrder) > respCacheCap {
+		old := ch.respOrder[0]
+		ch.respOrder = ch.respOrder[1:]
+		delete(ch.respCache, old)
 	}
 }
 

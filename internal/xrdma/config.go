@@ -32,6 +32,11 @@ type Config struct {
 	// ReqRspMode turns on the tracing header (default off = bare-data,
 	// "to push for extreme performance", §VI-A).
 	ReqRspMode bool
+	// PathDoctor enables the per-channel gray-failure scorer: counter
+	// deltas (retransmits, RNR NAKs, corrupt drops, RTT inflation) feed
+	// an EWMA score whose verdict (clean/suspect/sick) drives ECMP
+	// re-pathing through flow-label rotation.
+	PathDoctor bool
 	// FilterDropRate / FilterDelay drive the fault-injection Filter.
 	FilterDropRate float64
 	FilterDelay    sim.Duration
@@ -86,6 +91,21 @@ type Config struct {
 	// RequestTimeout fails pending requests that got no response (0 =
 	// never). Checked by a coarse per-context timer.
 	RequestTimeout sim.Duration
+	// RequestRetries re-issues a timed-out request (same MsgID, fresh
+	// wire sequence) up to this many times before surfacing ErrTimeout,
+	// under the channel's retry budget. 0 disables retries entirely.
+	// Both ends must run with retries enabled: the receiver's idempotent
+	// dedup cache is gated on the same knob.
+	RequestRetries int
+	// RetryBackoff delays each re-issue, doubling per attempt (0 =
+	// immediate re-issue on the timeout scan that caught it).
+	RetryBackoff sim.Duration
+	// PathRehashLimit bounds flow-label rotations per sick episode; once
+	// exhausted the doctor escalates to the channel health machine.
+	PathRehashLimit int
+	// PathRehashCooldown is the minimum settle time between rotations —
+	// a fresh path needs a few scans of symptoms before it is judged.
+	PathRehashCooldown sim.Duration
 	// MockEnabled lets a channel fall back to TCP when RDMA breaks.
 	MockEnabled bool
 	// MockDialRetries bounds how often a fallback TCP dial is retried
@@ -123,6 +143,7 @@ func DefaultConfig() Config {
 		PollingWarnCycle:  50 * sim.Microsecond,
 		TraceSampleMask:   0,
 		ReqRspMode:        false,
+		PathDoctor:        true,
 
 		SmallMsgSize:      4096,
 		WindowDepth:       32,
@@ -143,6 +164,10 @@ func DefaultConfig() Config {
 		PerMsgCost:        100 * sim.Nanosecond,
 		TraceCost:         50 * sim.Nanosecond,
 		RequestTimeout:    0,
+		RequestRetries:    0,
+		RetryBackoff:      0,
+		PathRehashLimit:   3,
+		PathRehashCooldown: 20 * sim.Millisecond,
 		MockEnabled:       false,
 		MockDialRetries:   3,
 		MockDialBackoff:   2 * sim.Millisecond,
@@ -259,6 +284,17 @@ var onlineFlags = map[string]func(*Context, string) error{
 		}
 		return nil
 	},
+	"path_doctor": func(c *Context, v string) error {
+		switch v {
+		case "on", "true", "1":
+			c.cfg.PathDoctor = true
+		case "off", "false", "0":
+			c.cfg.PathDoctor = false
+		default:
+			return fmt.Errorf("want on/off")
+		}
+		return nil
+	},
 	"filter_drop_rate": func(c *Context, v string) error {
 		var r float64
 		if _, err := fmt.Sscanf(v, "%g", &r); err != nil {
@@ -293,6 +329,10 @@ var offlineFlagNames = map[string]struct{}{
 	"mem_mode":        {},
 	"poll_interval":   {},
 	"mock_dial_retries":       {},
+	"request_retries":         {},
+	"retry_backoff_ms":        {},
+	"path_rehash_limit":       {},
+	"path_rehash_cooldown_ms": {},
 	"recover_retries":         {},
 	"recover_backoff_ms":      {},
 	"recover_dial_timeout_ms": {},

@@ -103,11 +103,14 @@ type ContextStats struct {
 	NopsSent        int64
 	AcksSent        int64
 	ReqTimeouts     int64
+	ReqRetries      int64
 	MockSwitches    int64
 	Degraded        int64
 	RecoverAttempts int64
 	Recoveries      int64
 	Failbacks       int64
+	PathRehashes    int64
+	PathEscalations int64
 }
 
 // LogEntry is one line of the self-adaptive log (§VI-A method III).
@@ -210,11 +213,14 @@ func (c *Context) registerGauges() {
 		{"nops_sent", func() int64 { return s.NopsSent }},
 		{"acks_sent", func() int64 { return s.AcksSent }},
 		{"req_timeouts", func() int64 { return s.ReqTimeouts }},
+		{"req_retries", func() int64 { return s.ReqRetries }},
 		{"mock_switches", func() int64 { return s.MockSwitches }},
 		{"degraded", func() int64 { return s.Degraded }},
 		{"recover_attempts", func() int64 { return s.RecoverAttempts }},
 		{"recoveries", func() int64 { return s.Recoveries }},
 		{"failbacks", func() int64 { return s.Failbacks }},
+		{"path_rehashes", func() int64 { return s.PathRehashes }},
+		{"path_escalations", func() int64 { return s.PathEscalations }},
 		{"channels", func() int64 { return int64(len(c.channels)) }},
 		{"mem_occupied", func() int64 { return c.Mem.OccupiedBytes() }},
 		{"mem_inuse", func() int64 { return c.Mem.InUseBytes }},
@@ -487,6 +493,7 @@ func (c *Context) armHousekeeping() {
 		}
 		c.Mem.shrink()
 		c.timeoutScan()
+		c.pathScan()
 		if c.monitor != nil {
 			c.monitor.sample(c)
 		}

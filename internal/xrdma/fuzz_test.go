@@ -1,0 +1,74 @@
+package xrdma
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeHdr hardens the wire-header parser against hostile or
+// corrupted inbound bytes: decodeHdr must never panic or over-read, and
+// every successful decode must be internally consistent (sane length,
+// round-trippable through encode). The brownout fault class delivers
+// genuinely damaged frames to this parser, so "never crash" is a
+// production invariant, not fuzz hygiene.
+func FuzzDecodeHdr(f *testing.F) {
+	mk := func(h wireHdr) []byte {
+		buf := make([]byte, h.wireBytes())
+		h.encode(buf)
+		return buf
+	}
+	// Valid headers of every kind, plain and traced.
+	for k := kindReq; k <= kindPong; k++ {
+		f.Add(mk(wireHdr{Kind: k, Seq: 7, Ack: 3, MsgID: 99, Size: 1024}))
+	}
+	f.Add(mk(wireHdr{Kind: kindResp, Flags: flagTraced, Seq: 1, MsgID: 2, T1: 123456789}))
+	f.Add(mk(wireHdr{Kind: kindReq, Flags: flagOneWay, Size: 16}))
+	f.Add(mk(wireHdr{Kind: kindLargeReq, Size: 1 << 20, Addr: 0xdeadbeef, RKey: 42}))
+	// Hostile shapes: empty, short, bad magic, bad version, truncated
+	// trace extension, flag soup.
+	f.Add([]byte{})
+	f.Add([]byte{0x58})
+	f.Add(bytes.Repeat([]byte{0xff}, hdrSize-1))
+	f.Add(bytes.Repeat([]byte{0x00}, hdrSize))
+	bad := mk(wireHdr{Kind: kindReq})
+	binary.LittleEndian.PutUint16(bad, 0x4242)
+	f.Add(bad)
+	vbad := mk(wireHdr{Kind: kindReq})
+	vbad[2] = 9
+	f.Add(vbad)
+	trunc := mk(wireHdr{Kind: kindReq, Flags: flagTraced, T1: 1})
+	f.Add(trunc[:hdrSize])
+	soup := mk(wireHdr{Kind: kindPong, Flags: 0xffff, T1: -1})
+	f.Add(soup)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, n, err := decodeHdr(b)
+		if err != nil {
+			return
+		}
+		// No over-read, and the consumed length matches the layout.
+		if n > len(b) {
+			t.Fatalf("decodeHdr consumed %d of %d bytes", n, len(b))
+		}
+		want := hdrSize
+		if h.Flags&flagTraced != 0 {
+			want += traceExtSize
+		}
+		if n != want {
+			t.Fatalf("consumed %d bytes, layout says %d (flags %#x)", n, want, h.Flags)
+		}
+		// Round-trip: re-encoding the decoded header must reproduce the
+		// consumed prefix bit-for-bit (the parser invents nothing).
+		out := make([]byte, h.wireBytes())
+		if m := h.encode(out); m != n {
+			t.Fatalf("re-encode wrote %d bytes, decode consumed %d", m, n)
+		}
+		if !bytes.Equal(out[:46], b[:46]) {
+			t.Fatalf("fixed fields diverge after round-trip:\n in=%x\nout=%x", b[:46], out[:46])
+		}
+		if h.Flags&flagTraced != 0 && !bytes.Equal(out[hdrSize:hdrSize+8], b[hdrSize:hdrSize+8]) {
+			t.Fatalf("trace extension diverges after round-trip")
+		}
+	})
+}

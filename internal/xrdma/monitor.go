@@ -111,8 +111,9 @@ func XRStat(c *Context) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "node %d: %d channels, mem occupy=%d in-use=%d, qp-cache=%d\n",
 		c.Node(), get("channels"), get("mem_occupied"), get("mem_inuse"), get("qp_cache"))
-	fmt.Fprintf(&b, "%-6s %-6s %-9s %-9s %-10s %-10s %-7s %-6s %-6s\n",
-		"QPN", "PEER", "SENT", "RECV", "TXBYTES", "RXBYTES", "STALLS", "RNR", "RETX")
+	fmt.Fprintf(&b, "%-6s %-6s %-9s %-9s %-10s %-10s %-7s %-6s %-6s %-6s %-8s %-6s %-6s\n",
+		"QPN", "PEER", "SENT", "RECV", "TXBYTES", "RXBYTES", "STALLS", "RNR", "RETX",
+		"SCORE", "VERDICT", "REHASH", "RETRY")
 	chPrefix := c.track + ".ch."
 	rows := make(map[int]map[string]int64)
 	var qpns []int
@@ -140,9 +141,11 @@ func XRStat(c *Context) string {
 	sort.Ints(qpns)
 	for _, q := range qpns {
 		r := rows[q]
-		fmt.Fprintf(&b, "%-6d %-6d %-9d %-9d %-10d %-10d %-7d %-6d %-6d\n",
+		fmt.Fprintf(&b, "%-6d %-6d %-9d %-9d %-10d %-10d %-7d %-6d %-6d %-6.2f %-8s %-6d %-6d\n",
 			q, r["peer"], r["sent"], r["recv"], r["txbytes"], r["rxbytes"],
-			r["stalls"], r["rnr"], r["retx"])
+			r["stalls"], r["rnr"], r["retx"],
+			float64(r["path_score"])/100, PathVerdict(r["path_verdict"]).String(),
+			r["rehashes"], r["req_retries"])
 	}
 	return b.String()
 }

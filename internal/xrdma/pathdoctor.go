@@ -1,0 +1,343 @@
+package xrdma
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
+)
+
+// Path doctor: the gray-failure plane. The PR 3 health machine answers a
+// binary question — is the peer reachable at all — and its remedies are
+// heavyweight (QP re-establishment, TCP fallback). Production postmortems
+// are dominated by the other failure shape: a browned-out optic on one
+// spine path that RC go-back-N silently absorbs at a permanent latency
+// and goodput cost. The doctor closes that gap with a per-channel EWMA
+// score fed by deltas of counters the stack already keeps (QP
+// retransmits, RNR NAKs, NIC corrupt drops, RTT inflation against a
+// learned baseline). The verdict — Clean / Suspect / Sick — is about the
+// *path*, deliberately distinct from the health state: a sick path never
+// triggers a needless QP teardown. The cure is ECMP re-pathing: rotate
+// the QP's flow label (the RoCEv2 UDP-source-port trick) so the fabric's
+// deterministic per-flow hash steers the connection onto a different
+// equal-cost path, with seeded label choice, bounded rotations and a
+// cooldown. Only when every tried path stays sick does the doctor
+// escalate to the PR 3 recovery machine via ch.fail.
+
+// PathVerdict classifies a channel's network path.
+type PathVerdict uint8
+
+const (
+	// PathClean: no symptoms beyond noise.
+	PathClean PathVerdict = iota
+	// PathSuspect: elevated symptoms; keep watching, don't act yet.
+	PathSuspect
+	// PathSick: sustained symptoms; rotate the flow label.
+	PathSick
+)
+
+func (v PathVerdict) String() string {
+	switch v {
+	case PathSuspect:
+		return "suspect"
+	case PathSick:
+		return "sick"
+	default:
+		return "clean"
+	}
+}
+
+// ErrPathSick is the escalation cause handed to the health machine when
+// every rotation budgeted for the sick episode failed to find a clean
+// path — at that point the fault is not one ECMP leg but the peer or the
+// whole fabric slice, which is exactly the PR 3 machinery's job.
+var ErrPathSick = errors.New("xrdma: every ECMP path stayed sick")
+
+// Doctor tuning. The weights rank symptom severity: a retransmit means
+// the RTO expired (whole-window stall), a corrupt drop means physical
+// damage, an RNR NAK merely means the peer was briefly unprovisioned.
+// Thresholds are in EWMA score points; one scan with a single retransmit
+// already clears the suspect bar, sustained symptoms clear the sick bar.
+const (
+	pdWeightRetx    = 3.0
+	pdWeightRNR     = 1.0
+	pdWeightCorrupt = 2.0
+	pdEWMA          = 0.5 // new-sample weight of the score EWMA
+	pdSuspectScore  = 1.0
+	pdSickScore     = 3.0
+	// RTT inflation: mean-RTT / learned-baseline above this ratio adds
+	// (ratio - bar) * weight score points, capped below the sick bar.
+	// The cap is load-bearing: RTT is measured request→response, so a
+	// backlog draining after a re-path (or a send-queue stall) reports
+	// stale, enormous samples — corroborating evidence for Suspect, but
+	// only the hardware counters (retransmits, corrupt drops), which
+	// cannot implicate the new path, may push the verdict to Sick.
+	pdRTTInflationBar    = 1.5
+	pdRTTInflationWeight = 2.0
+	pdRTTContribCap      = 1.9
+	// Baseline learning rate while the path is symptom-free.
+	pdBaselineEWMA = 0.1
+	// Consecutive clean scans before a past episode's rotation count is
+	// forgiven (a freshly rotated path must prove itself before the
+	// budget resets).
+	pdCleanScansToForgive = 4
+	// Sick scans tolerated after the rotation budget is spent before the
+	// doctor escalates to the health machine.
+	pdSickScansToEscalate = 3
+)
+
+// pathDoctor is the per-channel scorer state. It lives inside Channel
+// and is driven synchronously from the context housekeeping tick — no
+// events of its own, so a zero-fault run's event sequence is untouched.
+type pathDoctor struct {
+	score   float64
+	verdict PathVerdict
+	baseRTT float64 // learned clean-path mean RTT (ns)
+	inited  bool
+
+	// Counter watermarks for delta extraction.
+	lastRetx    int64
+	lastRNR     int64
+	lastCorrupt int64
+
+	// RTT accrual between scans (fed by deliver on every response).
+	rttSum int64
+	rttCnt int64
+
+	// Sick-episode state.
+	rotations     int // rotations spent this episode
+	cleanScans    int
+	sickScans     int // sick scans after the rotation budget ran out
+	cooldownUntil sim.Time
+
+	rehashes      int64 // lifetime rotations (gauge)
+	firstRehashAt sim.Time
+
+	// log is the deterministic verdict/rehash history the grayhaul
+	// digest compares bit-for-bit across runs and -j parallelism.
+	log []string
+}
+
+// observeRTT accrues one request→response RTT sample. Plain field
+// arithmetic on the delivery path; the scan consumes and resets it.
+func (d *pathDoctor) observeRTT(rtt sim.Duration) {
+	d.rttSum += int64(rtt)
+	d.rttCnt++
+}
+
+// resync re-bases the counter watermarks, discarding accrued symptoms.
+// Used when the channel is not scannable (degraded, mocked, closed) and
+// after a recovery adoption, so a fresh QP never inherits stale blame.
+func (d *pathDoctor) resync(retx, rnr, corrupt int64) {
+	d.lastRetx, d.lastRNR, d.lastCorrupt = retx, rnr, corrupt
+	d.rttSum, d.rttCnt = 0, 0
+	d.inited = true
+}
+
+// resetEpisode clears verdict state after a recovery adoption: the new
+// QP starts clean with a full rotation budget (lifetime counters and the
+// learned RTT baseline survive).
+func (d *pathDoctor) resetEpisode() {
+	d.score = 0
+	d.verdict = PathClean
+	d.rotations = 0
+	d.cleanScans = 0
+	d.sickScans = 0
+	d.cooldownUntil = 0
+	d.inited = false
+}
+
+// pathScan drives every channel's doctor once per housekeeping tick, in
+// QPN order so any seeded label draws consume the RNG deterministically
+// regardless of map iteration order.
+func (c *Context) pathScan() {
+	if !c.cfg.PathDoctor || len(c.channels) == 0 {
+		return
+	}
+	now := c.eng.Now()
+	if len(c.channels) == 1 {
+		for _, ch := range c.channels {
+			ch.pathScan(now)
+		}
+		return
+	}
+	qpns := make([]int, 0, len(c.channels))
+	for q := range c.channels {
+		qpns = append(qpns, int(q))
+	}
+	sort.Ints(qpns)
+	for _, q := range qpns {
+		if ch := c.channels[uint32(q)]; ch != nil {
+			ch.pathScan(now)
+		}
+	}
+}
+
+// pathScan runs one scoring pass over this channel.
+func (ch *Channel) pathScan(now sim.Time) {
+	c := ch.ctx
+	d := &ch.doctor
+	retx := ch.qp.Counters.Retransmits
+	rnr := ch.qp.Counters.RNRNakRecv
+	corrupt := c.vctx.NIC.Counters.CorruptDrops
+	if ch.closed || ch.mock != nil || ch.health != HealthHealthy {
+		// Not our jurisdiction: the health machine owns the channel.
+		// Keep the watermarks fresh so recovery traffic isn't blamed.
+		d.resync(retx, rnr, corrupt)
+		return
+	}
+	if !d.inited {
+		d.resync(retx, rnr, corrupt)
+		return
+	}
+
+	dRetx := retx - d.lastRetx
+	dRNR := rnr - d.lastRNR
+	dCorrupt := corrupt - d.lastCorrupt
+	d.lastRetx, d.lastRNR, d.lastCorrupt = retx, rnr, corrupt
+	if dRetx < 0 {
+		dRetx = 0
+	}
+	if dRNR < 0 {
+		dRNR = 0
+	}
+	if dCorrupt < 0 {
+		dCorrupt = 0
+	}
+	raw := pdWeightRetx*float64(dRetx) + pdWeightRNR*float64(dRNR) + pdWeightCorrupt*float64(dCorrupt)
+
+	var mean float64
+	if d.rttCnt > 0 {
+		mean = float64(d.rttSum) / float64(d.rttCnt)
+	}
+	d.rttSum, d.rttCnt = 0, 0
+	if mean > 0 {
+		if d.baseRTT == 0 {
+			d.baseRTT = mean
+		} else if infl := mean / d.baseRTT; infl > pdRTTInflationBar {
+			contrib := (infl - pdRTTInflationBar) * pdRTTInflationWeight
+			if contrib > pdRTTContribCap {
+				contrib = pdRTTContribCap
+			}
+			raw += contrib
+		} else if raw == 0 {
+			// Symptom-free scan: keep learning the clean baseline.
+			d.baseRTT = (1-pdBaselineEWMA)*d.baseRTT + pdBaselineEWMA*mean
+		}
+	}
+
+	d.score = (1-pdEWMA)*d.score + pdEWMA*raw
+
+	v := PathClean
+	switch {
+	case d.score >= pdSickScore:
+		v = PathSick
+	case d.score >= pdSuspectScore:
+		v = PathSuspect
+	}
+	if v != d.verdict {
+		d.verdict = v
+		c.tel.Flight.Record(now, telemetry.CatPathVerdict, int32(c.Node()), ch.qp.QPN, int64(v), int64(d.score*100))
+		c.tel.Trace.Instant("path.verdict", c.track, now, int64(v))
+		d.log = append(d.log, fmt.Sprintf("t=%v node=%d path=%v score=%d", now, c.Node(), v, int64(d.score*100)))
+		if ch.onPathVerdict != nil {
+			ch.onPathVerdict(v)
+		}
+	}
+
+	switch v {
+	case PathClean:
+		d.sickScans = 0
+		if d.rotations > 0 {
+			d.cleanScans++
+			if d.cleanScans >= pdCleanScansToForgive {
+				d.rotations = 0
+				d.cleanScans = 0
+			}
+		}
+	case PathSuspect:
+		d.cleanScans = 0
+	case PathSick:
+		d.cleanScans = 0
+		ch.rotateOrEscalate(now)
+	}
+}
+
+// rotateOrEscalate is the Sick-verdict remedy: rotate the flow label
+// while the episode budget lasts, otherwise count the path as terminally
+// sick and hand the channel to the health machine.
+func (ch *Channel) rotateOrEscalate(now sim.Time) {
+	c := ch.ctx
+	d := &ch.doctor
+	if now < d.cooldownUntil {
+		// Give the freshly rotated path its settle time before judging
+		// it (in-flight go-back-N recovery from the old path still bleeds
+		// into the counters).
+		return
+	}
+	if d.rotations < c.cfg.PathRehashLimit {
+		// Seeded label choice: deterministic per run, never zero (zero
+		// means "canonical path", the one we are fleeing).
+		label := c.rng.Uint64() | 1
+		if err := c.vctx.ModifyFlowLabel(ch.qp.QPN, label); err != nil {
+			c.logf("path doctor: rehash qpn=%d failed: %v", ch.qp.QPN, err)
+			d.sickScans++ // an unrotatable QP burns escalation credit
+		} else {
+			d.rotations++
+			d.rehashes++
+			if d.firstRehashAt == 0 {
+				d.firstRehashAt = now
+			}
+			c.Stats.PathRehashes++
+			d.cooldownUntil = now.Add(c.cfg.PathRehashCooldown)
+			// The new path is judged on its own symptoms: drop the score
+			// back to the suspect bar rather than zero so a still-sick
+			// path re-crosses the sick bar within a scan or two.
+			d.score = pdSuspectScore
+			d.sickScans = 0
+			c.tel.Flight.Record(now, telemetry.CatPathRehash, int32(c.Node()), ch.qp.QPN, int64(d.rotations), int64(label&0xffff))
+			c.tel.Trace.Instant("path.rehash", c.track, now, int64(d.rotations))
+			d.log = append(d.log, fmt.Sprintf("t=%v node=%d rehash #%d", now, c.Node(), d.rotations))
+			c.logf("path doctor: qpn=%d sick (score=%d), rotated flow label (#%d)", ch.qp.QPN, int64(d.score*100), d.rotations)
+			return
+		}
+	} else {
+		d.sickScans++
+	}
+	if d.sickScans >= pdSickScansToEscalate {
+		c.Stats.PathEscalations++
+		d.log = append(d.log, fmt.Sprintf("t=%v node=%d escalate", now, c.Node()))
+		c.logf("path doctor: qpn=%d every tried path sick, escalating to recovery", ch.qp.QPN)
+		d.resetEpisode()
+		ch.fail(ErrPathSick)
+	}
+}
+
+// --- channel surface ---------------------------------------------------------
+
+// PathVerdict reports the doctor's current classification of this
+// channel's network path.
+func (ch *Channel) PathVerdict() PathVerdict { return ch.doctor.verdict }
+
+// PathScore reports the EWMA path score in centi-points (what the
+// path_score gauge exports).
+func (ch *Channel) PathScore() int64 { return int64(ch.doctor.score * 100) }
+
+// Rehashes reports lifetime flow-label rotations on this channel.
+func (ch *Channel) Rehashes() int64 { return ch.doctor.rehashes }
+
+// FirstRehashAt reports when the doctor first rotated this channel's
+// flow label (0 = never) — drills assert the detection window with it.
+func (ch *Channel) FirstRehashAt() sim.Time { return ch.doctor.firstRehashAt }
+
+// FlowHash exposes the QP's effective ECMP flow key so experiments can
+// predict (and then brown out) the exact spine path this channel rides.
+func (ch *Channel) FlowHash() uint64 { return ch.qp.FlowHash() }
+
+// PathLog returns the doctor's deterministic verdict/rehash history.
+func (ch *Channel) PathLog() []string { return ch.doctor.log }
+
+// OnPathVerdict installs an observer for verdict transitions.
+func (ch *Channel) OnPathVerdict(fn func(PathVerdict)) { ch.onPathVerdict = fn }

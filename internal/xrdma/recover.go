@@ -310,6 +310,9 @@ func (ch *Channel) adopt(conn *verbs.Conn, bufs []Buffer, initiator bool) {
 	c.tel.Flight.Record(now, telemetry.CatChannelRecovered, int32(c.Node()), ch.qp.QPN, int64(ch.Peer), int64(now.Sub(ch.degradedAt)))
 	c.logf("channel peer=%d recovered on qpn=%d after %v (failback=%v)", ch.Peer, ch.qp.QPN, now.Sub(ch.degradedAt), failback)
 	ch.requeueUnacked()
+	// The adopted QP starts with zero counters and a full rotation
+	// budget; the doctor must not blame it for the old path's symptoms.
+	ch.doctor.resetEpisode()
 	ch.setHealth(HealthHealthy)
 	if initiator {
 		ch.resumeOnRx = false

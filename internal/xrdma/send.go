@@ -31,7 +31,13 @@ func (ch *Channel) SendMsg(data []byte, size int, cb func(*Msg, error)) error {
 	}
 	msgID := ch.ctx.nextMsgID()
 	if cb != nil {
-		ch.pending[msgID] = &reqState{cb: cb, sentAt: ch.ctx.eng.Now()}
+		rs := &reqState{cb: cb, sentAt: ch.ctx.eng.Now()}
+		if ch.ctx.cfg.RequestRetries > 0 {
+			// Retain the payload so a timeout can re-issue the request
+			// under the same MsgID (budgeted retries, pathdoctor.go).
+			rs.data, rs.size = data, size
+		}
+		ch.pending[msgID] = rs
 		ch.Counters.ReqsSent++
 	}
 	ps := &pendingSend{kind: kindReq, data: data, size: size, msgID: msgID}
@@ -59,6 +65,17 @@ func (m *Msg) Reply(data []byte, size int) error {
 	}
 	if data != nil {
 		size = len(data)
+	}
+	if ent, ok := ch.respCache[m.MsgID]; ok {
+		// Retain the response so a duplicate of this request (a client
+		// retry whose original response was lost) can be answered from
+		// cache without re-invoking the handler.
+		ent.replied = true
+		ent.size = size
+		if data != nil {
+			ent.data = make([]byte, len(data))
+			copy(ent.data, data)
+		}
 	}
 	ch.enqueue(&pendingSend{kind: kindResp, data: data, size: size, msgID: m.MsgID})
 	return nil
@@ -442,7 +459,22 @@ func (ch *Channel) deliver(msg *Msg) {
 		c.trace.onRecv(ch, msg)
 	}
 	if msg.IsReq {
-		if ch.onMessage != nil {
+		if c.cfg.RequestRetries > 0 {
+			// MsgID-level idempotency: a client retry arrives under a
+			// fresh wire sequence, so the seq window can't dedup it.
+			if ent, dup := ch.respCache[msg.MsgID]; dup {
+				if ent.replied {
+					// The original response is evidently lost; re-send it
+					// from cache without waking the application again.
+					ch.enqueue(&pendingSend{kind: kindResp, data: ent.data, size: ent.size, msgID: msg.MsgID})
+				}
+			} else {
+				ch.rememberReq(msg.MsgID)
+				if ch.onMessage != nil {
+					ch.onMessage(msg)
+				}
+			}
+		} else if ch.onMessage != nil {
 			ch.onMessage(msg)
 		}
 	} else {
@@ -450,6 +482,13 @@ func (ch *Channel) deliver(msg *Msg) {
 		if ok {
 			delete(ch.pending, msg.MsgID)
 			ch.Counters.RespsRecv++
+			if ch.retryTokens < retryBudgetCap {
+				ch.retryTokens += retryCreditPerSuccess
+				if ch.retryTokens > retryBudgetCap {
+					ch.retryTokens = retryBudgetCap
+				}
+			}
+			ch.doctor.observeRTT(c.eng.Now().Sub(rs.sentAt))
 			if rs.traced || msg.Traced {
 				c.trace.onResponse(ch, msg, rs.sentAt)
 			}
