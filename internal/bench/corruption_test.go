@@ -115,3 +115,89 @@ func TestCorruptionAccounting(t *testing.T) {
 		t.Errorf("accounting mismatch: fabric corrupted %d frames, NICs dropped %d", fabCorrupt, nicDrops)
 	}
 }
+
+// TestCorruptionBlameIsolation: corrupt drops are charged to the
+// destination QP, so damage on one channel's spine path must never
+// sicken another channel that shares the node. The cross-ToR pair rides
+// the browned-out leaf tier and must re-path; the same-ToR channel on
+// the same NIC (whose node-global CorruptDrops counter is climbing the
+// whole time) never touches a leaf and its doctor must stay Clean — no
+// sympathy rotations, no escalation.
+func TestCorruptionBlameIsolation(t *testing.T) {
+	c := cluster.New(cluster.Options{
+		Topology: fabric.SmallClos(),
+		NICCfg:   grayNIC(),
+		Nodes:    8,
+		Config:   grayKnobs(true),
+		Seed:     42,
+	})
+	eng := c.Eng
+
+	var srvCross *xrdma.Channel
+	c.ListenAll(7600, func(n *cluster.Node, ch *xrdma.Channel) {
+		if n.ID == 4 {
+			srvCross = ch
+		}
+		ch.OnMessage(func(m *xrdma.Msg) { m.Reply(m.Retain(), m.Len) })
+	})
+	var cross, local *xrdma.Channel
+	c.Connect(0, 4, 7600, func(ch *xrdma.Channel, err error) {
+		if err != nil {
+			panic(err)
+		}
+		cross = ch
+	})
+	c.Connect(0, 1, 7600, func(ch *xrdma.Channel, err error) {
+		if err != nil {
+			panic(err)
+		}
+		local = ch
+	})
+	eng.Run()
+	if cross == nil || local == nil || srvCross == nil {
+		t.Fatal("channel establishment failed")
+	}
+
+	// Brown out both legs the cross-ToR pair rides — the client's TX leaf
+	// at tor0 and the server's TX leaf at tor1 — so corrupt frames are
+	// guaranteed to be dropped (and counted) at node 0's NIC, the node
+	// the healthy channel shares.
+	inj := chaos.New(c)
+	idxC := fabric.ECMPIndex(cross.FlowHash(), 2)
+	idxS := fabric.ECMPIndex(srvCross.FlowHash(), 2)
+	inj.Brownout("pod0-tor0", fmt.Sprintf("pod0-leaf%d", idxC), 0, 0.05, 20*sim.Microsecond)
+	if idxS != idxC {
+		inj.Brownout("pod0-tor1", fmt.Sprintf("pod0-leaf%d", idxS), 0, 0.05, 20*sim.Microsecond)
+	}
+
+	start := eng.Now()
+	var tick func()
+	tick = func() {
+		if eng.Now().Sub(start) >= 300*sim.Millisecond {
+			return
+		}
+		for _, ch := range []*xrdma.Channel{cross, local} {
+			buf := make([]byte, 16)
+			ch.SendMsg(buf, 0, func(m *xrdma.Msg, err error) {})
+		}
+		eng.AfterBg(500*sim.Microsecond, tick)
+	}
+	eng.AfterBg(500*sim.Microsecond, tick)
+	eng.RunUntil(start.Add(400 * sim.Millisecond))
+
+	if cross.Rehashes()+srvCross.Rehashes() == 0 {
+		t.Error("cross-ToR pair never re-pathed off the damaged leaves — drill is vacuous")
+	}
+	if got := c.Nodes[0].NIC.Counters.CorruptDrops; got == 0 {
+		t.Error("node 0 NIC saw no corrupt drops — drill not exercising shared-node blame")
+	}
+	if v := local.PathVerdict(); v != xrdma.PathClean {
+		t.Errorf("same-ToR channel verdict %v — blamed for another path's damage", v)
+	}
+	if n := local.Rehashes(); n != 0 {
+		t.Errorf("same-ToR channel rotated its flow label %d times on an undamaged path", n)
+	}
+	if lg := local.PathLog(); len(lg) != 0 {
+		t.Errorf("same-ToR channel saw verdict transitions: %v", lg)
+	}
+}

@@ -208,6 +208,7 @@ type QPCounters struct {
 	Retransmits          int64
 	CNPRecv              int64
 	SeqNakRecv           int64
+	CorruptDrops         int64 // inbound frames for this QP that failed FCS
 }
 
 // QP is an RC queue pair.

@@ -22,8 +22,13 @@ func (n *NIC) HandlePacket(p *fabric.Packet) {
 	}
 	if p.Corrupt {
 		// Failed FCS check: the frame never reaches protocol processing.
-		// The sender's RTO recovers it like any other loss.
+		// The sender's RTO recovers it like any other loss. The drop is
+		// also charged to the destination QP so per-flow consumers (the
+		// xrdma path doctor) never blame one path's damage on another.
 		n.Counters.CorruptDrops++
+		if qp := n.qps[h.DstQPN]; qp != nil {
+			qp.Counters.CorruptDrops++
+		}
 		n.tel.Flight.Record(n.eng.Now(), telemetry.CatCorruptDrop, int32(n.Node), h.DstQPN, int64(p.Size), 0)
 		n.pool.putHdr(h)
 		return

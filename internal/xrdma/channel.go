@@ -3,6 +3,7 @@ package xrdma
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"xrdma/internal/fabric"
 	"xrdma/internal/rnic"
@@ -656,9 +657,24 @@ const respCacheCap = 512
 func (ch *Channel) expireRequests(deadline sim.Time) {
 	c := ch.ctx
 	now := c.eng.Now()
+	// Snapshot the expired MsgIDs and process them in ascending (= issue)
+	// order: map iteration order is randomized, and both which requests
+	// win the finite retry tokens and the wire order of re-issues must be
+	// identical run to run for the grayhaul digest to hold.
+	var expired []uint64
 	for id, rs := range ch.pending {
-		if rs.sentAt >= deadline {
-			continue
+		if rs.sentAt < deadline {
+			expired = append(expired, id)
+		}
+	}
+	if len(expired) == 0 {
+		return
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, id := range expired {
+		rs := ch.pending[id]
+		if rs == nil {
+			continue // removed by an earlier expiry's callback
 		}
 		if c.cfg.RequestRetries > 0 && rs.retries < c.cfg.RequestRetries &&
 			ch.retryTokens >= 1 && !ch.closed {

@@ -2,6 +2,7 @@ package xrdma
 
 import (
 	"fmt"
+	"sort"
 
 	"xrdma/internal/fabric"
 	"xrdma/internal/rnic"
@@ -506,9 +507,32 @@ func (c *Context) timeoutScan() {
 		return
 	}
 	deadline := c.eng.Now().Add(-c.cfg.RequestTimeout)
-	for _, ch := range c.channels {
+	for _, ch := range c.sortedChannels() {
 		ch.expireRequests(deadline)
 	}
+}
+
+// sortedChannels snapshots the channel set in ascending QPN order. Every
+// housekeeping scan that makes order-dependent decisions (retry-token
+// spending, RNG draws, backoff scheduling) must walk channels through
+// this, never the map — map iteration order is randomized and would leak
+// into the deterministic digests.
+func (c *Context) sortedChannels() []*Channel {
+	if len(c.channels) == 0 {
+		return nil
+	}
+	qpns := make([]int, 0, len(c.channels))
+	for q := range c.channels {
+		qpns = append(qpns, int(q))
+	}
+	sort.Ints(qpns)
+	chs := make([]*Channel, 0, len(qpns))
+	for _, q := range qpns {
+		if ch := c.channels[uint32(q)]; ch != nil {
+			chs = append(chs, ch)
+		}
+	}
+	return chs
 }
 
 func (c *Context) keepaliveScan() {

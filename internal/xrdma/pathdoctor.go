@@ -3,7 +3,6 @@ package xrdma
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"xrdma/internal/sim"
 	"xrdma/internal/telemetry"
@@ -16,7 +15,7 @@ import (
 // spine path that RC go-back-N silently absorbs at a permanent latency
 // and goodput cost. The doctor closes that gap with a per-channel EWMA
 // score fed by deltas of counters the stack already keeps (QP
-// retransmits, RNR NAKs, NIC corrupt drops, RTT inflation against a
+// retransmits, RNR NAKs, per-QP corrupt drops, RTT inflation against a
 // learned baseline). The verdict — Clean / Suspect / Sick — is about the
 // *path*, deliberately distinct from the health state: a sick path never
 // triggers a needless QP teardown. The cure is ECMP re-pathing: rotate
@@ -157,21 +156,8 @@ func (c *Context) pathScan() {
 		return
 	}
 	now := c.eng.Now()
-	if len(c.channels) == 1 {
-		for _, ch := range c.channels {
-			ch.pathScan(now)
-		}
-		return
-	}
-	qpns := make([]int, 0, len(c.channels))
-	for q := range c.channels {
-		qpns = append(qpns, int(q))
-	}
-	sort.Ints(qpns)
-	for _, q := range qpns {
-		if ch := c.channels[uint32(q)]; ch != nil {
-			ch.pathScan(now)
-		}
+	for _, ch := range c.sortedChannels() {
+		ch.pathScan(now)
 	}
 }
 
@@ -181,7 +167,7 @@ func (ch *Channel) pathScan(now sim.Time) {
 	d := &ch.doctor
 	retx := ch.qp.Counters.Retransmits
 	rnr := ch.qp.Counters.RNRNakRecv
-	corrupt := c.vctx.NIC.Counters.CorruptDrops
+	corrupt := ch.qp.Counters.CorruptDrops
 	if ch.closed || ch.mock != nil || ch.health != HealthHealthy {
 		// Not our jurisdiction: the health machine owns the channel.
 		// Keep the watermarks fresh so recovery traffic isn't blamed.
@@ -285,6 +271,7 @@ func (ch *Channel) rotateOrEscalate(now sim.Time) {
 			c.logf("path doctor: rehash qpn=%d failed: %v", ch.qp.QPN, err)
 			d.sickScans++ // an unrotatable QP burns escalation credit
 		} else {
+			sickScore := int64(d.score * 100) // the score that triggered this rotation
 			d.rotations++
 			d.rehashes++
 			if d.firstRehashAt == 0 {
@@ -300,7 +287,7 @@ func (ch *Channel) rotateOrEscalate(now sim.Time) {
 			c.tel.Flight.Record(now, telemetry.CatPathRehash, int32(c.Node()), ch.qp.QPN, int64(d.rotations), int64(label&0xffff))
 			c.tel.Trace.Instant("path.rehash", c.track, now, int64(d.rotations))
 			d.log = append(d.log, fmt.Sprintf("t=%v node=%d rehash #%d", now, c.Node(), d.rotations))
-			c.logf("path doctor: qpn=%d sick (score=%d), rotated flow label (#%d)", ch.qp.QPN, int64(d.score*100), d.rotations)
+			c.logf("path doctor: qpn=%d sick (score=%d), rotated flow label (#%d)", ch.qp.QPN, sickScore, d.rotations)
 			return
 		}
 	} else {

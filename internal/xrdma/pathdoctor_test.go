@@ -6,6 +6,7 @@ import (
 
 	"xrdma/internal/fabric"
 	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
 )
 
 // retryKnobs compresses the request-retry clocks for the drills below.
@@ -206,6 +207,76 @@ func TestRetryBudgetBoundsAmplification(t *testing.T) {
 	if cli.Counters.ReqRetries == 0 {
 		t.Errorf("no retries at all — budget not exercised")
 	}
+}
+
+// TestRetryTokenOrderDeterministic: when more requests expire at once
+// than the token bucket can fund, the winners must be the oldest
+// requests, re-issued in ascending MsgID order — never whichever entries
+// a randomized map walk yields first. Retry order is part of the
+// deterministic grayhaul digest.
+func TestRetryTokenOrderDeterministic(t *testing.T) {
+	w := newWorld(t, 2, retryKnobs(3))
+	cli, srv := w.connect(t, 0, 1, 5605)
+	srv.OnMessage(func(m *Msg) {}) // black hole: every request expires
+
+	// All 20 requests expire in the same scan; the bucket funds exactly
+	// retryBudgetCap of them.
+	const n = 20
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, uint64(i))
+		cli.SendMsg(buf, 0, func(m *Msg, err error) {})
+	}
+	w.eng.RunFor(50 * sim.Millisecond)
+
+	var ids []uint64
+	dump := w.ctxs[0].tel.Flight.ForceDump(w.eng.Now(), "retry audit")
+	for _, e := range dump.Events {
+		if e.Cat == telemetry.CatReqRetry {
+			ids = append(ids, uint64(e.A))
+		}
+	}
+	if len(ids) != int(retryBudgetCap) {
+		t.Fatalf("%d retries recorded, want %v (one full bucket)", len(ids), retryBudgetCap)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("retries out of issue order: %v", ids)
+		}
+	}
+	// The 20 requests got consecutive MsgIDs, so the oldest-first winners
+	// are a consecutive run.
+	if ids[len(ids)-1]-ids[0] != uint64(len(ids)-1) {
+		t.Errorf("retry tokens not spent on the oldest requests: %v", ids)
+	}
+}
+
+// TestRetryPayloadOwned: with retries enabled SendMsg must copy the
+// payload — the caller is free to scribble on its buffer the moment
+// SendMsg returns, and a later retry must still transmit the original
+// bytes.
+func TestRetryPayloadOwned(t *testing.T) {
+	w := newWorld(t, 2, retryKnobs(1))
+	cli, srv := w.connect(t, 0, 1, 5606)
+	echoServer(srv)
+
+	buf := []byte("original-bytes")
+	if err := cli.SendMsg(buf, 0, func(m *Msg, err error) {}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cli.pending) != 1 {
+		t.Fatalf("pending=%d, want 1", len(cli.pending))
+	}
+	for _, rs := range cli.pending {
+		if len(rs.data) == 0 || &rs.data[0] == &buf[0] {
+			t.Fatal("retry state aliases the caller's buffer")
+		}
+		copy(buf, "clobbered!!!!!")
+		if string(rs.data) != "original-bytes" {
+			t.Fatalf("retained payload mutated with the caller's buffer: %q", rs.data)
+		}
+	}
+	w.eng.Run()
 }
 
 // TestPathDoctorInertWithoutFaults: on a healthy fabric the doctor must

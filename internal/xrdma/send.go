@@ -33,9 +33,15 @@ func (ch *Channel) SendMsg(data []byte, size int, cb func(*Msg, error)) error {
 	if cb != nil {
 		rs := &reqState{cb: cb, sentAt: ch.ctx.eng.Now()}
 		if ch.ctx.cfg.RequestRetries > 0 {
-			// Retain the payload so a timeout can re-issue the request
-			// under the same MsgID (budgeted retries, pathdoctor.go).
-			rs.data, rs.size = data, size
+			// Retain an owned copy of the payload so a timeout can
+			// re-issue the request under the same MsgID (budgeted retries,
+			// pathdoctor.go) — the caller is free to reuse its buffer the
+			// moment SendMsg returns, and a retry must transmit the
+			// original bytes.
+			if data != nil {
+				rs.data = append([]byte(nil), data...)
+			}
+			rs.size = size
 		}
 		ch.pending[msgID] = rs
 		ch.Counters.ReqsSent++
