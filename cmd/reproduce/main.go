@@ -30,7 +30,9 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	metrics := flag.Bool("metrics", false, "print the per-world metric registry after each experiment")
+	metricsProm := flag.Bool("metrics-prom", false, "print each world's metric registry in Prometheus exposition format")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline of every observed world to this file")
+	blamePath := flag.String("blame", "", "write each world's aggregate blame report (stage attribution) as JSON to this file")
 	flag.Parse()
 
 	reg := bench.Experiments()
@@ -71,7 +73,7 @@ func main() {
 	// ring is truncated at DefaultTraceCap events (oldest dropped first)
 	// so a full run cannot produce a multi-gigabyte file by accident.
 	var col *telemetry.Collector
-	if *metrics || *tracePath != "" {
+	if *metrics || *metricsProm || *tracePath != "" || *blamePath != "" {
 		col = &telemetry.Collector{}
 		if *tracePath != "" {
 			col.TraceCap = telemetry.DefaultTraceCap
@@ -111,8 +113,17 @@ func main() {
 		if *metrics {
 			printMetrics(col)
 		}
+		if *metricsProm {
+			printMetricsProm(col)
+		}
 		if *tracePath != "" {
 			if err := writeTrace(col, *tracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *blamePath != "" {
+			if err := writeBlame(col, *blamePath); err != nil {
 				fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 				os.Exit(1)
 			}
@@ -177,6 +188,66 @@ func printMetrics(col *telemetry.Collector) {
 		fmt.Print(ob.Set.Reg.Table())
 		fmt.Println()
 	}
+}
+
+// printMetricsProm renders every observed world's metric registry in
+// Prometheus exposition format, in label order.
+func printMetricsProm(col *telemetry.Collector) {
+	for _, ob := range col.Observations() {
+		fmt.Printf("# world: %s\n", ob.Label)
+		ob.Set.Reg.WritePrometheus(os.Stdout)
+		fmt.Println()
+	}
+}
+
+// writeBlame emits each observed world's aggregate blame report as one
+// JSON document: {"worlds":[{"label":...,"blame":{...}},...]}. Worlds
+// with no blame-traced messages are skipped.
+func writeBlame(col *telemetry.Collector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	worlds := 0
+	if _, err := f.WriteString(`{"worlds":[`); err != nil {
+		f.Close()
+		return err
+	}
+	for _, ob := range col.Observations() {
+		if ob.Set.Blame.Count() == 0 {
+			continue
+		}
+		sep := ","
+		if worlds == 0 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(f, `%s{"label":%q,"blame":`, sep, ob.Label); err != nil {
+			f.Close()
+			return err
+		}
+		if err := ob.Set.Blame.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.WriteString("}"); err != nil {
+			f.Close()
+			return err
+		}
+		worlds++
+	}
+	if _, err := f.WriteString("]}\n"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if worlds == 0 {
+		fmt.Fprintf(os.Stderr, "reproduce: no world produced blame records — run with -only blame\n")
+	} else {
+		fmt.Fprintf(os.Stderr, "reproduce: wrote %d blame report(s) to %s\n", worlds, path)
+	}
+	return nil
 }
 
 // writeTrace emits the merged Chrome trace_event JSON (one process per

@@ -7,10 +7,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"xrdma/internal/cluster"
 	"xrdma/internal/fabric"
 	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
 	"xrdma/internal/workload"
 	"xrdma/internal/xrdma"
 )
@@ -25,6 +27,7 @@ func main() {
 	depth := flag.Int("depth", 8, "closed-loop queue depth")
 	dur := flag.Duration("dur", 0, "simulated duration (default 1s)")
 	seed := flag.Uint64("seed", 1, "seed")
+	prom := flag.Bool("prom", false, "print the metric registry in Prometheus exposition format")
 	flag.Parse()
 
 	horizon := sim.Second
@@ -102,4 +105,8 @@ func main() {
 		c.Fab.Stats.ECNMarks, cnp, pause, c.Fab.Stats.Drops)
 	fmt.Println()
 	fmt.Print(xrdma.XRStat(c.Nodes[server].Ctx))
+	if *prom {
+		fmt.Println("\nprometheus exposition:")
+		telemetry.For(c.Eng).Reg.WritePrometheus(os.Stdout)
+	}
 }

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"xrdma/internal/chaos"
 	"xrdma/internal/cluster"
@@ -28,6 +29,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed")
 	all := flag.Bool("all", false, "also print the full metric registry (every layer's counters)")
 	gray := flag.Bool("gray", false, "brown out one spine path mid-run (path-doctor demo)")
+	blame := flag.Bool("blame", false, "sample messages onto the blame plane and print the stage-attribution table")
+	prom := flag.Bool("prom", false, "print the metric registry in Prometheus exposition format")
 	flag.Parse()
 
 	horizon := 200 * sim.Millisecond
@@ -51,6 +54,12 @@ func main() {
 		Topology: topo, NICCfg: nicCfg, Nodes: n, Seed: *seed,
 		Config: func(node int, cfg *xrdma.Config) {
 			cfg.StatsInterval = 20 * sim.Millisecond
+			if *blame {
+				// Blame tracing needs the req-rsp plane (the response
+				// mirrors the remote stages back); sample 1-in-16.
+				cfg.ReqRspMode = true
+				cfg.TraceSampleN = 16
+			}
 			if *gray {
 				cfg.StatsInterval = 1 * sim.Millisecond // doctor scan cadence
 				cfg.PathRehashCooldown = 4 * sim.Millisecond
@@ -119,9 +128,17 @@ func main() {
 			s.At, s.QPs, s.MemOccupied, s.MemInUse, s.MsgsSent, s.MsgsRecv, s.SlowPolls)
 	}
 
+	if *blame {
+		fmt.Println("\nblame attribution (engine-wide, sampled 1-in-16):")
+		fmt.Print(tel.Blame.Table())
+	}
 	if *all {
 		fmt.Println("\nmetric registry:")
 		fmt.Print(tel.Reg.Table())
+	}
+	if *prom {
+		fmt.Println("\nprometheus exposition:")
+		tel.Reg.WritePrometheus(os.Stdout)
 	}
 	if dumps := tel.Flight.Dumps(); len(dumps) > 0 {
 		fmt.Printf("\nflight recorder: %d dump(s)\n", len(dumps))

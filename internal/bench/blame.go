@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xrdma/internal/chaos"
+	"xrdma/internal/cluster"
+	"xrdma/internal/fabric"
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
+	"xrdma/internal/xrdma"
+)
+
+// E21 "blame": causal per-message tracing answers "where did my p99 go?".
+// Three arms each inject one known latency cause into a fresh SmallClos
+// world while every request rides the blame plane (TraceSampleN=1); the
+// top-blamed stage of the aggregate report must name the injected cause:
+//
+//	incast    7 clients burst into one server — ToR egress queueing
+//	          (fabric.queue) must dominate
+//	brownout  one spine path silently drops/corrupts under steady load —
+//	          RC retransmit recovery (recover.rto) must dominate
+//	slowrecv  the server runs a tiny SRQ it cannot refill fast enough —
+//	          RNR backoff (recover.rnr) must dominate
+//
+// TestBlame asserts the verdicts and that the digest is bit-identical
+// across runs and -j parallelism.
+
+// BlameArm is the outcome of one injected-cause arm.
+type BlameArm struct {
+	Name  string
+	Cause string          // what was injected
+	Want  telemetry.Stage // the stage that must top the report
+
+	Msgs   int64  // blame-traced messages reconstructed
+	Resps  int    // responses the clients consumed
+	Top    string // top-blamed stage of the aggregate
+	Match  bool   // Top == Want
+	Report string // rendered Blame.Table()
+
+	Digest_ []string
+}
+
+// BlameResult aggregates the experiment.
+type BlameResult struct {
+	Incast, Brownout, SlowRecv *BlameArm
+	Table_                     Table
+}
+
+// Digest renders every arm's blame aggregate as deterministic lines:
+// same seed ⇒ bit-identical, sequential or parallel.
+func (r *BlameResult) Digest() []string {
+	var out []string
+	for _, a := range []*BlameArm{r.Incast, r.Brownout, r.SlowRecv} {
+		out = append(out, fmt.Sprintf("arm %s resps=%d", a.Name, a.Resps))
+		out = append(out, a.Digest_...)
+	}
+	return out
+}
+
+// blameKnobs is the common configuration: req-rsp mode with every message
+// blame-sampled, no doctor/retry planes (the injected cause must persist
+// and the RTT must stay honest), keepalive off.
+func blameKnobs(cfg *xrdma.Config) {
+	cfg.ReqRspMode = true
+	cfg.TraceSampleN = 1
+	cfg.PathDoctor = false
+	cfg.KeepaliveInterval = 0
+	cfg.SlowThreshold = 10 * sim.Millisecond // suspect plane quiet: N=1 samples everything
+}
+
+// blameFinish extracts the verdict from the engine-wide aggregate.
+func blameFinish(a *BlameArm, c *cluster.Cluster) *BlameArm {
+	b := c.Nodes[0].Ctx.Telemetry().Blame
+	top, _ := b.Top()
+	a.Msgs = b.Count()
+	a.Top = top.String()
+	a.Match = top == a.Want
+	a.Report = b.Table()
+	a.Digest_ = b.Digest()
+	return a
+}
+
+// runBlameIncast: 7 clients on a SmallClos burst 8×2KB requests into one
+// server every 100 µs — a Pangu-style incast. Every burst converges on
+// the server ToR's single 25 Gbps egress port, so switch egress-queue
+// residency dominates each request's critical path. DCQCN is disabled so
+// the senders keep the queue standing instead of pacing it away.
+func runBlameIncast(sc Scale) *BlameArm {
+	a := &BlameArm{Name: "incast", Cause: "ToR egress incast queueing", Want: telemetry.StageFabricQueue}
+	nic := rnic.DefaultConfig()
+	nic.DCQCN.Enabled = false
+	c := cluster.New(cluster.Options{
+		Topology: fabric.SmallClos(),
+		NICCfg:   nic,
+		Nodes:    8,
+		Config:   func(_ int, cfg *xrdma.Config) { blameKnobs(cfg) },
+		Seed:     sc.Seed,
+	})
+	sc.observe(c.Eng, "blame/incast")
+	eng := c.Eng
+
+	c.ListenAll(7500, func(_ *cluster.Node, ch *xrdma.Channel) {
+		ch.OnMessage(func(m *xrdma.Msg) { m.Reply(nil, 64) })
+	})
+	var chans []*xrdma.Channel
+	c.ConnectPairs(cluster.FanInPairs(8, 4), 7500, func(cs []*xrdma.Channel) { chans = cs })
+	eng.Run()
+	if chans == nil {
+		panic("blame/incast: channels never established")
+	}
+
+	const (
+		burst   = 8
+		payload = 2048
+		tick    = 100 * sim.Microsecond
+		stopAt  = 5 * sim.Millisecond
+		horizon = 8 * sim.Millisecond
+	)
+	start := eng.Now()
+	resps := 0
+	var fire func()
+	fire = func() {
+		if eng.Now().Sub(start) >= stopAt {
+			return
+		}
+		for _, ch := range chans {
+			for i := 0; i < burst; i++ {
+				buf := make([]byte, payload)
+				ch.SendMsg(buf, 0, func(m *xrdma.Msg, err error) {
+					if err == nil {
+						resps++
+					}
+				})
+			}
+		}
+		eng.AfterBg(tick, fire)
+	}
+	eng.AfterBg(tick, fire)
+	eng.RunUntil(start.Add(horizon))
+	a.Resps = resps
+	return blameFinish(a, c)
+}
+
+// runBlameBrownout: the E20 gray failure under the blame plane — the
+// exact spine path the client's requests ride silently drops 12% and
+// corrupts 5% of packets. RC go-back-N absorbs every loss with a 1 ms
+// retransmit timeout, so recover.rto must dominate the traced tail.
+func runBlameBrownout(sc Scale) *BlameArm {
+	a := &BlameArm{Name: "brownout", Cause: "spine brownout (loss + corruption)", Want: telemetry.StageRTORecovery}
+	c := cluster.New(cluster.Options{
+		Topology: fabric.SmallClos(),
+		NICCfg:   grayNIC(), // RetransTimeout 1 ms, RetryLimit 12
+		Nodes:    8,
+		Config:   func(_ int, cfg *xrdma.Config) { blameKnobs(cfg) },
+		Seed:     sc.Seed,
+	})
+	sc.observe(c.Eng, "blame/brownout")
+	eng := c.Eng
+
+	c.ListenAll(7501, func(_ *cluster.Node, ch *xrdma.Channel) {
+		ch.OnMessage(func(m *xrdma.Msg) {
+			m.Reply(m.Data[:8], 0)
+		})
+	})
+	var ch *xrdma.Channel
+	c.Connect(0, 4, 7501, func(cch *xrdma.Channel, err error) {
+		if err != nil {
+			panic(err)
+		}
+		ch = cch
+	})
+	eng.Run()
+	if ch == nil {
+		panic("blame/brownout: channel never established")
+	}
+
+	const (
+		tick    = 500 * sim.Microsecond
+		faultAt = 20 * sim.Millisecond
+		stopAt  = 120 * sim.Millisecond
+		horizon = 160 * sim.Millisecond
+	)
+	start := eng.Now()
+	resps := 0
+	var id uint64
+	var tickFn func()
+	tickFn = func() {
+		if eng.Now().Sub(start) >= stopAt {
+			return
+		}
+		buf := make([]byte, 16)
+		binary.LittleEndian.PutUint64(buf, id)
+		id++
+		ch.SendMsg(buf, 0, func(m *xrdma.Msg, err error) {
+			if err == nil {
+				resps++
+			}
+		})
+		eng.AfterBg(tick, tickFn)
+	}
+	eng.AfterBg(tick, tickFn)
+
+	inj := chaos.New(c)
+	inj.Schedule([]chaos.Step{{At: faultAt, Name: "blame brownout", Do: func(i *chaos.Injector) {
+		idx := fabric.ECMPIndex(ch.FlowHash(), 2)
+		i.Brownout("pod0-tor0", fmt.Sprintf("pod0-leaf%d", idx), 0.12, 0.05, 20*sim.Microsecond)
+	}}})
+
+	eng.RunUntil(start.Add(horizon))
+	a.Resps = resps
+	return blameFinish(a, c)
+}
+
+// runBlameSlowRecv: the server shares a 4-deep SRQ across two bursting
+// clients — every burst overruns the receive queue, the server RNR-NAKs,
+// and the clients sit out the RNR timer before retransmitting. The RNR
+// backoff (recover.rnr) must dominate the traced critical paths.
+func runBlameSlowRecv(sc Scale) *BlameArm {
+	a := &BlameArm{Name: "slowrecv", Cause: "slow receiver (SRQ exhaustion → RNR)", Want: telemetry.StageRNRRecovery}
+	nic := rnic.DefaultConfig()
+	nic.RNRTimer = 300 * sim.Microsecond
+	c := cluster.New(cluster.Options{
+		Topology: fabric.SmallClos(),
+		NICCfg:   nic,
+		Nodes:    8,
+		Config: func(node int, cfg *xrdma.Config) {
+			blameKnobs(cfg)
+			if node == 4 {
+				cfg.UseSRQ = true
+				cfg.SRQSize = 4
+			}
+		},
+		Seed: sc.Seed,
+	})
+	sc.observe(c.Eng, "blame/slowrecv")
+	eng := c.Eng
+
+	c.ListenAll(7502, func(_ *cluster.Node, ch *xrdma.Channel) {
+		ch.OnMessage(func(m *xrdma.Msg) { m.Reply(nil, 64) })
+	})
+	var chans []*xrdma.Channel
+	c.ConnectPairs([][2]int{{0, 4}, {1, 4}}, 7502, func(cs []*xrdma.Channel) { chans = cs })
+	eng.Run()
+	if chans == nil {
+		panic("blame/slowrecv: channels never established")
+	}
+
+	const (
+		burst   = 16
+		tick    = 300 * sim.Microsecond
+		stopAt  = 10 * sim.Millisecond
+		horizon = 20 * sim.Millisecond
+	)
+	start := eng.Now()
+	resps := 0
+	var fire func()
+	fire = func() {
+		if eng.Now().Sub(start) >= stopAt {
+			return
+		}
+		for _, ch := range chans {
+			for i := 0; i < burst; i++ {
+				buf := make([]byte, 256)
+				ch.SendMsg(buf, 0, func(m *xrdma.Msg, err error) {
+					if err == nil {
+						resps++
+					}
+				})
+			}
+		}
+		eng.AfterBg(tick, fire)
+	}
+	eng.AfterBg(tick, fire)
+	eng.RunUntil(start.Add(horizon))
+	a.Resps = resps
+	return blameFinish(a, c)
+}
+
+// BlameAttribution runs the three arms and renders the E21 table.
+func BlameAttribution(sc Scale) *BlameResult {
+	r := &BlameResult{
+		Incast:   runBlameIncast(sc),
+		Brownout: runBlameBrownout(sc),
+		SlowRecv: runBlameSlowRecv(sc),
+	}
+	t := Table{
+		ID:     "E21/Blame",
+		Title:  "Blame attribution: injected cause vs top-blamed stage (SmallClos, every message traced)",
+		Header: []string{"arm", "injected cause", "msgs", "resps", "top stage", "match"},
+	}
+	for _, a := range []*BlameArm{r.Incast, r.Brownout, r.SlowRecv} {
+		t.Addf(a.Name, a.Cause, a.Msgs, a.Resps, a.Top, a.Match)
+	}
+	t.Note("top stage = largest total residency across reconstructed critical paths (PFC share and residual excluded)")
+	t.Note("each arm is a fresh world; the verdict must name the injected cause for the plane to be trustworthy")
+	r.Table_ = t
+	return r
+}

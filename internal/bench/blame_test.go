@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBlame is the blame-attribution acceptance gate (E21): each arm
+// injects one known latency cause and the top-blamed stage of the
+// reconstructed critical paths must name it.
+func TestBlame(t *testing.T) {
+	r := BlameAttribution(Quick())
+	for _, a := range []*BlameArm{r.Incast, r.Brownout, r.SlowRecv} {
+		if a.Msgs < 50 {
+			t.Errorf("%s: only %d blame-traced messages reconstructed — sampling broken", a.Name, a.Msgs)
+		}
+		if a.Resps < 50 {
+			t.Errorf("%s: only %d responses delivered — load generator broken", a.Name, a.Resps)
+		}
+		if !a.Match {
+			t.Errorf("%s: top-blamed stage %q, want %q (injected: %s)\n%s",
+				a.Name, a.Top, a.Want, a.Cause, a.Report)
+		}
+	}
+}
+
+// TestBlameDeterministic asserts the whole experiment — every arm's
+// blame aggregate, stage totals and quantiles — is a pure function of
+// the seed: bit-identical across sequential reruns and across concurrent
+// goroutines (the -j 1 vs -j 8 guarantee of cmd/reproduce).
+func TestBlameDeterministic(t *testing.T) {
+	base := strings.Join(BlameAttribution(Quick()).Digest(), "\n")
+	again := strings.Join(BlameAttribution(Quick()).Digest(), "\n")
+	if base != again {
+		t.Fatalf("sequential reruns diverge:\n--- first ---\n%s\n--- second ---\n%s", base, again)
+	}
+	results := make([]string, 4)
+	done := make(chan int)
+	for i := range results {
+		go func(i int) {
+			results[i] = strings.Join(BlameAttribution(Quick()).Digest(), "\n")
+			done <- i
+		}(i)
+	}
+	for range results {
+		<-done
+	}
+	for i, d := range results {
+		if d != base {
+			t.Fatalf("concurrent run %d diverges from sequential baseline:\n%s\nvs\n%s", i, d, base)
+		}
+	}
+}

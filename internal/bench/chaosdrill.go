@@ -260,8 +260,8 @@ func ChaosDrill(sc Scale) *ChaosDrillResult {
 	}
 
 	t := Table{
-		ID:    "E19/Robust",
-		Title: "Chaos drill: fault classes vs channel outcome (cross-ToR pair, SmallClos)",
+		ID:     "E19/Robust",
+		Title:  "Chaos drill: fault classes vs channel outcome (cross-ToR pair, SmallClos)",
 		Header: []string{"class", "final", "detect", "settle", "sent", "delivered", "dups", "lost", "resps"},
 	}
 	for _, spec := range classes {

@@ -247,8 +247,8 @@ func Grayhaul(sc Scale) *GrayhaulResult {
 		On:    runGrayArm(sc, "doctor-on", true, true),
 	}
 	t := Table{
-		ID:    "E20/Grayhaul",
-		Title: "Gray failure: permanent spine brownout vs path doctor (cross-ToR pair, SmallClos)",
+		ID:     "E20/Grayhaul",
+		Title:  "Gray failure: permanent spine brownout vs path doctor (cross-ToR pair, SmallClos)",
 		Header: []string{"arm", "p50", "p99", "sent", "resps", "retries", "rehashes", "1st-rehash", "dups", "lost"},
 	}
 	for _, a := range []*GrayArm{r.Clean, r.Off, r.On} {

@@ -69,6 +69,9 @@ func Experiments() []Experiment {
 		{ID: "gray", Title: "Gray failure: path doctor, ECMP re-pathing, budgeted retries", Run: func(sc Scale) []*Table {
 			return tables(Grayhaul(sc).Table_)
 		}},
+		{ID: "blame", Title: "Blame attribution: injected cause vs top-blamed stage", Run: func(sc Scale) []*Table {
+			return tables(BlameAttribution(sc).Table_)
+		}},
 		{ID: "loc", Title: "Lines-of-code comparison", Run: func(Scale) []*Table {
 			return tables(LoCComparison().Table_)
 		}},

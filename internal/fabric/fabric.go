@@ -60,7 +60,9 @@ func (f *Fabric) FreePacket(p *Packet) {
 	if p == nil {
 		return
 	}
+	arrive, forward := p.arriveFn, p.forwardFn
 	*p = Packet{}
+	p.arriveFn, p.forwardFn = arrive, forward
 	f.pktFree = append(f.pktFree, p)
 }
 
@@ -243,9 +245,11 @@ func (s *Switch) receive(p *Packet, in *Port) {
 		return
 	}
 	in.accountIngress(p)
-	s.fab.Eng.After(s.fab.cfg.SwitchDelay, func() {
-		out.send(p)
-	})
+	if p.forwardFn == nil {
+		p.initHopFns()
+	}
+	p.hopTo = out
+	s.fab.Eng.After(s.fab.cfg.SwitchDelay, p.forwardFn)
 }
 
 // routeViabilityDepth bounds the viability recursion: the longest clos

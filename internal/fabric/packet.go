@@ -6,7 +6,10 @@
 // rather than being scripted.
 package fabric
 
-import "xrdma/internal/sim"
+import (
+	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
+)
 
 // NodeID identifies a host attached to the fabric.
 type NodeID int
@@ -62,9 +65,50 @@ type Packet struct {
 	// the wire; used for fabric-level latency accounting.
 	SentAt sim.Time
 
+	// Blame, when non-nil, is the packet's trace bit: an INT-style
+	// per-message accumulator that every hop stamps egress-queue
+	// residency, PFC-pause share and ECN marks into. Untraced packets
+	// carry nil and the stamping branches never execute, keeping the
+	// hot path untouched.
+	Blame *telemetry.PktBlame
+
 	// inPort tracks the ingress port inside the current device, for PFC
 	// buffer accounting. Managed by the fabric only.
 	inPort *Port
+
+	// blameEnqAt / blamePauseRef record the current hop's enqueue time
+	// and the egress port's cumulative pause time at enqueue, so dequeue
+	// can attribute this hop's residency. Managed by ports, and only
+	// when Blame is set.
+	blameEnqAt    sim.Time
+	blamePauseRef sim.Duration
+
+	// hopTo plus the two cached closures schedule the per-hop events
+	// (link arrival at the peer, switch forwarding delay) without
+	// allocating: the closures capture only the packet, are built once
+	// per Packet, and survive free-list recycling. hopTo holds the
+	// target port of the one hop currently scheduled — a packet is in
+	// exactly one place, so the slot is never contended. Managed by the
+	// fabric only.
+	hopTo     *Port
+	arriveFn  func()
+	forwardFn func()
+}
+
+// initHopFns builds the packet's cached hop closures. Invoked lazily at
+// the first scheduled hop, so packets constructed directly by tests work
+// too; free-listed packets keep theirs across recycling.
+func (p *Packet) initHopFns() {
+	p.arriveFn = func() {
+		to := p.hopTo
+		p.hopTo = nil
+		to.owner.receive(p, to)
+	}
+	p.forwardFn = func() {
+		to := p.hopTo
+		p.hopTo = nil
+		to.send(p)
+	}
 }
 
 // wireSize is the number of bytes that occupy the link.

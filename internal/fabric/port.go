@@ -75,6 +75,18 @@ type Port struct {
 	busy   bool
 	paused bool // peer asked us to stop sending ClassData
 
+	// txPkt is the frame currently serializing out of this port (valid
+	// while busy); txDoneFn is the cached tx-complete continuation so
+	// the per-frame schedule never allocates.
+	txPkt    *Packet
+	txDoneFn func()
+
+	// Cumulative pause accounting for blame tracing: how long this
+	// port's data class has been PFC-paused in total. Updated only on
+	// pause transitions, read only for traced packets.
+	pausedAt    sim.Time
+	pausedTotal sim.Duration
+
 	// Fault-injection state (chaos). down kills the egress half of the
 	// link: queued packets are flushed and new sends drop. lossRate and
 	// corruptRate model a browned-out optic (applied per transmitted RDMA
@@ -151,11 +163,25 @@ func (pt *Port) dropFlushed(p *Packet) {
 	pt.fab.FreePacket(p)
 }
 
+// pauseTotalAt reports cumulative data-class pause time through now.
+func (pt *Port) pauseTotalAt(now sim.Time) sim.Duration {
+	if pt.paused {
+		return pt.pausedTotal + now.Sub(pt.pausedAt)
+	}
+	return pt.pausedTotal
+}
+
 // send enqueues a packet for transmission out of this port.
 func (pt *Port) send(p *Packet) {
 	if pt.down {
 		pt.dropFlushed(p)
 		return
+	}
+	if p.Blame != nil {
+		// Trace bit set: stamp this hop's enqueue so dequeue can
+		// attribute egress residency and its PFC-pause share.
+		p.blameEnqAt = pt.eng.Now()
+		p.blamePauseRef = pt.pauseTotalAt(p.blameEnqAt)
 	}
 	if p.Class == ClassCtrl {
 		pt.ctrlQ.push(p)
@@ -197,6 +223,9 @@ func (pt *Port) markECN(p *Packet) {
 	}
 	if p.Marked {
 		pt.fab.Stats.ECNMarks++
+		if p.Blame != nil {
+			p.Blame.ECN++
+		}
 	}
 }
 
@@ -215,37 +244,53 @@ func (pt *Port) kick() {
 	default:
 		return
 	}
+	if p.Blame != nil {
+		now := pt.eng.Now()
+		p.Blame.Queue += now.Sub(p.blameEnqAt)
+		p.Blame.Pause += pt.pauseTotalAt(now) - p.blamePauseRef
+	}
 	pt.busy = true
-	txTime := pt.serialize(p.wireSize())
-	pt.eng.After(txTime, func() {
-		pt.busy = false
-		pt.TxBytes += int64(p.wireSize())
-		pt.TxPackets++
-		pt.releaseIngress(p)
-		// Brownout impairments: drawn only when a rate is configured, so
-		// the golden path never touches the RNG here. Only RDMA data
-		// frames are impaired — the kernel TCP fallback path is assumed
-		// to ride a separate, healthy NIC port.
-		if pt.lossRate > 0 && p.Proto == ProtoRDMA && p.Class == ClassData &&
-			pt.fab.rng.Float64() < pt.lossRate {
-			pt.Drops++
-			pt.fab.Stats.Drops++
-			pt.fab.FreePacket(p)
-			pt.kick()
-			return
-		}
-		if pt.corruptRate > 0 && p.Proto == ProtoRDMA && p.Class == ClassData &&
-			pt.fab.rng.Float64() < pt.corruptRate {
-			p.Corrupt = true
-			pt.fab.Stats.Corrupted++
-		}
-		arrival := pt.propDelay + pt.extraDelay
-		peer := pt.peer
-		pt.eng.After(arrival, func() {
-			peer.owner.receive(p, peer)
-		})
+	pt.txPkt = p
+	if pt.txDoneFn == nil {
+		pt.txDoneFn = pt.txDone
+	}
+	pt.eng.After(pt.serialize(p.wireSize()), pt.txDoneFn)
+}
+
+// txDone fires when the frame on the wire finishes serializing: it applies
+// brownout impairments, schedules the propagation-delay arrival at the
+// peer, and starts the next frame. A port transmits one frame at a time
+// (busy), so the single txPkt slot is never contended.
+func (pt *Port) txDone() {
+	p := pt.txPkt
+	pt.txPkt = nil
+	pt.busy = false
+	pt.TxBytes += int64(p.wireSize())
+	pt.TxPackets++
+	pt.releaseIngress(p)
+	// Brownout impairments: drawn only when a rate is configured, so
+	// the golden path never touches the RNG here. Only RDMA data
+	// frames are impaired — the kernel TCP fallback path is assumed
+	// to ride a separate, healthy NIC port.
+	if pt.lossRate > 0 && p.Proto == ProtoRDMA && p.Class == ClassData &&
+		pt.fab.rng.Float64() < pt.lossRate {
+		pt.Drops++
+		pt.fab.Stats.Drops++
+		pt.fab.FreePacket(p)
 		pt.kick()
-	})
+		return
+	}
+	if pt.corruptRate > 0 && p.Proto == ProtoRDMA && p.Class == ClassData &&
+		pt.fab.rng.Float64() < pt.corruptRate {
+		p.Corrupt = true
+		pt.fab.Stats.Corrupted++
+	}
+	if p.arriveFn == nil {
+		p.initHopFns()
+	}
+	p.hopTo = pt.peer
+	pt.eng.After(pt.propDelay+pt.extraDelay, p.arriveFn)
+	pt.kick()
 }
 
 // releaseIngress returns the packet's bytes to the ingress accounting of
@@ -294,6 +339,13 @@ func (pt *Port) sendPFC(pause bool) {
 	}
 	peer := pt.peer
 	pt.eng.After(pt.propDelay, func() {
+		if pause != peer.paused {
+			if pause {
+				peer.pausedAt = peer.eng.Now()
+			} else {
+				peer.pausedTotal += peer.eng.Now().Sub(peer.pausedAt)
+			}
+		}
 		peer.paused = pause
 		if !pause {
 			peer.kick()

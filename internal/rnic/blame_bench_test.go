@@ -1,0 +1,60 @@
+package rnic
+
+import (
+	"testing"
+
+	"xrdma/internal/telemetry"
+)
+
+// The per-packet transmit pipeline is the path the blame plane must not
+// tax when tracing is off: every hop carries a nil-check on the trace
+// bit and nothing else. BenchmarkUntracedSendPath is gated in CI at
+// exactly 0 allocs/op; the traced variant below documents the armed cost
+// (one PktBlame per message direction) and is not gated.
+
+// BenchmarkUntracedSendPath drives the full requester pipeline — SQ pop,
+// packet build, fabric traversal cross-ToR, hardware ack, send CQE —
+// with the blame plane compiled in but no trace bit set.
+func BenchmarkUntracedSendPath(b *testing.B) {
+	r := newRig(b, DefaultConfig())
+	var wr SendWR
+	var cqes []CQE
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Zero-byte write: no rkey, no recv WQE, no receiver-side data
+		// buffer — the packet path itself is what is being measured.
+		wr = SendWR{ID: uint64(i), Op: OpWrite, Len: 0}
+		if err := r.qa.PostSend(&wr); err != nil {
+			b.Fatal(err)
+		}
+		r.eng.Run()
+		cqes = r.qa.SendCQ.PollAppend(cqes[:0], 4)
+		if len(cqes) != 1 || cqes[0].Status != StatusOK {
+			b.Fatalf("iteration %d: CQEs %+v", i, cqes)
+		}
+	}
+}
+
+// BenchmarkTracedSendPath is the same pipeline with the trace bit armed:
+// the WR carries a PktBlame accumulator that every hop stamps. The delta
+// against BenchmarkUntracedSendPath is the whole per-message cost of
+// the blame plane at this layer.
+func BenchmarkTracedSendPath(b *testing.B) {
+	r := newRig(b, DefaultConfig())
+	var wr SendWR
+	var cqes []CQE
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wr = SendWR{ID: uint64(i), Op: OpWrite, Len: 0, Blame: &telemetry.PktBlame{}}
+		if err := r.qa.PostSend(&wr); err != nil {
+			b.Fatal(err)
+		}
+		r.eng.Run()
+		cqes = r.qa.SendCQ.PollAppend(cqes[:0], 4)
+		if len(cqes) != 1 || cqes[0].Status != StatusOK {
+			b.Fatalf("iteration %d: CQEs %+v", i, cqes)
+		}
+	}
+}

@@ -100,7 +100,7 @@ func (n *NIC) stepEngine() {
 		if job == nil {
 			n.engineBusy = false
 			if wake != sim.MaxTime && len(n.jobs) > 0 {
-				n.eng.At(wake, n.kickEngine)
+				n.eng.At(wake, n.kickFn)
 			}
 			return
 		}
@@ -109,7 +109,7 @@ func (n *NIC) stepEngine() {
 		if job.wr != nil && job.wr.packets == 0 {
 			n.startWR(job.qp, job.wr)
 		}
-		n.eng.After(cost, n.stepEngine)
+		n.eng.After(cost, n.stepFn)
 		return
 	}
 	job := n.current
@@ -122,42 +122,51 @@ func (n *NIC) stepEngine() {
 	// Local TX backpressure: PFC pause or a deep port queue stalls the
 	// pipeline (and with it every queued WR — the jitter mechanism).
 	if n.host.TxPaused() || n.host.TxQueueBytes() > n.Cfg.TxBacklog {
-		n.eng.After(engineBackoff, n.stepEngine)
+		n.eng.After(engineBackoff, n.stepFn)
 		return
 	}
 	// DCQCN pacing.
 	if wait := job.qp.paceWait(n.eng.Now()); wait > 0 {
-		n.eng.After(wait, n.stepEngine)
+		n.eng.After(wait, n.stepFn)
 		return
 	}
 	pkt, size, done := n.buildPacket(job)
 	job.qp.paceCharge(n.eng.Now(), size)
-	n.eng.After(n.Cfg.PktProcess, func() {
-		if job.dead || !n.alive {
-			if n.current == job {
-				n.current = nil
-			}
-			n.pool.putJob(job)
-			n.freePacket(pkt) // never hit the wire
-			n.stepEngine()
-			return
-		}
-		n.emit(pkt)
-		n.Counters.PktsSent++
-		n.Counters.BytesSent += int64(size)
-		job.qp.rate.onBytes(size)
-		// The RTO measures silence after transmission, not transfer
-		// duration: refresh it while packets are still going out.
-		if job.wr != nil && len(job.qp.unacked) > 0 {
-			job.qp.armRTO()
-		}
-		if done {
-			n.finishJob(job)
+	n.phaseJob, n.phasePkt, n.phaseSize, n.phaseDone = job, pkt, size, done
+	n.eng.After(n.Cfg.PktProcess, n.phaseFn)
+}
+
+// pktPhase is the deferred second half of a transmission step: stepEngine
+// builds the packet and charges pacing, then schedules this continuation
+// PktProcess later. The engine machine never has two continuations in
+// flight, so the phase slots hold exactly one packet's context.
+func (n *NIC) pktPhase() {
+	job, pkt, size, done := n.phaseJob, n.phasePkt, n.phaseSize, n.phaseDone
+	n.phaseJob, n.phasePkt = nil, nil
+	if job.dead || !n.alive {
+		if n.current == job {
 			n.current = nil
-			n.pool.putJob(job)
 		}
+		n.pool.putJob(job)
+		n.freePacket(pkt) // never hit the wire
 		n.stepEngine()
-	})
+		return
+	}
+	n.emit(pkt)
+	n.Counters.PktsSent++
+	n.Counters.BytesSent += int64(size)
+	job.qp.rate.onBytes(size)
+	// The RTO measures silence after transmission, not transfer
+	// duration: refresh it while packets are still going out.
+	if job.wr != nil && len(job.qp.unacked) > 0 {
+		job.qp.armRTO()
+	}
+	if done {
+		n.finishJob(job)
+		n.current = nil
+		n.pool.putJob(job)
+	}
+	n.stepEngine()
 }
 
 // startWR assigns the PSN range, moves the WR to the unacked list and arms
@@ -262,6 +271,12 @@ func (n *NIC) buildPacket(job *txJob) (*fabric.Packet, int, bool) {
 	p := n.fab.NewPacket()
 	p.Src, p.Dst, p.Size = n.Node, qp.RemoteNode, wire
 	p.FlowHash, p.ECT, p.Payload = qp.flowHash, true, h
+	if wr.Blame != nil {
+		// Propagate the trace bit: the fabric stamps hop residency into
+		// the accumulator, and the header carries it to the receiver so
+		// reassembly and dispatch can be attributed too.
+		h.Blame, p.Blame = wr.Blame, wr.Blame
+	}
 	done := h.Last || wr.Op == OpRead
 	return p, wire, done
 }
@@ -271,6 +286,13 @@ func (n *NIC) finishJob(job *txJob) {
 		return
 	}
 	wr := job.wr
+	if wr.finishedAt == 0 {
+		// First-pass emission only: a retransmitted WR re-enters the tx
+		// pipeline and finishes again, but that residency is loss
+		// recovery (blamed via the QP recovery counters), not
+		// serialization.
+		wr.finishedAt = n.eng.Now()
+	}
 	n.Counters.MsgsSent++
 	job.qp.Counters.MsgsSent++
 	job.qp.Counters.BytesSent += int64(wr.Len)
@@ -347,7 +369,7 @@ func (qp *QP) armRTO() {
 		qp.rtoEvent = sim.Event{}
 		return
 	}
-	qp.rtoEvent = n.eng.After(n.Cfg.RetransTimeout, func() { qp.onRTO() })
+	qp.rtoEvent = n.eng.After(n.Cfg.RetransTimeout, qp.rtoFn)
 }
 
 func (qp *QP) onRTO() {
@@ -362,6 +384,9 @@ func (qp *QP) onRTO() {
 	}
 	n.Counters.Retransmits++
 	qp.Counters.Retransmits++
+	// The timeout itself is the recovery residency: the wire was silent
+	// for a full RTO before go-back-N kicked in.
+	qp.Counters.RTORecoveryNs += int64(n.Cfg.RetransTimeout)
 	n.tel.Flight.Record(n.eng.Now(), telemetry.CatRetransmit, int32(n.Node), qp.QPN, int64(qp.retries), 0)
 	n.tel.Trace.Instant("retransmit", n.track, n.eng.Now(), int64(qp.QPN))
 	qp.retransmitUnacked()

@@ -1,5 +1,7 @@
 package rnic
 
+import "xrdma/internal/telemetry"
+
 // Op is the RDMA opcode carried in a work request / wire header.
 type Op uint8
 
@@ -89,6 +91,11 @@ type hdr struct {
 	// Data is the packet's payload slice (nil for header-only packets
 	// and for size-only simulations).
 	Data []byte
+
+	// Blame carries the message's trace accumulator to the receiving
+	// NIC (nil unless the message is blame-sampled), so reassembly and
+	// delivery can stamp into it and hand it up through the CQE.
+	Blame *telemetry.PktBlame
 }
 
 // hdrWireBytes approximates the RoCEv2 header overhead already included in

@@ -123,6 +123,18 @@ type NIC struct {
 	current    *txJob
 	engineBusy bool
 
+	// Cached engine continuations and the deferred packet-phase slots.
+	// The tx machine is strictly sequential — at most one continuation
+	// event is outstanding per NIC — so every per-packet schedule reuses
+	// these closures and fields instead of allocating.
+	stepFn    func()
+	kickFn    func()
+	phaseFn   func()
+	phaseJob  *txJob
+	phasePkt  *fabric.Packet
+	phaseSize int
+	phaseDone bool
+
 	// Hardware command queue: QP create/modify commands serialize here
 	// (the §VII-C establishment bottleneck).
 	cmdBusy  bool
@@ -170,6 +182,9 @@ func New(eng *sim.Engine, host *fabric.Host, cfg Config) *NIC {
 		cache:   newQPCache(cfg.QPCacheEntries),
 		tel:     telemetry.For(eng),
 	}
+	n.stepFn = n.stepEngine
+	n.kickFn = n.kickEngine
+	n.phaseFn = n.pktPhase
 	n.track = fmt.Sprintf("rnic.%d", host.ID)
 	n.dcqcnCuts = n.tel.Reg.Counter(n.track + ".dcqcn_cuts")
 	n.registerGauges()
@@ -314,6 +329,9 @@ func (n *NIC) allocQP(sqCap, rqCap int, sendCQ, recvCQ *CQ, srq *SRQ) *QP {
 		srq:       srq,
 		CreatedAt: n.eng.Now(),
 	}
+	qp.rtoFn = qp.onRTO
+	qp.ackFn = qp.sendAckNow
+	qp.cqeDoneFn = qp.drainSendOK
 	n.nextQPN++
 	n.qps[qp.QPN] = qp
 	return qp
@@ -348,8 +366,15 @@ func (n *NIC) modifyQPNow(qp *QP, to QPState, remote fabric.NodeID, remoteQPN ui
 		if qp.assemble != nil {
 			n.pool.putAsm(qp.assemble)
 		}
+		rtoFn, ackFn, drainFn := qp.rtoFn, qp.ackFn, qp.cqeDoneFn
+		cqeDone, cqeHead := qp.cqeDone, qp.cqeHead
 		*qp = QP{QPN: qp.QPN, nic: n, State: QPReset, SQCap: qp.SQCap, RQCap: qp.RQCap,
 			SendCQ: qp.SendCQ, RecvCQ: qp.RecvCQ, srq: qp.srq, CreatedAt: qp.CreatedAt}
+		// The cached closures survive recycling; the CQE FIFO must too,
+		// because drains already scheduled still index into it (exactly
+		// the lifetime per-WR closures used to have).
+		qp.rtoFn, qp.ackFn, qp.cqeDoneFn = rtoFn, ackFn, drainFn
+		qp.cqeDone, qp.cqeHead = cqeDone, cqeHead
 	case QPInit:
 		if qp.State != QPReset {
 			return fmt.Errorf("%w: %v → INIT", ErrQPState, qp.State)

@@ -53,6 +53,9 @@ type CQE struct {
 	Addr uint64
 	// Data aliases the received payload when payloads are carried.
 	Data []byte
+	// Blame carries the blame-trace accumulator of a traced inbound
+	// message up to the middleware (nil otherwise).
+	Blame *telemetry.PktBlame
 }
 
 // CQ is a completion queue. Depth is advisory: overflow is counted rather
@@ -151,11 +154,25 @@ type SendWR struct {
 	// keepalive probes and acks to keep CQ pressure down).
 	Unsignaled bool
 
+	// Blame, when non-nil, marks the WR blame-traced: every packet it
+	// produces carries this accumulator as its trace bit so the fabric
+	// stamps hop residency into it.
+	Blame *telemetry.PktBlame
+
 	// internal
 	firstPSN, lastPSN uint32
 	packets           int
 	postedAt          sim.Time
 	startedAt         sim.Time
+	finishedAt        sim.Time
+}
+
+// TxTimes reports when the WR was posted to the SQ, started occupying
+// the transmit pipeline, and emitted its last packet — the stamps blame
+// tracing decomposes into SQ-wait and serialization stages. Zero values
+// mean the phase has not happened (yet).
+func (wr *SendWR) TxTimes() (posted, started, finished sim.Time) {
+	return wr.postedAt, wr.startedAt, wr.finishedAt
 }
 
 // RecvWR is a receive-queue work request: a buffer for one incoming
@@ -209,6 +226,13 @@ type QPCounters struct {
 	CNPRecv              int64
 	SeqNakRecv           int64
 	CorruptDrops         int64 // inbound frames for this QP that failed FCS
+
+	// Cumulative recovery residency, nanoseconds: time this QP spent
+	// waiting out retransmission timeouts and RNR backoffs. Blame
+	// tracing attributes per-message recovery time from deltas of
+	// these between request issue and response arrival.
+	RTORecoveryNs int64
+	RNRRecoveryNs int64
 }
 
 // QP is an RC queue pair.
@@ -261,6 +285,19 @@ type QP struct {
 	nakedAt      uint32 // last PSN we NAKed, to suppress NAK storms
 	nakValid     bool
 
+	// Cached timer/completion closures plus the FIFO of ack-retired WRs
+	// awaiting their send CQE. Built once at QP allocation and preserved
+	// across QP reset (pending drains may still reference the FIFO, the
+	// same lifetime the old per-WR closures had); handleAck appends a WR
+	// and schedules exactly one drain per entry, and pushSendCQE's
+	// monotonic per-QP timestamps keep the drains in FIFO order, so the
+	// index — not a fresh closure — carries the per-WR context.
+	rtoFn     func()
+	ackFn     func()
+	cqeDoneFn func()
+	cqeDone   []*SendWR
+	cqeHead   int
+
 	// DCQCN rate state.
 	rate *dcqcnState
 
@@ -281,6 +318,7 @@ type assembly struct {
 	mr     *MR    // write target region
 	raddr  uint64 // write target address
 	data   []byte // gathered payload when packets carry bytes
+	blame  *telemetry.PktBlame
 }
 
 // readState tracks an outstanding RDMA READ at the requester.
@@ -403,6 +441,21 @@ func (qp *QP) enterError(st Status) {
 	}
 	qp.sq = nil
 	qp.nic.dropJobsFor(qp)
+}
+
+// drainSendOK completes the oldest ack-retired WR from the cqeDone FIFO.
+// handleAck appends one WR and schedules one drain per entry, and
+// pushSendCQE's monotonic per-QP timestamps preserve FIFO order, so head
+// position alone identifies the WR each drain belongs to.
+func (qp *QP) drainSendOK() {
+	wr := qp.cqeDone[qp.cqeHead]
+	qp.cqeDone[qp.cqeHead] = nil
+	qp.cqeHead++
+	if qp.cqeHead == len(qp.cqeDone) {
+		qp.cqeDone = qp.cqeDone[:0]
+		qp.cqeHead = 0
+	}
+	qp.completeSend(wr, StatusOK)
 }
 
 func (qp *QP) completeSend(wr *SendWR, st Status) {

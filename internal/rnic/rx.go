@@ -209,6 +209,15 @@ func (n *NIC) handleData(p *fabric.Packet, h *hdr) {
 		}
 		a := n.pool.asm()
 		a.op, a.msgLen, a.recvWR, a.hasWR = h.Op, h.MsgLen, wr, true
+		if h.Blame != nil {
+			// Trace bit: reassembly residency starts when the first
+			// fragment is accepted (RNR-rejected attempts are charged to
+			// the sender's recovery stage, not to reassembly).
+			if h.Blame.FirstAt == 0 {
+				h.Blame.FirstAt = n.eng.Now()
+			}
+			a.blame = h.Blame
+		}
 		qp.assemble = a
 	}
 	if h.First && (h.Op == OpWrite || h.Op == OpWriteImm) {
@@ -293,6 +302,7 @@ func (n *NIC) deliver(qp *QP, a *assembly, h *hdr) {
 		QPN: qp.QPN, Op: h.Op, Status: StatusOK, Len: a.msgLen,
 		Imm: h.Imm, HasImm: hasImm,
 	}
+	cqe.Blame = a.blame
 	if a.hasWR {
 		cqe.WRID = a.recvWR.ID
 		cqe.Addr = a.recvWR.Addr
@@ -320,7 +330,7 @@ func (qp *QP) scheduleAck(boundary bool) {
 		return
 	}
 	if !qp.ackTimer.Pending() {
-		qp.ackTimer = qp.nic.eng.After(qp.nic.Cfg.AckDelay, qp.sendAckNow)
+		qp.ackTimer = qp.nic.eng.After(qp.nic.Cfg.AckDelay, qp.ackFn)
 	}
 }
 
@@ -351,9 +361,12 @@ func (qp *QP) handleAck(ackPSN uint32) {
 		if wr.lastPSN >= ackPSN {
 			break
 		}
-		qp.unacked = qp.unacked[1:]
-		done := wr
-		qp.pushSendCQE(n.Cfg.CompletionCost, func() { qp.completeSend(done, StatusOK) })
+		// Compact in place rather than re-slicing: [1:] would walk the
+		// backing array forward and force the next append to grow it.
+		copy(qp.unacked, qp.unacked[1:])
+		qp.unacked = qp.unacked[:len(qp.unacked)-1]
+		qp.cqeDone = append(qp.cqeDone, wr)
+		qp.pushSendCQE(n.Cfg.CompletionCost, qp.cqeDoneFn)
 	}
 	if progressed {
 		qp.retries = 0
@@ -379,7 +392,19 @@ func (qp *QP) handleNak(h *hdr) {
 			qp.enterError(StatusRNRRetryExceeded)
 			return
 		}
-		qp.rnrBackoffUntil = n.eng.Now().Add(n.Cfg.RNRTimer)
+		// The backoff window is the recovery residency this RNR costs.
+		// A NAK burst (one per rejected packet) extends the window rather
+		// than stacking it, so only the wall-clock extension is charged.
+		now := n.eng.Now()
+		until := now.Add(n.Cfg.RNRTimer)
+		add := n.Cfg.RNRTimer
+		if qp.rnrBackoffUntil > now {
+			add = until.Sub(qp.rnrBackoffUntil)
+		}
+		if add > 0 {
+			qp.Counters.RNRRecoveryNs += int64(add)
+		}
+		qp.rnrBackoffUntil = until
 		n.eng.At(qp.rnrBackoffUntil, func() {
 			if qp.State == QPRTS {
 				qp.retransmitUnacked()

@@ -44,6 +44,20 @@ func BenchmarkTelemetryInstantEmit(b *testing.B) {
 	}
 }
 
+func BenchmarkTelemetryBlameObserve(b *testing.B) {
+	bl := NewBlame()
+	rec := BlameRec{MsgID: 1, RTT: 7165}
+	rec.Dur[StageSerialize] = 500
+	rec.Dur[StageFabricQueue] = 3000
+	rec.Dur[StageResidual] = 3665
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.MsgID = uint64(i)
+		bl.Observe(&rec)
+	}
+}
+
 func BenchmarkTelemetryFlightRecord(b *testing.B) {
 	f := NewFlight(DefaultFlightCap)
 	b.ReportAllocs()

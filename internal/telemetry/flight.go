@@ -47,23 +47,23 @@ const (
 )
 
 var catNames = [catCount]string{
-	CatNone:           "none",
-	CatFilterDrop:     "filter.drop",
-	CatSlowOp:         "slow.op",
-	CatSlowPoll:       "slow.poll",
-	CatKeepaliveProbe: "keepalive.probe",
-	CatKeepaliveFail:  "keepalive.fail",
-	CatMockSwitch:     "mock.switch",
-	CatRNRNakSent:     "rnr.nak.sent",
-	CatRNRNakRecv:     "rnr.nak.recv",
-	CatRNRStorm:       "rnr.storm",
-	CatRetransmit:     "retransmit",
-	CatRetryExhausted: "retransmit.exhausted",
-	CatWindowStall:    "window.stall",
-	CatDCQCNCut:       "dcqcn.cut",
-	CatPFCPause:       "pfc.pause",
-	CatQPState:        "qp.state",
-	CatQPError:        "qp.error",
+	CatNone:             "none",
+	CatFilterDrop:       "filter.drop",
+	CatSlowOp:           "slow.op",
+	CatSlowPoll:         "slow.poll",
+	CatKeepaliveProbe:   "keepalive.probe",
+	CatKeepaliveFail:    "keepalive.fail",
+	CatMockSwitch:       "mock.switch",
+	CatRNRNakSent:       "rnr.nak.sent",
+	CatRNRNakRecv:       "rnr.nak.recv",
+	CatRNRStorm:         "rnr.storm",
+	CatRetransmit:       "retransmit",
+	CatRetryExhausted:   "retransmit.exhausted",
+	CatWindowStall:      "window.stall",
+	CatDCQCNCut:         "dcqcn.cut",
+	CatPFCPause:         "pfc.pause",
+	CatQPState:          "qp.state",
+	CatQPError:          "qp.error",
 	CatReqTimeout:       "req.timeout",
 	CatChannelDegraded:  "ch.degraded",
 	CatChannelRecovered: "ch.recovered",
@@ -101,6 +101,7 @@ type Dump struct {
 	At     sim.Time
 	Node   int32
 	QPN    uint32
+	Blame  string // blame verdict frozen at dump time (see Flight.SetSummary)
 	Events []FlightEvent
 }
 
@@ -115,6 +116,9 @@ func (d *Dump) String() string {
 	}
 	fmt.Fprintf(&b, "flight dump: reason=%s node=%d qpn=%d at=%v (%d events)\n",
 		reason, d.Node, d.QPN, d.At, len(d.Events))
+	if d.Blame != "" {
+		fmt.Fprintf(&b, "  %s\n", d.Blame)
+	}
 	for _, e := range d.Events {
 		fmt.Fprintf(&b, "  %12v %-20s node=%-3d qpn=%-6d a=%-10d b=%d\n",
 			e.At, e.Cat.String(), e.Node, e.QPN, e.A, e.B)
@@ -129,7 +133,13 @@ type Flight struct {
 	ring     *Ring[FlightEvent]
 	dumps    []Dump
 	maxDumps int
+	summary  func() string
 }
+
+// SetSummary installs a callback evaluated at freeze time; its result
+// is stored in the dump so the dump carries the state of the world —
+// e.g. the blame verdict — at the instant the invariant tripped.
+func (f *Flight) SetSummary(fn func() string) { f.summary = fn }
 
 // DefaultFlightCap is the per-engine flight-recorder depth.
 const DefaultFlightCap = 256
@@ -160,6 +170,9 @@ func (f *Flight) ForceDump(at sim.Time, note string) *Dump {
 
 func (f *Flight) freeze(d Dump) *Dump {
 	d.Events = f.ring.Snapshot()
+	if f.summary != nil {
+		d.Blame = f.summary()
+	}
 	if len(f.dumps) >= f.maxDumps {
 		copy(f.dumps, f.dumps[1:])
 		f.dumps = f.dumps[:len(f.dumps)-1]

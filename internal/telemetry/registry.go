@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 	"math/bits"
 	"sort"
 	"strings"
@@ -269,6 +270,61 @@ func Diff(before, after []Entry) []Entry {
 // by the first dotted name component with a blank line between groups.
 func (r *Registry) Table() string {
 	return RenderEntries(r.Snapshot())
+}
+
+// promName sanitizes a metric name to the Prometheus charset
+// [a-zA-Z0-9_:]: dots (and anything else illegal) become underscores,
+// and a leading digit is escaped with an underscore.
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus emits every metric in the Prometheus text exposition
+// format (version 0.0.4): a # HELP and # TYPE line per family, then
+// the sample. Counters map to counter, gauges and gauge funcs to
+// gauge, and histograms to a summary (count, sum and p50/p99 quantile
+// samples from the log₂ buckets). Output is in sorted-name order so it
+// is deterministic across runs.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	ms := make([]*metric, len(r.order))
+	copy(ms, r.order)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	for _, m := range ms {
+		name := promName(m.name)
+		switch m.kind {
+		case counterKind:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, m.name, name, name, m.v)
+		case histKind:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, m.name, name)
+			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %d\n", name, m.h.quantile(50))
+			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", name, m.h.quantile(99))
+			fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, m.h.sum, name, m.h.count)
+		default:
+			v := m.v
+			if m.kind == gaugeFuncKind {
+				v = m.fn()
+			}
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, m.name, name, name, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // RenderEntries renders pre-snapshotted entries the way Table does.

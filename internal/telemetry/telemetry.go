@@ -2,11 +2,12 @@ package telemetry
 
 import "xrdma/internal/sim"
 
-// Set bundles the three telemetry facilities of one engine.
+// Set bundles the telemetry facilities of one engine.
 type Set struct {
 	Reg    *Registry
 	Trace  *Timeline
 	Flight *Flight
+	Blame  *Blame
 
 	eng *sim.Engine
 }
@@ -23,8 +24,12 @@ func For(eng *sim.Engine) *Set {
 			Reg:    NewRegistry(),
 			Trace:  &Timeline{},
 			Flight: NewFlight(DefaultFlightCap),
+			Blame:  NewBlame(),
 			eng:    eng,
 		}
+		// Invariant-trip dumps carry the blame verdict frozen at the
+		// same instant as the event history.
+		s.Flight.SetSummary(s.Blame.Summary)
 		// The simulation kernel's own vitals, read at snapshot time.
 		s.Reg.GaugeFunc("sim.fired", func() int64 { return int64(eng.Fired()) })
 		s.Reg.GaugeFunc("sim.pending", func() int64 { return int64(eng.Pending()) })

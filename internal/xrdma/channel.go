@@ -103,10 +103,10 @@ type Channel struct {
 	health      HealthState
 	degradedAt  sim.Time
 	peerQPN     uint32 // peer's QPN at establishment — the recovery rendezvous key
-	recEpoch    uint64   // invalidates stale recovery dials
+	recEpoch    uint64 // invalidates stale recovery dials
 	recAttempts int
 	qpns        []uint32 // every local QPN this channel has owned (recoverIdx keys)
-	resumeOnRx  bool // passive side: hold replay until the peer's QP is live
+	resumeOnRx  bool     // passive side: hold replay until the peer's QP is live
 	onHealth    func(HealthState)
 
 	// sent keeps windowed messages by sequence until acked, so a
@@ -125,6 +125,10 @@ type Channel struct {
 	respCache     map[uint64]*respEntry
 	respOrder     []uint64
 
+	// blameSuspect force-samples the next few requests after a slow-op
+	// incident so the blame plane always has hop logs for the tail.
+	blameSuspect int
+
 	// telNames are the per-channel gauge names registered for XR-Stat,
 	// kept for unregistration when the QPN is recycled.
 	telNames []string
@@ -142,6 +146,11 @@ type pendingSend struct {
 	staging bool
 	ready   bool // small, or staged
 	oneWay  bool
+
+	// Blame plane: enqAt feeds the tx-window-stall stage; echo rides a
+	// response to a blame-sampled request (the remote stage mirror).
+	enqAt sim.Time
+	echo  *respEcho
 }
 
 type reqState struct {
@@ -154,6 +163,38 @@ type reqState struct {
 	retries int
 	data    []byte
 	size    int
+
+	// Blame plane: requester-side raw material for the stage breakdown,
+	// stamped at transmit (nil unless the request was blame-sampled).
+	blame *reqBlame
+}
+
+// reqBlame is the requester half of a blame trace: local timestamps, the
+// WR whose lifecycle gives SQ-wait and serialization, the in-band fabric
+// accumulator, and the QP recovery-counter watermarks at transmit.
+type reqBlame struct {
+	enqAt, txAt    sim.Time
+	wr             *rnic.SendWR
+	acc            *telemetry.PktBlame
+	rtoRef, rnrRef int64
+}
+
+// respEcho is the responder half: what the responder knows about the
+// request's journey, mirrored back inside the response's blame extension.
+type respEcho struct {
+	reqQueue, reqPause sim.Duration
+	ecn                int64
+	reasm              sim.Duration
+	recvAt             sim.Time
+}
+
+// msgBlame hangs off a delivered blame-traced message: the inbound fabric
+// accumulator plus (responses only) the decoded remote stage mirror.
+type msgBlame struct {
+	rx                 *telemetry.PktBlame
+	reqQueue, reqPause sim.Duration
+	reasm, handler     sim.Duration
+	ecn                int64
 }
 
 // respEntry is one receiver-side idempotency record: a retried request
@@ -183,9 +224,16 @@ type Msg struct {
 	T1     sim.Time
 	Traced bool
 
+	// blame is non-nil when the message carried the blame bit end-to-end
+	// (causal trace plane); requests use it to seed the response mirror.
+	blame *msgBlame
+
 	replied bool
 	release func() // frees a rendezvous buffer after the handler
 }
+
+// Blamed reports whether this message rode the causal blame trace plane.
+func (m *Msg) Blamed() bool { return m.blame != nil }
 
 // Retain copies the payload so it survives the handler.
 func (m *Msg) Retain() []byte {

@@ -29,6 +29,12 @@ type Config struct {
 	// TraceSampleMask: a message is traced when (msgID & mask) == 0 and
 	// the context is in req-rsp mode. 0 traces everything.
 	TraceSampleMask uint64
+	// TraceSampleN enables the causal blame plane (req-rsp mode only):
+	// every Nth request carries the blame bit end-to-end and every stage
+	// stamps residency into its hop log; additionally, a slow-op incident
+	// force-samples the next few messages on that channel. 0 disables the
+	// plane entirely (the default — the untraced path stays bare).
+	TraceSampleN uint64
 	// ReqRspMode turns on the tracing header (default off = bare-data,
 	// "to push for extreme performance", §VI-A).
 	ReqRspMode bool
@@ -88,6 +94,8 @@ type Config struct {
 	// TraceCost is the extra per-message cost in req-rsp mode (§VII-A
 	// measures ≈200 ns, a 2–4% ping-pong latency increase).
 	TraceCost sim.Duration
+	// TraceRingCap overrides the tracer record ring capacity (0 = 4096).
+	TraceRingCap int
 	// RequestTimeout fails pending requests that got no response (0 =
 	// never). Checked by a coarse per-context timer.
 	RequestTimeout sim.Duration
@@ -142,35 +150,36 @@ func DefaultConfig() Config {
 		SlowThreshold:     100 * sim.Microsecond,
 		PollingWarnCycle:  50 * sim.Microsecond,
 		TraceSampleMask:   0,
+		TraceSampleN:      0,
 		ReqRspMode:        false,
 		PathDoctor:        true,
 
-		SmallMsgSize:      4096,
-		WindowDepth:       32,
-		CtrlReserve:       16,
-		AckEvery:          8,
-		AckDelay:          50 * sim.Microsecond,
-		DeadlockScan:      500 * sim.Microsecond,
-		FragmentSize:      64 << 10,
-		MaxOutstandingWRs: 64,
-		MRSize:            4 << 20,
-		MemMode:           rnic.RegNonContinuous,
-		MemIsolation:      false,
-		MemShrinkIdle:     100 * sim.Millisecond,
-		UseSRQ:            false,
-		SRQSize:           4096,
-		PollInterval:      1 * sim.Microsecond,
-		PollCost:          60 * sim.Nanosecond,
-		PerMsgCost:        100 * sim.Nanosecond,
-		TraceCost:         50 * sim.Nanosecond,
-		RequestTimeout:    0,
-		RequestRetries:    0,
-		RetryBackoff:      0,
-		PathRehashLimit:   3,
+		SmallMsgSize:       4096,
+		WindowDepth:        32,
+		CtrlReserve:        16,
+		AckEvery:           8,
+		AckDelay:           50 * sim.Microsecond,
+		DeadlockScan:       500 * sim.Microsecond,
+		FragmentSize:       64 << 10,
+		MaxOutstandingWRs:  64,
+		MRSize:             4 << 20,
+		MemMode:            rnic.RegNonContinuous,
+		MemIsolation:       false,
+		MemShrinkIdle:      100 * sim.Millisecond,
+		UseSRQ:             false,
+		SRQSize:            4096,
+		PollInterval:       1 * sim.Microsecond,
+		PollCost:           60 * sim.Nanosecond,
+		PerMsgCost:         100 * sim.Nanosecond,
+		TraceCost:          50 * sim.Nanosecond,
+		RequestTimeout:     0,
+		RequestRetries:     0,
+		RetryBackoff:       0,
+		PathRehashLimit:    3,
 		PathRehashCooldown: 20 * sim.Millisecond,
-		MockEnabled:       false,
-		MockDialRetries:   3,
-		MockDialBackoff:   2 * sim.Millisecond,
+		MockEnabled:        false,
+		MockDialRetries:    3,
+		MockDialBackoff:    2 * sim.Millisecond,
 
 		RecoverRetries:     4,
 		RecoverBackoff:     1 * sim.Millisecond,
@@ -273,6 +282,14 @@ var onlineFlags = map[string]func(*Context, string) error{
 		c.cfg.TraceSampleMask = m
 		return nil
 	},
+	"trace_sample_n": func(c *Context, v string) error {
+		var n uint64
+		if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+			return err
+		}
+		c.cfg.TraceSampleN = n
+		return nil
+	},
 	"reqrsp_mode": func(c *Context, v string) error {
 		switch v {
 		case "on", "true", "1":
@@ -319,15 +336,15 @@ var onlineFlags = map[string]func(*Context, string) error{
 }
 
 var offlineFlagNames = map[string]struct{}{
-	"use_srq":         {},
-	"srq_size":        {},
-	"small_msg_size":  {},
-	"window_depth":    {},
-	"fragment_size":   {},
-	"max_outstanding": {},
-	"mr_size":         {},
-	"mem_mode":        {},
-	"poll_interval":   {},
+	"use_srq":                 {},
+	"srq_size":                {},
+	"small_msg_size":          {},
+	"window_depth":            {},
+	"fragment_size":           {},
+	"max_outstanding":         {},
+	"mr_size":                 {},
+	"mem_mode":                {},
+	"poll_interval":           {},
 	"mock_dial_retries":       {},
 	"request_retries":         {},
 	"retry_backoff_ms":        {},
@@ -337,4 +354,5 @@ var offlineFlagNames = map[string]struct{}{
 	"recover_backoff_ms":      {},
 	"recover_dial_timeout_ms": {},
 	"failback_interval_ms":    {},
+	"trace_ring_cap":          {},
 }

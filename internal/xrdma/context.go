@@ -143,22 +143,22 @@ type Options struct {
 // NewContext builds a context and starts its poll loop and timers.
 func NewContext(o Options) *Context {
 	c := &Context{
-		eng:       o.Verbs.Eng,
-		vctx:      o.Verbs,
-		cm:        o.CM,
-		host:      o.Host,
-		cfg:       o.Config,
-		channels:  make(map[uint32]*Channel),
-		wrCBs:     make(map[uint64]func(rnic.CQE)),
-		rng:       sim.NewRNG(o.Seed ^ 0x9e37),
-		monitor:   o.Monitor,
-		tcp:       o.TCP,
-		mockPort:  o.MockPort,
+		eng:         o.Verbs.Eng,
+		vctx:        o.Verbs,
+		cm:          o.CM,
+		host:        o.Host,
+		cfg:         o.Config,
+		channels:    make(map[uint32]*Channel),
+		wrCBs:       make(map[uint64]func(rnic.CQE)),
+		rng:         sim.NewRNG(o.Seed ^ 0x9e37),
+		monitor:     o.Monitor,
+		tcp:         o.TCP,
+		mockPort:    o.MockPort,
 		recoverPort: o.RecoverPort,
 		recoverIdx:  make(map[uint32]*Channel),
-		clockSkew: o.ClockSkew,
-		toff:      make(map[fabric.NodeID]sim.Duration),
-		eventFD:   int(o.Host.ID)*16 + 3,
+		clockSkew:   o.ClockSkew,
+		toff:        make(map[fabric.NodeID]sim.Duration),
+		eventFD:     int(o.Host.ID)*16 + 3,
 	}
 	c.tel = telemetry.For(c.eng)
 	c.track = fmt.Sprintf("xrdma.%d", c.host.ID)
@@ -599,7 +599,7 @@ func (c *Context) fillSRQ() {
 }
 
 func (c *Context) recvBufSize() int {
-	return hdrSize + traceExtSize + c.cfg.SmallMsgSize
+	return hdrSize + traceExtSize + blameExtSize + c.cfg.SmallMsgSize
 }
 
 // --- filter sync -------------------------------------------------------------

@@ -358,7 +358,7 @@ func (ch *Channel) mockInbound(m tcpnet.Message) {
 	if size := int(h.Size); size > 0 && m.Data != nil && len(m.Data) >= hdrLen+size {
 		pay = m.Data[hdrLen : hdrLen+size]
 	}
-	ch.handleWire(&h, pay, true)
+	ch.handleWire(&h, pay, true, nil)
 }
 
 // Mocked reports whether the channel is running over the TCP fallback.

@@ -111,6 +111,10 @@ func XRStat(c *Context) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "node %d: %d channels, mem occupy=%d in-use=%d, qp-cache=%d\n",
 		c.Node(), get("channels"), get("mem_occupied"), get("mem_inuse"), get("qp_cache"))
+	if dropped := c.trace.Dropped(); dropped > 0 {
+		fmt.Fprintf(&b, "trace ring truncated: %d records overwritten (cap %d)\n",
+			dropped, c.trace.ring.Cap())
+	}
 	fmt.Fprintf(&b, "%-6s %-6s %-9s %-9s %-10s %-10s %-7s %-6s %-6s %-6s %-8s %-6s %-6s\n",
 		"QPN", "PEER", "SENT", "RECV", "TXBYTES", "RXBYTES", "STALLS", "RNR", "RETX",
 		"SCORE", "VERDICT", "REHASH", "RETRY")

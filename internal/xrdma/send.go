@@ -6,6 +6,7 @@ import (
 
 	"xrdma/internal/rnic"
 	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
 )
 
 // ErrAlreadyReplied guards double replies.
@@ -83,11 +84,24 @@ func (m *Msg) Reply(data []byte, size int) error {
 			copy(ent.data, data)
 		}
 	}
-	ch.enqueue(&pendingSend{kind: kindResp, data: data, size: size, msgID: m.MsgID})
+	ps := &pendingSend{kind: kindResp, data: data, size: size, msgID: m.MsgID}
+	if mb := m.blame; mb != nil && mb.rx != nil {
+		// The request rode the blame plane: mirror what this side knows —
+		// request-direction fabric residency (the in-band accumulator) and
+		// local reassembly — back inside the response. Handler time is
+		// stamped at response transmit.
+		e := &respEcho{reqQueue: mb.rx.Queue, reqPause: mb.rx.Pause, ecn: mb.rx.ECN, recvAt: m.RecvAt}
+		if mb.rx.FirstAt > 0 && m.RecvAt > mb.rx.FirstAt {
+			e.reasm = m.RecvAt.Sub(mb.rx.FirstAt)
+		}
+		ps.echo = e
+	}
+	ch.enqueue(ps)
 	return nil
 }
 
 func (ch *Channel) enqueue(ps *pendingSend) {
+	ps.enqAt = ch.ctx.eng.Now()
 	ch.sendQ = append(ch.sendQ, ps)
 	if len(ch.sendQ) > ch.Counters.SendQueuePeak {
 		ch.Counters.SendQueuePeak = len(ch.sendQ)
@@ -204,6 +218,27 @@ func (ch *Channel) transmit(ps *pendingSend, large bool) {
 		h.Flags |= flagTraced
 		h.T1 = int64(c.LocalClock())
 	}
+	// Blame plane (causal per-message tracing): sampled requests carry the
+	// blame bit end-to-end; responses to blamed requests mirror the remote
+	// stages. Inline RDMA messages only — mock/rendezvous stay unsampled.
+	var blameAcc *telemetry.PktBlame
+	if c.cfg.ReqRspMode && ch.mock == nil {
+		switch {
+		case kind == kindReq && !ps.oneWay && ch.blameSampled(ps.msgID):
+			h.Flags |= flagTraced | flagBlame
+			h.T1 = int64(c.LocalClock())
+			blameAcc = &telemetry.PktBlame{}
+		case kind == kindResp && ps.echo != nil:
+			h.Flags |= flagTraced | flagBlame
+			h.T1 = int64(c.LocalClock())
+			h.BQueue = int64(ps.echo.reqQueue)
+			h.BPause = int64(ps.echo.reqPause)
+			h.BReasm = int64(ps.echo.reasm)
+			h.BHandler = int64(c.eng.Now().Sub(ps.echo.recvAt))
+			h.BECN = ps.echo.ecn
+			blameAcc = &telemetry.PktBlame{}
+		}
+	}
 	hb := h.wireBytes()
 	wireLen := hb
 	if !large {
@@ -230,7 +265,15 @@ func (ch *Channel) transmit(ps *pendingSend, large bool) {
 		}
 		return
 	}
-	wr := &rnic.SendWR{Op: rnic.OpSend, Len: wireLen, Data: buf}
+	wr := &rnic.SendWR{Op: rnic.OpSend, Len: wireLen, Data: buf, Blame: blameAcc}
+	if blameAcc != nil && kind == kindReq {
+		if rs, ok := ch.pending[ps.msgID]; ok {
+			rs.blame = &reqBlame{
+				enqAt: ps.enqAt, txAt: c.eng.Now(), wr: wr, acc: blameAcc,
+				rtoRef: ch.qp.Counters.RTORecoveryNs, rnrRef: ch.qp.Counters.RNRRecoveryNs,
+			}
+		}
+	}
 	c.flow.post(ch.qp, wr, func(cqe rnic.CQE) {
 		if cqe.Status != rnic.StatusOK && !ch.closed {
 			ch.fail(fmt.Errorf("xrdma: send failed: %v", cqe.Status))
@@ -243,6 +286,25 @@ func (ch *Channel) transmit(ps *pendingSend, large bool) {
 	if h.Flags&flagTraced != 0 {
 		c.trace.onSend(ch, &h)
 	}
+}
+
+// blameSuspectBudget is how many requests a slow-op incident force-samples.
+const blameSuspectBudget = 4
+
+// blameSampled decides whether a request joins the causal trace plane:
+// every TraceSampleN-th message, plus the suspect budget a slow-op
+// incident armed. TraceSampleN == 0 keeps the plane (and this branch's
+// allocations) entirely off.
+func (ch *Channel) blameSampled(msgID uint64) bool {
+	n := ch.ctx.cfg.TraceSampleN
+	if n == 0 {
+		return false
+	}
+	if ch.blameSuspect > 0 {
+		ch.blameSuspect--
+		return true
+	}
+	return msgID%n == 0
 }
 
 // sendCtrl emits a window-exempt control message (ack/NOP/ping/pong).
@@ -334,13 +396,14 @@ func (ch *Channel) handleInbound(cqe rnic.CQE) {
 	if size := int(h.Size); size > 0 && len(cqe.Data) >= hdrLen+size {
 		pay = cqe.Data[hdrLen : hdrLen+size]
 	}
-	ch.handleWire(&h, pay, false)
+	ch.handleWire(&h, pay, false, cqe.Blame)
 }
 
 // handleWire is the transport-independent inbound path: RDMA receive
 // completions and mock TCP messages both land here with a decoded header
-// and the inline payload (if carried).
-func (ch *Channel) handleWire(h *wireHdr, pay []byte, overMock bool) {
+// and the inline payload (if carried). rxBlame is the in-band fabric
+// accumulator the message's trace bit collected (nil unless blame-traced).
+func (ch *Channel) handleWire(h *wireHdr, pay []byte, overMock bool, rxBlame *telemetry.PktBlame) {
 	c := ch.ctx
 	if ch.resumeOnRx && !overMock {
 		// First traffic over the recovered RDMA path: the peer's QP is
@@ -376,6 +439,17 @@ func (ch *Channel) handleWire(h *wireHdr, pay []byte, overMock bool) {
 			Ch: ch, Data: pay, Len: size, IsReq: h.Kind == kindReq,
 			MsgID: h.MsgID, Seq: h.Seq, RecvAt: c.eng.Now(),
 			T1: sim.Time(h.T1), Traced: h.Flags&flagTraced != 0,
+		}
+		if h.Flags&flagBlame != 0 && rxBlame != nil {
+			mb := &msgBlame{rx: rxBlame}
+			if h.Kind == kindResp {
+				mb.reqQueue = sim.Duration(h.BQueue)
+				mb.reqPause = sim.Duration(h.BPause)
+				mb.reasm = sim.Duration(h.BReasm)
+				mb.handler = sim.Duration(h.BHandler)
+				mb.ecn = h.BECN
+			}
+			msg.blame = mb
 		}
 		if !ch.rx.receive(h.Seq, true) {
 			// A cutover replay. If the original delivery completed, just
@@ -497,6 +571,9 @@ func (ch *Channel) deliver(msg *Msg) {
 			ch.doctor.observeRTT(c.eng.Now().Sub(rs.sentAt))
 			if rs.traced || msg.Traced {
 				c.trace.onResponse(ch, msg, rs.sentAt)
+			}
+			if rs.blame != nil && msg.blame != nil {
+				c.trace.onBlame(ch, msg, rs)
 			}
 			if rs.cb != nil {
 				rs.cb(msg, nil)

@@ -33,10 +33,16 @@ type TraceRecord struct {
 	At  sim.Time
 }
 
+// tracerRingCap is the default record ring capacity; Config.TraceRingCap
+// overrides it per context (XR-Stat reports how much the ring truncated).
 const tracerRingCap = 4096
 
 func newTracer(ctx *Context) *Tracer {
-	return &Tracer{ctx: ctx, ring: telemetry.NewRing[TraceRecord](tracerRingCap)}
+	cap := ctx.cfg.TraceRingCap
+	if cap <= 0 {
+		cap = tracerRingCap
+	}
+	return &Tracer{ctx: ctx, ring: telemetry.NewRing[TraceRecord](cap)}
 }
 
 // push appends one record, overwriting the oldest when full. O(1): the
@@ -64,6 +70,7 @@ func (t *Tracer) onRecv(ch *Channel, m *Msg) {
 	rec := TraceRecord{Peer: ch.Peer, MsgID: m.MsgID, Kind: kind, OneWay: oneWay, At: now}
 	if oneWay > t.ctx.cfg.SlowThreshold {
 		t.SlowOps++
+		ch.blameSuspect = blameSuspectBudget
 		t.ctx.tel.Flight.Record(now, telemetry.CatSlowOp, int32(t.ctx.Node()), ch.qp.QPN, int64(oneWay), int64(m.MsgID))
 		t.ctx.tel.Trace.Instant("slow.op", t.ctx.track, now, int64(oneWay))
 		t.ctx.logf("slow %s msg %d from %d: one-way %v", kind, m.MsgID, ch.Peer, oneWay)
@@ -80,10 +87,73 @@ func (t *Tracer) onResponse(ch *Channel, m *Msg, sentAt sim.Time) {
 	t.ctx.tel.Trace.Complete("rtt", t.ctx.track, sentAt, rtt, int64(m.MsgID))
 	if rtt > 2*t.ctx.cfg.SlowThreshold {
 		t.SlowOps++
+		ch.blameSuspect = blameSuspectBudget
 		t.ctx.tel.Flight.Record(now, telemetry.CatSlowOp, int32(t.ctx.Node()), ch.qp.QPN, int64(rtt), int64(m.MsgID))
 		t.ctx.tel.Trace.Instant("slow.op", t.ctx.track, now, int64(rtt))
 		t.ctx.logf("slow request %d to %d: rtt %v", m.MsgID, ch.Peer, rtt)
 	}
+}
+
+// onBlame reconstructs a blame-traced request's critical path the moment
+// its response is delivered. Requester-local stages come from the WR
+// lifecycle and QP recovery-counter deltas; request-direction fabric and
+// remote stages arrive mirrored in the response's blame extension; the
+// response direction rides its own in-band accumulator. Whatever the
+// stamps don't cover is the residual (base propagation + software costs).
+func (t *Tracer) onBlame(ch *Channel, m *Msg, rs *reqState) {
+	c := t.ctx
+	b, mb := rs.blame, m.blame
+	now := c.eng.Now()
+	rec := telemetry.BlameRec{
+		MsgID: m.MsgID, Node: int32(c.Node()), QPN: ch.qp.QPN,
+		At: b.enqAt, RTT: now.Sub(b.enqAt),
+	}
+	_, started, finished := b.wr.TxTimes()
+	rec.Dur[telemetry.StageTxStall] = b.txAt.Sub(b.enqAt)
+	if started > b.txAt {
+		rec.Dur[telemetry.StageSQWait] = started.Sub(b.txAt)
+	}
+	if finished > started {
+		rec.Dur[telemetry.StageSerialize] = finished.Sub(started)
+	}
+	// Remote mirror (request-direction fabric + responder stages).
+	rec.Dur[telemetry.StageFabricQueue] = mb.reqQueue
+	rec.Dur[telemetry.StagePFCPause] = mb.reqPause
+	rec.Dur[telemetry.StageReassembly] = mb.reasm
+	rec.Dur[telemetry.StageHandler] = mb.handler
+	rec.ECN = mb.ecn
+	// Response-direction in-band accumulator.
+	if rx := mb.rx; rx != nil {
+		rec.Dur[telemetry.StageFabricQueue] += rx.Queue
+		rec.Dur[telemetry.StagePFCPause] += rx.Pause
+		rec.ECN += rx.ECN
+		if rx.FirstAt > 0 && m.RecvAt > rx.FirstAt {
+			rec.Dur[telemetry.StageReassembly] += m.RecvAt.Sub(rx.FirstAt)
+		}
+	}
+	// Request-direction loss recovery: this QP's cumulative recovery
+	// residency since transmit (negative deltas mean the channel moved to
+	// a fresh QP mid-flight — nothing attributable).
+	if d := ch.qp.Counters.RTORecoveryNs - b.rtoRef; d > 0 {
+		rec.Dur[telemetry.StageRTORecovery] = sim.Duration(d)
+	}
+	if d := ch.qp.Counters.RNRRecoveryNs - b.rnrRef; d > 0 {
+		rec.Dur[telemetry.StageRNRRecovery] = sim.Duration(d)
+	}
+	// PFC pause is a sub-component of fabric queueing, so it is excluded
+	// from the attribution sum (it would double count).
+	var attributed sim.Duration
+	for s := telemetry.Stage(0); s < telemetry.StageResidual; s++ {
+		if s == telemetry.StagePFCPause {
+			continue
+		}
+		attributed += rec.Dur[s]
+	}
+	if resid := rec.RTT - attributed; resid > 0 {
+		rec.Dur[telemetry.StageResidual] = resid
+	}
+	c.tel.Blame.Observe(&rec)
+	c.tel.Blame.EmitSpans(c.tel.Trace, c.track, &rec)
 }
 
 // Tracer returns the context's tracer (xrdma_trace_req's query surface).

@@ -8,8 +8,9 @@ import (
 
 // X-RDMA reconstructs the payload so that every message carries a header
 // inside it (§VI-A). The header is a fixed 64-byte block, followed by an
-// optional 16-byte trace extension in req-rsp mode, followed by the
-// application payload (for inline messages).
+// optional 16-byte trace extension in req-rsp mode, followed by an
+// optional 40-byte blame extension (responses to blame-sampled requests
+// only), followed by the application payload (for inline messages).
 
 const (
 	hdrMagic   = 0x5852 // "XR"
@@ -17,6 +18,11 @@ const (
 
 	hdrSize      = 64
 	traceExtSize = 16
+	// blameExtSize is the response-only stage mirror: the responder echoes
+	// the request's fabric residency plus its own reassembly/handler time so
+	// the requester can reconstruct the full causal path. Blame-sampled
+	// requests add zero wire bytes; only their responses carry this block.
+	blameExtSize = 40
 )
 
 type msgKind uint8
@@ -54,6 +60,7 @@ func (k msgKind) windowed() bool {
 const (
 	flagTraced = 1 << iota // trace extension present
 	flagOneWay             // request wants no response
+	flagBlame              // causal blame trace: responses carry the stage mirror
 )
 
 // wireHdr is the decoded header.
@@ -67,6 +74,20 @@ type wireHdr struct {
 	Addr  uint64 // staged buffer address (rendezvous kinds)
 	RKey  uint32 // staged buffer rkey
 	T1    int64  // trace: sender clock at send (req-rsp mode)
+
+	// Blame extension (flagBlame responses): the responder's mirror of
+	// remote stages, all in nanoseconds except BECN (a mark count).
+	BQueue   int64 // request-direction switch egress-queue residency
+	BPause   int64 // request-direction PFC pause share of that residency
+	BReasm   int64 // receiver reassembly: first fragment at NIC → dispatch
+	BHandler int64 // application handler: dispatch → response transmit
+	BECN     int64 // request-direction ECN marks
+}
+
+// hasBlameExt reports whether the wire layout includes the blame block:
+// only responses mirror stages back (requests carry just the flag).
+func (h *wireHdr) hasBlameExt() bool {
+	return h.Flags&flagBlame != 0 && h.Kind == kindResp
 }
 
 // encode writes the header (and trace extension when flagged) into buf and
@@ -87,15 +108,27 @@ func (h *wireHdr) encode(buf []byte) int {
 		binary.LittleEndian.PutUint64(buf[hdrSize:], uint64(h.T1))
 		n += traceExtSize
 	}
+	if h.hasBlameExt() {
+		binary.LittleEndian.PutUint64(buf[n:], uint64(h.BQueue))
+		binary.LittleEndian.PutUint64(buf[n+8:], uint64(h.BPause))
+		binary.LittleEndian.PutUint64(buf[n+16:], uint64(h.BReasm))
+		binary.LittleEndian.PutUint64(buf[n+24:], uint64(h.BHandler))
+		binary.LittleEndian.PutUint64(buf[n+32:], uint64(h.BECN))
+		n += blameExtSize
+	}
 	return n
 }
 
 // wireBytes is the total header length for this message.
 func (h *wireHdr) wireBytes() int {
+	n := hdrSize
 	if h.Flags&flagTraced != 0 {
-		return hdrSize + traceExtSize
+		n += traceExtSize
 	}
-	return hdrSize
+	if h.hasBlameExt() {
+		n += blameExtSize
+	}
+	return n
 }
 
 // errBadHeader marks undecodable inbound messages (foreign traffic or
@@ -129,6 +162,17 @@ func decodeHdr(buf []byte) (wireHdr, int, error) {
 		}
 		h.T1 = int64(binary.LittleEndian.Uint64(buf[hdrSize:]))
 		n += traceExtSize
+	}
+	if h.hasBlameExt() {
+		if len(buf) < n+blameExtSize {
+			return h, 0, fmt.Errorf("%w: truncated blame extension", errBadHeader)
+		}
+		h.BQueue = int64(binary.LittleEndian.Uint64(buf[n:]))
+		h.BPause = int64(binary.LittleEndian.Uint64(buf[n+8:]))
+		h.BReasm = int64(binary.LittleEndian.Uint64(buf[n+16:]))
+		h.BHandler = int64(binary.LittleEndian.Uint64(buf[n+24:]))
+		h.BECN = int64(binary.LittleEndian.Uint64(buf[n+32:]))
+		n += blameExtSize
 	}
 	return h, n, nil
 }

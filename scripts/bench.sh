@@ -3,7 +3,9 @@
 # emit BENCH_kernel.json: current ns/op + allocs/op per benchmark next to
 # the committed container/heap baseline, with the speedup factor.
 # Telemetry benchmarks have no pre-rewrite baseline; their contract is
-# allocs/op == 0 (enforced by the CI bench smoke).
+# allocs/op == 0 (enforced by the CI bench smoke), as is the untraced
+# RNIC send path's. TracedSendPath is informational: its delta against
+# UntracedSendPath is the armed cost of the blame plane.
 #
 # Usage: scripts/bench.sh [output.json]   (default: BENCH_kernel.json)
 # Set REPRODUCE=1 to also time cmd/reproduce -full at -j 1 vs -j nproc
@@ -15,8 +17,8 @@ out="${1:-BENCH_kernel.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test ./internal/sim/ ./internal/telemetry/ -run '^$' \
-    -bench 'BenchmarkEngine|BenchmarkTelemetry' -benchmem \
+go test ./internal/sim/ ./internal/telemetry/ ./internal/rnic/ -run '^$' \
+    -bench 'BenchmarkEngine|BenchmarkTelemetry|BenchmarkUntracedSendPath|BenchmarkTracedSendPath' -benchmem \
     -benchtime=2s -count=1 | tee "$tmp" >&2
 
 # Baseline: container/heap scheduler + per-event heap allocation, measured
