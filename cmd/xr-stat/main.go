@@ -5,7 +5,10 @@
 // periodic samples for node 0, the full metric registry (grouped
 // netstat -s style) with -all, and any flight-recorder dumps. With -gray
 // it browns out one spine path mid-run so the path-doctor columns and the
-// path.verdict/path.rehash flight events show live values.
+// path.verdict/path.rehash flight events show live values. With -mux it
+// multiplexes channels over shared QP pools and caps per-channel gauge
+// rows, so the table shows muxed "m<cid>" rows plus the per-peer
+// aggregate rows that bound registry growth at scale.
 package main
 
 import (
@@ -29,6 +32,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed")
 	all := flag.Bool("all", false, "also print the full metric registry (every layer's counters)")
 	gray := flag.Bool("gray", false, "brown out one spine path mid-run (path-doctor demo)")
+	mux := flag.Bool("mux", false, "multiplex channels over shared QP pools and cap per-channel gauge rows (scaling demo)")
 	blame := flag.Bool("blame", false, "sample messages onto the blame plane and print the stage-attribution table")
 	prom := flag.Bool("prom", false, "print the metric registry in Prometheus exposition format")
 	flag.Parse()
@@ -67,6 +71,15 @@ func main() {
 				cfg.RequestRetries = 2
 				cfg.RetryBackoff = 1 * sim.Millisecond
 			}
+			if *mux {
+				// Shared-QP demo: every channel to a peer rides a 2-QP
+				// pool, and only the first 4 channels get individual
+				// XR-Stat rows — the rest fold into per-peer aggregates,
+				// which is what keeps the registry O(peers) at 100k
+				// channels.
+				cfg.QPsPerPeer = 2
+				cfg.ChannelGaugeLimit = 4
+			}
 		},
 	})
 	c.ListenAll(7000, func(nd *cluster.Node, ch *xrdma.Channel) {
@@ -76,6 +89,20 @@ func main() {
 	var chans []*xrdma.Channel
 	c.ConnectPairs(pairs, 7000, func(chs []*xrdma.Channel) { chans = chs })
 	c.Eng.Run()
+	if *mux {
+		// A dozen extra channels from node 0 to node 1: they all share
+		// node 0's existing 2-QP pool to that peer, and most of them land
+		// past ChannelGaugeLimit so node 0's table shows both individual
+		// "m<cid>" rows and the folded per-peer aggregate row.
+		for i := 0; i < 12; i++ {
+			c.Connect(0, 1, 7000, func(ch *xrdma.Channel, err error) {
+				if err == nil {
+					chans = append(chans, ch)
+				}
+			})
+		}
+		c.Eng.Run()
+	}
 	var gens []*workload.OpenLoop
 	for i, ch := range chans {
 		g := workload.NewOpenLoop(ch, 300*sim.Microsecond, workload.MiceElephants(512, 32<<10, 0.2), *seed+uint64(i))

@@ -240,6 +240,99 @@ func main() {
 	fmt.Printf("drill 6: withheld response — handler ran %d time(s), retries=%d, responses=%d errors=%d\n",
 		handled-base, ch06.Counters.ReqRetries-baseRetries, got6, errs6)
 
+	// ---- drill 7: shared-QP mux — one fault, one fix, N channels -------
+	// Six channels to the same peer multiplexed over a single shared QP
+	// (QPsPerPeer=1). The QP is the failure domain: a link flap degrades
+	// and recovers all six channels through ONE re-establishment, and a
+	// gray brownout is cured by ONE flow-label rotation — never once per
+	// channel.
+	nic7 := rnic.DefaultConfig()
+	nic7.RetransTimeout = 1 * sim.Millisecond
+	nic7.RetryLimit = 12
+	c7 := cluster.New(cluster.Options{
+		Topology: fabric.SmallClos(),
+		NICCfg:   nic7,
+		Nodes:    8,
+		Config: func(node int, cfg *xrdma.Config) {
+			cfg.QPsPerPeer = 1
+			cfg.KeepaliveInterval = 2 * sim.Millisecond
+			cfg.KeepaliveTimeout = 8 * sim.Millisecond
+			cfg.StatsInterval = 1 * sim.Millisecond
+			cfg.PathRehashCooldown = 4 * sim.Millisecond
+		},
+	})
+	c7.ListenAll(7000, func(n *cluster.Node, ch *xrdma.Channel) {
+		ch.OnMessage(func(m *xrdma.Msg) { m.Reply(m.Retain(), 0) })
+	})
+	var chans7 []*xrdma.Channel
+	for i := 0; i < 6; i++ {
+		c7.Connect(0, 4, 7000, func(ch *xrdma.Channel, err error) {
+			if err != nil {
+				panic(err)
+			}
+			chans7 = append(chans7, ch)
+		})
+	}
+	c7.Eng.Run()
+	ctx7 := c7.Nodes[0].Ctx
+	fmt.Printf("drill 7 (mux): %d channels attached over %d wire QP(s)\n",
+		len(chans7), c7.Nodes[0].NIC.NumQPs())
+
+	resps7, errs7, i7 := 0, 0, 0
+	stop7 := false
+	var tick7 func()
+	tick7 = func() {
+		if stop7 {
+			return
+		}
+		ch := chans7[i7%len(chans7)]
+		i7++
+		ch.SendMsg([]byte("mux load"), 0, func(m *xrdma.Msg, err error) {
+			if err == nil {
+				resps7++
+			} else {
+				errs7++
+			}
+		})
+		c7.Eng.AfterBg(300*sim.Microsecond, tick7)
+	}
+	c7.Eng.AfterBg(300*sim.Microsecond, tick7)
+
+	// Phase 1: hard fault. The flap breaks the shared QP; keepalive
+	// detects it and one redial re-attaches every channel.
+	inj7 := chaos.New(c7)
+	c7.Eng.AfterBg(20*sim.Millisecond, func() { inj7.HostLinkDown(4) })
+	c7.Eng.AfterBg(50*sim.Millisecond, func() { inj7.HostLinkUp(4) })
+	c7.Eng.RunFor(250 * sim.Millisecond)
+	fmt.Printf("drill 7: link flap -> degraded=%d recoveries=%d (6 channels, one shared-QP event)\n",
+		ctx7.Stats.Degraded, ctx7.Stats.Recoveries)
+
+	// Phase 2: gray fault. Brown out the ToR–leaf link the shared QP
+	// hashes onto (both directions — requests *and* acks suffer). The
+	// doctor walks the whole ladder through the one shared QP: flow-label
+	// rotations against the TX symptoms, cooperative PATH_HINTs for the
+	// reverse-path ones, and when the gray persists on both directions it
+	// spends its rehash budget and escalates — one re-establishment, six
+	// channels healed, exactly once each.
+	leaf7 := fmt.Sprintf("pod0-leaf%d", fabric.ECMPIndex(chans7[0].FlowHash(), 2))
+	inj7.Brownout("pod0-tor0", leaf7, 0.12, 0.05, 20*sim.Microsecond)
+	c7.Eng.RunFor(150 * sim.Millisecond)
+	inj7.ClearBrownout("pod0-tor0", leaf7)
+	stop7 = true
+	c7.Eng.RunFor(50 * sim.Millisecond)
+	healthy7 := 0
+	for _, ch := range chans7 {
+		if ch.Health() == xrdma.HealthHealthy {
+			healthy7++
+		}
+	}
+	fmt.Printf("drill 7: brownout -> rehashes=%d hints=%d escalations=%d recoveries=%d; %d/%d responses, %d/%d channels healthy\n",
+		ctx7.Stats.PathRehashes, ctx7.Stats.PathHints, ctx7.Stats.PathEscalations,
+		ctx7.Stats.Recoveries, resps7, resps7+errs7, healthy7, len(chans7))
+	for _, line := range chans7[0].PathLog() {
+		fmt.Println("  " + line)
+	}
+
 	fmt.Println("\nfinal XR-Stat on node 0:")
 	fmt.Print(xrdma.XRStat(c.Nodes[0].Ctx))
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceHeapMul widens heap budgets when the race detector instruments the
+// build (shadow memory and allocation padding inflate HeapAlloc several
+// fold). Plain builds assert the real budget.
+const raceHeapMul = 1

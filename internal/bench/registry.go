@@ -72,6 +72,9 @@ func Experiments() []Experiment {
 		{ID: "blame", Title: "Blame attribution: injected cause vs top-blamed stage", Run: func(sc Scale) []*Table {
 			return tables(BlameAttribution(sc).Table_)
 		}},
+		{ID: "scale", Title: "Fitting the 4000-node world: QP mux, flyweight channels, heap budget", Run: func(sc Scale) []*Table {
+			return tables(ScaleWorld(sc).Table_)
+		}},
 		{ID: "loc", Title: "Lines-of-code comparison", Run: func(Scale) []*Table {
 			return tables(LoCComparison().Table_)
 		}},

@@ -19,12 +19,18 @@ func SmallClos() Topology {
 }
 
 // ClusterClos approximates one production sub-cluster at reduced scale.
+// Up to 256 hosts fit a single pod (16 ToRs of 16 hosts); beyond that
+// the ToRs split across spine-connected pods of at most 16 ToRs each,
+// matching the paper's multi-pod HAIL fabric — a 4000-host ask yields a
+// 16-pod clos rather than one implausibly wide pod.
 func ClusterClos(hosts int) Topology {
 	torNeeded := (hosts + 15) / 16
 	if torNeeded < 2 {
 		torNeeded = 2
 	}
-	return Topology{Pods: 1, LeavesPerPod: 4, TorsPerPod: torNeeded, HostsPerTor: 16}
+	pods := (torNeeded + 15) / 16
+	tors := (torNeeded + pods - 1) / pods
+	return Topology{Pods: pods, LeavesPerPod: 4, TorsPerPod: tors, HostsPerTor: 16}
 }
 
 // Hosts reports how many hosts the topology contains.

@@ -362,14 +362,30 @@ func (qp *QP) paceCharge(now sim.Time, bytes int) {
 
 // --- retransmission -------------------------------------------------------
 
+// armRTO ensures a retransmission deadline is pending whenever unacked WRs
+// exist. Posting a new WR must NOT push an armed deadline back: a shared QP
+// kept busy by many multiplexed channels (window-exempt control frames can
+// arrive faster than RetransTimeout) would otherwise starve the RTO and
+// never recover a lost frame.
 func (qp *QP) armRTO() {
 	n := qp.nic
-	n.eng.Cancel(qp.rtoEvent)
 	if len(qp.unacked) == 0 {
+		n.eng.Cancel(qp.rtoEvent)
 		qp.rtoEvent = sim.Event{}
 		return
 	}
+	if qp.rtoEvent.Pending() {
+		return
+	}
 	qp.rtoEvent = n.eng.After(n.Cfg.RetransTimeout, qp.rtoFn)
+}
+
+// resetRTO restarts the deadline — the classic go-back-N timer restart on
+// forward progress of the cumulative ack.
+func (qp *QP) resetRTO() {
+	qp.nic.eng.Cancel(qp.rtoEvent)
+	qp.rtoEvent = sim.Event{}
+	qp.armRTO()
 }
 
 func (qp *QP) onRTO() {

@@ -371,7 +371,7 @@ func (qp *QP) handleAck(ackPSN uint32) {
 	if progressed {
 		qp.retries = 0
 		qp.rnrRetries = 0
-		qp.armRTO()
+		qp.resetRTO()
 	}
 }
 

@@ -86,6 +86,7 @@ type Channel struct {
 	lastAckVal   uint64
 	ackEv        sim.Event
 	nopInFlight  bool
+	nopAt        sim.Time // when the in-flight NOP was sent (re-arm deadline)
 	stallFlag    bool
 
 	pings map[uint64]*pingState
@@ -129,9 +130,26 @@ type Channel struct {
 	// incident so the blame plane always has hop logs for the tail.
 	blameSuspect int
 
+	// QP multiplexing (mux.go): cid is the context-unique channel id
+	// (0 = exclusive legacy channel) and peerCID the peer's id for this
+	// channel — what outbound headers carry in Chan. mx is the shared QP
+	// this channel rides; attach tracks the lazy-establishment state and
+	// attachCBs fire when it settles. peerClosed suppresses the CHAN_CLOSE
+	// echo when the peer tore down first.
+	cid        uint32
+	peerCID    uint32
+	mx         *muxQP
+	muxPort    int
+	attach     uint8
+	attachCBs  []func(error)
+	peerClosed bool
+
 	// telNames are the per-channel gauge names registered for XR-Stat,
-	// kept for unregistration when the QPN is recycled.
-	telNames []string
+	// kept for unregistration when the QPN is recycled. aggregated marks
+	// channels folded into the per-peer aggregate row instead
+	// (Config.ChannelGaugeLimit).
+	telNames   []string
+	aggregated bool
 
 	Counters ChannelStats
 	OpenedAt sim.Time
@@ -256,6 +274,12 @@ func (c *Context) OnChannel(fn func(*Channel)) { c.onChannel = fn }
 // very first message.
 func (c *Context) Listen(port int) error {
 	return c.cm.Listen(port, func(req *verbs.ConnReq) {
+		if hello, ok := parseMuxHello(req.PrivateData); ok {
+			// A mux-plane dial (shared-QP establishment or reattach), not a
+			// per-channel connection.
+			c.acceptMux(req, hello, port)
+			return
+		}
 		c.allocRecvBufs(func(bufs []Buffer) {
 			c.withQP(func(qp *rnic.QP) {
 				req.Accept(qp, func(conn *verbs.Conn, err error) {
@@ -307,8 +331,29 @@ func (c *Context) freeBufs(bufs []Buffer) {
 // cache is consulted first; on a miss a QP is created through the slow
 // hardware path.
 func (c *Context) Connect(node fabric.NodeID, port int, done func(*Channel, error)) {
+	if c.muxEnabled() {
+		// Mux mode: Connect is ChannelTo plus an eager attach, so callers
+		// that want an established channel still get one.
+		ch, err := c.ChannelTo(node, port)
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		if done != nil {
+			ch.attachCBs = append(ch.attachCBs, func(err error) {
+				if err != nil {
+					done(nil, err)
+					return
+				}
+				done(ch, nil)
+			})
+		}
+		ch.requestAttach()
+		return
+	}
 	var srq *rnic.SRQ
 	if c.cfg.UseSRQ {
+		c.ensureSRQ()
 		srq = c.srq
 	}
 	c.allocRecvBufs(func(bufs []Buffer) {
@@ -343,6 +388,7 @@ func (c *Context) withQP(fn func(*rnic.QP)) {
 	}
 	var srq *rnic.SRQ
 	if c.cfg.UseSRQ {
+		c.ensureSRQ()
 		srq = c.srq
 	}
 	c.vctx.NIC.CreateQP(c.qpDepth(), c.qpDepth(), c.sendCQ, c.recvCQ, srq, fn)
@@ -358,10 +404,6 @@ func (c *Context) newChannel(conn *verbs.Conn, bufs []Buffer) *Channel {
 		qp:           conn.QP,
 		Peer:         conn.Remote,
 		tx:           newTxWindow(c.cfg.WindowDepth),
-		pending:      make(map[uint64]*reqState),
-		recvBufs:     make(map[uint64]Buffer),
-		sent:         make(map[uint64]*pendingSend),
-		pulls:        make(map[uint64]bool),
 		peerQPN:      conn.QP.RemoteQPN,
 		lastComm:     c.eng.Now(),
 		lastProgress: c.eng.Now(),
@@ -373,7 +415,12 @@ func (c *Context) newChannel(conn *verbs.Conn, bufs []Buffer) *Channel {
 	c.indexChannel(ch, ch.qp.QPN)
 	c.Stats.ChannelsOpened++
 	// Post the pre-allocated standing receive pool — the buffers whose
-	// footprint the §III Issue-1 formula describes.
+	// footprint the §III Issue-1 formula describes. The flyweight layout
+	// allocates the per-channel maps (pending, recvBufs, sent, pulls,
+	// pings) on first use only, so an idle channel carries none of them.
+	if len(bufs) > 0 {
+		ch.recvBufs = make(map[uint64]Buffer, len(bufs))
+	}
 	for _, buf := range bufs {
 		id := c.nextWRID()
 		ch.recvBufs[id] = buf
@@ -387,11 +434,25 @@ func (c *Context) newChannel(conn *verbs.Conn, bufs []Buffer) *Channel {
 }
 
 // registerGauges publishes the XR-Stat row for this channel under
-// "xrdma.<node>.ch.<qpn>.". Closures evaluate at snapshot time only.
+// "xrdma.<node>.ch.<qpn>." (exclusive QPs) or "xrdma.<node>.mch.<cid>."
+// (muxed — the cid is the stable identity, the QPN changes across shared-
+// QP recoveries). Past Config.ChannelGaugeLimit the channel folds into
+// its peer's aggregate row instead, so the registry stays O(peers) at
+// 100k channels. Closures evaluate at snapshot time only.
 func (ch *Channel) registerGauges() {
 	c := ch.ctx
-	prefix := fmt.Sprintf("%s.ch.%d.", c.track, ch.qp.QPN)
-	for _, g := range []struct {
+	if lim := c.cfg.ChannelGaugeLimit; lim > 0 && c.gaugedChannels >= lim {
+		c.aggregateChannel(ch)
+		return
+	}
+	c.gaugedChannels++
+	var prefix string
+	if ch.mx != nil {
+		prefix = fmt.Sprintf("%s.mch.%d.", c.track, ch.cid)
+	} else {
+		prefix = fmt.Sprintf("%s.ch.%d.", c.track, ch.qp.QPN)
+	}
+	gauges := []struct {
 		name string
 		fn   func() int64
 	}{
@@ -406,10 +467,19 @@ func (ch *Channel) registerGauges() {
 		{"inflight", func() int64 { return int64(ch.tx.inflight()) }},
 		{"state", func() int64 { return int64(ch.health) }},
 		{"path_score", func() int64 { return ch.PathScore() }},
-		{"path_verdict", func() int64 { return int64(ch.doctor.verdict) }},
-		{"rehashes", func() int64 { return ch.doctor.rehashes }},
+		{"path_verdict", func() int64 { return int64(ch.doctorRef().verdict) }},
+		{"rehashes", func() int64 { return ch.doctorRef().rehashes }},
 		{"req_retries", func() int64 { return ch.Counters.ReqRetries }},
-	} {
+	}
+	if ch.mx != nil {
+		// The shared QP a muxed channel currently rides (rnr/retx above are
+		// that QP's counters, shared with its sibling channels).
+		gauges = append(gauges, struct {
+			name string
+			fn   func() int64
+		}{"qpn", func() int64 { return int64(ch.qp.QPN) }})
+	}
+	for _, g := range gauges {
 		n := prefix + g.name
 		ch.telNames = append(ch.telNames, n)
 		c.tel.Reg.GaugeFunc(n, g.fn)
@@ -419,25 +489,70 @@ func (ch *Channel) registerGauges() {
 // unregisterGauges removes the channel's row so a recycled QPN can host a
 // fresh channel's gauges. Idempotent.
 func (ch *Channel) unregisterGauges() {
+	c := ch.ctx
+	if ch.aggregated {
+		ch.aggregated = false
+		if a := c.peerAggs[ch.Peer]; a != nil {
+			delete(a.set, ch)
+		}
+		c.aggChannels--
+		return
+	}
+	if len(ch.telNames) > 0 {
+		c.gaugedChannels--
+	}
 	for _, n := range ch.telNames {
-		ch.ctx.tel.Reg.Unregister(n)
+		c.tel.Reg.Unregister(n)
 	}
 	ch.telNames = nil
+}
+
+// peerAgg is one per-peer aggregate gauge row: the channels whose
+// individual gauges were suppressed by ChannelGaugeLimit. Sums iterate
+// the set at snapshot time — int64 addition is order-independent, so the
+// registry digest stays deterministic.
+type peerAgg struct {
+	set map[*Channel]struct{}
+}
+
+// aggregateChannel folds a channel into its peer's aggregate row,
+// creating the row's gauges on the peer's first suppressed channel.
+func (c *Context) aggregateChannel(ch *Channel) {
+	if c.peerAggs == nil {
+		c.peerAggs = make(map[fabric.NodeID]*peerAgg)
+	}
+	a := c.peerAggs[ch.Peer]
+	if a == nil {
+		a = &peerAgg{set: make(map[*Channel]struct{})}
+		c.peerAggs[ch.Peer] = a
+		prefix := fmt.Sprintf("%s.peeragg.%d.", c.track, ch.Peer)
+		sum := func(f func(*Channel) int64) func() int64 {
+			return func() int64 {
+				var t int64
+				for m := range a.set {
+					t += f(m)
+				}
+				return t
+			}
+		}
+		reg := c.tel.Reg
+		reg.GaugeFunc(prefix+"chans", func() int64 { return int64(len(a.set)) })
+		reg.GaugeFunc(prefix+"sent", sum(func(m *Channel) int64 { return m.Counters.MsgsSent }))
+		reg.GaugeFunc(prefix+"recv", sum(func(m *Channel) int64 { return m.Counters.MsgsRecv }))
+		reg.GaugeFunc(prefix+"txbytes", sum(func(m *Channel) int64 { return m.Counters.BytesSent }))
+		reg.GaugeFunc(prefix+"rxbytes", sum(func(m *Channel) int64 { return m.Counters.BytesRecv }))
+		reg.GaugeFunc(prefix+"req_retries", sum(func(m *Channel) int64 { return m.Counters.ReqRetries }))
+	}
+	a.set[ch] = struct{}{}
+	ch.aggregated = true
+	c.aggChannels++
 }
 
 // repostRecv returns one consumed receive buffer to the RQ.
 func (ch *Channel) repostRecv(wrID uint64) {
 	c := ch.ctx
 	if c.cfg.UseSRQ {
-		if buf, ok := c.srqBufs[wrID]; ok {
-			delete(c.srqBufs, wrID)
-			id := c.nextWRID()
-			c.srqBufs[id] = buf
-			if err := c.srq.Post(rnic.RecvWR{ID: id, Addr: buf.Addr, Len: buf.Len}); err != nil {
-				delete(c.srqBufs, id)
-				c.Mem.Free(buf)
-			}
-		}
+		c.recycleSRQ(wrID)
 		return
 	}
 	buf, ok := ch.recvBufs[wrID]
@@ -463,6 +578,13 @@ func (ch *Channel) Close() {
 
 func (ch *Channel) fail(err error) {
 	if ch.closed {
+		return
+	}
+	if ch.mx != nil {
+		// Muxed channels share their QP's fate: the shared QP is the
+		// failure domain, and its recovery resumes every attached channel
+		// exactly once (mux.go).
+		ch.mx.fail(err)
 		return
 	}
 	if ch.mock != nil {
@@ -499,7 +621,24 @@ func (ch *Channel) teardown(err error) {
 	ch.broken = err != nil
 	c := ch.ctx
 	ch.unregisterGauges()
-	delete(c.channels, ch.qp.QPN)
+	if ch.cid != 0 {
+		// Mux plane: descriptors and muxed channels live in chanByCID, and
+		// an attached channel tells its peer (unless the peer closed first
+		// — then the CHAN_CLOSE would just echo forever).
+		delete(c.chanByCID, ch.cid)
+		if ch.mx != nil {
+			if ch.attach == attachDone && !ch.peerClosed {
+				ch.mx.sendCtrl(&wireHdr{Kind: kindChanClose, Chan: ch.peerCID})
+			}
+			ch.mx.detach(ch)
+		}
+		if ch.attach == attachPending {
+			ch.attach = attachLazy
+			c.attachRelease()
+		}
+	} else {
+		delete(c.channels, ch.qp.QPN)
+	}
 	for i, w := range c.mockWaiters {
 		if w == ch {
 			c.mockWaiters = append(c.mockWaiters[:i], c.mockWaiters[i+1:]...)
@@ -518,6 +657,7 @@ func (ch *Channel) teardown(err error) {
 			rs.cb(nil, failErr)
 		}
 	}
+	ch.pending = nil
 	for _, ps := range ch.sendQ {
 		if ps.staged.Valid() {
 			c.Mem.Free(ps.staged)
@@ -536,25 +676,34 @@ func (ch *Channel) teardown(err error) {
 	// Return window credits held by the unacked tail and drop their
 	// on-ack closures — the channel is dead, nothing will ack, and the
 	// keepalive reclamation contract is "no resource left behind".
-	ch.tx.rewind()
+	if ch.tx != nil {
+		ch.tx.rewind()
+	}
 	for _, q := range ch.qpns {
 		if c.recoverIdx[q] == ch {
 			delete(c.recoverIdx, q)
 		}
 	}
 	ch.recEpoch++ // strand any in-flight recovery dial
-	// Receive buffers back to the cache.
+	// Receive buffers back to the cache, and the flyweight maps back to
+	// nil — a closed channel costs only its struct.
 	for id, buf := range ch.recvBufs {
 		delete(ch.recvBufs, id)
 		c.Mem.Free(buf)
 	}
+	ch.recvBufs = nil
+	ch.pulls = nil
+	ch.pings = nil
+	ch.respCache = nil
+	ch.respOrder = nil
 	c.eng.Cancel(ch.ackEv)
 	// The QP (reset) goes to the cache for fast re-establishment. A
-	// mocked channel already surrendered its QP when it switched.
-	if ch.mock == nil {
-		c.QPs.Put(ch.qp)
-	} else {
+	// mocked channel already surrendered its QP when it switched; a muxed
+	// channel never owned the shared QP; a lazy descriptor has none.
+	if ch.mock != nil {
 		ch.closeMock()
+	} else if ch.cid == 0 {
+		c.QPs.Put(ch.qp)
 	}
 	if ch.onClose != nil {
 		ch.onClose(err)
@@ -573,14 +722,38 @@ func (ch *Channel) OnClose(fn func(error)) { ch.onClose = fn }
 // Context returns the owning context.
 func (ch *Channel) Context() *Context { return ch.ctx }
 
-// QPN exposes the local queue pair number (diagnostics).
-func (ch *Channel) QPN() uint32 { return ch.qp.QPN }
+// QPN exposes the local queue pair number (diagnostics). Muxed channels
+// report the shared QP; unattached descriptors report 0.
+func (ch *Channel) QPN() uint32 {
+	if ch.qp == nil {
+		return 0
+	}
+	return ch.qp.QPN
+}
 
-// QPCounters exposes the hardware-level counters (XR-Stat).
-func (ch *Channel) QPCounters() rnic.QPCounters { return ch.qp.Counters }
+// QPCounters exposes the hardware-level counters (XR-Stat). For muxed
+// channels these are the shared QP's counters.
+func (ch *Channel) QPCounters() rnic.QPCounters {
+	if ch.qp == nil {
+		return rnic.QPCounters{}
+	}
+	return ch.qp.Counters
+}
+
+// CID exposes the mux-plane channel id (0 = exclusive legacy channel).
+func (ch *Channel) CID() uint32 { return ch.cid }
+
+// Attached reports whether the channel has live transport state (always
+// true for legacy channels; false for lazy mux descriptors).
+func (ch *Channel) Attached() bool { return ch.attach == attachDone }
 
 // Inflight reports windowed messages awaiting ack.
-func (ch *Channel) Inflight() int { return int(ch.tx.inflight()) }
+func (ch *Channel) Inflight() int {
+	if ch.tx == nil {
+		return 0
+	}
+	return int(ch.tx.inflight())
+}
 
 // Health reports the channel's fault-tolerance state.
 func (ch *Channel) Health() HealthState { return ch.health }
@@ -603,6 +776,11 @@ func (ch *Channel) setHealth(h HealthState) {
 
 func (ch *Channel) keepaliveCheck(now sim.Time) {
 	if ch.closed || ch.mock != nil || ch.health != HealthHealthy || ch.resumeOnRx {
+		return
+	}
+	if ch.mx != nil {
+		// Shared-QP channels are probed once per QP (mux.keepalive), not
+		// once per channel — the probe load is O(QPs).
 		return
 	}
 	cfg := &ch.ctx.cfg
@@ -658,8 +836,18 @@ func (ch *Channel) keepaliveCheck(now sim.Time) {
 // --- deadlock breaker (§V-B) --------------------------------------------------
 
 func (ch *Channel) deadlockCheck() {
-	if ch.closed || ch.nopInFlight || ch.resumeOnRx {
+	if ch.closed || ch.resumeOnRx || ch.attach != attachDone {
 		return
+	}
+	if ch.nopInFlight {
+		// A NOP is out soliciting an ack. If the reply was dropped while
+		// the peer was transiently degraded (its ctrl plane holds frames),
+		// the flag would latch forever — re-arm after a generous wait
+		// instead of trusting one frame.
+		if ch.ctx.eng.Now().Sub(ch.nopAt) < 4*ch.ctx.cfg.DeadlockScan {
+			return
+		}
+		ch.nopInFlight = false
 	}
 	if ch.mock != nil {
 		if !ch.mock.ready {
@@ -677,6 +865,7 @@ func (ch *Channel) deadlockCheck() {
 	// Window full with no progress: fire the reserved NOP to solicit an
 	// ack from the peer.
 	ch.nopInFlight = true
+	ch.nopAt = ch.ctx.eng.Now()
 	ch.Counters.NopsSent++
 	ch.ctx.Stats.NopsSent++
 	now := ch.ctx.eng.Now()
@@ -777,6 +966,6 @@ func (ch *Channel) rememberReq(msgID uint64) {
 // String renders a one-line XR-Stat row.
 func (ch *Channel) String() string {
 	return fmt.Sprintf("qpn=%d peer=%d inflight=%d sent=%d recv=%d stalls=%d rnr=%d",
-		ch.qp.QPN, ch.Peer, ch.Inflight(), ch.Counters.MsgsSent, ch.Counters.MsgsRecv,
-		ch.Counters.WindowStalls, ch.qp.Counters.RNRNakRecv)
+		ch.QPN(), ch.Peer, ch.Inflight(), ch.Counters.MsgsSent, ch.Counters.MsgsRecv,
+		ch.Counters.WindowStalls, ch.QPCounters().RNRNakRecv)
 }

@@ -84,6 +84,27 @@ type Config struct {
 	UseSRQ bool
 	// SRQSize is the shared receive queue depth when UseSRQ is set.
 	SRQSize int
+	// QPsPerPeer enables QP multiplexing: channels to the same peer node
+	// share a pool of at most this many QPs, demultiplexed by the wire
+	// header's channel id, with receives posted to the SRQ (UseSRQ is
+	// forced on). 0 keeps the legacy one-QP-per-channel layout. This is
+	// the RDMAvisor-style fix for §III Issue 1: per-connection state stops
+	// scaling with connection count.
+	QPsPerPeer int
+	// MuxQPDepth is the send-queue capacity of a shared (muxed) QP. It
+	// must cover the sum of the attached channels' windows; the queue is
+	// lazily grown storage, so a generous cap costs nothing up front.
+	MuxQPDepth int
+	// AttachAdmission caps concurrent lazy-channel attach handshakes per
+	// context (0 = unlimited): a connection storm at process start is
+	// serialized into a deterministic FIFO instead of thundering onto the
+	// CM.
+	AttachAdmission int
+	// ChannelGaugeLimit bounds per-channel telemetry rows: beyond this
+	// many gauged channels the context switches to per-peer aggregate
+	// gauges so the registry doesn't balloon at 100k channels (0 = every
+	// channel gets its own row, the legacy behavior).
+	ChannelGaugeLimit int
 	// PollInterval is the busy-polling period of the hybrid poller.
 	PollInterval sim.Duration
 	// PollCost is the CPU cost charged per poll iteration.
@@ -168,6 +189,10 @@ func DefaultConfig() Config {
 		MemShrinkIdle:      100 * sim.Millisecond,
 		UseSRQ:             false,
 		SRQSize:            4096,
+		QPsPerPeer:         0,
+		MuxQPDepth:         4096,
+		AttachAdmission:    0,
+		ChannelGaugeLimit:  0,
 		PollInterval:       1 * sim.Microsecond,
 		PollCost:           60 * sim.Nanosecond,
 		PerMsgCost:         100 * sim.Nanosecond,
@@ -338,6 +363,10 @@ var onlineFlags = map[string]func(*Context, string) error{
 var offlineFlagNames = map[string]struct{}{
 	"use_srq":                 {},
 	"srq_size":                {},
+	"qps_per_peer":            {},
+	"mux_qp_depth":            {},
+	"attach_admission":        {},
+	"channel_gauge_limit":     {},
 	"small_msg_size":          {},
 	"window_depth":            {},
 	"fragment_size":           {},

@@ -31,6 +31,7 @@ type Context struct {
 
 	sendCQ, recvCQ *rnic.CQ
 	srq            *rnic.SRQ
+	srqPrimed      bool              // first fill done (deferred: see ensureSRQ)
 	srqBufs        map[uint64]Buffer // recv WR id → buffer (SRQ mode)
 
 	channels map[uint32]*Channel // by local QPN
@@ -75,6 +76,29 @@ type Context struct {
 	recoverPort int
 	recoverIdx  map[uint32]*Channel
 
+	// QP multiplexing (mux.go, Config.QPsPerPeer > 0). chanByCID holds
+	// every mux-plane channel (lazy descriptors included) by its
+	// context-unique cid; muxByQPN demultiplexes receive completions;
+	// muxRecoverIdx is the reattach rendezvous (every QPN a shared QP has
+	// ever owned); muxQPs is the creation-order scan list — deterministic
+	// where the maps are not. attachQ/attachActive implement the
+	// admission cap on concurrent lazy attaches.
+	mux           map[fabric.NodeID]*peerMux
+	muxByQPN      map[uint32]*muxQP
+	muxRecoverIdx map[uint32]*muxQP
+	chanByCID     map[uint32]*Channel
+	muxQPs        []*muxQP
+	cidSeq        uint32
+	attachQ       []*Channel
+	attachActive  int
+
+	// Gauge-limit plane (Config.ChannelGaugeLimit): individually gauged
+	// channel count, per-peer aggregate rows, and how many channels were
+	// folded into them (the XR-Stat truncation note).
+	gaugedChannels int
+	aggChannels    int
+	peerAggs       map[fabric.NodeID]*peerAgg
+
 	// Clock skew of this node (set by the cluster harness) and the
 	// estimated offset table from the clock-sync service.
 	clockSkew sim.Duration
@@ -112,6 +136,8 @@ type ContextStats struct {
 	Failbacks       int64
 	PathRehashes    int64
 	PathEscalations int64
+	PathHints       int64 // PATH_HINT frames sent (RX-attributed sickness)
+	PathHintsRecv   int64
 }
 
 // LogEntry is one line of the self-adaptive log (§VI-A method III).
@@ -172,10 +198,22 @@ func NewContext(o Options) *Context {
 	c.recvCQ = rnic.NewCQ(8192)
 	c.trace = newTracer(c)
 	c.registerGauges()
+	if c.cfg.QPsPerPeer > 0 {
+		// QP multiplexing implies SRQ receives: shared QPs cannot post
+		// per-channel receive pools.
+		c.cfg.UseSRQ = true
+		c.mux = make(map[fabric.NodeID]*peerMux)
+		c.muxByQPN = make(map[uint32]*muxQP)
+		c.muxRecoverIdx = make(map[uint32]*muxQP)
+		c.chanByCID = make(map[uint32]*Channel)
+	}
 	if c.cfg.UseSRQ {
+		// The queue object is a few words; the buffer fill (SRQSize
+		// receive buffers out of the memory cache) waits for ensureSRQ
+		// at the first QP that references the queue, so an idle context
+		// in a large world costs none of it.
 		c.srq = rnic.NewSRQ(c.cfg.SRQSize)
 		c.srqBufs = make(map[uint64]Buffer)
-		c.fillSRQ()
 	}
 	c.sendCQ.OnCompletion(c.wake)
 	c.recvCQ.OnCompletion(c.wake)
@@ -222,7 +260,11 @@ func (c *Context) registerGauges() {
 		{"failbacks", func() int64 { return s.Failbacks }},
 		{"path_rehashes", func() int64 { return s.PathRehashes }},
 		{"path_escalations", func() int64 { return s.PathEscalations }},
-		{"channels", func() int64 { return int64(len(c.channels)) }},
+		{"path_hints", func() int64 { return s.PathHints }},
+		{"path_hints_recv", func() int64 { return s.PathHintsRecv }},
+		{"channels", func() int64 { return int64(len(c.channels) + len(c.chanByCID)) }},
+		{"mux_qps", func() int64 { return int64(len(c.muxQPs)) }},
+		{"agg_channels", func() int64 { return int64(c.aggChannels) }},
 		{"mem_occupied", func() int64 { return c.Mem.OccupiedBytes() }},
 		{"mem_inuse", func() int64 { return c.Mem.InUseBytes }},
 		{"qp_cache", func() int64 { return int64(c.QPs.Len()) }},
@@ -245,13 +287,17 @@ func (c *Context) Engine() *sim.Engine { return c.eng }
 // Config returns a copy of the current configuration.
 func (c *Context) Config() Config { return c.cfg }
 
-// NumChannels reports live channels.
-func (c *Context) NumChannels() int { return len(c.channels) }
+// NumChannels reports live channels — exclusive-QP channels plus every
+// mux-plane channel (attached or still a lazy descriptor).
+func (c *Context) NumChannels() int { return len(c.channels) + len(c.chanByCID) }
 
 // Channels returns a snapshot of live channels (XR-Stat).
 func (c *Context) Channels() []*Channel {
-	out := make([]*Channel, 0, len(c.channels))
+	out := make([]*Channel, 0, len(c.channels)+len(c.chanByCID))
 	for _, ch := range c.channels {
+		out = append(out, ch)
+	}
+	for _, ch := range c.chanByCID {
 		out = append(out, ch)
 	}
 	return out
@@ -422,6 +468,10 @@ func (c *Context) dispatchSend(cqe rnic.CQE) {
 func (c *Context) dispatchRecv(cqe rnic.CQE) {
 	ch, ok := c.channels[cqe.QPN]
 	if !ok {
+		if mx, mok := c.muxByQPN[cqe.QPN]; mok {
+			mx.handleRecv(cqe)
+			return
+		}
 		// Channel already torn down; recycle the SRQ buffer if any.
 		if c.srq != nil {
 			if buf, ok := c.srqBufs[cqe.WRID]; ok {
@@ -479,6 +529,11 @@ func (c *Context) armDeadlockScan() {
 		for _, ch := range c.channels {
 			ch.deadlockCheck()
 		}
+		for _, mx := range c.muxQPs {
+			for _, ch := range mx.channels() {
+				ch.deadlockCheck()
+			}
+		}
 		c.armDeadlockScan()
 	})
 }
@@ -518,7 +573,7 @@ func (c *Context) timeoutScan() {
 // this, never the map — map iteration order is randomized and would leak
 // into the deterministic digests.
 func (c *Context) sortedChannels() []*Channel {
-	if len(c.channels) == 0 {
+	if len(c.channels) == 0 && len(c.chanByCID) == 0 {
 		return nil
 	}
 	qpns := make([]int, 0, len(c.channels))
@@ -526,10 +581,25 @@ func (c *Context) sortedChannels() []*Channel {
 		qpns = append(qpns, int(q))
 	}
 	sort.Ints(qpns)
-	chs := make([]*Channel, 0, len(qpns))
+	chs := make([]*Channel, 0, len(qpns)+len(c.chanByCID))
 	for _, q := range qpns {
 		if ch := c.channels[uint32(q)]; ch != nil {
 			chs = append(chs, ch)
+		}
+	}
+	// Mux-plane channels follow in ascending-cid order: cids are handed out
+	// monotonically, so each shared QP's creation-order cid slice is already
+	// sorted and the concatenation across QPs only needs one pass.
+	if len(c.chanByCID) > 0 {
+		cids := make([]int, 0, len(c.chanByCID))
+		for id := range c.chanByCID {
+			cids = append(cids, int(id))
+		}
+		sort.Ints(cids)
+		for _, id := range cids {
+			if ch := c.chanByCID[uint32(id)]; ch != nil {
+				chs = append(chs, ch)
+			}
 		}
 	}
 	return chs
@@ -542,6 +612,12 @@ func (c *Context) keepaliveScan() {
 	now := c.eng.Now()
 	for _, ch := range c.channels {
 		ch.keepaliveCheck(now)
+	}
+	// Shared QPs probe once per QP, not once per channel: liveness is a
+	// property of the transport underneath, and O(QPs) probes is the point
+	// of multiplexing.
+	for _, mx := range c.muxQPs {
+		mx.keepalive(now)
 	}
 }
 
@@ -567,6 +643,17 @@ func (c *Context) OnNICRestart() {
 }
 
 // --- SRQ support -------------------------------------------------------------
+
+// ensureSRQ performs the deferred first fill. Called wherever a QP is
+// created with the shared queue attached; until then the context holds an
+// empty SRQ and no receive buffers.
+func (c *Context) ensureSRQ() {
+	if c.srq == nil || c.srqPrimed {
+		return
+	}
+	c.srqPrimed = true
+	c.fillSRQ()
+}
 
 // fillSRQ keeps the shared receive queue topped up (§VII-F). Buffers come
 // from the memory cache like per-channel receives.
@@ -595,6 +682,22 @@ func (c *Context) fillSRQ() {
 			c.Mem.Free(buf)
 			return
 		}
+	}
+}
+
+// recycleSRQ reposts one consumed SRQ buffer under a fresh WR id. Shared-QP
+// receives and per-channel SRQ reposts both land here.
+func (c *Context) recycleSRQ(wrID uint64) {
+	buf, ok := c.srqBufs[wrID]
+	if !ok {
+		return
+	}
+	delete(c.srqBufs, wrID)
+	id := c.nextWRID()
+	c.srqBufs[id] = buf
+	if err := c.srq.Post(rnic.RecvWR{ID: id, Addr: buf.Addr, Len: buf.Len}); err != nil {
+		delete(c.srqBufs, id)
+		c.Mem.Free(buf)
 	}
 }
 

@@ -23,6 +23,8 @@ func FuzzDecodeHdr(f *testing.F) {
 		f.Add(mk(wireHdr{Kind: k, Seq: 7, Ack: 3, MsgID: 99, Size: 1024}))
 	}
 	f.Add(mk(wireHdr{Kind: kindResp, Flags: flagTraced, Seq: 1, MsgID: 2, T1: 123456789}))
+	f.Add(mk(wireHdr{Kind: kindResp, Flags: flagBlame, Seq: 4, MsgID: 5, Size: 64}))
+	f.Add(mk(wireHdr{Kind: kindResp, Flags: flagTraced | flagBlame, Seq: 6, MsgID: 7, T1: 42}))
 	f.Add(mk(wireHdr{Kind: kindReq, Flags: flagOneWay, Size: 16}))
 	f.Add(mk(wireHdr{Kind: kindLargeReq, Size: 1 << 20, Addr: 0xdeadbeef, RKey: 42}))
 	// Hostile shapes: empty, short, bad magic, bad version, truncated
@@ -54,6 +56,9 @@ func FuzzDecodeHdr(f *testing.F) {
 		want := hdrSize
 		if h.Flags&flagTraced != 0 {
 			want += traceExtSize
+		}
+		if h.hasBlameExt() {
+			want += blameExtSize
 		}
 		if n != want {
 			t.Fatalf("consumed %d bytes, layout says %d (flags %#x)", n, want, h.Flags)

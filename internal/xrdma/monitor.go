@@ -118,38 +118,75 @@ func XRStat(c *Context) string {
 	fmt.Fprintf(&b, "%-6s %-6s %-9s %-9s %-10s %-10s %-7s %-6s %-6s %-6s %-8s %-6s %-6s\n",
 		"QPN", "PEER", "SENT", "RECV", "TXBYTES", "RXBYTES", "STALLS", "RNR", "RETX",
 		"SCORE", "VERDICT", "REHASH", "RETRY")
+	// Three row families share the registry: "ch.<qpn>" (exclusive-QP
+	// channels), "mch.<cid>" (muxed channels — stable cid identity), and
+	// "peeragg.<peer>" (channels folded past ChannelGaugeLimit).
 	chPrefix := c.track + ".ch."
+	mchPrefix := c.track + ".mch."
+	aggPrefix := c.track + ".peeragg."
 	rows := make(map[int]map[string]int64)
-	var qpns []int
-	for _, e := range reg.Snapshot() {
-		if !strings.HasPrefix(e.Name, chPrefix) {
-			continue
-		}
-		rest := e.Name[len(chPrefix):]
+	mrows := make(map[int]map[string]int64)
+	arows := make(map[int]map[string]int64)
+	var qpns, cids, aggPeers []int
+	add := func(into map[int]map[string]int64, keys *[]int, rest string, v int64) {
 		dot := strings.IndexByte(rest, '.')
 		if dot < 0 {
-			continue
+			return
 		}
-		qpn, err := strconv.Atoi(rest[:dot])
+		key, err := strconv.Atoi(rest[:dot])
 		if err != nil {
-			continue
+			return
 		}
-		row, ok := rows[qpn]
+		row, ok := into[key]
 		if !ok {
 			row = make(map[string]int64)
-			rows[qpn] = row
-			qpns = append(qpns, qpn)
+			into[key] = row
+			*keys = append(*keys, key)
 		}
-		row[rest[dot+1:]] = e.Value
+		row[rest[dot+1:]] = v
+	}
+	for _, e := range reg.Snapshot() {
+		switch {
+		case strings.HasPrefix(e.Name, chPrefix):
+			add(rows, &qpns, e.Name[len(chPrefix):], e.Value)
+		case strings.HasPrefix(e.Name, mchPrefix):
+			add(mrows, &cids, e.Name[len(mchPrefix):], e.Value)
+		case strings.HasPrefix(e.Name, aggPrefix):
+			add(arows, &aggPeers, e.Name[len(aggPrefix):], e.Value)
+		}
 	}
 	sort.Ints(qpns)
-	for _, q := range qpns {
-		r := rows[q]
-		fmt.Fprintf(&b, "%-6d %-6d %-9d %-9d %-10d %-10d %-7d %-6d %-6d %-6.2f %-8s %-6d %-6d\n",
-			q, r["peer"], r["sent"], r["recv"], r["txbytes"], r["rxbytes"],
+	sort.Ints(cids)
+	sort.Ints(aggPeers)
+	writeRow := func(label string, r map[string]int64) {
+		fmt.Fprintf(&b, "%-6s %-6d %-9d %-9d %-10d %-10d %-7d %-6d %-6d %-6.2f %-8s %-6d %-6d\n",
+			label, r["peer"], r["sent"], r["recv"], r["txbytes"], r["rxbytes"],
 			r["stalls"], r["rnr"], r["retx"],
 			float64(r["path_score"])/100, PathVerdict(r["path_verdict"]).String(),
 			r["rehashes"], r["req_retries"])
+	}
+	for _, q := range qpns {
+		writeRow(strconv.Itoa(q), rows[q])
+	}
+	for _, cid := range cids {
+		// Muxed rows print the channel id; the wire QPN changes across
+		// shared-QP recoveries and is not the channel's identity.
+		writeRow("m"+strconv.Itoa(cid), mrows[cid])
+	}
+	if len(aggPeers) > 0 {
+		var folded int64
+		for _, p := range aggPeers {
+			folded += arows[p]["chans"]
+		}
+		fmt.Fprintf(&b, "(+%d channels above ChannelGaugeLimit=%d, folded into per-peer aggregates)\n",
+			folded, c.cfg.ChannelGaugeLimit)
+		fmt.Fprintf(&b, "%-8s %-6s %-9s %-9s %-10s %-10s %-6s\n",
+			"PEERAGG", "CHANS", "SENT", "RECV", "TXBYTES", "RXBYTES", "RETRY")
+		for _, p := range aggPeers {
+			r := arows[p]
+			fmt.Fprintf(&b, "%-8d %-6d %-9d %-9d %-10d %-10d %-6d\n",
+				p, r["chans"], r["sent"], r["recv"], r["txbytes"], r["rxbytes"], r["req_retries"])
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,812 @@
+package xrdma
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
+	"xrdma/internal/verbs"
+)
+
+// QP multiplexing (Config.QPsPerPeer > 0): the connection-scaling layer.
+// Per-channel QPs are §III Issue 1's scalability killer — at 4000 hosts a
+// full-mesh service needs millions of QPs, each with its own receive pool
+// and NIC-side WQE/ICM state. The mux plane shares a small pool of QPs
+// per peer node instead: channels become flyweight protocol state (seq-ack
+// window + counters), every receive lands in the context's SRQ, and the
+// wire header's Chan field demultiplexes inbound messages to the owning
+// channel. Channels are lazy descriptors until the first send triggers a
+// QP-pool attach (a CHAN_OPEN/CHAN_ACCEPT handshake over the shared QP),
+// bounded by an admission cap so a process-start connection storm
+// serializes deterministically instead of thundering onto the CM.
+//
+// Failure domains move with the sharing: keepalive probes, path-doctor
+// scoring and ECMP re-pathing, and health recovery all run per shared QP.
+// One sick QP rotates its flow label once for all attached channels; one
+// broken QP re-establishes once, and every attached channel replays its
+// unacked window tail over the replacement — the Algorithm 1 dedup makes
+// each cutover exactly-once per channel.
+
+// ErrMuxDisabled is returned when mux-only APIs run on a legacy context.
+var ErrMuxDisabled = errors.New("xrdma: QP multiplexing not enabled (Config.QPsPerPeer == 0)")
+
+// Channel attach states. The zero value means "established" so legacy
+// channels (and passive muxed channels, created attached) need no setup.
+const (
+	attachDone    uint8 = iota // established; send path live
+	attachLazy                 // descriptor only; first send triggers attach
+	attachQueued               // waiting for an admission slot
+	attachPending              // CHAN_OPEN in flight (or mux QP still dialing)
+)
+
+type muxQPState uint8
+
+const (
+	muxDialing muxQPState = iota
+	muxReady
+	muxDegraded
+	muxRecovering
+)
+
+// peerMux is the per-peer QP pool: at most Config.QPsPerPeer shared QPs,
+// filled on demand and then assigned round-robin.
+type peerMux struct {
+	peer  fabric.NodeID
+	port  int
+	slots []*muxQP
+	next  int
+}
+
+// muxQP is one shared QP and the channels multiplexed onto it.
+type muxQP struct {
+	c         *Context
+	pm        *peerMux // nil on the passive (accepting) side
+	slot      int
+	initiator bool
+	peer      fabric.NodeID
+	port      int // establishment port — also the reattach rendezvous
+	qp        *rnic.QP
+	state     muxQPState
+	dead      bool
+
+	chans    map[uint32]*Channel // local cid → attached channel
+	peerCIDs map[uint32]uint32   // peer cid → local cid (CHAN_OPEN dedup)
+	cids     []uint32            // attach order == ascending cid (deterministic walks)
+
+	epoch    uint64 // invalidates stale dials/timers
+	attempts int
+	qpns     []uint32 // every local QPN this mux QP has owned
+
+	lastComm  sim.Time
+	kaProbing bool
+	kaProbeAt sim.Time
+
+	// The shared-QP path doctor: counters on a shared QP aggregate every
+	// channel's symptoms, so scoring (and the flow-label rotation cure)
+	// must run once per QP — per-channel doctors would each see the full
+	// delta and rotate the label K times per sick scan.
+	doctor pathDoctor
+}
+
+// --- mux hello (CM private data) --------------------------------------------
+
+const muxHelloMagic = 0x5158 // "XQ" — mux QP establishment
+
+func encodeMuxHello(slot int, reattach bool, targetQPN uint32) []byte {
+	b := make([]byte, 12)
+	binary.LittleEndian.PutUint16(b, muxHelloMagic)
+	b[2] = 1
+	if reattach {
+		b[3] = 1
+	}
+	binary.LittleEndian.PutUint16(b[4:], uint16(slot))
+	binary.LittleEndian.PutUint32(b[6:], targetQPN)
+	return b
+}
+
+type muxHello struct {
+	slot     int
+	reattach bool
+	target   uint32
+}
+
+func parseMuxHello(b []byte) (muxHello, bool) {
+	if len(b) < 12 || binary.LittleEndian.Uint16(b) != muxHelloMagic || b[2] != 1 {
+		return muxHello{}, false
+	}
+	return muxHello{
+		slot:     int(binary.LittleEndian.Uint16(b[4:])),
+		reattach: b[3] == 1,
+		target:   binary.LittleEndian.Uint32(b[6:]),
+	}, true
+}
+
+// --- context surface ---------------------------------------------------------
+
+func (c *Context) muxEnabled() bool { return c.cfg.QPsPerPeer > 0 }
+
+func (c *Context) nextCID() uint32 { c.cidSeq++; return c.cidSeq }
+
+// muxDepth is the shared QP's send-queue capacity: it must cover the sum
+// of the attached channels' windows (queue storage grows lazily, so the
+// generous cap is free until used).
+func (c *Context) muxDepth() int {
+	if d := c.cfg.MuxQPDepth; d > 0 {
+		return d
+	}
+	return 4096
+}
+
+// muxDialTimeout budgets a mux redial. Unlike per-channel recovery,
+// which dials with recycled QPs from the QP cache, shared QPs are
+// SRQ-bound and cannot be cached — both sides pay the full QP
+// create+modify hardware-command cost inside the dial window, so the
+// configured timeout alone would expire right as the accept lands.
+func (c *Context) muxDialTimeout() sim.Duration {
+	return c.cfg.RecoverDialTimeout + 2*rnic.QPCreateCost + 8*rnic.QPModifyCost
+}
+
+// ChannelTo returns a lazy channel descriptor to (node, port): a few
+// hundred bytes of state and no QP, window or buffer until the first send
+// (or Ping) triggers the attach handshake. Requires QP multiplexing.
+func (c *Context) ChannelTo(node fabric.NodeID, port int) (*Channel, error) {
+	if !c.muxEnabled() {
+		return nil, ErrMuxDisabled
+	}
+	now := c.eng.Now()
+	ch := &Channel{
+		ctx: c, Peer: node, cid: c.nextCID(), muxPort: port,
+		attach: attachLazy, lastComm: now, lastProgress: now, OpenedAt: now,
+		retryTokens: retryBudgetCap,
+	}
+	c.chanByCID[ch.cid] = ch
+	return ch, nil
+}
+
+// requestAttach moves a lazy descriptor toward establishment, honoring
+// the admission cap.
+func (ch *Channel) requestAttach() {
+	if ch.attach != attachLazy || ch.closed {
+		return
+	}
+	c := ch.ctx
+	if lim := c.cfg.AttachAdmission; lim > 0 && c.attachActive >= lim {
+		ch.attach = attachQueued
+		c.attachQ = append(c.attachQ, ch)
+		return
+	}
+	ch.startAttach()
+}
+
+func (ch *Channel) startAttach() {
+	c := ch.ctx
+	ch.attach = attachPending
+	c.attachActive++
+	mx := c.muxFor(ch.Peer, ch.muxPort)
+	ch.mx = mx
+	mx.enroll(ch)
+}
+
+// attachRelease frees one admission slot and starts the FIFO head.
+func (c *Context) attachRelease() {
+	if c.attachActive > 0 {
+		c.attachActive--
+	}
+	for len(c.attachQ) > 0 {
+		next := c.attachQ[0]
+		c.attachQ = c.attachQ[1:]
+		if next.closed || next.attach != attachQueued {
+			continue
+		}
+		next.startAttach()
+		return
+	}
+}
+
+// finishAttach completes (or fails) a lazy channel's establishment.
+func (ch *Channel) finishAttach(err error) {
+	c := ch.ctx
+	held := ch.attach == attachPending
+	cbs := ch.attachCBs
+	ch.attachCBs = nil
+	if err != nil {
+		ch.attach = attachLazy // teardown below must not re-release
+		if held {
+			c.attachRelease()
+		}
+		for _, cb := range cbs {
+			cb(err)
+		}
+		if !ch.closed {
+			c.Stats.ChannelsBroken++
+			ch.teardown(err)
+		}
+		return
+	}
+	ch.attach = attachDone
+	ch.tx = newTxWindow(c.cfg.WindowDepth)
+	ch.rx = newRxWindow(c.cfg.WindowDepth)
+	ch.qp = ch.mx.qp
+	c.Stats.ChannelsOpened++
+	ch.registerGauges()
+	if held {
+		c.attachRelease()
+	}
+	for _, cb := range cbs {
+		cb(nil)
+	}
+	ch.pump()
+}
+
+// muxFor picks (creating on demand) the shared QP a new channel attaches
+// to: fill the pool first, then round-robin, replacing dead slots.
+func (c *Context) muxFor(peer fabric.NodeID, port int) *muxQP {
+	pm := c.mux[peer]
+	if pm == nil {
+		pm = &peerMux{peer: peer, port: port}
+		c.mux[peer] = pm
+	}
+	if len(pm.slots) < c.cfg.QPsPerPeer {
+		mx := c.newMuxQP(pm, len(pm.slots))
+		pm.slots = append(pm.slots, mx)
+		return mx
+	}
+	i := pm.next % len(pm.slots)
+	pm.next++
+	mx := pm.slots[i]
+	if mx.dead {
+		mx = c.newMuxQP(pm, i)
+		pm.slots[i] = mx
+	}
+	return mx
+}
+
+func (c *Context) newMuxQP(pm *peerMux, slot int) *muxQP {
+	mx := &muxQP{
+		c: c, pm: pm, slot: slot, initiator: true, peer: pm.peer, port: pm.port,
+		state:  muxDialing,
+		chans:  make(map[uint32]*Channel),
+		peerCIDs: make(map[uint32]uint32),
+	}
+	c.muxQPs = append(c.muxQPs, mx)
+	epoch := mx.epoch
+	hello := encodeMuxHello(slot, false, 0)
+	c.ensureSRQ()
+	c.cm.Connect(pm.peer, pm.port, hello, nil, c.muxDepth(), c.sendCQ, c.recvCQ, c.srq, func(conn *verbs.Conn, err error) {
+		if mx.epoch != epoch || mx.dead {
+			if err == nil {
+				c.vctx.NIC.DestroyQP(conn.QP)
+			}
+			return
+		}
+		if err != nil {
+			mx.teardownAll(fmt.Errorf("xrdma: mux dial to %d:%d: %w", pm.peer, pm.port, err))
+			return
+		}
+		mx.established(conn)
+	})
+	return mx
+}
+
+// established installs the freshly dialed QP and opens every waiting
+// channel.
+func (mx *muxQP) established(conn *verbs.Conn) {
+	mx.installQP(conn.QP)
+	mx.state = muxReady
+	mx.lastComm = mx.c.eng.Now()
+	for _, ch := range mx.channels() {
+		if ch.attach == attachPending {
+			mx.sendChanOpen(ch)
+		}
+	}
+}
+
+func (mx *muxQP) installQP(qp *rnic.QP) {
+	c := mx.c
+	mx.qp = qp
+	c.muxByQPN[qp.QPN] = mx
+	c.muxRecoverIdx[qp.QPN] = mx
+	mx.qpns = append(mx.qpns, qp.QPN)
+}
+
+// enroll attaches a channel to this mux QP; the CHAN_OPEN goes out as
+// soon as the QP is live.
+func (mx *muxQP) enroll(ch *Channel) {
+	mx.chans[ch.cid] = ch
+	mx.cids = append(mx.cids, ch.cid)
+	if mx.state == muxReady {
+		mx.sendChanOpen(ch)
+	}
+}
+
+// detach removes a channel (teardown).
+func (mx *muxQP) detach(ch *Channel) {
+	delete(mx.chans, ch.cid)
+	for i, cid := range mx.cids {
+		if cid == ch.cid {
+			mx.cids = append(mx.cids[:i], mx.cids[i+1:]...)
+			break
+		}
+	}
+	if ch.peerCID != 0 {
+		delete(mx.peerCIDs, ch.peerCID)
+	}
+}
+
+// channels snapshots attached channels in ascending cid order (cids are
+// assigned monotonically, so attach order is already sorted).
+func (mx *muxQP) channels() []*Channel {
+	out := make([]*Channel, 0, len(mx.cids))
+	for _, cid := range mx.cids {
+		if ch := mx.chans[cid]; ch != nil && !ch.closed {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+func (mx *muxQP) sendChanOpen(ch *Channel) {
+	mx.sendCtrl(&wireHdr{Kind: kindChanOpen, Chan: ch.cid, MsgID: uint64(ch.muxPort)})
+}
+
+// sendCtrl emits a mux-plane control frame directly on the shared QP.
+func (mx *muxQP) sendCtrl(h *wireHdr) {
+	if mx.dead || mx.state != muxReady {
+		return
+	}
+	buf := make([]byte, h.wireBytes())
+	h.encode(buf)
+	wr := &rnic.SendWR{Op: rnic.OpSend, Len: len(buf), Data: buf}
+	mx.c.flow.postDirect(mx.qp, wr, func(cqe rnic.CQE) {
+		if cqe.Status != rnic.StatusOK && !mx.dead && cqe.QPN == mx.qp.QPN {
+			// Stale-flush guard: completions from an already-replaced QP
+			// must not re-fail the adopted one.
+			mx.fail(fmt.Errorf("xrdma: mux ctrl send failed: %v", cqe.Status))
+		}
+	})
+	mx.lastComm = mx.c.eng.Now()
+}
+
+// --- passive side ------------------------------------------------------------
+
+// acceptMux handles a mux hello on an application Listen port: a fresh
+// shared QP (attach) or the re-establishment of a broken one (reattach).
+func (c *Context) acceptMux(req *verbs.ConnReq, hello muxHello, port int) {
+	if c.srq == nil {
+		req.Reject("mux requires SRQ mode")
+		return
+	}
+	c.ensureSRQ()
+	if hello.reattach {
+		mx := c.muxRecoverIdx[hello.target]
+		if mx == nil || mx.dead || mx.peer != req.From {
+			req.Reject("no such mux QP")
+			return
+		}
+		if mx.state == muxReady {
+			// The dialer noticed the fault first; park our side so the
+			// adoption runs from a consistent state.
+			mx.fail(fmt.Errorf("peer-initiated mux recovery"))
+		}
+		c.vctx.NIC.CreateQP(c.muxDepth(), c.muxDepth(), c.sendCQ, c.recvCQ, c.srq, func(qp *rnic.QP) {
+			req.Accept(qp, func(conn *verbs.Conn, err error) {
+				if err != nil || mx.dead {
+					c.vctx.NIC.DestroyQP(qp)
+					return
+				}
+				mx.adopt(conn, false)
+			})
+		})
+		return
+	}
+	mx := &muxQP{
+		c: c, slot: hello.slot, initiator: false, peer: req.From, port: port,
+		state:  muxDialing,
+		chans:  make(map[uint32]*Channel),
+		peerCIDs: make(map[uint32]uint32),
+	}
+	c.muxQPs = append(c.muxQPs, mx)
+	c.vctx.NIC.CreateQP(c.muxDepth(), c.muxDepth(), c.sendCQ, c.recvCQ, c.srq, func(qp *rnic.QP) {
+		req.Accept(qp, func(conn *verbs.Conn, err error) {
+			if err != nil {
+				c.vctx.NIC.DestroyQP(qp)
+				mx.dead = true
+				return
+			}
+			mx.installQP(conn.QP)
+			mx.state = muxReady
+			mx.lastComm = c.eng.Now()
+		})
+	})
+}
+
+// --- inbound demux -----------------------------------------------------------
+
+// handleRecv routes one receive completion on a shared QP: mux-plane
+// control frames are handled here, everything else demultiplexes to the
+// owning channel by the header's Chan field (the receiver's cid).
+func (mx *muxQP) handleRecv(cqe rnic.CQE) {
+	c := mx.c
+	if cqe.Status != rnic.StatusOK {
+		c.recycleSRQ(cqe.WRID)
+		mx.fail(fmt.Errorf("xrdma: mux recv completion error: %v", cqe.Status))
+		return
+	}
+	mx.lastComm = c.eng.Now()
+	h, hdrLen, err := decodeHdr(cqe.Data)
+	c.recycleSRQ(cqe.WRID)
+	if err != nil {
+		c.logf("mux inbound decode error from peer %d: %v", mx.peer, err)
+		return
+	}
+	switch h.Kind {
+	case kindChanOpen:
+		mx.handleChanOpen(&h)
+	case kindChanAccept:
+		mx.handleChanAccept(&h)
+	case kindChanClose:
+		if ch := mx.chans[h.Chan]; ch != nil {
+			ch.peerClosed = true
+			ch.teardown(nil)
+		}
+	case kindMuxSick:
+		// The responder's doctor gave up on the shared QP (e.g. inbound
+		// corruption its own flow-label rotation cannot cure). Recovery is
+		// initiator-owned: treat the report as our own escalation.
+		if mx.initiator {
+			mx.fail(fmt.Errorf("xrdma: peer reported shared QP sick"))
+		}
+	case kindPathHint:
+		// The peer's doctor blames the path this QP's flow label picks.
+		mx.doctor.noteHint(c, c.eng.Now())
+	default:
+		ch := mx.chans[h.Chan]
+		if ch == nil || ch.closed {
+			return
+		}
+		var pay []byte
+		if size := int(h.Size); size > 0 && len(cqe.Data) >= hdrLen+size {
+			pay = cqe.Data[hdrLen : hdrLen+size]
+		}
+		ch.lastComm = mx.lastComm
+		ch.handleWire(&h, pay, false, cqe.Blame)
+	}
+}
+
+// handleChanOpen creates the passive half of a muxed channel. The peer's
+// cid keys the dedup: a replayed open (lost accept across a mux
+// recovery) only re-sends the accept.
+func (mx *muxQP) handleChanOpen(h *wireHdr) {
+	c := mx.c
+	if lcid, dup := mx.peerCIDs[h.Chan]; dup {
+		mx.sendCtrl(&wireHdr{Kind: kindChanAccept, Chan: h.Chan, MsgID: uint64(lcid)})
+		return
+	}
+	now := c.eng.Now()
+	ch := &Channel{
+		ctx: c, Peer: mx.peer, cid: c.nextCID(), peerCID: h.Chan, mx: mx, qp: mx.qp,
+		muxPort: int(h.MsgID),
+		tx:      newTxWindow(c.cfg.WindowDepth), rx: newRxWindow(c.cfg.WindowDepth),
+		lastComm: now, lastProgress: now, OpenedAt: now, retryTokens: retryBudgetCap,
+	}
+	c.chanByCID[ch.cid] = ch
+	mx.chans[ch.cid] = ch
+	mx.cids = append(mx.cids, ch.cid)
+	mx.peerCIDs[ch.peerCID] = ch.cid
+	c.Stats.ChannelsOpened++
+	ch.registerGauges()
+	mx.sendCtrl(&wireHdr{Kind: kindChanAccept, Chan: h.Chan, MsgID: uint64(ch.cid)})
+	if c.onChannel != nil {
+		c.onChannel(ch)
+	}
+}
+
+func (mx *muxQP) handleChanAccept(h *wireHdr) {
+	ch := mx.c.chanByCID[h.Chan]
+	if ch == nil || ch.closed || ch.attach == attachDone {
+		return
+	}
+	ch.peerCID = uint32(h.MsgID)
+	mx.peerCIDs[ch.peerCID] = ch.cid
+	ch.finishAttach(nil)
+}
+
+// --- shared-QP keepalive (§V-A at mux granularity) ---------------------------
+
+// keepalive probes one shared QP: one zero-byte write covers every
+// attached channel, so the probe load is O(QPs), not O(channels).
+func (mx *muxQP) keepalive(now sim.Time) {
+	if mx.dead || mx.state != muxReady {
+		return
+	}
+	c := mx.c
+	cfg := &c.cfg
+	if mx.kaProbing {
+		nicCfg := &c.vctx.NIC.Cfg
+		deadline := sim.Duration(nicCfg.RetryLimit+2) * nicCfg.RetransTimeout
+		if cfg.KeepaliveTimeout > deadline {
+			deadline = cfg.KeepaliveTimeout
+		}
+		if now.Sub(mx.kaProbeAt) > deadline {
+			c.Stats.KeepaliveFails++
+			c.tel.Flight.Trip(now, telemetry.CatKeepaliveFail, int32(c.Node()), mx.qp.QPN)
+			c.logf("keepalive: peer %d unreachable, failing mux qpn=%d (%d channels)", mx.peer, mx.qp.QPN, len(mx.chans))
+			mx.fail(ErrPeerDead)
+		}
+		return
+	}
+	if now.Sub(mx.lastComm) < cfg.KeepaliveInterval {
+		return
+	}
+	mx.kaProbing = true
+	mx.kaProbeAt = now
+	c.Stats.KeepaliveProbes++
+	c.tel.Flight.Record(now, telemetry.CatKeepaliveProbe, int32(c.Node()), mx.qp.QPN, int64(mx.peer), 0)
+	wr := &rnic.SendWR{Op: rnic.OpWrite, Len: 0}
+	c.flow.postDirect(mx.qp, wr, func(cqe rnic.CQE) {
+		if mx.dead || cqe.QPN != mx.qp.QPN {
+			return // stale completion from a replaced QP
+		}
+		mx.kaProbing = false
+		if cqe.Status != rnic.StatusOK {
+			c.Stats.KeepaliveFails++
+			c.tel.Flight.Trip(c.eng.Now(), telemetry.CatKeepaliveFail, int32(c.Node()), mx.qp.QPN)
+			mx.fail(ErrPeerDead)
+			return
+		}
+		mx.lastComm = c.eng.Now()
+	})
+}
+
+// --- shared-QP recovery ------------------------------------------------------
+
+// fail parks every attached channel and starts re-establishing the
+// shared QP. The QP is the failure domain: channels recover together,
+// each replaying its own unacked tail exactly once.
+func (mx *muxQP) fail(cause error) {
+	c := mx.c
+	if mx.dead || mx.state == muxDegraded || mx.state == muxRecovering {
+		return
+	}
+	if mx.state == muxDialing {
+		mx.teardownAll(cause)
+		return
+	}
+	if !mx.initiator {
+		// Only the initiator can redial a shared QP — the passive side has
+		// no dial route. Ask it to. When sickness was declared by the path
+		// doctor (not a hard verbs error) the QP is still in RTS, so this
+		// ctrl frame rides the reliable wire. Fire-and-forget (nil cb): if
+		// the QP really is broken the post just flushes and the initiator's
+		// keepalive finds out on its own.
+		h := &wireHdr{Kind: kindMuxSick}
+		buf := make([]byte, h.wireBytes())
+		h.encode(buf)
+		c.flow.postDirect(mx.qp, &rnic.SendWR{Op: rnic.OpSend, Len: len(buf), Data: buf}, nil)
+	}
+	now := c.eng.Now()
+	mx.state = muxDegraded
+	mx.epoch++
+	mx.attempts = 0
+	mx.kaProbing = false
+	c.Stats.Degraded++
+	c.tel.Flight.Trip(now, telemetry.CatChannelDegraded, int32(c.Node()), mx.qp.QPN)
+	c.tel.Trace.Instant("mux.degraded", c.track, now, int64(mx.peer))
+	c.logf("mux qpn=%d peer=%d degraded (%d channels): %v", mx.qp.QPN, mx.peer, len(mx.chans), cause)
+	for _, ch := range mx.channels() {
+		if ch.attach != attachDone {
+			continue // still waiting for accept; re-opened after recovery
+		}
+		ch.setHealth(HealthDegraded)
+		ch.degradedAt = now
+		c.eng.Cancel(ch.ackEv)
+		ch.ackEv = sim.Event{}
+		ch.kaProbing = false
+		ch.nopInFlight = false
+		ch.stallFlag = false
+	}
+	if mx.initiator {
+		mx.scheduleRedial(cause)
+		return
+	}
+	epoch := mx.epoch
+	c.eng.AfterBg(c.recoverGrace(), func() {
+		if mx.dead || mx.epoch != epoch || mx.state == muxReady {
+			return
+		}
+		mx.teardownAll(cause)
+	})
+}
+
+func (mx *muxQP) scheduleRedial(cause error) {
+	c := mx.c
+	if mx.attempts >= c.cfg.RecoverRetries {
+		mx.teardownAll(cause)
+		return
+	}
+	epoch := mx.epoch
+	c.eng.AfterBg(recoverBackoffDur(c, mx.attempts), func() {
+		if mx.dead || mx.epoch != epoch || mx.state != muxDegraded {
+			return
+		}
+		mx.tryRedial(cause)
+	})
+}
+
+func (mx *muxQP) tryRedial(cause error) {
+	c := mx.c
+	if !c.vctx.NIC.Alive() {
+		mx.attempts++
+		mx.scheduleRedial(cause)
+		return
+	}
+	mx.state = muxRecovering
+	mx.attempts++
+	c.Stats.RecoverAttempts++
+	mx.epoch++
+	epoch := mx.epoch
+	settled := false
+	c.eng.AfterBg(c.muxDialTimeout(), func() {
+		if settled || mx.dead || mx.epoch != epoch {
+			return
+		}
+		settled = true
+		mx.state = muxDegraded
+		mx.scheduleRedial(cause)
+	})
+	hello := encodeMuxHello(mx.slot, true, mx.qp.RemoteQPN)
+	c.ensureSRQ()
+	c.cm.Connect(mx.peer, mx.port, hello, nil, c.muxDepth(), c.sendCQ, c.recvCQ, c.srq, func(conn *verbs.Conn, err error) {
+		if settled || mx.dead || mx.epoch != epoch {
+			if err == nil {
+				c.vctx.NIC.DestroyQP(conn.QP)
+			}
+			return
+		}
+		settled = true
+		if err != nil {
+			mx.state = muxDegraded
+			mx.scheduleRedial(cause)
+			return
+		}
+		mx.adopt(conn, true)
+	})
+}
+
+// adopt swaps in the replacement shared QP and resumes every attached
+// channel: each replays its unacked tail through the normal pump (the
+// receiver's window dedups survivors), pending attaches re-send their
+// CHAN_OPEN, and the passive side holds each channel's replay until the
+// dialer's per-channel NOP beacon proves the new QP is in RTS.
+func (mx *muxQP) adopt(conn *verbs.Conn, initiator bool) {
+	c := mx.c
+	now := c.eng.Now()
+	if mx.qp != nil {
+		delete(c.muxByQPN, mx.qp.QPN)
+		// Shared QPs are SRQ-bound and never enter the (per-channel) QP
+		// cache: a recycled SRQ QP handed to an exclusive channel could
+		// not post per-channel receives.
+		c.vctx.NIC.DestroyQP(mx.qp)
+	}
+	mx.installQP(conn.QP)
+	mx.state = muxReady
+	mx.epoch++
+	mx.attempts = 0
+	mx.kaProbing = false
+	mx.lastComm = now
+	mx.doctor.resetEpisode()
+	c.Stats.Recoveries++
+	c.tel.Flight.Record(now, telemetry.CatChannelRecovered, int32(c.Node()), mx.qp.QPN, int64(mx.peer), int64(len(mx.chans)))
+	c.tel.Trace.Instant("mux.recovered", c.track, now, int64(mx.peer))
+	c.logf("mux peer=%d recovered on qpn=%d (%d channels, initiator=%v)", mx.peer, mx.qp.QPN, len(mx.chans), initiator)
+	for _, ch := range mx.channels() {
+		if ch.attach != attachDone {
+			if initiator && ch.attach == attachPending {
+				mx.sendChanOpen(ch)
+			}
+			continue
+		}
+		ch.qp = mx.qp
+		ch.requeueUnacked()
+		ch.kaProbing = false
+		ch.nopInFlight = false
+		ch.stallFlag = false
+		ch.lastComm = now
+		ch.lastProgress = now
+		ch.pulls = nil
+		ch.setHealth(HealthHealthy)
+		if initiator {
+			ch.resumeOnRx = false
+			ch.sendCtrl(kindNop) // per-channel beacon: our QP is RTS
+			ch.pump()
+		} else {
+			ch.resumeOnRx = true
+		}
+	}
+}
+
+// teardownAll is the terminal path: the redial budget ran out (or the
+// initial dial failed), so every channel on this QP dies. Muxed channels
+// have no per-channel Mock fallback — the shared QP is the unit of
+// fate (DESIGN §12).
+func (mx *muxQP) teardownAll(cause error) {
+	if mx.dead {
+		return
+	}
+	mx.dead = true
+	mx.epoch++
+	c := mx.c
+	c.logf("mux peer=%d beyond recovery (%d channels): %v", mx.peer, len(mx.chans), cause)
+	for _, ch := range mx.channels() {
+		if ch.attach == attachPending || ch.attach == attachQueued {
+			ch.finishAttach(cause)
+			continue
+		}
+		c.Stats.ChannelsBroken++
+		ch.teardown(cause)
+	}
+	if mx.qp != nil {
+		delete(c.muxByQPN, mx.qp.QPN)
+		c.vctx.NIC.DestroyQP(mx.qp)
+		mx.qp = nil
+	}
+	for _, q := range mx.qpns {
+		if c.muxRecoverIdx[q] == mx {
+			delete(c.muxRecoverIdx, q)
+		}
+	}
+}
+
+// --- shared-QP path doctor ---------------------------------------------------
+
+// pathScan runs the gray-failure scorer once per shared QP. The shared
+// QP's counters aggregate every attached channel's symptoms, so one scan
+// (and at most one flow-label rotation) covers them all — per-channel
+// doctors would each see the full counter delta and rotate K times per
+// sick tick. Escalation hands the whole QP to the mux recovery machine.
+func (mx *muxQP) pathScan(now sim.Time) {
+	c := mx.c
+	d := &mx.doctor
+	if mx.dead || mx.qp == nil {
+		return
+	}
+	retx := mx.qp.Counters.Retransmits
+	rnr := mx.qp.Counters.RNRNakRecv
+	corrupt := mx.qp.Counters.CorruptDrops
+	if mx.state != muxReady || !d.inited {
+		d.resync(retx, rnr, corrupt)
+		return
+	}
+	if d.scoreScan(retx, rnr, corrupt) {
+		v := d.verdict
+		c.tel.Flight.Record(now, telemetry.CatPathVerdict, int32(c.Node()), mx.qp.QPN, int64(v), int64(d.score*100))
+		c.tel.Trace.Instant("path.verdict", c.track, now, int64(v))
+		d.log = append(d.log, fmt.Sprintf("t=%v node=%d path=%v score=%d", now, c.Node(), v, int64(d.score*100)))
+		for _, ch := range mx.channels() {
+			if ch.onPathVerdict != nil {
+				ch.onPathVerdict(v)
+			}
+		}
+	}
+	switch d.verdict {
+	case PathClean:
+		d.sickScans = 0
+		if d.rotations > 0 {
+			d.cleanScans++
+			if d.cleanScans >= pdCleanScansToForgive {
+				d.rotations = 0
+				d.cleanScans = 0
+			}
+		}
+	case PathSuspect:
+		d.cleanScans = 0
+	case PathSick:
+		d.cleanScans = 0
+		d.maybeHint(c, now, func() { mx.sendCtrl(&wireHdr{Kind: kindPathHint}) })
+		d.rotateOrEscalate(c, mx.qp.QPN, now, func(err error) { mx.fail(err) })
+	}
+}

@@ -85,6 +85,20 @@ const (
 	// Sick scans tolerated after the rotation budget is spent before the
 	// doctor escalates to the health machine.
 	pdSickScansToEscalate = 3
+	// Peer hinting. Rotating this QP's flow label only re-paths its own
+	// transmit direction; the symptoms a doctor reads off the RX side —
+	// corrupt drops, inflated request→response RTT — implicate the path
+	// the PEER's flow label picks, which only the peer can rotate. When a
+	// sick episode's evidence is RX-dominated the doctor sends a
+	// PATH_HINT control frame; the receiving doctor folds pdHintBoost
+	// into its next scan as transmit-side evidence. The boost is sized so
+	// a single hint only reaches Suspect — one false accusation never
+	// rotates a healthy path — while a REPEATED accusation (another hint
+	// within the streak window) doubles the boost and forces the sick
+	// verdict: the peer has now said twice that its receive side is
+	// suffering on the path our flow label picks.
+	pdHintBoost           = 4.0
+	pdHintStreakWindowMul = 8 // × PathRehashCooldown
 )
 
 // pathDoctor is the per-channel scorer state. It lives inside Channel
@@ -111,6 +125,19 @@ type pathDoctor struct {
 	sickScans     int // sick scans after the rotation budget ran out
 	cooldownUntil sim.Time
 
+	// Episode evidence, split by the direction it implicates: txEvid is
+	// what rotating OUR flow label can cure (retransmits, RNR, peer
+	// hints), rxEvid what only the peer's rotation can (RX corrupt
+	// drops, round-trip inflation). Drives the hint-vs-rotate decision.
+	txEvid        float64
+	rxEvid        float64
+	boost         float64 // pending PATH_HINT evidence, consumed next scan
+	hintMuteUntil sim.Time
+	hintStreak    int // consecutive hints within the streak window
+	lastHintAt    sim.Time
+	hintsSent     int64
+	hintsRecv     int64
+
 	rehashes      int64 // lifetime rotations (gauge)
 	firstRehashAt sim.Time
 
@@ -132,6 +159,8 @@ func (d *pathDoctor) observeRTT(rtt sim.Duration) {
 func (d *pathDoctor) resync(retx, rnr, corrupt int64) {
 	d.lastRetx, d.lastRNR, d.lastCorrupt = retx, rnr, corrupt
 	d.rttSum, d.rttCnt = 0, 0
+	d.txEvid, d.rxEvid, d.boost = 0, 0, 0
+	d.hintStreak, d.lastHintAt = 0, 0
 	d.inited = true
 }
 
@@ -145,24 +174,107 @@ func (d *pathDoctor) resetEpisode() {
 	d.cleanScans = 0
 	d.sickScans = 0
 	d.cooldownUntil = 0
+	d.txEvid, d.rxEvid, d.boost = 0, 0, 0
+	d.hintStreak, d.lastHintAt = 0, 0
 	d.inited = false
 }
 
 // pathScan drives every channel's doctor once per housekeeping tick, in
 // QPN order so any seeded label draws consume the RNG deterministically
-// regardless of map iteration order.
+// regardless of map iteration order. Shared (mux) QPs are scanned after
+// the exclusive channels, one doctor per QP, in creation order.
 func (c *Context) pathScan() {
-	if !c.cfg.PathDoctor || len(c.channels) == 0 {
+	if !c.cfg.PathDoctor || (len(c.channels) == 0 && len(c.muxQPs) == 0) {
 		return
 	}
 	now := c.eng.Now()
 	for _, ch := range c.sortedChannels() {
+		if ch.mx != nil {
+			continue // scanned through the shared QP below
+		}
 		ch.pathScan(now)
 	}
+	for _, mx := range c.muxQPs {
+		mx.pathScan(now)
+	}
+}
+
+// scoreScan folds one tick's counter deltas and RTT samples into the
+// EWMA score and re-derives the verdict; reports whether the verdict
+// changed. Shared by the per-channel and per-shared-QP scans.
+func (d *pathDoctor) scoreScan(retx, rnr, corrupt int64) bool {
+	dRetx := retx - d.lastRetx
+	dRNR := rnr - d.lastRNR
+	dCorrupt := corrupt - d.lastCorrupt
+	d.lastRetx, d.lastRNR, d.lastCorrupt = retx, rnr, corrupt
+	if dRetx < 0 {
+		dRetx = 0
+	}
+	if dRNR < 0 {
+		dRNR = 0
+	}
+	if dCorrupt < 0 {
+		dCorrupt = 0
+	}
+	// txRaw implicates the path our own flow label picks; rxRaw the
+	// peer's. A received PATH_HINT is the peer's RX evidence about our
+	// TX path, so the pending boost lands on the tx side.
+	txRaw := pdWeightRetx*float64(dRetx) + pdWeightRNR*float64(dRNR) + d.boost
+	d.boost = 0
+	rxRaw := pdWeightCorrupt * float64(dCorrupt)
+
+	var mean float64
+	if d.rttCnt > 0 {
+		mean = float64(d.rttSum) / float64(d.rttCnt)
+	}
+	d.rttSum, d.rttCnt = 0, 0
+	if mean > 0 {
+		if d.baseRTT == 0 {
+			d.baseRTT = mean
+		} else if infl := mean / d.baseRTT; infl > pdRTTInflationBar {
+			contrib := (infl - pdRTTInflationBar) * pdRTTInflationWeight
+			if contrib > pdRTTContribCap {
+				contrib = pdRTTContribCap
+			}
+			// Round-trip inflation cannot name a direction; it counts
+			// toward the verdict but, for attribution, toward the side
+			// only the peer can cure — our own rotation is already
+			// justified by the hardware counters when the TX path is at
+			// fault.
+			rxRaw += contrib
+		} else if txRaw == 0 && rxRaw == 0 {
+			// Symptom-free scan: keep learning the clean baseline.
+			d.baseRTT = (1-pdBaselineEWMA)*d.baseRTT + pdBaselineEWMA*mean
+		}
+	}
+	d.txEvid += txRaw
+	d.rxEvid += rxRaw
+
+	d.score = (1-pdEWMA)*d.score + pdEWMA*(txRaw+rxRaw)
+
+	v := PathClean
+	switch {
+	case d.score >= pdSickScore:
+		v = PathSick
+	case d.score >= pdSuspectScore:
+		v = PathSuspect
+	}
+	if v == PathClean {
+		// Episode over: attribution restarts at the next symptom.
+		d.txEvid, d.rxEvid = 0, 0
+	}
+	if v == d.verdict {
+		return false
+	}
+	d.verdict = v
+	return true
 }
 
 // pathScan runs one scoring pass over this channel.
 func (ch *Channel) pathScan(now sim.Time) {
+	if ch.qp == nil {
+		return // lazy descriptor (or mocked from birth): no path to judge
+	}
 	c := ch.ctx
 	d := &ch.doctor
 	retx := ch.qp.Counters.Retransmits
@@ -179,52 +291,8 @@ func (ch *Channel) pathScan(now sim.Time) {
 		return
 	}
 
-	dRetx := retx - d.lastRetx
-	dRNR := rnr - d.lastRNR
-	dCorrupt := corrupt - d.lastCorrupt
-	d.lastRetx, d.lastRNR, d.lastCorrupt = retx, rnr, corrupt
-	if dRetx < 0 {
-		dRetx = 0
-	}
-	if dRNR < 0 {
-		dRNR = 0
-	}
-	if dCorrupt < 0 {
-		dCorrupt = 0
-	}
-	raw := pdWeightRetx*float64(dRetx) + pdWeightRNR*float64(dRNR) + pdWeightCorrupt*float64(dCorrupt)
-
-	var mean float64
-	if d.rttCnt > 0 {
-		mean = float64(d.rttSum) / float64(d.rttCnt)
-	}
-	d.rttSum, d.rttCnt = 0, 0
-	if mean > 0 {
-		if d.baseRTT == 0 {
-			d.baseRTT = mean
-		} else if infl := mean / d.baseRTT; infl > pdRTTInflationBar {
-			contrib := (infl - pdRTTInflationBar) * pdRTTInflationWeight
-			if contrib > pdRTTContribCap {
-				contrib = pdRTTContribCap
-			}
-			raw += contrib
-		} else if raw == 0 {
-			// Symptom-free scan: keep learning the clean baseline.
-			d.baseRTT = (1-pdBaselineEWMA)*d.baseRTT + pdBaselineEWMA*mean
-		}
-	}
-
-	d.score = (1-pdEWMA)*d.score + pdEWMA*raw
-
-	v := PathClean
-	switch {
-	case d.score >= pdSickScore:
-		v = PathSick
-	case d.score >= pdSuspectScore:
-		v = PathSuspect
-	}
-	if v != d.verdict {
-		d.verdict = v
+	if d.scoreScan(retx, rnr, corrupt) {
+		v := d.verdict
 		c.tel.Flight.Record(now, telemetry.CatPathVerdict, int32(c.Node()), ch.qp.QPN, int64(v), int64(d.score*100))
 		c.tel.Trace.Instant("path.verdict", c.track, now, int64(v))
 		d.log = append(d.log, fmt.Sprintf("t=%v node=%d path=%v score=%d", now, c.Node(), v, int64(d.score*100)))
@@ -233,7 +301,7 @@ func (ch *Channel) pathScan(now sim.Time) {
 		}
 	}
 
-	switch v {
+	switch d.verdict {
 	case PathClean:
 		d.sickScans = 0
 		if d.rotations > 0 {
@@ -247,16 +315,59 @@ func (ch *Channel) pathScan(now sim.Time) {
 		d.cleanScans = 0
 	case PathSick:
 		d.cleanScans = 0
-		ch.rotateOrEscalate(now)
+		d.maybeHint(c, now, func() { ch.sendCtrl(kindPathHint) })
+		d.rotateOrEscalate(c, ch.qp.QPN, now, func(err error) { ch.fail(err) })
 	}
+}
+
+// maybeHint sends the peer a PATH_HINT when this sick episode's evidence
+// is dominated by symptoms only the peer's flow-label rotation can cure
+// (RX corrupt drops, round-trip inflation). Rate-limited by the rehash
+// cooldown so a long-sick episode nudges the peer once per settle
+// window, not once per scan.
+func (d *pathDoctor) maybeHint(c *Context, now sim.Time, send func()) {
+	if send == nil || now < d.hintMuteUntil {
+		return
+	}
+	if d.rxEvid == 0 || d.rxEvid < d.txEvid {
+		return
+	}
+	d.hintMuteUntil = now.Add(c.cfg.PathRehashCooldown)
+	d.hintsSent++
+	c.Stats.PathHints++
+	c.tel.Trace.Instant("path.hint", c.track, now, 0)
+	d.log = append(d.log, fmt.Sprintf("t=%v node=%d hint-sent", now, c.Node()))
+	send()
+}
+
+// noteHint folds a received PATH_HINT into the next scan: the peer's
+// receive side is suffering on the path OUR flow label picks. Hints in
+// a streak (separated by less than the streak window) escalate the
+// boost; a lone hint cannot push a symptom-free doctor past Suspect.
+func (d *pathDoctor) noteHint(c *Context, now sim.Time) {
+	d.hintsRecv++
+	c.Stats.PathHintsRecv++
+	if d.lastHintAt != 0 && now.Sub(d.lastHintAt) <= pdHintStreakWindowMul*c.cfg.PathRehashCooldown {
+		d.hintStreak++
+	} else {
+		d.hintStreak = 1
+	}
+	d.lastHintAt = now
+	b := pdHintBoost
+	if d.hintStreak > 1 {
+		b = 2 * pdHintBoost
+	}
+	if d.boost < b {
+		d.boost = b
+	}
+	d.log = append(d.log, fmt.Sprintf("t=%v node=%d hint-recv #%d", now, c.Node(), d.hintStreak))
 }
 
 // rotateOrEscalate is the Sick-verdict remedy: rotate the flow label
 // while the episode budget lasts, otherwise count the path as terminally
-// sick and hand the channel to the health machine.
-func (ch *Channel) rotateOrEscalate(now sim.Time) {
-	c := ch.ctx
-	d := &ch.doctor
+// sick and hand the QP's owner to the health machine through escalate
+// (ch.fail for exclusive channels, mx.fail for shared QPs).
+func (d *pathDoctor) rotateOrEscalate(c *Context, qpn uint32, now sim.Time, escalate func(error)) {
 	if now < d.cooldownUntil {
 		// Give the freshly rotated path its settle time before judging
 		// it (in-flight go-back-N recovery from the old path still bleeds
@@ -267,8 +378,8 @@ func (ch *Channel) rotateOrEscalate(now sim.Time) {
 		// Seeded label choice: deterministic per run, never zero (zero
 		// means "canonical path", the one we are fleeing).
 		label := c.rng.Uint64() | 1
-		if err := c.vctx.ModifyFlowLabel(ch.qp.QPN, label); err != nil {
-			c.logf("path doctor: rehash qpn=%d failed: %v", ch.qp.QPN, err)
+		if err := c.vctx.ModifyFlowLabel(qpn, label); err != nil {
+			c.logf("path doctor: rehash qpn=%d failed: %v", qpn, err)
 			d.sickScans++ // an unrotatable QP burns escalation credit
 		} else {
 			sickScore := int64(d.score * 100) // the score that triggered this rotation
@@ -284,10 +395,11 @@ func (ch *Channel) rotateOrEscalate(now sim.Time) {
 			// path re-crosses the sick bar within a scan or two.
 			d.score = pdSuspectScore
 			d.sickScans = 0
-			c.tel.Flight.Record(now, telemetry.CatPathRehash, int32(c.Node()), ch.qp.QPN, int64(d.rotations), int64(label&0xffff))
+			d.txEvid, d.rxEvid = 0, 0
+			c.tel.Flight.Record(now, telemetry.CatPathRehash, int32(c.Node()), qpn, int64(d.rotations), int64(label&0xffff))
 			c.tel.Trace.Instant("path.rehash", c.track, now, int64(d.rotations))
 			d.log = append(d.log, fmt.Sprintf("t=%v node=%d rehash #%d", now, c.Node(), d.rotations))
-			c.logf("path doctor: qpn=%d sick (score=%d), rotated flow label (#%d)", ch.qp.QPN, sickScore, d.rotations)
+			c.logf("path doctor: qpn=%d sick (score=%d), rotated flow label (#%d)", qpn, sickScore, d.rotations)
 			return
 		}
 	} else {
@@ -296,35 +408,50 @@ func (ch *Channel) rotateOrEscalate(now sim.Time) {
 	if d.sickScans >= pdSickScansToEscalate {
 		c.Stats.PathEscalations++
 		d.log = append(d.log, fmt.Sprintf("t=%v node=%d escalate", now, c.Node()))
-		c.logf("path doctor: qpn=%d every tried path sick, escalating to recovery", ch.qp.QPN)
+		c.logf("path doctor: qpn=%d every tried path sick, escalating to recovery", qpn)
 		d.resetEpisode()
-		ch.fail(ErrPathSick)
+		escalate(ErrPathSick)
 	}
 }
 
 // --- channel surface ---------------------------------------------------------
 
+// doctorRef resolves the doctor that owns this channel's path: the
+// shared QP's doctor when muxed (one path, one scorer, shared by every
+// channel on the QP), the channel's own otherwise.
+func (ch *Channel) doctorRef() *pathDoctor {
+	if ch.mx != nil {
+		return &ch.mx.doctor
+	}
+	return &ch.doctor
+}
+
 // PathVerdict reports the doctor's current classification of this
 // channel's network path.
-func (ch *Channel) PathVerdict() PathVerdict { return ch.doctor.verdict }
+func (ch *Channel) PathVerdict() PathVerdict { return ch.doctorRef().verdict }
 
 // PathScore reports the EWMA path score in centi-points (what the
 // path_score gauge exports).
-func (ch *Channel) PathScore() int64 { return int64(ch.doctor.score * 100) }
+func (ch *Channel) PathScore() int64 { return int64(ch.doctorRef().score * 100) }
 
-// Rehashes reports lifetime flow-label rotations on this channel.
-func (ch *Channel) Rehashes() int64 { return ch.doctor.rehashes }
+// Rehashes reports lifetime flow-label rotations on this channel's path.
+func (ch *Channel) Rehashes() int64 { return ch.doctorRef().rehashes }
 
 // FirstRehashAt reports when the doctor first rotated this channel's
 // flow label (0 = never) — drills assert the detection window with it.
-func (ch *Channel) FirstRehashAt() sim.Time { return ch.doctor.firstRehashAt }
+func (ch *Channel) FirstRehashAt() sim.Time { return ch.doctorRef().firstRehashAt }
 
 // FlowHash exposes the QP's effective ECMP flow key so experiments can
 // predict (and then brown out) the exact spine path this channel rides.
-func (ch *Channel) FlowHash() uint64 { return ch.qp.FlowHash() }
+func (ch *Channel) FlowHash() uint64 {
+	if ch.qp == nil {
+		return 0
+	}
+	return ch.qp.FlowHash()
+}
 
 // PathLog returns the doctor's deterministic verdict/rehash history.
-func (ch *Channel) PathLog() []string { return ch.doctor.log }
+func (ch *Channel) PathLog() []string { return ch.doctorRef().log }
 
 // OnPathVerdict installs an observer for verdict transitions.
 func (ch *Channel) OnPathVerdict(fn func(PathVerdict)) { ch.onPathVerdict = fn }

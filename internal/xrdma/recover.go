@@ -64,7 +64,13 @@ func (c *Context) recoverGrace() sim.Duration {
 // storms after a shared fault (a downed switch degrades many channels at
 // once).
 func (ch *Channel) recoverBackoff(attempt int) sim.Duration {
-	cfg := &ch.ctx.cfg
+	return recoverBackoffDur(ch.ctx, attempt)
+}
+
+// recoverBackoffDur is the shared dial-backoff schedule — per-channel
+// recovery and shared-QP (mux) redials draw from the same context RNG.
+func recoverBackoffDur(c *Context, attempt int) sim.Duration {
+	cfg := &c.cfg
 	d := cfg.RecoverBackoff << uint(attempt)
 	if d <= 0 || d > cfg.RecoverBackoffMax {
 		d = cfg.RecoverBackoffMax
@@ -72,7 +78,7 @@ func (ch *Channel) recoverBackoff(attempt int) sim.Duration {
 	if d <= 0 {
 		d = sim.Millisecond
 	}
-	return d - d/4 + sim.Duration(ch.ctx.rng.Float64()*float64(d)/2)
+	return d - d/4 + sim.Duration(c.rng.Float64()*float64(d)/2)
 }
 
 // enterDegraded parks a channel whose RDMA path failed: traffic is held
@@ -208,6 +214,7 @@ func (ch *Channel) dialReplacement(epoch uint64, onFail func()) {
 		}
 		var srq *rnic.SRQ
 		if c.cfg.UseSRQ {
+			c.ensureSRQ()
 			srq = c.srq
 		}
 		c.cm.Connect(ch.Peer, c.recoverPort, hello, nil, c.qpDepth(), c.sendCQ, c.recvCQ, srq, done)
@@ -289,6 +296,9 @@ func (ch *Channel) adopt(conn *verbs.Conn, bufs []Buffer, initiator bool) {
 	ch.peerQPN = conn.QP.RemoteQPN
 	c.channels[ch.qp.QPN] = ch
 	c.indexChannel(ch, ch.qp.QPN)
+	if ch.recvBufs == nil && len(bufs) > 0 {
+		ch.recvBufs = make(map[uint64]Buffer, len(bufs))
+	}
 	for _, buf := range bufs {
 		id := c.nextWRID()
 		ch.recvBufs[id] = buf
@@ -305,7 +315,7 @@ func (ch *Channel) adopt(conn *verbs.Conn, bufs []Buffer, initiator bool) {
 	ch.stallFlag = false
 	ch.lastComm = now
 	ch.lastProgress = now
-	ch.pulls = make(map[uint64]bool)
+	ch.pulls = nil // lazily re-created on the next rendezvous announce
 	c.Stats.Recoveries++
 	c.tel.Flight.Record(now, telemetry.CatChannelRecovered, int32(c.Node()), ch.qp.QPN, int64(ch.Peer), int64(now.Sub(ch.degradedAt)))
 	c.logf("channel peer=%d recovered on qpn=%d after %v (failback=%v)", ch.Peer, ch.qp.QPN, now.Sub(ch.degradedAt), failback)

@@ -44,6 +44,9 @@ func (ch *Channel) SendMsg(data []byte, size int, cb func(*Msg, error)) error {
 			}
 			rs.size = size
 		}
+		if ch.pending == nil {
+			ch.pending = make(map[uint64]*reqState)
+		}
 		ch.pending[msgID] = rs
 		ch.Counters.ReqsSent++
 	}
@@ -117,6 +120,14 @@ func (ch *Channel) enqueue(ps *pendingSend) {
 // recovered passive side holds until the peer's QP proves live.
 func (ch *Channel) pump() {
 	c := ch.ctx
+	if ch.attach != attachDone {
+		// Lazy mux descriptor: the first queued send is what triggers the
+		// QP-pool attach; traffic drains from finishAttach.
+		if len(ch.sendQ) > 0 && !ch.closed {
+			ch.requestAttach()
+		}
+		return
+	}
 	for len(ch.sendQ) > 0 && !ch.closed {
 		if ch.resumeOnRx {
 			return
@@ -202,10 +213,16 @@ func (ch *Channel) transmit(ps *pendingSend, large bool) {
 			ps.staged = Buffer{}
 		}
 	})
+	if ch.sent == nil {
+		ch.sent = make(map[uint64]*pendingSend)
+	}
 	ch.sent[seq] = ps
 	h := wireHdr{
 		Kind: kind, Seq: seq, Ack: ch.rx.ackValue(),
 		MsgID: ps.msgID, Size: uint32(ps.size),
+	}
+	if ch.mx != nil {
+		h.Chan = ch.peerCID
 	}
 	if ps.oneWay {
 		h.Flags |= flagOneWay
@@ -275,7 +292,10 @@ func (ch *Channel) transmit(ps *pendingSend, large bool) {
 		}
 	}
 	c.flow.post(ch.qp, wr, func(cqe rnic.CQE) {
-		if cqe.Status != rnic.StatusOK && !ch.closed {
+		if cqe.Status != rnic.StatusOK && !ch.closed && cqe.QPN == ch.qp.QPN {
+			// The QPN guard drops stale flushes: a recovery that already
+			// swapped in a replacement QP flushes the old one's WRs, and
+			// those completions must not re-fail the fresh transport.
 			ch.fail(fmt.Errorf("xrdma: send failed: %v", cqe.Status))
 		}
 	})
@@ -309,14 +329,19 @@ func (ch *Channel) blameSampled(msgID uint64) bool {
 
 // sendCtrl emits a window-exempt control message (ack/NOP/ping/pong).
 func (ch *Channel) sendCtrl(kind msgKind) {
-	ch.sendCtrlHdr(&wireHdr{Kind: kind, Ack: ch.rx.ackValue()})
+	ch.sendCtrlHdr(&wireHdr{Kind: kind})
 }
 
 func (ch *Channel) sendCtrlHdr(h *wireHdr) {
-	if ch.closed {
+	if ch.closed || ch.rx == nil {
+		// rx is nil only on an unattached mux descriptor — there is no wire
+		// yet to put a control frame on.
 		return
 	}
 	h.Ack = ch.rx.ackValue()
+	if ch.mx != nil {
+		h.Chan = ch.peerCID
+	}
 	if ch.mock != nil {
 		if !ch.mock.ready {
 			return
@@ -341,7 +366,9 @@ func (ch *Channel) sendCtrlHdr(h *wireHdr) {
 	h.encode(buf)
 	wr := &rnic.SendWR{Op: rnic.OpSend, Len: len(buf), Data: buf}
 	ch.ctx.flow.postDirect(ch.qp, wr, func(cqe rnic.CQE) {
-		if cqe.Status != rnic.StatusOK && !ch.closed {
+		if cqe.Status != rnic.StatusOK && !ch.closed && cqe.QPN == ch.qp.QPN {
+			// Same stale-flush guard as the data path: only the current
+			// QP's completions may fail the channel.
 			ch.fail(fmt.Errorf("xrdma: ctrl send failed: %v", cqe.Status))
 		}
 	})
@@ -422,6 +449,9 @@ func (ch *Channel) handleWire(h *wireHdr, pay []byte, overMock bool, rxBlame *te
 	switch h.Kind {
 	case kindAck:
 		ch.nopInFlight = false
+	case kindPathHint:
+		// The peer's doctor blames the path our flow label picks.
+		ch.doctorRef().noteHint(c, c.eng.Now())
 	case kindNop:
 		// Deadlock breaker: answer with an immediate ack.
 		ch.sendCtrl(kindAck)
@@ -482,6 +512,9 @@ func (ch *Channel) handleWire(h *wireHdr, pay []byte, overMock bool, rxBlame *te
 			}
 		}
 		seqNo := h.Seq
+		if ch.pulls == nil {
+			ch.pulls = make(map[uint64]bool)
+		}
 		ch.pulls[seqNo] = true
 		raddr, rkey := h.Addr, h.RKey
 		c.Mem.Alloc(size, func(buf Buffer, err error) {
@@ -568,7 +601,7 @@ func (ch *Channel) deliver(msg *Msg) {
 					ch.retryTokens = retryBudgetCap
 				}
 			}
-			ch.doctor.observeRTT(c.eng.Now().Sub(rs.sentAt))
+			ch.doctorRef().observeRTT(c.eng.Now().Sub(rs.sentAt))
 			if rs.traced || msg.Traced {
 				c.trace.onResponse(ch, msg, rs.sentAt)
 			}
@@ -602,6 +635,19 @@ type pingState struct {
 func (ch *Channel) Ping(cb func(rtt sim.Duration, offset sim.Duration, err error)) {
 	if ch.closed {
 		cb(0, 0, ErrChannelClosed)
+		return
+	}
+	if ch.attach != attachDone {
+		// Unattached mux descriptor: a ping is traffic like any other, so it
+		// triggers the lazy attach and re-issues itself once the wire is up.
+		ch.attachCBs = append(ch.attachCBs, func(err error) {
+			if err != nil {
+				cb(0, 0, err)
+				return
+			}
+			ch.Ping(cb)
+		})
+		ch.requestAttach()
 		return
 	}
 	id := ch.ctx.nextMsgID()

@@ -37,10 +37,16 @@ const (
 	kindReadDone                 // receiver finished pulling a staged buffer
 	kindPing                     // middleware-level ping (XR-Ping)
 	kindPong
+	kindChanOpen                 // mux plane: open a channel over a shared QP
+	kindChanAccept               // mux plane: accept reply carrying the acceptor's cid
+	kindChanClose                // mux plane: peer tore its half of a muxed channel down
+	kindMuxSick                  // mux plane: responder asks the initiator to redial the shared QP
+	kindPathHint                 // path doctor: receiver-side symptoms implicate the peer's TX path
 )
 
 func (k msgKind) String() string {
-	names := [...]string{"REQ", "RESP", "ACK", "NOP", "LARGE_REQ", "LARGE_RESP", "READ_DONE", "PING", "PONG"}
+	names := [...]string{"REQ", "RESP", "ACK", "NOP", "LARGE_REQ", "LARGE_RESP", "READ_DONE", "PING", "PONG",
+		"CHAN_OPEN", "CHAN_ACCEPT", "CHAN_CLOSE", "MUX_SICK", "PATH_HINT"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -73,6 +79,7 @@ type wireHdr struct {
 	Size  uint32 // application payload size
 	Addr  uint64 // staged buffer address (rendezvous kinds)
 	RKey  uint32 // staged buffer rkey
+	Chan  uint32 // receiver-side channel id (QP multiplexing; 0 = exclusive QP)
 	T1    int64  // trace: sender clock at send (req-rsp mode)
 
 	// Blame extension (flagBlame responses): the responder's mirror of
@@ -103,6 +110,9 @@ func (h *wireHdr) encode(buf []byte) int {
 	binary.LittleEndian.PutUint64(buf[26:], h.MsgID)
 	binary.LittleEndian.PutUint64(buf[34:], h.Addr)
 	binary.LittleEndian.PutUint32(buf[42:], h.RKey)
+	// Bytes 46..49 were reserved-zero until the mux plane claimed them, so
+	// a zero Chan keeps the encoding byte-identical to the legacy layout.
+	binary.LittleEndian.PutUint32(buf[46:], h.Chan)
 	n := hdrSize
 	if h.Flags&flagTraced != 0 {
 		binary.LittleEndian.PutUint64(buf[hdrSize:], uint64(h.T1))
@@ -155,6 +165,7 @@ func decodeHdr(buf []byte) (wireHdr, int, error) {
 	h.MsgID = binary.LittleEndian.Uint64(buf[26:])
 	h.Addr = binary.LittleEndian.Uint64(buf[34:])
 	h.RKey = binary.LittleEndian.Uint32(buf[42:])
+	h.Chan = binary.LittleEndian.Uint32(buf[46:])
 	n := hdrSize
 	if h.Flags&flagTraced != 0 {
 		if len(buf) < hdrSize+traceExtSize {

@@ -6,6 +6,9 @@
 # allocs/op == 0 (enforced by the CI bench smoke), as is the untraced
 # RNIC send path's. TracedSendPath is informational: its delta against
 # UntracedSendPath is the armed cost of the blame plane.
+# IdleChannelFootprint's contract is bytes/conn <= 1024 (the flyweight
+# channel budget, also CI-gated); MuxSharedQPSend is informational — one
+# request/response round trip through the shared-QP demux plane.
 #
 # Usage: scripts/bench.sh [output.json]   (default: BENCH_kernel.json)
 # Set REPRODUCE=1 to also time cmd/reproduce -full at -j 1 vs -j nproc
@@ -20,6 +23,9 @@ trap 'rm -f "$tmp"' EXIT
 go test ./internal/sim/ ./internal/telemetry/ ./internal/rnic/ -run '^$' \
     -bench 'BenchmarkEngine|BenchmarkTelemetry|BenchmarkUntracedSendPath|BenchmarkTracedSendPath' -benchmem \
     -benchtime=2s -count=1 | tee "$tmp" >&2
+go test ./internal/xrdma/ -run '^$' \
+    -bench 'BenchmarkIdleChannelFootprint|BenchmarkMuxSharedQPSend' -benchmem \
+    -benchtime=1s -count=1 | tee -a "$tmp" >&2
 
 # Baseline: container/heap scheduler + per-event heap allocation, measured
 # on the same benchmarks before the 4-ary-heap/free-list rewrite.
@@ -35,13 +41,14 @@ BEGIN {
     name = $1
     sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
-    ns = ""; allocs = ""
+    ns = ""; allocs = ""; bpc = ""
     for (i = 2; i < NF; i++) {
         if ($(i + 1) == "ns/op") ns = $i
         if ($(i + 1) == "allocs/op") allocs = $i
+        if ($(i + 1) == "bytes/conn") bpc = $i
     }
     if (ns == "") next
-    names[n] = name; nsop[n] = ns; al[n] = allocs; n++
+    names[n] = name; nsop[n] = ns; al[n] = allocs; bytesconn[n] = bpc; n++
 }
 END {
     printf "{\n  \"benchmarks\": [\n"
@@ -49,6 +56,8 @@ END {
         b = (names[i] in base) ? base[names[i]] : 0
         printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s",
                names[i], nsop[i], (al[i] == "" ? "null" : al[i])
+        if (bytesconn[i] != "")
+            printf ", \"bytes_per_conn\": %s", bytesconn[i]
         if (b > 0)
             printf ", \"baseline_ns_per_op\": %s, \"baseline_allocs_per_op\": %s, \"speedup\": %.2f",
                    b, base_allocs[names[i]], b / nsop[i]
