@@ -8,7 +8,10 @@
 // path.verdict/path.rehash flight events show live values. With -mux it
 // multiplexes channels over shared QP pools and caps per-channel gauge
 // rows, so the table shows muxed "m<cid>" rows plus the per-peer
-// aggregate rows that bound registry growth at scale.
+// aggregate rows that bound registry growth at scale. With -storm it
+// exposes an MR window on node 1 and drives one-sided READ/WRITE(+imm)
+// traffic from node 0, so the READS/WRITES/RDBYTES columns show live
+// values alongside the two-sided workload.
 package main
 
 import (
@@ -34,6 +37,7 @@ func main() {
 	gray := flag.Bool("gray", false, "brown out one spine path mid-run (path-doctor demo)")
 	mux := flag.Bool("mux", false, "multiplex channels over shared QP pools and cap per-channel gauge rows (scaling demo)")
 	blame := flag.Bool("blame", false, "sample messages onto the blame plane and print the stage-attribution table")
+	storm := flag.Bool("storm", false, "drive one-sided READ/WRITE(+imm) traffic against an MR window on node 1 (Storm-style dataplane demo)")
 	prom := flag.Bool("prom", false, "print the metric registry in Prometheus exposition format")
 	flag.Parse()
 
@@ -82,8 +86,12 @@ func main() {
 			}
 		},
 	})
+	var srvChans []*xrdma.Channel // channels accepted by node 1 (the -storm window owner)
 	c.ListenAll(7000, func(nd *cluster.Node, ch *xrdma.Channel) {
 		ch.OnMessage(func(m *xrdma.Msg) { m.Reply(nil, 128) })
+		if *storm && nd.ID == 1 {
+			srvChans = append(srvChans, ch)
+		}
 	})
 	pairs := cluster.FullMeshPairs(n)
 	var chans []*xrdma.Channel
@@ -102,6 +110,50 @@ func main() {
 			})
 		}
 		c.Eng.Run()
+	}
+	var oneSided *xrdma.Channel
+	if *storm {
+		// Node 1 exposes a window, grants it over every accepted channel's
+		// ctrl plane, and node 0 drives speculative READs plus the odd
+		// WRITE+imm against it — the responder's middleware stays asleep
+		// for the reads, yet the gauges still tick.
+		var win *xrdma.Window
+		c.Nodes[1].Ctx.ExposeWindow(32<<10, func(w *xrdma.Window, err error) {
+			if err != nil {
+				panic(err)
+			}
+			win = w
+		})
+		c.Eng.Run()
+		pat := win.Bytes()
+		for i := range pat {
+			pat[i] = byte(i*31 + 7)
+		}
+		for _, sc := range srvChans {
+			sc.GrantWindow(win)
+		}
+		for i, p := range pairs {
+			if p[0] == 0 && p[1] == 1 {
+				oneSided = chans[i]
+			}
+		}
+		c.Eng.Run()
+		rw, ok := oneSided.PeerWindow(win.ID)
+		if !ok {
+			panic("xr-stat: window grant never arrived")
+		}
+		data := make([]byte, 1024)
+		for i := 0; i < 64; i++ {
+			i := i
+			off := uint64((i % 16) * 1024)
+			c.Eng.AfterBg(sim.Duration(i+1)*500*sim.Microsecond, func() {
+				if i%4 == 3 {
+					oneSided.WriteRemote(rw, off, data, uint32(i), func(error) {})
+				} else {
+					oneSided.ReadRemote(rw, off, 1024, func([]byte, error) {})
+				}
+			})
+		}
 	}
 	var gens []*workload.OpenLoop
 	for i, ch := range chans {
@@ -140,6 +192,12 @@ func main() {
 		tel.Flight.ForceDump(c.Eng.Now(), "xr-stat: gray-path episode")
 	}
 
+	if *storm {
+		fmt.Printf("one-sided demo (node 0 → node 1): reads=%d rdbytes=%d writes=%d wrbytes=%d raerrs=%d\n\n",
+			oneSided.Counters.Reads, oneSided.Counters.ReadBytes,
+			oneSided.Counters.Writes, oneSided.Counters.WriteBytes,
+			oneSided.Counters.RemoteAccessErrs)
+	}
 	for _, nd := range c.Nodes {
 		fmt.Print(xrdma.XRStat(nd.Ctx))
 		fmt.Println()

@@ -75,6 +75,9 @@ func Experiments() []Experiment {
 		{ID: "scale", Title: "Fitting the 4000-node world: QP mux, flyweight channels, heap budget", Run: func(sc Scale) []*Table {
 			return tables(ScaleWorld(sc).Table_)
 		}},
+		{ID: "storm", Title: "Storm-style KV: one-sided speculative reads vs RPC", Run: func(sc Scale) []*Table {
+			return tables(Storm(sc).Table_)
+		}},
 		{ID: "loc", Title: "Lines-of-code comparison", Run: func(Scale) []*Table {
 			return tables(LoCComparison().Table_)
 		}},

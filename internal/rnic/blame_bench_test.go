@@ -58,3 +58,29 @@ func BenchmarkTracedSendPath(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkOneSidedReadPath drives the full one-sided requester+responder
+// pipeline — SQ pop, request packet, responder PSN sequencing + deferred
+// response job, response stream, PSN-cursor acceptance, send CQE — with a
+// zero-byte READ so the payload copy is excluded and the protocol path
+// itself is measured. Gated in CI at exactly 0 allocs/op, matching the
+// two-sided send path: read state, response jobs and headers all come
+// from the engine pools.
+func BenchmarkOneSidedReadPath(b *testing.B) {
+	r := newRig(b, DefaultConfig())
+	var wr SendWR
+	var cqes []CQE
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wr = SendWR{ID: uint64(i), Op: OpRead, Len: 0}
+		if err := r.qa.PostSend(&wr); err != nil {
+			b.Fatal(err)
+		}
+		r.eng.Run()
+		cqes = r.qa.SendCQ.PollAppend(cqes[:0], 4)
+		if len(cqes) != 1 || cqes[0].Status != StatusOK {
+			b.Fatalf("iteration %d: CQEs %+v", i, cqes)
+		}
+	}
+}

@@ -62,6 +62,14 @@ func (n *NIC) pickJob() (*txJob, sim.Time) {
 			j.dead = true
 			continue
 		}
+		if j.readyAt > now {
+			// Deferred responder work (read-response RxProcess charge):
+			// runnable once its ready time passes, closure-free.
+			if j.readyAt < earliest {
+				earliest = j.readyAt
+			}
+			continue
+		}
 		if qp.rnrBackoffUntil > now {
 			if qp.rnrBackoffUntil < earliest {
 				earliest = qp.rnrBackoffUntil
@@ -170,8 +178,10 @@ func (n *NIC) pktPhase() {
 }
 
 // startWR assigns the PSN range, moves the WR to the unacked list and arms
-// the retransmission timer. RDMA READs sit outside the PSN stream: the
-// request is guarded by its own response timer instead of hardware acks.
+// the retransmission timer. RDMA READs join the same PSN stream as sends
+// (IB-style: the request carries the first PSN and the response segments
+// consume the requester's PSN space), so one go-back-N timer covers
+// everything — there is no separate read-reliability plane.
 func (n *NIC) startWR(qp *QP, wr *SendWR) {
 	// Remove from sq.
 	for i, w := range qp.sq {
@@ -181,15 +191,6 @@ func (n *NIC) startWR(qp *QP, wr *SendWR) {
 		}
 	}
 	wr.startedAt = n.eng.Now()
-	if wr.Op == OpRead {
-		wr.packets = 1
-		if qp.pendingReads == nil {
-			qp.pendingReads = make(map[uint64]*readState)
-		}
-		readID := wr.ID ^ (uint64(qp.QPN) << 48)
-		qp.pendingReads[readID] = &readState{wr: wr}
-		return
-	}
 	pkts := (wr.Len + n.Cfg.MTU - 1) / n.Cfg.MTU
 	if pkts == 0 {
 		pkts = 1
@@ -198,6 +199,18 @@ func (n *NIC) startWR(qp *QP, wr *SendWR) {
 	wr.firstPSN = qp.nextPSN
 	wr.lastPSN = qp.nextPSN + uint32(pkts) - 1
 	qp.nextPSN += uint32(pkts)
+	if wr.Op == OpRead {
+		// One request packet on the wire; pkts PSNs reserved for the
+		// response stream. The cursor tracks response acceptance.
+		if qp.pendingReads == nil {
+			qp.pendingReads = make(map[uint64]*readState)
+		}
+		readID := wr.ID ^ (uint64(qp.QPN) << 48)
+		rs := n.pool.readState()
+		rs.wr = wr
+		rs.nextPSN = wr.firstPSN
+		qp.pendingReads[readID] = rs
+	}
 	qp.unacked = append(qp.unacked, wr)
 	qp.armRTO()
 }
@@ -212,9 +225,17 @@ func (n *NIC) buildPacket(job *txJob) (*fabric.Packet, int, bool) {
 		if seg > mtu {
 			seg = mtu
 		}
+		idx := 0
+		if mtu > 0 {
+			idx = job.offset / mtu
+		}
 		h := n.pool.hdr()
 		h.SrcQPN, h.DstQPN = qp.QPN, job.respQPN
 		h.Op, h.MsgLen, h.Offset = opReadResp, job.respLen, job.offset
+		// Response segments carry the requester's PSNs (the range the READ
+		// request reserved), so the requester accepts them in order with
+		// the same sequencing rules as everything else.
+		h.PSN = job.respPSN + uint32(idx)
 		h.First, h.Last = job.offset == 0, job.offset+seg >= job.respLen
 		h.ReadID = job.readID
 		if job.respData != nil {
@@ -296,10 +317,6 @@ func (n *NIC) finishJob(job *txJob) {
 	n.Counters.MsgsSent++
 	job.qp.Counters.MsgsSent++
 	job.qp.Counters.BytesSent += int64(wr.Len)
-	if wr.Op == OpRead {
-		// Completion arrives with the response; a retry timer guards it.
-		n.armReadTimer(job.qp, wr)
-	}
 }
 
 // emit puts a packet on the wire, subject to the fault-injection hook.
@@ -424,44 +441,14 @@ func (qp *QP) retransmitUnacked() {
 		queued[n.current.wr] = true
 	}
 	for _, wr := range qp.unacked {
-		if wr.Op == OpRead || queued[wr] {
+		if queued[wr] {
 			continue
 		}
+		// READs included: the re-enqueued job re-emits the request packet
+		// with its original PSN, and the responder re-services it
+		// idempotently (statelessly, from the PSN and length it carries).
 		j := n.pool.job()
 		j.qp, j.wr = qp, wr
 		n.enqueueJob(j)
 	}
-}
-
-// armReadTimer guards an outstanding RDMA READ against response loss.
-func (n *NIC) armReadTimer(qp *QP, wr *SendWR) {
-	readID := wr.ID ^ (uint64(qp.QPN) << 48)
-	st, ok := qp.pendingReads[readID]
-	if !ok {
-		return
-	}
-	n.eng.Cancel(st.timer)
-	st.timer = n.eng.After(n.Cfg.RetransTimeout, func() {
-		if qp.State != QPRTS {
-			return
-		}
-		if _, still := qp.pendingReads[readID]; !still {
-			return
-		}
-		st.retries++
-		if st.retries > n.Cfg.RetryLimit {
-			delete(qp.pendingReads, readID)
-			qp.enterError(StatusRetryExceeded)
-			return
-		}
-		n.Counters.Retransmits++
-		qp.Counters.Retransmits++
-		n.tel.Flight.Record(n.eng.Now(), telemetry.CatRetransmit, int32(n.Node), qp.QPN, int64(st.retries), 0)
-		n.tel.Trace.Instant("retransmit", n.track, n.eng.Now(), int64(qp.QPN))
-		st.got = 0
-		j := n.pool.job()
-		j.qp, j.wr = qp, wr
-		n.enqueueJob(j)
-		n.armReadTimer(qp, wr)
-	})
 }

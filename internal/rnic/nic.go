@@ -78,7 +78,8 @@ type Counters struct {
 	SeqNakSent, SeqNakRecv int64
 	Retransmits            int64
 	CNPSent, CNPRecv       int64
-	AccessErrors           int64
+	AccessErrors           int64 // remote-access (rkey/bounds) violations, both ends
+	LocalProtErrs          int64 // local scatter targets that resolved to no MR
 	QPCacheMisses          int64
 	QPCacheHits            int64
 	CorruptDrops           int64
@@ -96,6 +97,10 @@ type txJob struct {
 	readID   uint64
 	respData []byte
 	respLen  int
+	respPSN  uint32 // requester PSN base the response stream carries
+	// readyAt defers the job (responder-side RxProcess charge) without a
+	// per-job closure; pickJob skips it until the time passes.
+	readyAt sim.Time
 	// progress
 	offset int
 	dead   bool
@@ -216,7 +221,8 @@ func (n *NIC) registerGauges() {
 		{"retransmits", func() int64 { return c.Retransmits }},
 		{"cnp_sent", func() int64 { return c.CNPSent }},
 		{"cnp_recv", func() int64 { return c.CNPRecv }},
-		{"access_errors", func() int64 { return c.AccessErrors }},
+		{"remote_access_errs", func() int64 { return c.AccessErrors }},
+		{"local_prot_errs", func() int64 { return c.LocalProtErrs }},
 		{"corrupt_drops", func() int64 { return c.CorruptDrops }},
 		{"qp_cache_misses", func() int64 { return c.QPCacheMisses }},
 		{"qp_cache_hits", func() int64 { return c.QPCacheHits }},
@@ -360,8 +366,9 @@ func (n *NIC) modifyQPNow(qp *QP, to QPState, remote fabric.NodeID, remoteQPN ui
 		n.dropJobsFor(qp)
 		n.eng.Cancel(qp.rtoEvent)
 		n.eng.Cancel(qp.ackTimer)
-		for _, st := range qp.pendingReads {
-			n.eng.Cancel(st.timer)
+		for id, st := range qp.pendingReads {
+			delete(qp.pendingReads, id)
+			n.pool.putReadState(st)
 		}
 		if qp.assemble != nil {
 			n.pool.putAsm(qp.assemble)

@@ -1,0 +1,208 @@
+package rnic
+
+import (
+	"bytes"
+	"testing"
+
+	"xrdma/internal/fabric"
+	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
+)
+
+// mkPattern fills a deterministic payload.
+func mkPattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + 3)
+	}
+	return b
+}
+
+// TestReadRecoversFromResponseLoss drops a middle read-response segment:
+// the requester's PSN cursor stalls, the ONE shared RTO fires, go-back-N
+// re-emits the request, the responder re-services it idempotently, and
+// the duplicate leading segments are discarded by the cursor. There is no
+// read-specific timer or retry plane — the recovery must show up in the
+// same Retransmits counter the two-sided path uses.
+func TestReadRecoversFromResponseLoss(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	mr := r.b.Mem.Register(64<<10, RegNonContinuous)
+	want := mkPattern(10000) // 3 segments at MTU 4096
+	copy(mr.Slice(mr.Base, len(want)), want)
+	dropped := false
+	r.b.FaultHook = func(p *fabric.Packet) (bool, sim.Duration) {
+		h, ok := p.Payload.(*hdr)
+		if ok && h.Op == opReadResp && h.Offset == 4096 && !dropped {
+			dropped = true
+			return true, 0
+		}
+		return false, 0
+	}
+	r.qa.PostSend(&SendWR{ID: 21, Op: OpRead, Len: len(want), RAddr: mr.Base, RKey: mr.RKey})
+	r.eng.Run()
+	if !dropped {
+		t.Fatal("fault hook never dropped a response segment")
+	}
+	sc := r.qa.SendCQ.Poll(2)
+	if len(sc) != 1 || sc[0].Status != StatusOK {
+		t.Fatalf("read completion after response loss: %+v", sc)
+	}
+	if !bytes.Equal(sc[0].Data, want) {
+		t.Fatal("read data corrupted by retransmit (duplicate segment double-applied?)")
+	}
+	if r.a.Counters.Retransmits == 0 {
+		t.Fatal("recovery did not go through the shared go-back-N RTO")
+	}
+	if r.qa.State != QPRTS {
+		t.Fatalf("QP state = %v after recovery, want RTS", r.qa.State)
+	}
+	if len(r.qa.pendingReads) != 0 || len(r.qa.unacked) != 0 {
+		t.Fatalf("leaked read state: pendingReads=%d unacked=%d",
+			len(r.qa.pendingReads), len(r.qa.unacked))
+	}
+}
+
+// TestReadRecoversFromRequestLoss drops the READ request packet itself.
+func TestReadRecoversFromRequestLoss(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	mr := r.b.Mem.Register(8192, RegNonContinuous)
+	want := mkPattern(5000)
+	copy(mr.Slice(mr.Base, len(want)), want)
+	dropped := false
+	r.a.FaultHook = func(p *fabric.Packet) (bool, sim.Duration) {
+		h, ok := p.Payload.(*hdr)
+		if ok && h.Op == OpRead && !dropped {
+			dropped = true
+			return true, 0
+		}
+		return false, 0
+	}
+	r.qa.PostSend(&SendWR{ID: 22, Op: OpRead, Len: len(want), RAddr: mr.Base, RKey: mr.RKey})
+	r.eng.Run()
+	sc := r.qa.SendCQ.Poll(2)
+	if len(sc) != 1 || sc[0].Status != StatusOK || !bytes.Equal(sc[0].Data, want) {
+		t.Fatalf("read lost after request drop: %+v", sc)
+	}
+	if r.a.Counters.Retransmits == 0 {
+		t.Fatal("request loss must be recovered by the shared RTO")
+	}
+}
+
+// TestReadInterleavesWithSends posts SEND, READ, SEND on one QP: the READ
+// shares the PSN stream, a later SEND's cumulative ack must walk over the
+// still-pending READ without completing it, and all three complete in
+// posting order on the send CQ.
+func TestReadInterleavesWithSends(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	postRecvN(t, r.qb, 2, 4096)
+	mr := r.b.Mem.Register(64<<10, RegNonContinuous)
+	want := mkPattern(9000)
+	copy(mr.Slice(mr.Base, len(want)), want)
+	r.qa.PostSend(&SendWR{ID: 1, Op: OpSend, Len: 64})
+	r.qa.PostSend(&SendWR{ID: 2, Op: OpRead, Len: len(want), RAddr: mr.Base, RKey: mr.RKey})
+	r.qa.PostSend(&SendWR{ID: 3, Op: OpSend, Len: 64})
+	r.eng.Run()
+	sc := r.qa.SendCQ.Poll(4)
+	if len(sc) != 3 {
+		t.Fatalf("send CQEs = %d, want 3", len(sc))
+	}
+	for i, c := range sc {
+		if c.Status != StatusOK {
+			t.Fatalf("CQE %d: %+v", i, c)
+		}
+	}
+	var rd *CQE
+	for i := range sc {
+		if sc[i].Op == OpRead {
+			rd = &sc[i]
+		}
+	}
+	if rd == nil || !bytes.Equal(rd.Data, want) {
+		t.Fatal("interleaved READ data wrong")
+	}
+	if got := r.qb.RecvCQ.Poll(4); len(got) != 2 {
+		t.Fatalf("receiver saw %d messages, want 2 sends", len(got))
+	}
+	if len(r.qa.unacked) != 0 {
+		t.Fatalf("unacked not drained: %d", len(r.qa.unacked))
+	}
+}
+
+// TestReadAccessViolationSurfaces checks the remote-access NAK path end to
+// end: error CQE + broken QP at the requester, counters on BOTH ends, and
+// a flight-recorder event — never a silent drop.
+func TestReadAccessViolationSurfaces(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	mr := r.b.Mem.Register(4096, RegNonContinuous)
+	r.qa.PostSend(&SendWR{ID: 30, Op: OpRead, Len: 8192, RAddr: mr.Base, RKey: mr.RKey})
+	r.eng.Run()
+	sc := r.qa.SendCQ.Poll(1)
+	if len(sc) != 1 || sc[0].Status != StatusRemoteAccessErr {
+		t.Fatalf("expected remote access error, got %+v", sc)
+	}
+	if r.qa.State != QPError {
+		t.Fatal("requester QP must break on access NAK")
+	}
+	if r.b.Counters.AccessErrors == 0 || r.qb.Counters.RemoteAccessErrs == 0 {
+		t.Fatal("responder did not count the violation")
+	}
+	if r.qa.Counters.RemoteAccessErrs == 0 {
+		t.Fatal("requester did not count the violation")
+	}
+	d := r.b.tel.Flight.ForceDump(r.eng.Now(), "test")
+	found := false
+	for _, e := range d.Events {
+		if e.Cat == telemetry.CatRemoteAccess {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no remote.access flight-recorder event")
+	}
+}
+
+// TestZeroByteRead is the one-sided RTT probe: no rkey, no responder CPU,
+// no responder CQEs.
+func TestZeroByteRead(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	r.qa.PostSend(&SendWR{ID: 31, Op: OpRead, Len: 0})
+	r.eng.Run()
+	sc := r.qa.SendCQ.Poll(1)
+	if len(sc) != 1 || sc[0].Status != StatusOK {
+		t.Fatalf("zero-byte read: %+v", sc)
+	}
+	if r.qb.RecvCQ.Len() != 0 || r.qb.SendCQ.Len() != 0 {
+		t.Fatal("zero-byte read touched responder CQs")
+	}
+	if r.b.Counters.AccessErrors != 0 {
+		t.Fatal("zero-byte read must not need an rkey")
+	}
+}
+
+// TestReadResponseECNTriggersCNP: response segments are data-plane
+// traffic, so ECN marks on them must reach the responder's DCQCN limiter
+// like any other flow.
+func TestReadResponseECNTriggersCNP(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	mr := r.b.Mem.Register(128<<10, RegNonContinuous)
+	marks := 0
+	r.b.FaultHook = func(p *fabric.Packet) (bool, sim.Duration) {
+		h, ok := p.Payload.(*hdr)
+		if ok && h.Op == opReadResp {
+			p.Marked = true // force an ECN mark on every response segment
+			marks++
+		}
+		return false, 0
+	}
+	r.qa.PostSend(&SendWR{ID: 32, Op: OpRead, Len: 64 << 10, RAddr: mr.Base, RKey: mr.RKey})
+	r.eng.Run()
+	if marks == 0 {
+		t.Fatal("hook never saw a response segment")
+	}
+	if r.a.Counters.CNPSent == 0 {
+		t.Fatal("requester never notified the responder (CNP) for marked responses")
+	}
+	if r.b.Counters.CNPRecv == 0 {
+		t.Fatal("responder never received the CNP")
+	}
+}

@@ -12,9 +12,10 @@ import "xrdma/internal/sim"
 type poolKey struct{}
 
 type pools struct {
-	hdrs []*hdr
-	jobs []*txJob
-	asms []*assembly
+	hdrs  []*hdr
+	jobs  []*txJob
+	asms  []*assembly
+	reads []*readState
 }
 
 // poolsFor returns the engine's pool set, creating it on first use.
@@ -84,4 +85,22 @@ func (pl *pools) asm() *assembly {
 func (pl *pools) putAsm(a *assembly) {
 	*a = assembly{}
 	pl.asms = append(pl.asms, a)
+}
+
+// readState returns a zeroed requester-side READ cursor.
+func (pl *pools) readState() *readState {
+	if k := len(pl.reads) - 1; k >= 0 {
+		rs := pl.reads[k]
+		pl.reads[k] = nil
+		pl.reads = pl.reads[:k]
+		return rs
+	}
+	return &readState{}
+}
+
+// putReadState reclaims a READ cursor once its WR completed or flushed.
+// Any gathered data has moved into the WR/CQE by then.
+func (pl *pools) putReadState(rs *readState) {
+	*rs = readState{}
+	pl.reads = append(pl.reads, rs)
 }

@@ -226,6 +226,7 @@ type QPCounters struct {
 	CNPRecv              int64
 	SeqNakRecv           int64
 	CorruptDrops         int64 // inbound frames for this QP that failed FCS
+	RemoteAccessErrs     int64 // rkey/bounds violations (detected or NAKed back)
 
 	// Cumulative recovery residency, nanoseconds: time this QP spent
 	// waiting out retransmission timeouts and RNR backoffs. Blame
@@ -321,13 +322,16 @@ type assembly struct {
 	blame  *telemetry.PktBlame
 }
 
-// readState tracks an outstanding RDMA READ at the requester.
+// readState tracks an outstanding RDMA READ at the requester: the
+// response-stream cursor (next expected PSN within the WR's allocated
+// range) and the gathered payload. Reliability is NOT tracked here — the
+// READ WR sits in qp.unacked like any send, so loss anywhere in the
+// request/response exchange is recovered by the one go-back-N RTO.
 type readState struct {
 	wr      *SendWR
 	got     int
 	data    []byte
-	retries int
-	timer   sim.Event
+	nextPSN uint32
 }
 
 // errors returned by the posting API.
@@ -427,10 +431,12 @@ func (qp *QP) enterError(st Status) {
 	qp.rtoEvent = sim.Event{}
 	qp.nic.eng.Cancel(qp.ackTimer)
 	qp.ackTimer = sim.Event{}
+	// READ WRs are members of both pendingReads (response-stream cursor)
+	// and unacked (reliability); drop the cursors without completing so the
+	// unacked flush below raises exactly one CQE per WR.
 	for id, rs := range qp.pendingReads {
-		qp.nic.eng.Cancel(rs.timer)
-		qp.completeSend(rs.wr, st)
 		delete(qp.pendingReads, id)
+		n.pool.putReadState(rs)
 	}
 	for _, wr := range qp.unacked {
 		qp.completeSend(wr, st)
@@ -462,7 +468,13 @@ func (qp *QP) completeSend(wr *SendWR, st Status) {
 	if wr.Unsignaled && st == StatusOK {
 		return
 	}
-	qp.SendCQ.push(CQE{WRID: wr.ID, QPN: qp.QPN, Op: wr.Op, Status: st, Len: wr.Len, Imm: wr.Imm})
+	cqe := CQE{WRID: wr.ID, QPN: qp.QPN, Op: wr.Op, Status: st, Len: wr.Len, Imm: wr.Imm}
+	if wr.Op == OpRead && st == StatusOK {
+		// handleReadResp parked the gathered payload on the WR so the
+		// shared cqeDone FIFO can complete READs closure-free.
+		cqe.Data = wr.Data
+	}
+	qp.SendCQ.push(cqe)
 }
 
 // pushSendCQE schedules a send completion after d, never before an earlier

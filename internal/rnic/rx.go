@@ -52,6 +52,9 @@ func (n *NIC) HandlePacket(p *fabric.Packet) {
 		}
 	case opReadResp:
 		if qp := n.qps[h.DstQPN]; qp != nil {
+			// Response segments are data packets: an ECN mark here must
+			// reach the responder's rate limiter like any other flow.
+			n.maybeCNP(p, h)
 			qp.handleReadResp(h)
 		}
 	case OpRead:
@@ -82,8 +85,11 @@ func (n *NIC) maybeCNP(p *fabric.Packet, h *hdr) {
 }
 
 // handleReadReq services an inbound RDMA READ without any CPU
-// involvement: validate the rkey and stream the response through the
-// transmit engine.
+// involvement: sequence the request in the same PSN stream as sends,
+// validate the rkey and stream the response through the transmit engine.
+// Servicing is stateless and idempotent — a retransmitted request (PSN
+// below expected, go-back-N at the requester) re-streams the same PSN
+// range from the values the packet itself carries.
 func (n *NIC) handleReadReq(p *fabric.Packet, h *hdr) {
 	qp := n.qps[h.DstQPN]
 	if qp == nil || (qp.State != QPRTR && qp.State != QPRTS) {
@@ -91,43 +97,83 @@ func (n *NIC) handleReadReq(p *fabric.Packet, h *hdr) {
 	}
 	qp.LastComm = n.eng.Now()
 	n.maybeCNP(p, h)
-	mr, err := n.Mem.Lookup(h.RKey, h.RAddr, h.MsgLen)
-	if err != nil {
-		n.Counters.AccessErrors++
-		n.sendCtrl(p.Src, hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakAccess})
-		qp.enterError(StatusRemoteAccessErr)
+	segs := (h.MsgLen + n.Cfg.MTU - 1) / n.Cfg.MTU
+	if segs == 0 {
+		segs = 1
+	}
+	switch {
+	case h.PSN == qp.expected:
+		// Fresh request: the response stream consumes the requester's PSN
+		// range, so the receive edge jumps past it — a later SEND's
+		// cumulative ack covers the READ request too.
+		qp.expected += uint32(segs)
+		qp.nakValid = false
+	case h.PSN < qp.expected:
+		// Retransmitted request: re-service idempotently below.
+	default:
+		// Gap: something before the READ was lost; one NAK per gap.
+		if !qp.nakValid || qp.nakedAt != qp.expected {
+			qp.nakValid = true
+			qp.nakedAt = qp.expected
+			n.Counters.SeqNakSent++
+			n.sendCtrl(p.Src, hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakSeqErr, AckPSN: qp.expected})
+		}
 		return
 	}
 	var data []byte
 	if h.MsgLen > 0 {
+		// Zero-byte READs (RTT probes) need no rkey, like zero-byte writes.
+		mr, err := n.Mem.Lookup(h.RKey, h.RAddr, h.MsgLen)
+		if err != nil {
+			n.remoteAccessViolation(p.Src, h.SrcQPN, qp)
+			return
+		}
 		data = make([]byte, h.MsgLen)
 		copy(data, mr.Slice(h.RAddr, h.MsgLen))
 	}
 	// The packet and header are recycled when this handler returns; copy
-	// everything the deferred response needs.
-	src, srcQPN, readID, msgLen := p.Src, h.SrcQPN, h.ReadID, h.MsgLen
-	n.eng.After(n.Cfg.RxProcess+n.touchQP(qp.QPN), func() {
-		j := n.pool.job()
-		j.qp, j.isResp = qp, true
-		j.respTo, j.respQPN = src, srcQPN
-		j.readID, j.respData, j.respLen = readID, data, msgLen
-		n.enqueueJob(j)
-	})
+	// everything the deferred response needs into the job and let the
+	// engine's ready-time gate charge the RxProcess delay (closure-free).
+	j := n.pool.job()
+	j.qp, j.isResp = qp, true
+	j.respTo, j.respQPN = p.Src, h.SrcQPN
+	j.readID, j.respData, j.respLen = h.ReadID, data, h.MsgLen
+	j.respPSN = h.PSN
+	j.readyAt = n.eng.Now().Add(n.Cfg.RxProcess + n.touchQP(qp.QPN))
+	n.enqueueJob(j)
 }
 
-// handleReadResp accumulates response packets at the requester and
-// completes the READ WR when the last arrives.
+// remoteAccessViolation surfaces a responder-side rkey/bounds failure:
+// per-QP and node counters, a flight-recorder event, an access NAK back
+// to the requester, and the QP broken — never a silent drop.
+func (n *NIC) remoteAccessViolation(src fabric.NodeID, srcQPN uint32, qp *QP) {
+	n.Counters.AccessErrors++
+	qp.Counters.RemoteAccessErrs++
+	n.tel.Flight.Record(n.eng.Now(), telemetry.CatRemoteAccess, int32(n.Node), qp.QPN, int64(srcQPN), 0)
+	n.tel.Trace.Instant("remote.access", n.track, n.eng.Now(), int64(qp.QPN))
+	n.sendCtrl(src, hdr{Op: opNak, DstQPN: srcQPN, Nak: nakAccess})
+	qp.enterError(StatusRemoteAccessErr)
+}
+
+// handleReadResp accepts response packets at the requester in PSN order
+// and completes the READ WR when the last arrives. Response progress is
+// ack progress: it resets the retry budget and restarts the one shared
+// RTO, and duplicates from an idempotent re-service are discarded by the
+// same PSN rule that rejects retransmission overlap on the data path.
 func (qp *QP) handleReadResp(h *hdr) {
 	n := qp.nic
 	st, ok := qp.pendingReads[h.ReadID]
 	if !ok {
-		return // stale retry duplicate
+		return // duplicate of an already-completed READ
 	}
-	if h.First {
-		st.got = 0
-		if h.MsgLen > 0 && h.Data != nil {
-			st.data = make([]byte, h.MsgLen)
-		}
+	if h.PSN != st.nextPSN {
+		// Below: re-serviced segment already accepted — discard. Above: a
+		// hole in the response stream — the go-back-N RTO re-requests.
+		return
+	}
+	wr := st.wr
+	if st.data == nil && h.MsgLen > 0 && h.Data != nil {
+		st.data = make([]byte, h.MsgLen)
 	}
 	seg := len(h.Data)
 	if seg == 0 && h.MsgLen > 0 {
@@ -141,26 +187,40 @@ func (qp *QP) handleReadResp(h *hdr) {
 		copy(st.data[h.Offset:], h.Data)
 	}
 	st.got += seg
+	st.nextPSN++
+	qp.retries = 0
+	qp.resetRTO()
 	if !h.Last {
 		return
 	}
 	delete(qp.pendingReads, h.ReadID)
-	n.eng.Cancel(st.timer)
-	wr := st.wr
+	// The READ retires from the unacked list here — its response stream is
+	// its acknowledgement (cumulative acks skip over READ WRs).
+	for i, w := range qp.unacked {
+		if w == wr {
+			copy(qp.unacked[i:], qp.unacked[i+1:])
+			qp.unacked = qp.unacked[:len(qp.unacked)-1]
+			break
+		}
+	}
+	qp.resetRTO()
 	qp.Counters.BytesRecv += int64(wr.Len)
-	// Scatter into the local buffer when it is registered memory.
+	// Scatter into the local buffer when it is registered memory. A local
+	// address that resolves to no MR is counted, never silently dropped.
 	if st.data != nil && wr.Local != 0 {
 		if mr, err := n.Mem.FindLocal(wr.Local, wr.Len); err == nil {
 			copy(mr.Slice(wr.Local, wr.Len), st.data)
+		} else {
+			n.Counters.LocalProtErrs++
+			n.tel.Flight.Record(n.eng.Now(), telemetry.CatRemoteAccess, int32(n.Node), qp.QPN, int64(wr.ID), 1)
 		}
 	}
-	data := st.data
-	qp.pushSendCQE(n.Cfg.CompletionCost, func() {
-		if wr.Unsignaled {
-			return
-		}
-		qp.SendCQ.push(CQE{WRID: wr.ID, QPN: qp.QPN, Op: OpRead, Status: StatusOK, Len: wr.Len, Data: data})
-	})
+	// Park the payload on the WR and complete through the shared cqeDone
+	// FIFO — the same closure-free completion path acked sends use.
+	wr.Data = st.data
+	n.pool.putReadState(st)
+	qp.cqeDone = append(qp.cqeDone, wr)
+	qp.pushSendCQE(n.Cfg.CompletionCost, qp.cqeDoneFn)
 }
 
 // handleData sequences SEND/WRITE packets: in-order acceptance, duplicate
@@ -202,9 +262,7 @@ func (n *NIC) handleData(p *fabric.Packet, h *hdr) {
 			return
 		}
 		if (h.Op == OpSend || h.Op == OpSendImm) && h.MsgLen > wr.Len {
-			n.Counters.AccessErrors++
-			n.sendCtrl(p.Src, hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakAccess})
-			qp.enterError(StatusRemoteAccessErr)
+			n.remoteAccessViolation(p.Src, h.SrcQPN, qp)
 			return
 		}
 		a := n.pool.asm()
@@ -226,9 +284,7 @@ func (n *NIC) handleData(p *fabric.Packet, h *hdr) {
 			var err error
 			mr, err = n.Mem.Lookup(h.RKey, h.RAddr, h.MsgLen)
 			if err != nil {
-				n.Counters.AccessErrors++
-				n.sendCtrl(p.Src, hdr{Op: opNak, DstQPN: h.SrcQPN, Nak: nakAccess})
-				qp.enterError(StatusRemoteAccessErr)
+				n.remoteAccessViolation(p.Src, h.SrcQPN, qp)
 				return
 			}
 		}
@@ -309,10 +365,19 @@ func (n *NIC) deliver(qp *QP, a *assembly, h *hdr) {
 		if a.data != nil {
 			if mr, err := n.Mem.FindLocal(a.recvWR.Addr, a.msgLen); err == nil {
 				copy(mr.Slice(a.recvWR.Addr, a.msgLen), a.data)
+			} else if a.recvWR.Addr != 0 {
+				// Receive buffer no longer registered (e.g. dereg raced the
+				// delivery): data still reaches the CQE, but the dropped
+				// DMA is counted, never silent.
+				n.Counters.LocalProtErrs++
 			}
 			cqe.Data = a.data
 		}
-	} else if a.op == OpWriteImm {
+	}
+	if a.op == OpWriteImm {
+		// The recv WQE (when one was consumed) only carried the wakeup;
+		// the data landed at the remote address, and that is what the
+		// completion reports.
 		cqe.Addr = a.raddr
 	}
 	cost := n.Cfg.CompletionCost + n.touchQP(qp.QPN)
@@ -356,14 +421,23 @@ func (qp *QP) handleAck(ackPSN uint32) {
 		qp.lastSeenAck = ackPSN
 		progressed = true
 	}
-	for len(qp.unacked) > 0 {
-		wr := qp.unacked[0]
+	// READ WRs stay in the list past the cumulative ack: the responder's
+	// receive edge jumps over a READ's PSN range when it accepts the
+	// request, so a later SEND's ack can cover a READ whose response is
+	// still streaming. Only the response stream retires a READ
+	// (handleReadResp); the ack walks over it here.
+	for i := 0; i < len(qp.unacked); {
+		wr := qp.unacked[i]
 		if wr.lastPSN >= ackPSN {
 			break
 		}
+		if wr.Op == OpRead {
+			i++
+			continue
+		}
 		// Compact in place rather than re-slicing: [1:] would walk the
 		// backing array forward and force the next append to grow it.
-		copy(qp.unacked, qp.unacked[1:])
+		copy(qp.unacked[i:], qp.unacked[i+1:])
 		qp.unacked = qp.unacked[:len(qp.unacked)-1]
 		qp.cqeDone = append(qp.cqeDone, wr)
 		qp.pushSendCQE(n.Cfg.CompletionCost, qp.cqeDoneFn)
@@ -379,7 +453,13 @@ func (qp *QP) handleNak(h *hdr) {
 	n := qp.nic
 	switch h.Nak {
 	case nakAccess:
+		// Requester side of a remote-access violation: the responder
+		// already broke its half; mirror the accounting here so both ends
+		// of the wire agree on why the QP died.
 		n.Counters.AccessErrors++
+		qp.Counters.RemoteAccessErrs++
+		n.tel.Flight.Record(n.eng.Now(), telemetry.CatRemoteAccess, int32(n.Node), qp.QPN, int64(h.SrcQPN), 2)
+		n.tel.Trace.Instant("remote.access", n.track, n.eng.Now(), int64(qp.QPN))
 		qp.enterError(StatusRemoteAccessErr)
 	case nakRNR:
 		n.Counters.RNRNakRecv++

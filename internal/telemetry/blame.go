@@ -25,6 +25,8 @@ const (
 	StageRNRRecovery              // RNR-NAK backoff recovery
 	StageReassembly               // receiver reassembly: first fragment → app dispatch
 	StageHandler                  // responder app handler + reply staging
+	StageReadFetch                // one-sided READ residency: issue → data landed locally
+	StageWriteFlush               // one-sided WRITE residency: issue → remote placement acked
 	StageResidual                 // propagation, acks, completion costs — unattributed
 	StageCount
 )
@@ -39,6 +41,8 @@ var stageNames = [StageCount]string{
 	StageRNRRecovery: "recover.rnr",
 	StageReassembly:  "reassembly",
 	StageHandler:     "handler",
+	StageReadFetch:   "read.fetch",
+	StageWriteFlush:  "write.flush",
 	StageResidual:    "residual",
 }
 

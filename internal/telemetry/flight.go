@@ -43,6 +43,7 @@ const (
 	CatPathVerdict
 	CatPathRehash
 	CatReqRetry
+	CatRemoteAccess
 	catCount
 )
 
@@ -74,6 +75,7 @@ var catNames = [catCount]string{
 	CatPathVerdict:      "path.verdict",
 	CatPathRehash:       "path.rehash",
 	CatReqRetry:         "req.retry",
+	CatRemoteAccess:     "remote.access",
 }
 
 func (c Category) String() string {

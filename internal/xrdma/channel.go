@@ -60,6 +60,11 @@ type ChannelStats struct {
 	SendQueuePeak        int
 	Pings                int64
 	ReqRetries           int64
+
+	// One-sided dataplane (onesided.go).
+	Reads, Writes         int64
+	ReadBytes, WriteBytes int64
+	RemoteAccessErrs      int64
 }
 
 // Channel is an established X-RDMA connection (one QP pair plus the
@@ -129,6 +134,14 @@ type Channel struct {
 	// blameSuspect force-samples the next few requests after a slow-op
 	// incident so the blame plane always has hop logs for the tail.
 	blameSuspect int
+
+	// One-sided plane (onesided.go): windows the peer granted us, emulated
+	// reads in flight over the mock transport, and the observers.
+	remoteWins  map[uint64]RemoteWindow
+	osReads     map[uint64]*osRead
+	onWindow    func(RemoteWindow)
+	onWinRevoke func(uint64)
+	onWriteImm  func(imm uint32, addr uint64, n int)
 
 	// QP multiplexing (mux.go): cid is the context-unique channel id
 	// (0 = exclusive legacy channel) and peerCID the peer's id for this
@@ -470,6 +483,11 @@ func (ch *Channel) registerGauges() {
 		{"path_verdict", func() int64 { return int64(ch.doctorRef().verdict) }},
 		{"rehashes", func() int64 { return ch.doctorRef().rehashes }},
 		{"req_retries", func() int64 { return ch.Counters.ReqRetries }},
+		{"reads", func() int64 { return ch.Counters.Reads }},
+		{"writes", func() int64 { return ch.Counters.Writes }},
+		{"rdbytes", func() int64 { return ch.Counters.ReadBytes }},
+		{"wrbytes", func() int64 { return ch.Counters.WriteBytes }},
+		{"raerrs", func() int64 { return ch.Counters.RemoteAccessErrs }},
 	}
 	if ch.mx != nil {
 		// The shared QP a muxed channel currently rides (rnr/retx above are
@@ -658,6 +676,16 @@ func (ch *Channel) teardown(err error) {
 		}
 	}
 	ch.pending = nil
+	// In-flight emulated one-sided reads can never complete on a dead
+	// channel; fail them like pending requests.
+	for id, rs := range ch.osReads {
+		delete(ch.osReads, id)
+		if rs.cb != nil {
+			rs.cb(nil, failErr)
+		}
+	}
+	ch.osReads = nil
+	ch.remoteWins = nil
 	for _, ps := range ch.sendQ {
 		if ps.staged.Valid() {
 			c.Mem.Free(ps.staged)

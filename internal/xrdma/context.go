@@ -39,6 +39,10 @@ type Context struct {
 	wrSeq    uint64
 	msgSeq   uint64
 
+	// One-sided plane (onesided.go): exposed MR windows by window id.
+	windows map[uint64]*Window
+	winSeq  uint64
+
 	onChannel func(*Channel)
 
 	// Reused CQE buffers: pollOnce drains into these so the poll loop is
@@ -484,6 +488,12 @@ func (c *Context) dispatchRecv(cqe rnic.CQE) {
 	}
 	if cqe.Status != rnic.StatusOK {
 		ch.fail(fmt.Errorf("xrdma: recv completion error: %v", cqe.Status))
+		return
+	}
+	if cqe.Op == rnic.OpWriteImm {
+		// One-sided WRITE+imm: the payload was DMA'd straight into the
+		// target window, so the receive buffer holds no wire header.
+		ch.handleWriteImmCQE(cqe)
 		return
 	}
 	ch.handleInbound(cqe)

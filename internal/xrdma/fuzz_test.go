@@ -18,8 +18,10 @@ func FuzzDecodeHdr(f *testing.F) {
 		h.encode(buf)
 		return buf
 	}
-	// Valid headers of every kind, plain and traced.
-	for k := kindReq; k <= kindPong; k++ {
+	// Valid headers of every kind — one-sided kinds included, so the
+	// corpus always exercises the WIN_GRANT/WIN_REVOKE/READ_REQ/READ_RESP/
+	// WRITE_IMM layouts — plain and traced.
+	for k := kindReq; k <= kindWriteImm; k++ {
 		f.Add(mk(wireHdr{Kind: k, Seq: 7, Ack: 3, MsgID: 99, Size: 1024}))
 	}
 	f.Add(mk(wireHdr{Kind: kindResp, Flags: flagTraced, Seq: 1, MsgID: 2, T1: 123456789}))
@@ -27,6 +29,15 @@ func FuzzDecodeHdr(f *testing.F) {
 	f.Add(mk(wireHdr{Kind: kindResp, Flags: flagTraced | flagBlame, Seq: 6, MsgID: 7, T1: 42}))
 	f.Add(mk(wireHdr{Kind: kindReq, Flags: flagOneWay, Size: 16}))
 	f.Add(mk(wireHdr{Kind: kindLargeReq, Size: 1 << 20, Addr: 0xdeadbeef, RKey: 42}))
+	// One-sided plane shapes: a window grant (Addr/RKey/Size carry the
+	// window), a revoke (id only), an emulated READ round trip including
+	// the flagged access failure, and a WRITE+imm with a live immediate.
+	f.Add(mk(wireHdr{Kind: kindWinGrant, MsgID: 11, Addr: 0x10000, RKey: 7, Size: 65536}))
+	f.Add(mk(wireHdr{Kind: kindWinRevoke, MsgID: 11}))
+	f.Add(mk(wireHdr{Kind: kindReadReq, MsgID: 12, Addr: 0x10040, RKey: 7, Size: 256}))
+	f.Add(mk(wireHdr{Kind: kindReadResp, MsgID: 12, Size: 256}))
+	f.Add(mk(wireHdr{Kind: kindReadResp, MsgID: 13, Flags: flagRAErr}))
+	f.Add(mk(wireHdr{Kind: kindWriteImm, MsgID: 14, Addr: 0x10080, RKey: 7, Size: 64, Imm: 0xfeedface}))
 	// Hostile shapes: empty, short, bad magic, bad version, truncated
 	// trace extension, flag soup.
 	f.Add([]byte{})
@@ -43,6 +54,15 @@ func FuzzDecodeHdr(f *testing.F) {
 	f.Add(trunc[:hdrSize])
 	soup := mk(wireHdr{Kind: kindPong, Flags: 0xffff, T1: -1})
 	f.Add(soup)
+	// Hostile one-sided shapes: an unknown future kind, a WRITE+imm whose
+	// Size claims far more payload than any frame carries, and a READ
+	// response cut off mid-header.
+	unknown := mk(wireHdr{Kind: kindWriteImm + 1, Size: 64})
+	f.Add(unknown)
+	huge := mk(wireHdr{Kind: kindWriteImm, Size: ^uint32(0), Imm: 1})
+	f.Add(huge)
+	cut := mk(wireHdr{Kind: kindReadResp, MsgID: 9, Size: 512})
+	f.Add(cut[:50])
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		h, n, err := decodeHdr(b)
@@ -69,8 +89,11 @@ func FuzzDecodeHdr(f *testing.F) {
 		if m := h.encode(out); m != n {
 			t.Fatalf("re-encode wrote %d bytes, decode consumed %d", m, n)
 		}
-		if !bytes.Equal(out[:46], b[:46]) {
-			t.Fatalf("fixed fields diverge after round-trip:\n in=%x\nout=%x", b[:46], out[:46])
+		// Bytes 0..53 are all decoded fields now that the one-sided plane
+		// claimed 50..53 for the immediate; the round-trip must preserve
+		// every one of them.
+		if !bytes.Equal(out[:54], b[:54]) {
+			t.Fatalf("fixed fields diverge after round-trip:\n in=%x\nout=%x", b[:54], out[:54])
 		}
 		if h.Flags&flagTraced != 0 && !bytes.Equal(out[hdrSize:hdrSize+8], b[hdrSize:hdrSize+8]) {
 			t.Fatalf("trace extension diverges after round-trip")

@@ -115,9 +115,9 @@ func XRStat(c *Context) string {
 		fmt.Fprintf(&b, "trace ring truncated: %d records overwritten (cap %d)\n",
 			dropped, c.trace.ring.Cap())
 	}
-	fmt.Fprintf(&b, "%-6s %-6s %-9s %-9s %-10s %-10s %-7s %-6s %-6s %-6s %-8s %-6s %-6s\n",
+	fmt.Fprintf(&b, "%-6s %-6s %-9s %-9s %-10s %-10s %-7s %-6s %-6s %-6s %-8s %-6s %-6s %-6s %-6s %-9s %-6s\n",
 		"QPN", "PEER", "SENT", "RECV", "TXBYTES", "RXBYTES", "STALLS", "RNR", "RETX",
-		"SCORE", "VERDICT", "REHASH", "RETRY")
+		"SCORE", "VERDICT", "REHASH", "RETRY", "READS", "WRITES", "RDBYTES", "RAERRS")
 	// Three row families share the registry: "ch.<qpn>" (exclusive-QP
 	// channels), "mch.<cid>" (muxed channels — stable cid identity), and
 	// "peeragg.<peer>" (channels folded past ChannelGaugeLimit).
@@ -159,11 +159,12 @@ func XRStat(c *Context) string {
 	sort.Ints(cids)
 	sort.Ints(aggPeers)
 	writeRow := func(label string, r map[string]int64) {
-		fmt.Fprintf(&b, "%-6s %-6d %-9d %-9d %-10d %-10d %-7d %-6d %-6d %-6.2f %-8s %-6d %-6d\n",
+		fmt.Fprintf(&b, "%-6s %-6d %-9d %-9d %-10d %-10d %-7d %-6d %-6d %-6.2f %-8s %-6d %-6d %-6d %-6d %-9d %-6d\n",
 			label, r["peer"], r["sent"], r["recv"], r["txbytes"], r["rxbytes"],
 			r["stalls"], r["rnr"], r["retx"],
 			float64(r["path_score"])/100, PathVerdict(r["path_verdict"]).String(),
-			r["rehashes"], r["req_retries"])
+			r["rehashes"], r["req_retries"],
+			r["reads"], r["writes"], r["rdbytes"], r["raerrs"])
 	}
 	for _, q := range qpns {
 		writeRow(strconv.Itoa(q), rows[q])

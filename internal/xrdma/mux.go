@@ -268,8 +268,8 @@ func (c *Context) muxFor(peer fabric.NodeID, port int) *muxQP {
 func (c *Context) newMuxQP(pm *peerMux, slot int) *muxQP {
 	mx := &muxQP{
 		c: c, pm: pm, slot: slot, initiator: true, peer: pm.peer, port: pm.port,
-		state:  muxDialing,
-		chans:  make(map[uint32]*Channel),
+		state:    muxDialing,
+		chans:    make(map[uint32]*Channel),
 		peerCIDs: make(map[uint32]uint32),
 	}
 	c.muxQPs = append(c.muxQPs, mx)
@@ -405,8 +405,8 @@ func (c *Context) acceptMux(req *verbs.ConnReq, hello muxHello, port int) {
 	}
 	mx := &muxQP{
 		c: c, slot: hello.slot, initiator: false, peer: req.From, port: port,
-		state:  muxDialing,
-		chans:  make(map[uint32]*Channel),
+		state:    muxDialing,
+		chans:    make(map[uint32]*Channel),
 		peerCIDs: make(map[uint32]uint32),
 	}
 	c.muxQPs = append(c.muxQPs, mx)

@@ -1,0 +1,508 @@
+package xrdma
+
+import (
+	"errors"
+	"fmt"
+
+	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
+)
+
+// One-sided dataplane (§IV-C "read replace write", generalised): an MR
+// window is a dedicated registered region a context deliberately exposes
+// to a peer, granted and revoked over the existing ctrl-frame plane. The
+// peer then reads it with RDMA READ (ReadRemote) or updates it with RDMA
+// WRITE+immediate (WriteRemote) — no send window slot, no receiver wakeup
+// on reads, and reliability entirely inherited from the RNIC's shared
+// go-back-N/RTO machinery. Over the TCP mock fallback the same API is
+// emulated with READ_REQ/READ_RESP/WRITE_IMM frames so applications keep
+// working (degraded) through a §VI-C cutover.
+//
+// Ownership invariants:
+//   - A Window owns a dedicated MR; Revoke deregisters it, so any
+//     in-flight or later remote access fails with a remote-access NAK at
+//     the RNIC — revocation is enforced by the memory system, not by
+//     trusting the peer to honour the WIN_REVOKE frame.
+//   - RemoteWindow values are advisory bookkeeping: the rkey is the only
+//     capability, and the responder's Memory.Lookup bounds check is the
+//     only authority.
+
+// Errors surfaced by one-sided operations.
+var (
+	ErrRemoteAccess = errors.New("xrdma: remote access violation")
+	ErrNoPath       = errors.New("xrdma: one-sided op needs a live transport")
+)
+
+// flagRAErr marks a mock READ_RESP as a remote-access failure (the TCP
+// emulation's stand-in for the RNIC's access NAK).
+const flagRAErr = 1 << 3
+
+// Window is a locally exposed MR window.
+type Window struct {
+	ID  uint64
+	Len int
+
+	ctx     *Context
+	mr      *rnic.MR
+	revoked bool
+}
+
+// RemoteWindow is a peer-granted window: where ReadRemote/WriteRemote may
+// aim. Received via OnWindow when the peer sends a WIN_GRANT frame.
+type RemoteWindow struct {
+	ID   uint64
+	Addr uint64
+	RKey uint32
+	Len  int
+}
+
+// osRead tracks one mock-emulated READ in flight (MsgID-correlated).
+type osRead struct {
+	cb    func([]byte, error)
+	start sim.Time
+	size  int
+}
+
+// ExposeWindow registers a dedicated MR of the given size and hands the
+// window back once the (slow, RegCost-modelled) registration completes.
+// The window is not visible to any peer until GrantWindow announces it.
+func (c *Context) ExposeWindow(size int, done func(*Window, error)) {
+	c.pd.RegMR(size, c.cfg.MemMode, func(mr *rnic.MR) {
+		if mr == nil {
+			done(nil, errors.New("xrdma: window registration failed"))
+			return
+		}
+		c.winSeq++
+		w := &Window{ID: c.winSeq, Len: size, ctx: c, mr: mr}
+		if c.windows == nil {
+			c.windows = make(map[uint64]*Window)
+		}
+		c.windows[w.ID] = w
+		done(w, nil)
+	})
+}
+
+// Base returns the window's registered base address.
+func (w *Window) Base() uint64 { return w.mr.Base }
+
+// RKey returns the window's remote key.
+func (w *Window) RKey() uint32 { return w.mr.RKey }
+
+// Bytes exposes the window's backing storage (the owner's view).
+func (w *Window) Bytes() []byte { return w.mr.Slice(w.mr.Base, w.Len) }
+
+// Revoked reports whether the window has been withdrawn.
+func (w *Window) Revoked() bool { return w.revoked }
+
+// Revoke withdraws the window: the dedicated MR is deregistered, so any
+// later (or in-flight) remote access draws a remote-access NAK from the
+// RNIC. Idempotent. Peers that were granted the window should also be
+// told via RevokeWindow so they stop trying.
+func (w *Window) Revoke() {
+	if w.revoked {
+		return
+	}
+	w.revoked = true
+	delete(w.ctx.windows, w.ID)
+	w.ctx.pd.DeregMR(w.mr)
+}
+
+// lookupWindow resolves an exposed window by rkey with bounds checking —
+// the mock plane's stand-in for Memory.Lookup. At most one window holds a
+// given rkey, so the map scan is order-independent.
+func (c *Context) lookupWindow(rkey uint32, addr uint64, size int) *Window {
+	for _, w := range c.windows {
+		if w.mr.RKey != rkey {
+			continue
+		}
+		if addr >= w.mr.Base && addr+uint64(size) <= w.mr.Base+uint64(w.Len) {
+			return w
+		}
+		return nil
+	}
+	return nil
+}
+
+// GrantWindow announces a window to this channel's peer over the ctrl
+// plane. The peer observes it via OnWindow.
+func (ch *Channel) GrantWindow(w *Window) {
+	ch.sendCtrlHdr(&wireHdr{
+		Kind: kindWinGrant, MsgID: w.ID,
+		Addr: w.mr.Base, RKey: w.mr.RKey, Size: uint32(w.Len),
+	})
+}
+
+// RevokeWindow tells the peer the window is gone and enforces the
+// revocation locally (deregistering the MR). The frame is advisory; the
+// deregistration is the guarantee.
+func (ch *Channel) RevokeWindow(w *Window) {
+	ch.sendCtrlHdr(&wireHdr{Kind: kindWinRevoke, MsgID: w.ID})
+	w.Revoke()
+}
+
+// OnWindow installs the observer for peer-granted windows.
+func (ch *Channel) OnWindow(fn func(RemoteWindow)) { ch.onWindow = fn }
+
+// OnWindowRevoke installs the observer for peer-revoked windows (called
+// with the window id).
+func (ch *Channel) OnWindowRevoke(fn func(uint64)) { ch.onWinRevoke = fn }
+
+// OnWriteImm installs the handler for inbound one-sided WRITE+imm: the
+// data is already placed in the target window when the handler runs; imm,
+// the landing address and the length are all it gets — by design, the
+// whole point of the immediate is a wakeup without a message body.
+func (ch *Channel) OnWriteImm(fn func(imm uint32, addr uint64, n int)) { ch.onWriteImm = fn }
+
+// PeerWindow returns a previously granted remote window by id.
+func (ch *Channel) PeerWindow(id uint64) (RemoteWindow, bool) {
+	rw, ok := ch.remoteWins[id]
+	return rw, ok
+}
+
+// ReadRemote pulls size bytes from the peer window at offset off using
+// fragmented RDMA READ (flow-controlled like the rendezvous path). cb
+// receives the data — valid only during the callback — or an error; a
+// remote-access NAK surfaces as ErrRemoteAccess wrapped in the error and
+// breaks the channel, exactly as the hardware would break the QP. Over
+// the TCP mock the read is emulated with READ_REQ/READ_RESP frames.
+func (ch *Channel) ReadRemote(win RemoteWindow, off uint64, size int, cb func([]byte, error)) {
+	c := ch.ctx
+	if ch.closed {
+		cb(nil, ErrChannelClosed)
+		return
+	}
+	if ch.attach != attachDone {
+		ch.attachCBs = append(ch.attachCBs, func(err error) {
+			if err != nil {
+				cb(nil, err)
+				return
+			}
+			ch.ReadRemote(win, off, size, cb)
+		})
+		ch.requestAttach()
+		return
+	}
+	start := c.eng.Now()
+	id := c.nextMsgID()
+	ch.Counters.Reads++
+	if ch.mock != nil {
+		if !ch.mock.ready {
+			cb(nil, ErrNoPath)
+			return
+		}
+		if ch.osReads == nil {
+			ch.osReads = make(map[uint64]*osRead)
+		}
+		ch.osReads[id] = &osRead{cb: cb, start: start, size: size}
+		ch.sendCtrlHdr(&wireHdr{
+			Kind: kindReadReq, MsgID: id,
+			Addr: win.Addr + off, RKey: win.RKey, Size: uint32(size),
+		})
+		return
+	}
+	if ch.health != HealthHealthy {
+		// Speculative op with no path: fail fast so the caller's RPC
+		// fallback engages instead of queueing behind recovery.
+		cb(nil, ErrNoPath)
+		return
+	}
+	if size == 0 {
+		// Zero-byte probe: no buffer, no rkey check — an RTT measurement.
+		c.flow.fetchRemote(ch.qp, win.Addr+off, win.RKey, Buffer{}, 0, func(st rnic.Status) {
+			ch.readDone(id, start, 0, Buffer{}, st, cb)
+		})
+		return
+	}
+	c.Mem.Alloc(size, func(buf Buffer, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		if ch.closed || ch.mock != nil || ch.health != HealthHealthy {
+			c.Mem.Free(buf)
+			cb(nil, ErrNoPath)
+			return
+		}
+		c.flow.fetchRemote(ch.qp, win.Addr+off, win.RKey, buf, size, func(st rnic.Status) {
+			ch.readDone(id, start, size, buf, st, cb)
+		})
+	})
+}
+
+// readDone completes one RDMA-path ReadRemote: stats, blame, callback,
+// buffer reclamation, and channel failure on a broken QP.
+func (ch *Channel) readDone(id uint64, start sim.Time, size int, buf Buffer, st rnic.Status, cb func([]byte, error)) {
+	c := ch.ctx
+	if st != rnic.StatusOK {
+		if buf.Valid() {
+			c.Mem.Free(buf)
+		}
+		err := fmt.Errorf("xrdma: remote read failed: %v: %w", st, ErrRemoteAccess)
+		if st != rnic.StatusRemoteAccessErr {
+			err = fmt.Errorf("xrdma: remote read failed: %v", st)
+		} else {
+			ch.Counters.RemoteAccessErrs++
+		}
+		cb(nil, err)
+		if !ch.closed && st != rnic.StatusFlushed {
+			// The QP broke under the read (access NAK, retry exhaustion):
+			// hand the channel to the health machinery like any send fault.
+			ch.fail(err)
+		}
+		return
+	}
+	ch.Counters.ReadBytes += int64(size)
+	ch.noteOneSided(telemetry.StageReadFetch, id, start)
+	if buf.Valid() {
+		cb(buf.Bytes()[:size], nil)
+		c.Mem.Free(buf)
+	} else {
+		cb(nil, nil)
+	}
+}
+
+// WriteRemote places data into the peer window at offset off with RDMA
+// WRITE+immediate; the peer's OnWriteImm handler fires with imm once the
+// data is placed. cb(nil) fires when the local completion (hardware ack)
+// confirms remote placement. Over the TCP mock the write travels inline
+// as a WRITE_IMM frame and cb fires on TCP delivery.
+func (ch *Channel) WriteRemote(win RemoteWindow, off uint64, data []byte, imm uint32, cb func(error)) {
+	c := ch.ctx
+	if ch.closed {
+		cb(ErrChannelClosed)
+		return
+	}
+	if ch.attach != attachDone {
+		ch.attachCBs = append(ch.attachCBs, func(err error) {
+			if err != nil {
+				cb(err)
+				return
+			}
+			ch.WriteRemote(win, off, data, imm, cb)
+		})
+		ch.requestAttach()
+		return
+	}
+	start := c.eng.Now()
+	id := c.nextMsgID()
+	ch.Counters.Writes++
+	if ch.mock != nil {
+		if !ch.mock.ready {
+			cb(ErrNoPath)
+			return
+		}
+		h := &wireHdr{
+			Kind: kindWriteImm, MsgID: id, Imm: imm,
+			Addr: win.Addr + off, RKey: win.RKey, Size: uint32(len(data)),
+		}
+		ch.sendCtrlPayload(h, data, func(err error) {
+			if err != nil {
+				cb(err)
+				return
+			}
+			ch.Counters.WriteBytes += int64(len(data))
+			ch.noteOneSided(telemetry.StageWriteFlush, id, start)
+			cb(nil)
+		})
+		return
+	}
+	if ch.health != HealthHealthy {
+		cb(ErrNoPath)
+		return
+	}
+	wr := &rnic.SendWR{
+		Op: rnic.OpWriteImm, Len: len(data), Data: data,
+		RAddr: win.Addr + off, RKey: win.RKey, Imm: imm,
+	}
+	c.flow.post(ch.qp, wr, func(cqe rnic.CQE) {
+		if cqe.Status != rnic.StatusOK {
+			err := fmt.Errorf("xrdma: remote write failed: %v", cqe.Status)
+			if cqe.Status == rnic.StatusRemoteAccessErr {
+				ch.Counters.RemoteAccessErrs++
+				err = fmt.Errorf("xrdma: remote write failed: %v: %w", cqe.Status, ErrRemoteAccess)
+			}
+			cb(err)
+			if !ch.closed && cqe.Status != rnic.StatusFlushed && cqe.QPN == ch.qp.QPN {
+				ch.fail(err)
+			}
+			return
+		}
+		ch.Counters.WriteBytes += int64(len(data))
+		ch.noteOneSided(telemetry.StageWriteFlush, id, start)
+		cb(nil)
+	})
+	ch.lastComm = c.eng.Now()
+}
+
+// noteOneSided attributes one completed one-sided op to its blame stage:
+// a timeline span always (when tracing is on), plus a blame record when
+// the op falls in the causal-trace sample — the same sampling policy the
+// two-sided plane uses.
+func (ch *Channel) noteOneSided(stage telemetry.Stage, id uint64, start sim.Time) {
+	c := ch.ctx
+	d := c.eng.Now().Sub(start)
+	c.tel.Trace.Complete(stage.String(), c.track, start, d, int64(id))
+	if c.cfg.ReqRspMode && ch.mock == nil && ch.blameSampled(id) {
+		rec := telemetry.BlameRec{
+			MsgID: id, Node: int32(c.Node()), QPN: ch.qp.QPN,
+			At: start, RTT: d,
+		}
+		rec.Dur[stage] = d
+		c.tel.Blame.Observe(&rec)
+	}
+}
+
+// --- inbound (ctrl-plane + mock emulation) ----------------------------------
+
+// handleWinGrant records a peer-granted window.
+func (ch *Channel) handleWinGrant(h *wireHdr) {
+	rw := RemoteWindow{ID: h.MsgID, Addr: h.Addr, RKey: h.RKey, Len: int(h.Size)}
+	if ch.remoteWins == nil {
+		ch.remoteWins = make(map[uint64]RemoteWindow)
+	}
+	ch.remoteWins[h.MsgID] = rw
+	if ch.onWindow != nil {
+		ch.onWindow(rw)
+	}
+}
+
+// handleWinRevoke forgets a peer-revoked window.
+func (ch *Channel) handleWinRevoke(h *wireHdr) {
+	delete(ch.remoteWins, h.MsgID)
+	if ch.onWinRevoke != nil {
+		ch.onWinRevoke(h.MsgID)
+	}
+}
+
+// serveMockRead answers an emulated READ: bounds-check against the
+// exposed windows (the mock plane's Memory.Lookup) and reply with the
+// bytes or a flagged access failure — never a silent drop.
+func (ch *Channel) serveMockRead(h *wireHdr) {
+	c := ch.ctx
+	size := int(h.Size)
+	w := c.lookupWindow(h.RKey, h.Addr, size)
+	if w == nil && size > 0 {
+		ch.Counters.RemoteAccessErrs++
+		now := c.eng.Now()
+		c.tel.Flight.Record(now, telemetry.CatRemoteAccess, int32(c.Node()), ch.QPN(), int64(ch.Peer), 3)
+		c.tel.Trace.Instant("remote.access", c.track, now, int64(h.MsgID))
+		ch.sendCtrlHdr(&wireHdr{Kind: kindReadResp, MsgID: h.MsgID, Flags: flagRAErr})
+		return
+	}
+	resp := &wireHdr{Kind: kindReadResp, MsgID: h.MsgID, Size: h.Size}
+	var data []byte
+	if size > 0 {
+		data = w.mr.Slice(h.Addr, size)
+	}
+	ch.sendCtrlPayload(resp, data, nil)
+}
+
+// resolveMockRead completes an emulated READ at the requester.
+func (ch *Channel) resolveMockRead(h *wireHdr, pay []byte) {
+	st, ok := ch.osReads[h.MsgID]
+	if !ok {
+		return
+	}
+	delete(ch.osReads, h.MsgID)
+	if h.Flags&flagRAErr != 0 {
+		ch.Counters.RemoteAccessErrs++
+		st.cb(nil, ErrRemoteAccess)
+		return
+	}
+	ch.Counters.ReadBytes += int64(h.Size)
+	ch.noteOneSided(telemetry.StageReadFetch, h.MsgID, st.start)
+	st.cb(pay, nil)
+}
+
+// applyMockWrite places an emulated WRITE+imm into the target window and
+// wakes the application, mirroring the RNIC's DMA + immediate delivery.
+// A violation is counted and flight-recorded on the responder (the mock
+// transport has no NAK to send back — the write already "completed" at
+// the TCP layer).
+func (ch *Channel) applyMockWrite(h *wireHdr, pay []byte) {
+	c := ch.ctx
+	size := int(h.Size)
+	w := c.lookupWindow(h.RKey, h.Addr, size)
+	if w == nil && size > 0 {
+		ch.Counters.RemoteAccessErrs++
+		now := c.eng.Now()
+		c.tel.Flight.Record(now, telemetry.CatRemoteAccess, int32(c.Node()), ch.QPN(), int64(ch.Peer), 4)
+		c.tel.Trace.Instant("remote.access", c.track, now, int64(h.MsgID))
+		return
+	}
+	if size > 0 && pay != nil {
+		copy(w.mr.Slice(h.Addr, size), pay)
+	}
+	if ch.onWriteImm != nil {
+		ch.onWriteImm(h.Imm, h.Addr, size)
+	}
+}
+
+// handleWriteImmCQE delivers an RDMA-path inbound WRITE+imm: the NIC
+// already placed the data in the window MR; the consumed receive WQE is
+// reposted and the immediate handed to the application. Runs before
+// header decoding in dispatchRecv — a WRITE+imm carries no wire header in
+// the receive buffer.
+func (ch *Channel) handleWriteImmCQE(cqe rnic.CQE) {
+	ch.lastComm = ch.ctx.eng.Now()
+	ch.repostRecv(cqe.WRID)
+	if ch.onWriteImm != nil {
+		ch.onWriteImm(cqe.Imm, cqe.Addr, cqe.Len)
+	}
+}
+
+// sendCtrlPayload emits a window-exempt ctrl frame carrying a payload
+// (mock READ_RESP / WRITE_IMM emulation; RDMA ctrl frames ride SEND). cb,
+// when non-nil, fires once the frame is handed to the transport.
+func (ch *Channel) sendCtrlPayload(h *wireHdr, data []byte, cb func(error)) {
+	if ch.closed || ch.rx == nil {
+		if cb != nil {
+			cb(ErrChannelClosed)
+		}
+		return
+	}
+	h.Ack = ch.rx.ackValue()
+	if ch.mx != nil {
+		h.Chan = ch.peerCID
+	}
+	hb := h.wireBytes()
+	buf := make([]byte, hb+len(data))
+	h.encode(buf)
+	copy(buf[hb:], data)
+	if ch.mock != nil {
+		if !ch.mock.ready {
+			if cb != nil {
+				cb(ErrNoPath)
+			}
+			return
+		}
+		ch.mock.conn.Send(buf, len(buf), cb)
+		ch.noteAckCarried()
+		ch.lastComm = ch.ctx.eng.Now()
+		return
+	}
+	if ch.health != HealthHealthy || ch.resumeOnRx {
+		if cb != nil {
+			cb(ErrNoPath)
+		}
+		return
+	}
+	wr := &rnic.SendWR{Op: rnic.OpSend, Len: len(buf), Data: buf}
+	ch.ctx.flow.postDirect(ch.qp, wr, func(cqe rnic.CQE) {
+		if cqe.Status != rnic.StatusOK {
+			if cb != nil {
+				cb(fmt.Errorf("xrdma: ctrl send failed: %v", cqe.Status))
+			}
+			if !ch.closed && cqe.QPN == ch.qp.QPN {
+				ch.fail(fmt.Errorf("xrdma: ctrl send failed: %v", cqe.Status))
+			}
+			return
+		}
+		if cb != nil {
+			cb(nil)
+		}
+	})
+	ch.noteAckCarried()
+	ch.lastComm = ch.ctx.eng.Now()
+}

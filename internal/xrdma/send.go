@@ -463,6 +463,16 @@ func (ch *Channel) handleWire(h *wireHdr, pay []byte, overMock bool, rxBlame *te
 		ch.sendCtrlHdr(pong)
 	case kindPong:
 		ch.resolvePing(h)
+	case kindWinGrant:
+		ch.handleWinGrant(h)
+	case kindWinRevoke:
+		ch.handleWinRevoke(h)
+	case kindReadReq:
+		ch.serveMockRead(h)
+	case kindReadResp:
+		ch.resolveMockRead(h, pay)
+	case kindWriteImm:
+		ch.applyMockWrite(h, pay)
 	case kindReq, kindResp:
 		size := int(h.Size)
 		msg := &Msg{
@@ -530,6 +540,7 @@ func (ch *Channel) handleWire(h *wireHdr, pay []byte, overMock bool, rxBlame *te
 				ch.fail(fmt.Errorf("xrdma: rendezvous alloc: %w", err))
 				return
 			}
+			pullStart := c.eng.Now()
 			c.flow.fetchRemote(ch.qp, raddr, rkey, buf, size, func(st rnic.Status) {
 				delete(ch.pulls, seqNo)
 				if ch.closed {
@@ -541,6 +552,10 @@ func (ch *Channel) handleWire(h *wireHdr, pay []byte, overMock bool, rxBlame *te
 					ch.fail(fmt.Errorf("xrdma: rendezvous read failed: %v", st))
 					return
 				}
+				// The pull is one-sided READ residency: attribute it to the
+				// read.fetch stage on the timeline.
+				c.tel.Trace.Complete(telemetry.StageReadFetch.String(), c.track,
+					pullStart, c.eng.Now().Sub(pullStart), int64(h.MsgID))
 				if ch.rx.isRecved(seqNo) {
 					// A replayed announce re-pulled this message and won
 					// the race; drop the duplicate payload.

@@ -37,16 +37,22 @@ const (
 	kindReadDone                 // receiver finished pulling a staged buffer
 	kindPing                     // middleware-level ping (XR-Ping)
 	kindPong
-	kindChanOpen                 // mux plane: open a channel over a shared QP
-	kindChanAccept               // mux plane: accept reply carrying the acceptor's cid
-	kindChanClose                // mux plane: peer tore its half of a muxed channel down
-	kindMuxSick                  // mux plane: responder asks the initiator to redial the shared QP
-	kindPathHint                 // path doctor: receiver-side symptoms implicate the peer's TX path
+	kindChanOpen   // mux plane: open a channel over a shared QP
+	kindChanAccept // mux plane: accept reply carrying the acceptor's cid
+	kindChanClose  // mux plane: peer tore its half of a muxed channel down
+	kindMuxSick    // mux plane: responder asks the initiator to redial the shared QP
+	kindPathHint   // path doctor: receiver-side symptoms implicate the peer's TX path
+	kindWinGrant   // one-sided plane: peer exposes an MR window (Addr/RKey/Size, MsgID = window id)
+	kindWinRevoke  // one-sided plane: peer withdrew a window (MsgID = window id)
+	kindReadReq    // one-sided plane, mock fallback: emulated RDMA READ request
+	kindReadResp   // one-sided plane, mock fallback: emulated READ response segment, payload inline
+	kindWriteImm   // one-sided plane, mock fallback: emulated WRITE+imm, payload inline, Imm notifies
 )
 
 func (k msgKind) String() string {
 	names := [...]string{"REQ", "RESP", "ACK", "NOP", "LARGE_REQ", "LARGE_RESP", "READ_DONE", "PING", "PONG",
-		"CHAN_OPEN", "CHAN_ACCEPT", "CHAN_CLOSE", "MUX_SICK", "PATH_HINT"}
+		"CHAN_OPEN", "CHAN_ACCEPT", "CHAN_CLOSE", "MUX_SICK", "PATH_HINT",
+		"WIN_GRANT", "WIN_REVOKE", "READ_REQ", "READ_RESP", "WRITE_IMM"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -54,7 +60,10 @@ func (k msgKind) String() string {
 }
 
 // windowed reports whether this kind occupies a seq-ack window slot.
-// Control messages are window-exempt so acks can always flow.
+// Control messages are window-exempt so acks can always flow; the
+// one-sided kinds are window-exempt by design — real RDMA READ/WRITE
+// never wakes the receiver's send window, and the mock emulation must
+// preserve that property.
 func (k msgKind) windowed() bool {
 	switch k {
 	case kindReq, kindResp, kindLargeReq, kindLargeResp:
@@ -78,8 +87,9 @@ type wireHdr struct {
 	MsgID uint64 // request/response correlation
 	Size  uint32 // application payload size
 	Addr  uint64 // staged buffer address (rendezvous kinds)
-	RKey  uint32 // staged buffer rkey
+	RKey  uint32 // staged buffer / window rkey
 	Chan  uint32 // receiver-side channel id (QP multiplexing; 0 = exclusive QP)
+	Imm   uint32 // WRITE+imm immediate value (one-sided kinds; 0 otherwise)
 	T1    int64  // trace: sender clock at send (req-rsp mode)
 
 	// Blame extension (flagBlame responses): the responder's mirror of
@@ -113,6 +123,9 @@ func (h *wireHdr) encode(buf []byte) int {
 	// Bytes 46..49 were reserved-zero until the mux plane claimed them, so
 	// a zero Chan keeps the encoding byte-identical to the legacy layout.
 	binary.LittleEndian.PutUint32(buf[46:], h.Chan)
+	// Bytes 50..53 likewise sat in the padding until the one-sided plane
+	// claimed them for the immediate value.
+	binary.LittleEndian.PutUint32(buf[50:], h.Imm)
 	n := hdrSize
 	if h.Flags&flagTraced != 0 {
 		binary.LittleEndian.PutUint64(buf[hdrSize:], uint64(h.T1))
@@ -166,6 +179,7 @@ func decodeHdr(buf []byte) (wireHdr, int, error) {
 	h.Addr = binary.LittleEndian.Uint64(buf[34:])
 	h.RKey = binary.LittleEndian.Uint32(buf[42:])
 	h.Chan = binary.LittleEndian.Uint32(buf[46:])
+	h.Imm = binary.LittleEndian.Uint32(buf[50:])
 	n := hdrSize
 	if h.Flags&flagTraced != 0 {
 		if len(buf) < hdrSize+traceExtSize {

@@ -3,9 +3,10 @@
 # emit BENCH_kernel.json: current ns/op + allocs/op per benchmark next to
 # the committed container/heap baseline, with the speedup factor.
 # Telemetry benchmarks have no pre-rewrite baseline; their contract is
-# allocs/op == 0 (enforced by the CI bench smoke), as is the untraced
-# RNIC send path's. TracedSendPath is informational: its delta against
-# UntracedSendPath is the armed cost of the blame plane.
+# allocs/op == 0 (enforced by the CI bench smoke), as are the untraced
+# RNIC send path's and the one-sided READ requester path's. TracedSendPath
+# is informational: its delta against UntracedSendPath is the armed cost
+# of the blame plane.
 # IdleChannelFootprint's contract is bytes/conn <= 1024 (the flyweight
 # channel budget, also CI-gated); MuxSharedQPSend is informational — one
 # request/response round trip through the shared-QP demux plane.
@@ -21,7 +22,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test ./internal/sim/ ./internal/telemetry/ ./internal/rnic/ -run '^$' \
-    -bench 'BenchmarkEngine|BenchmarkTelemetry|BenchmarkUntracedSendPath|BenchmarkTracedSendPath' -benchmem \
+    -bench 'BenchmarkEngine|BenchmarkTelemetry|BenchmarkUntracedSendPath|BenchmarkTracedSendPath|BenchmarkOneSidedReadPath' -benchmem \
     -benchtime=2s -count=1 | tee "$tmp" >&2
 go test ./internal/xrdma/ -run '^$' \
     -bench 'BenchmarkIdleChannelFootprint|BenchmarkMuxSharedQPSend' -benchmem \
