@@ -11,7 +11,10 @@
 // aggregate rows that bound registry growth at scale. With -storm it
 // exposes an MR window on node 1 and drives one-sided READ/WRITE(+imm)
 // traffic from node 0, so the READS/WRITES/RDBYTES columns show live
-// values alongside the two-sided workload.
+// values alongside the two-sided workload. With -tenants it configures a
+// weighted mouse/elephant tenant pair on one shared QP and overdrives the
+// elephant's memory budget, so node 0's TENANT table and the
+// tenant.budget/tenant.shed flight dumps show live values.
 package main
 
 import (
@@ -38,6 +41,7 @@ func main() {
 	mux := flag.Bool("mux", false, "multiplex channels over shared QP pools and cap per-channel gauge rows (scaling demo)")
 	blame := flag.Bool("blame", false, "sample messages onto the blame plane and print the stage-attribution table")
 	storm := flag.Bool("storm", false, "drive one-sided READ/WRITE(+imm) traffic against an MR window on node 1 (Storm-style dataplane demo)")
+	tenants := flag.Bool("tenants", false, "run a mouse/elephant tenant pair on one shared QP with QoS limits (multi-tenant isolation demo)")
 	prom := flag.Bool("prom", false, "print the metric registry in Prometheus exposition format")
 	flag.Parse()
 
@@ -83,6 +87,22 @@ func main() {
 				// channels.
 				cfg.QPsPerPeer = 2
 				cfg.ChannelGaugeLimit = 4
+			}
+			if *tenants {
+				// Tenant demo: both tenants share ONE mux QP so the DRR
+				// scheduler arbitrates, and the elephant's memory budget
+				// is small enough that its rendezvous streams overrun it
+				// (ErrTenantBudget → MEMREJ column + shed flight dumps).
+				cfg.QPsPerPeer = 1
+				cfg.TenantShedCooldown = 5 * sim.Millisecond
+				cfg.Tenants = []xrdma.TenantConfig{
+					{Name: "mouse", Weight: 8},
+					{Name: "elephant", Weight: 1,
+						RateBps:    1 << 30,
+						BurstBytes: 64 << 10,
+						SendWindow: 16,
+						MemBudget:  40 << 10},
+				}
 			}
 		},
 	})
@@ -153,6 +173,44 @@ func main() {
 					oneSided.ReadRemote(rw, off, 1024, func([]byte, error) {})
 				}
 			})
+		}
+	}
+	if *tenants {
+		// Labelled channels node 0 → node 1: one latency-sensitive mouse
+		// ticking small requests, one elephant running two concurrent
+		// 32 KiB rendezvous streams (the second overruns the 40 KiB memory
+		// budget, rejecting loudly) plus a 4 KiB closed loop that keeps the
+		// token bucket and DRR busy.
+		ctx0 := c.Nodes[0].Ctx
+		mouseCh, err := ctx0.ChannelTo(c.Nodes[1].ID, 7000, xrdma.WithTenant("mouse"))
+		if err != nil {
+			panic(err)
+		}
+		eleCh, err := ctx0.ChannelTo(c.Nodes[1].ID, 7000, xrdma.WithTenant("elephant"))
+		if err != nil {
+			panic(err)
+		}
+		var tick func()
+		tick = func() {
+			mouseCh.SendMsg(nil, 64, func(*xrdma.Msg, error) {})
+			c.Eng.AfterBg(200*sim.Microsecond, tick)
+		}
+		c.Eng.AfterBg(200*sim.Microsecond, tick)
+		var inline func()
+		inline = func() { eleCh.SendMsg(nil, 4096, func(*xrdma.Msg, error) { inline() }) }
+		c.Eng.AfterBg(50*sim.Microsecond, inline)
+		for s := 0; s < 2; s++ {
+			var pump func()
+			pump = func() {
+				eleCh.SendMsg(nil, 32<<10, func(_ *xrdma.Msg, err error) {
+					if err != nil {
+						c.Eng.AfterBg(1*sim.Millisecond, pump)
+						return
+					}
+					pump()
+				})
+			}
+			c.Eng.AfterBg(sim.Duration(s+1)*100*sim.Microsecond, pump)
 		}
 	}
 	var gens []*workload.OpenLoop

@@ -5,17 +5,23 @@
 // channel fall back to TCP, read the slow-poll log after the application
 // hogs its thread, and brown out a spine path to watch the path doctor
 // walk the verdict ladder, re-path via an ECMP flow-label rotation, and
-// cover a withheld response with a budgeted request retry.
+// cover a withheld response with a budgeted request retry. The closing
+// drill overloads a shared mux QP with a bulk elephant tenant and watches
+// the isolation plane hold the mouse tenant's tail, reject budget
+// overruns loudly, shed a late attach into the admission FIFO, and
+// recover everything once the flood stops.
 package main
 
 import (
 	"fmt"
+	"sort"
 
 	"xrdma/internal/chaos"
 	"xrdma/internal/cluster"
 	"xrdma/internal/fabric"
 	"xrdma/internal/rnic"
 	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
 	"xrdma/internal/xrdma"
 )
 
@@ -333,8 +339,138 @@ func main() {
 		fmt.Println("  " + line)
 	}
 
+	// ---- drill 8: multi-tenant overload — elephant vs mouse ------------
+	// Two tenants share ONE mux QP: a latency-sensitive mouse (weight 8)
+	// and a bulk elephant (weight 1, rate/window/memory-limited). The
+	// elephant floods the shared SQ and overruns its 40 KiB staging
+	// budget; the DRR scheduler and the elephant's own limits hold the
+	// mouse's tail, budget breaches reject loudly (never stall) and trip
+	// a flight dump naming the culprit tenant, a late elephant attach is
+	// shed into the admission FIFO, and once the flood stops the mouse's
+	// tail and the queued attach both recover.
+	c8 := cluster.New(cluster.Options{
+		Topology: fabric.SmallClos(),
+		Nodes:    8,
+		Config: func(node int, cfg *xrdma.Config) {
+			cfg.QPsPerPeer = 1
+			cfg.AttachAdmission = 4
+			cfg.TenantShedCooldown = 20 * sim.Millisecond
+			cfg.Tenants = []xrdma.TenantConfig{
+				{Name: "mouse", Weight: 8},
+				{Name: "elephant", Weight: 1,
+					RateBps:    1 << 30,
+					BurstBytes: 64 << 10,
+					SendWindow: 16,
+					MemBudget:  40 << 10},
+			}
+		},
+	})
+	c8.ListenAll(7000, func(n *cluster.Node, ch *xrdma.Channel) {
+		ch.OnMessage(func(m *xrdma.Msg) { m.Reply(nil, 16) })
+	})
+	ctx8 := c8.Nodes[0].Ctx
+	mouse8, err8 := ctx8.ChannelTo(c8.Nodes[4].ID, 7000, xrdma.WithTenant("mouse"))
+	must(err8)
+	start8 := c8.Eng.Now()
+	var contended, recovered []sim.Duration
+	var tick8 func()
+	tick8 = func() {
+		if c8.Eng.Now().Sub(start8) >= 300*sim.Millisecond {
+			return
+		}
+		at := c8.Eng.Now()
+		mouse8.SendMsg(nil, 16, func(m *xrdma.Msg, err error) {
+			if err != nil {
+				return
+			}
+			lat := c8.Eng.Now().Sub(at)
+			switch issued := at.Sub(start8); {
+			case issued >= 250*sim.Millisecond:
+				recovered = append(recovered, lat)
+			case issued >= 30*sim.Millisecond && issued < 230*sim.Millisecond:
+				contended = append(contended, lat)
+			}
+		})
+		c8.Eng.AfterBg(200*sim.Microsecond, tick8)
+	}
+	c8.Eng.AfterBg(200*sim.Microsecond, tick8)
+	budget8 := 0
+	c8.Eng.AfterBg(10*sim.Millisecond, func() {
+		for e := 0; e < 4; e++ {
+			ech, err := ctx8.ChannelTo(c8.Nodes[4].ID, 7000, xrdma.WithTenant("elephant"))
+			must(err)
+			// Closed inline loops saturate the shared SQ...
+			for l := 0; l < 8; l++ {
+				var loop func()
+				loop = func() {
+					if c8.Eng.Now().Sub(start8) >= 230*sim.Millisecond {
+						return
+					}
+					ech.SendMsg(nil, 4096, func(*xrdma.Msg, error) { loop() })
+				}
+				c8.Eng.AfterBg(sim.Duration(l+1)*10*sim.Microsecond, loop)
+			}
+			// ...and concurrent 32 KiB rendezvous streams overrun the
+			// 40 KiB staging budget: ErrTenantBudget, retry later.
+			var pump func()
+			pump = func() {
+				if c8.Eng.Now().Sub(start8) >= 230*sim.Millisecond {
+					return
+				}
+				ech.SendMsg(nil, 32<<10, func(_ *xrdma.Msg, err error) {
+					if err != nil {
+						budget8++
+						c8.Eng.AfterBg(2*sim.Millisecond, pump)
+						return
+					}
+					pump()
+				})
+			}
+			c8.Eng.AfterBg(sim.Duration(e)*50*sim.Microsecond, pump)
+		}
+	})
+	var late8 *xrdma.Channel
+	c8.Eng.AfterBg(120*sim.Millisecond, func() {
+		ch, err := ctx8.ChannelTo(c8.Nodes[4].ID, 7000, xrdma.WithTenant("elephant"))
+		must(err)
+		late8 = ch
+		ch.SendMsg(nil, 64, func(*xrdma.Msg, error) {})
+	})
+	c8.Eng.RunFor(400 * sim.Millisecond)
+
+	fmt.Printf("drill 8 (tenants): mouse p99 contended=%v recovered=%v (%d/%d samples)\n",
+		p99(contended), p99(recovered), len(contended), len(recovered))
+	shed8 := 0
+	var culprit8 uint32
+	for _, d := range ctx8.Telemetry().Flight.Dumps() {
+		if d.Reason == telemetry.CatTenantShed {
+			shed8++
+			if culprit8 == 0 {
+				culprit8 = d.QPN
+			}
+		}
+	}
+	ele8 := ctx8.Tenant("elephant")
+	fmt.Printf("drill 8: elephant budget rejections=%d (counter %d), shed dumps=%d naming tenant %d (%s)\n",
+		budget8, ele8.MemRejects, shed8, culprit8, ctx8.Tenants()[culprit8-1].Name())
+	fmt.Printf("drill 8: late elephant attach shed then established=%v (attach sheds=%d); tenant ledger:\n",
+		late8.Attached(), ele8.AttachSheds)
+	for _, line := range ctx8.TenantDigest() {
+		fmt.Println("  " + line)
+	}
+
 	fmt.Println("\nfinal XR-Stat on node 0:")
 	fmt.Print(xrdma.XRStat(c.Nodes[0].Ctx))
+}
+
+// p99 is the 99th-percentile of a latency sample (0 when empty).
+func p99(lats []sim.Duration) sim.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]sim.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)*99+99)/100-1]
 }
 
 func must(err error) {

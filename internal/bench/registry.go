@@ -78,6 +78,9 @@ func Experiments() []Experiment {
 		{ID: "storm", Title: "Storm-style KV: one-sided speculative reads vs RPC", Run: func(sc Scale) []*Table {
 			return tables(Storm(sc).Table_)
 		}},
+		{ID: "tenants", Title: "Multi-tenant isolation: QoS scheduling, bounded memory, graceful shed", Run: func(sc Scale) []*Table {
+			return tables(Tenants(sc).Table_)
+		}},
 		{ID: "loc", Title: "Lines-of-code comparison", Run: func(Scale) []*Table {
 			return tables(LoCComparison().Table_)
 		}},

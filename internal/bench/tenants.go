@@ -1,0 +1,302 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xrdma/internal/cluster"
+	"xrdma/internal/fabric"
+	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
+	"xrdma/internal/xrdma"
+)
+
+// E24 "tenants": the multi-tenant isolation drill. One client host runs
+// two tenants over the SAME shared mux QP (QPsPerPeer=1) to one server:
+//
+//	mouse     latency-sensitive: one 16-byte request per tick, weight 8
+//	elephant  bulk: closed-loop 4 KiB inline floods plus a 32 KiB
+//	          rendezvous stream per channel, weight 1, rate-limited,
+//	          window-partitioned, and memory-budgeted
+//
+// Two arms on identical worlds isolate the interference question:
+//
+//	alone   only the mouse runs — the baseline tail
+//	shared  mouse + elephant contend for the shared SQ, the send window,
+//	        the token bucket and the staging pool
+//
+// The acceptance criteria live in TestTenants: the mouse's contended p99
+// stays within 1.25× of its alone baseline (the DRR scheduler and the
+// elephant's own limits absorb the flood), the elephant's memory budget
+// rejects allocations (ErrTenantBudget, never a silent stall) and starts
+// shed episodes whose flight dumps name the elephant, late elephant
+// attaches are shed into the admission FIFO and establish only after the
+// load drops, and the digest is bit-identical across reruns and -j.
+
+const (
+	tenMouseTick   = 200 * sim.Microsecond
+	tenEleFrom     = 10 * sim.Millisecond
+	tenEleStop     = 250 * sim.Millisecond
+	tenLateAt      = 150 * sim.Millisecond
+	tenMouseStop   = 320 * sim.Millisecond
+	tenHorizon     = 420 * sim.Millisecond
+	tenTailFrom    = 50 * sim.Millisecond  // contended window start
+	tenRecovFrom   = 270 * sim.Millisecond // recovered window start
+	tenEleChans    = 4
+	tenEleLoops    = 8 // concurrent inline request loops per elephant channel
+	tenEleInline   = 4096
+	tenEleLarge    = 32 << 10
+	tenLateChans   = 3
+	tenMouseMarker = uint64(0x6d6f757365) // "mouse"
+)
+
+// tenantsKnobs is shared by both arms so the worlds differ only in
+// offered load.
+func tenantsKnobs(_ int, cfg *xrdma.Config) {
+	cfg.QPsPerPeer = 1
+	cfg.AttachAdmission = 4
+	cfg.TenantShedCooldown = 20 * sim.Millisecond
+	cfg.Tenants = []xrdma.TenantConfig{
+		{Name: "mouse", Weight: 8},
+		{Name: "elephant", Weight: 1,
+			RateBps:    1 << 30,
+			BurstBytes: 64 << 10,
+			SendWindow: 16,
+			MemBudget:  40 << 10},
+	}
+}
+
+// TenantArm is the outcome of one arm.
+type TenantArm struct {
+	Name string
+
+	MouseSent  int
+	MouseResps int
+	MouseDups  int
+	MouseLost  int
+	SendErrs   int
+
+	// Contended window (elephant active) and recovered window (after the
+	// elephant stops) tails.
+	P50, P99           sim.Duration
+	RecovP50, RecovP99 sim.Duration
+
+	// Shared arm only.
+	EleSent      int // elephant SendMsg calls issued
+	EleBudgetErr int // ErrTenantBudget completions (admission verdicts)
+	LateAttached int // late elephant channels established by drill end
+
+	ShedDumps   int    // flight dumps with reason tenant.shed
+	ShedCulprit uint32 // QPN field of the first shed dump = culprit tenant id
+
+	TenantLog []string // client-side TenantDigest lines
+}
+
+// TenantsResult aggregates the drill.
+type TenantsResult struct {
+	Alone, Shared *TenantArm
+	Table_        Table
+}
+
+// Digest renders both arms as deterministic lines: same seed ⇒
+// bit-identical digest, sequentially and across concurrent goroutines.
+func (r *TenantsResult) Digest() []string {
+	var out []string
+	for _, a := range []*TenantArm{r.Alone, r.Shared} {
+		out = append(out, "arm "+a.Name)
+		out = append(out, fmt.Sprintf("mouse sent=%d resps=%d dups=%d lost=%d errs=%d p50=%v p99=%v recov_p50=%v recov_p99=%v",
+			a.MouseSent, a.MouseResps, a.MouseDups, a.MouseLost, a.SendErrs, a.P50, a.P99, a.RecovP50, a.RecovP99))
+		out = append(out, fmt.Sprintf("elephant sent=%d budget_errs=%d late_attached=%d shed_dumps=%d culprit=%d",
+			a.EleSent, a.EleBudgetErr, a.LateAttached, a.ShedDumps, a.ShedCulprit))
+		out = append(out, a.TenantLog...)
+	}
+	return out
+}
+
+// runTenantArm drives one arm on a fresh SmallClos world: client node 0
+// to server node 4 (cross-ToR), every tenant multiplexed onto the single
+// shared QP the config allows.
+func runTenantArm(sc Scale, name string, elephant bool) *TenantArm {
+	a := &TenantArm{Name: name}
+	c := cluster.New(cluster.Options{
+		Topology: fabric.SmallClos(),
+		Nodes:    8,
+		Config:   tenantsKnobs,
+		Seed:     sc.Seed,
+	})
+	sc.observe(c.Eng, "tenants/"+name)
+	eng := c.Eng
+
+	recvCount := map[uint64]int{}
+	c.ListenAll(7500, func(_ *cluster.Node, ch *xrdma.Channel) {
+		ch.OnMessage(func(m *xrdma.Msg) {
+			if len(m.Data) >= 16 && binary.LittleEndian.Uint64(m.Data) == tenMouseMarker {
+				recvCount[binary.LittleEndian.Uint64(m.Data[8:])]++
+				m.Reply(m.Data[:16], 0)
+				return
+			}
+			m.Reply(nil, 8)
+		})
+	})
+
+	ctx := c.Nodes[0].Ctx
+	srv := c.Nodes[4].ID
+	mouse, err := ctx.ChannelTo(srv, 7500, xrdma.WithTenant("mouse"))
+	if err != nil {
+		panic(fmt.Sprintf("tenants: mouse ChannelTo: %v", err))
+	}
+
+	// Mouse load: one id-stamped request per tick; latencies are sliced
+	// into the contended and recovered windows by issue time.
+	start := eng.Now()
+	var nextID uint64
+	sentAt := map[uint64]sim.Time{}
+	respSeen := map[uint64]int{}
+	var tailLats, recovLats []sim.Duration
+	var mouseTick func()
+	mouseTick = func() {
+		if eng.Now().Sub(start) >= tenMouseStop {
+			return
+		}
+		id := nextID
+		nextID++
+		buf := make([]byte, 16)
+		binary.LittleEndian.PutUint64(buf, tenMouseMarker)
+		binary.LittleEndian.PutUint64(buf[8:], id)
+		a.MouseSent++
+		sentAt[id] = eng.Now()
+		err := mouse.SendMsg(buf, 0, func(m *xrdma.Msg, err error) {
+			if err != nil {
+				return
+			}
+			rid := binary.LittleEndian.Uint64(m.Data[8:])
+			respSeen[rid]++
+			at := sentAt[rid]
+			lat := eng.Now().Sub(at)
+			switch issued := at.Sub(start); {
+			case issued >= tenRecovFrom:
+				recovLats = append(recovLats, lat)
+			case issued >= tenTailFrom && issued < tenEleStop:
+				tailLats = append(tailLats, lat)
+			}
+		})
+		if err != nil {
+			a.SendErrs++
+		}
+		eng.AfterBg(tenMouseTick, mouseTick)
+	}
+	eng.AfterBg(tenMouseTick, mouseTick)
+
+	var late []*xrdma.Channel
+	if elephant {
+		eng.AfterBg(tenEleFrom, func() {
+			for ei := 0; ei < tenEleChans; ei++ {
+				ch, err := ctx.ChannelTo(srv, 7500, xrdma.WithTenant("elephant"))
+				if err != nil {
+					panic(fmt.Sprintf("tenants: elephant ChannelTo: %v", err))
+				}
+				// Inline flood: closed request loops that saturate the
+				// shared SQ until the DRR and token bucket push back.
+				for l := 0; l < tenEleLoops; l++ {
+					var loop func()
+					loop = func() {
+						if eng.Now().Sub(start) >= tenEleStop {
+							return
+						}
+						a.EleSent++
+						ch.SendMsg(nil, tenEleInline, func(_ *xrdma.Msg, _ error) { loop() })
+					}
+					eng.AfterBg(sim.Duration(l+1)*10*sim.Microsecond, loop)
+				}
+				// Rendezvous stream: back-to-back 32 KiB staged sends; the
+				// memory budget admits one staging at a time, so concurrent
+				// streams reject with ErrTenantBudget and retry.
+				var pump func()
+				pump = func() {
+					if eng.Now().Sub(start) >= tenEleStop {
+						return
+					}
+					a.EleSent++
+					ch.SendMsg(nil, tenEleLarge, func(_ *xrdma.Msg, err error) {
+						if err != nil {
+							a.EleBudgetErr++
+							eng.AfterBg(2*sim.Millisecond, pump)
+							return
+						}
+						pump()
+					})
+				}
+				eng.AfterBg(sim.Duration(ei)*50*sim.Microsecond, pump)
+			}
+		})
+		// Late attaches arrive mid-episode: the shed gate must queue them
+		// (never dial) and release them only after the load drops.
+		eng.AfterBg(tenLateAt, func() {
+			for i := 0; i < tenLateChans; i++ {
+				ch, err := ctx.ChannelTo(srv, 7500, xrdma.WithTenant("elephant"))
+				if err != nil {
+					panic(fmt.Sprintf("tenants: late ChannelTo: %v", err))
+				}
+				late = append(late, ch)
+				ch.SendMsg(nil, 64, func(*xrdma.Msg, error) {})
+			}
+		})
+	}
+
+	eng.RunUntil(start.Add(tenHorizon))
+
+	for id := uint64(0); id < nextID; id++ {
+		switch n := recvCount[id]; {
+		case n == 0:
+			a.MouseLost++
+		default:
+			if n > 1 {
+				a.MouseDups++
+			}
+		}
+		a.MouseResps += respSeen[id]
+	}
+	a.P50 = grayPercentile(tailLats, 0.50)
+	a.P99 = grayPercentile(tailLats, 0.99)
+	a.RecovP50 = grayPercentile(recovLats, 0.50)
+	a.RecovP99 = grayPercentile(recovLats, 0.99)
+	for _, ch := range late {
+		if ch.Attached() {
+			a.LateAttached++
+		}
+	}
+	for _, d := range ctx.Telemetry().Flight.Dumps() {
+		if d.Reason == telemetry.CatTenantShed {
+			a.ShedDumps++
+			if a.ShedCulprit == 0 {
+				a.ShedCulprit = d.QPN
+			}
+		}
+	}
+	a.TenantLog = ctx.TenantDigest()
+	return a
+}
+
+// Tenants runs E24 and renders the table.
+func Tenants(sc Scale) *TenantsResult {
+	r := &TenantsResult{
+		Alone:  runTenantArm(sc, "alone", false),
+		Shared: runTenantArm(sc, "shared", true),
+	}
+	t := Table{
+		ID:    "E24/Tenants",
+		Title: "Multi-tenant isolation: elephant flood vs latency-sensitive mouse on one shared QP",
+		Header: []string{"arm", "mouse-p50", "mouse-p99", "recov-p99", "sent", "resps", "dups", "lost",
+			"ele-sent", "budget-errs", "shed-dumps", "late-attach"},
+	}
+	for _, a := range []*TenantArm{r.Alone, r.Shared} {
+		t.Addf(a.Name, a.P50.String(), a.P99.String(), a.RecovP99.String(),
+			a.MouseSent, a.MouseResps, a.MouseDups, a.MouseLost,
+			a.EleSent, a.EleBudgetErr, a.ShedDumps, a.LateAttached)
+	}
+	t.Note("both tenants share ONE mux QP (QPsPerPeer=1); mouse weight 8, elephant weight 1 + rate/window/memory limits")
+	t.Note("mouse contended p99 must stay within 1.25x of alone; budget breaches reject with ErrTenantBudget and shed new attaches")
+	t.Note("shed flight dumps name the culprit tenant id in the QPN field; late attaches establish after the elephant stops")
+	r.Table_ = t
+	return r
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"sort"
 	"strings"
 
 	"xrdma/internal/sim"
@@ -68,13 +69,14 @@ type PktBlame struct {
 // BlameRec is one traced message's reconstructed critical path: the
 // round-trip latency decomposed into causal stages.
 type BlameRec struct {
-	MsgID uint64
-	Node  int32 // requester node
-	QPN   uint32
-	At    sim.Time // request issue time
-	RTT   sim.Duration
-	Dur   [StageCount]sim.Duration
-	ECN   int64 // ECN marks seen by this message's packets
+	MsgID  uint64
+	Node   int32 // requester node
+	QPN    uint32
+	Tenant uint16 // requesting channel's tenant id (0 = untenanted)
+	At     sim.Time // request issue time
+	RTT    sim.Duration
+	Dur    [StageCount]sim.Duration
+	ECN    int64 // ECN marks seen by this message's packets
 }
 
 // Top returns the most expensive attributed stage of this record
@@ -105,6 +107,11 @@ type Blame struct {
 	stages [StageCount]histData
 	rtt    histData
 	ecn    int64
+
+	// Tenant dimension: per-tenant RTT histograms, populated only by
+	// records carrying a non-zero tenant id (zero-tenant runs never
+	// allocate the map, keeping their digests byte-identical).
+	tenants map[uint16]*histData
 }
 
 // NewBlame creates an empty aggregator.
@@ -127,6 +134,48 @@ func (b *Blame) Observe(rec *BlameRec) {
 	b.rtt.count++
 	b.rtt.sum += int64(rec.RTT)
 	b.ecn += rec.ECN
+	if rec.Tenant != 0 {
+		if b.tenants == nil {
+			b.tenants = make(map[uint16]*histData)
+		}
+		h := b.tenants[rec.Tenant]
+		if h == nil {
+			h = &histData{}
+			b.tenants[rec.Tenant] = h
+		}
+		h.buckets[bucketOf(int64(rec.RTT))]++
+		h.count++
+		h.sum += int64(rec.RTT)
+	}
+}
+
+// TenantIDs reports the tenant ids observed so far, ascending.
+func (b *Blame) TenantIDs() []uint16 {
+	ids := make([]uint16, 0, len(b.tenants))
+	for id := range b.tenants {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TenantStats reports (messages, total RTT) observed for one tenant.
+func (b *Blame) TenantStats(id uint16) (count int64, total sim.Duration) {
+	h := b.tenants[id]
+	if h == nil {
+		return 0, 0
+	}
+	return h.count, sim.Duration(h.sum)
+}
+
+// TenantQuantile reports an upper bound for tenant id's q-th percentile
+// round-trip time.
+func (b *Blame) TenantQuantile(id uint16, q int64) sim.Duration {
+	h := b.tenants[id]
+	if h == nil {
+		return 0
+	}
+	return sim.Duration(h.quantile(q))
 }
 
 func bucketOf(v int64) int {
@@ -229,6 +278,11 @@ func (b *Blame) Digest() []string {
 		h := &b.stages[s]
 		out = append(out, fmt.Sprintf("stage %s count=%d sum=%d p99=%d",
 			s.String(), h.count, h.sum, h.quantile(99)))
+	}
+	for _, id := range b.TenantIDs() {
+		h := b.tenants[id]
+		out = append(out, fmt.Sprintf("tenant %d count=%d rtt_sum=%d p99=%d",
+			id, h.count, h.sum, h.quantile(99)))
 	}
 	return out
 }

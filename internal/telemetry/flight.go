@@ -44,6 +44,9 @@ const (
 	CatPathRehash
 	CatReqRetry
 	CatRemoteAccess
+	CatTenantBudget
+	CatTenantShed
+	CatMemPressure
 	catCount
 )
 
@@ -76,6 +79,9 @@ var catNames = [catCount]string{
 	CatPathRehash:       "path.rehash",
 	CatReqRetry:         "req.retry",
 	CatRemoteAccess:     "remote.access",
+	CatTenantBudget:     "tenant.budget",
+	CatTenantShed:       "tenant.shed",
+	CatMemPressure:      "mem.pressure",
 }
 
 func (c Category) String() string {

@@ -157,6 +157,14 @@ type Channel struct {
 	attachCBs  []func(error)
 	peerClosed bool
 
+	// Tenancy plane (tenant.go): the channel's tenant (nil = untenanted),
+	// its contribution to the tenant's in-flight window partition (for
+	// rewind reconciliation), and whether it is parked on the tenant's
+	// waiter FIFO.
+	tenant         *Tenant
+	tenantInflight int
+	tenantWaiting  bool
+
 	// telNames are the per-channel gauge names registered for XR-Stat,
 	// kept for unregistration when the QPN is recycled. aggregated marks
 	// channels folded into the per-peer aggregate row instead
@@ -703,10 +711,12 @@ func (ch *Channel) teardown(err error) {
 	ch.sent = nil
 	// Return window credits held by the unacked tail and drop their
 	// on-ack closures — the channel is dead, nothing will ack, and the
-	// keepalive reclamation contract is "no resource left behind".
+	// keepalive reclamation contract is "no resource left behind". The
+	// tenant's window partition gets its slots back the same way.
 	if ch.tx != nil {
 		ch.tx.rewind()
 	}
+	ch.tenantRewind()
 	for _, q := range ch.qpns {
 		if c.recoverIdx[q] == ch {
 			delete(c.recoverIdx, q)

@@ -161,6 +161,56 @@ type Config struct {
 	FailbackInterval sim.Duration
 	// StatsInterval drives periodic statistics sampling.
 	StatsInterval sim.Duration
+
+	// --- tenancy plane (offline) -----------------------------------------
+
+	// Tenants declares the context's tenant table. Tenant ids are assigned
+	// by position (index+1; id 0 is "untenanted"), so both ends of a wire
+	// must declare the same table for labels to resolve. Empty = the legacy
+	// single-implicit-tenant plane, byte-identical on the wire.
+	Tenants []TenantConfig
+	// MemPoolBytes caps the MemCache's total registered memory across all
+	// regions (0 = unbounded, the legacy behavior). When a grow would
+	// exceed the cap, fully-free regions are evicted first; if none exist
+	// the allocation fails with ErrOutOfMemory instead of stalling.
+	MemPoolBytes int64
+	// MemHighWater / MemLowWater are fractions of MemPoolBytes: crossing
+	// high water puts the context under memory pressure (new attaches are
+	// queued, idle regions evicted); dropping below low water clears it.
+	MemHighWater float64
+	MemLowWater  float64
+	// TenantSQBurst bounds the DRR scheduler's outstanding data WRs per
+	// shared QP: below the burst the SQ posts directly, above it frames
+	// queue per-tenant and drain in weighted deficit-round-robin order.
+	TenantSQBurst int
+	// TenantQuantum is the DRR quantum in bytes per unit of tenant weight.
+	TenantQuantum int
+	// TenantShedCooldown is how long a tenant sheds new attaches after a
+	// budget breach; each further breach extends the episode.
+	TenantShedCooldown sim.Duration
+}
+
+// TenantConfig declares one tenant of the isolation plane. Zero values
+// mean "unlimited" for every limit, so a bare {Name: "x"} tenant is
+// labelled and observable but unconstrained.
+type TenantConfig struct {
+	// Name identifies the tenant; at most 8 bytes travel on the wire as
+	// the label extension.
+	Name string
+	// Weight is the DRR scheduling weight at shared SQs (default 1).
+	Weight int
+	// RateBps is the token-bucket send rate in wire bytes/second (0 =
+	// unlimited).
+	RateBps int64
+	// BurstBytes is the token-bucket depth (default: RateBps/100 min 64KiB).
+	BurstBytes int64
+	// SendWindow caps the tenant's in-flight windowed frames across all of
+	// its channels — the send-window partition (0 = unlimited).
+	SendWindow int
+	// MemBudget caps the tenant's registered-memory footprint in the buddy
+	// pool, counted in block-rounded bytes (0 = unlimited). Exceeding it
+	// rejects the allocation with ErrTenantBudget and starts a shed episode.
+	MemBudget int64
 }
 
 // DefaultConfig returns the production defaults described in the paper.
@@ -213,6 +263,12 @@ func DefaultConfig() Config {
 		FailbackInterval:   100 * sim.Millisecond,
 
 		StatsInterval: 10 * sim.Millisecond,
+
+		MemHighWater:       0.85,
+		MemLowWater:        0.70,
+		TenantSQBurst:      4,
+		TenantQuantum:      4096,
+		TenantShedCooldown: 5 * sim.Millisecond,
 	}
 }
 
@@ -384,4 +440,11 @@ var offlineFlagNames = map[string]struct{}{
 	"recover_dial_timeout_ms": {},
 	"failback_interval_ms":    {},
 	"trace_ring_cap":          {},
+	"tenants":                 {},
+	"mem_pool_bytes":          {},
+	"mem_highwater":           {},
+	"mem_lowwater":            {},
+	"tenant_sq_burst":         {},
+	"tenant_quantum":          {},
+	"tenant_shed_cooldown_ms": {},
 }

@@ -96,6 +96,15 @@ type Context struct {
 	attachQ       []*Channel
 	attachActive  int
 
+	// Tenancy plane (Config.Tenants): the tenant table in id order, the
+	// name index, the global memory-pressure gate (MemPoolBytes
+	// watermarks) and the count of frames whose label named no local
+	// tenant (graceful default treatment).
+	tenants       []*Tenant
+	tenantByName  map[string]*Tenant
+	memPressure   bool
+	tenantUnknown int64
+
 	// Gauge-limit plane (Config.ChannelGaugeLimit): individually gauged
 	// channel count, per-peer aggregate rows, and how many channels were
 	// folded into them (the XR-Stat truncation note).
@@ -202,6 +211,9 @@ func NewContext(o Options) *Context {
 	c.recvCQ = rnic.NewCQ(8192)
 	c.trace = newTracer(c)
 	c.registerGauges()
+	if len(c.cfg.Tenants) > 0 {
+		c.initTenants()
+	}
 	if c.cfg.QPsPerPeer > 0 {
 		// QP multiplexing implies SRQ receives: shared QPs cannot post
 		// per-channel receive pools.
@@ -271,6 +283,9 @@ func (c *Context) registerGauges() {
 		{"agg_channels", func() int64 { return int64(c.aggChannels) }},
 		{"mem_occupied", func() int64 { return c.Mem.OccupiedBytes() }},
 		{"mem_inuse", func() int64 { return c.Mem.InUseBytes }},
+		{"mem_pool_inuse", func() int64 { return c.Mem.PoolInUseBytes }},
+		{"mem_evictions", func() int64 { return c.Mem.Evictions }},
+		{"tenant_unknown", func() int64 { return c.tenantUnknown }},
 		{"qp_cache", func() int64 { return int64(c.QPs.Len()) }},
 		{"slow_ops", func() int64 { return c.trace.SlowOps }},
 	} {
@@ -712,7 +727,14 @@ func (c *Context) recycleSRQ(wrID uint64) {
 }
 
 func (c *Context) recvBufSize() int {
-	return hdrSize + traceExtSize + blameExtSize + c.cfg.SmallMsgSize
+	n := hdrSize + traceExtSize + blameExtSize + c.cfg.SmallMsgSize
+	if len(c.cfg.Tenants) > 0 {
+		// Labelled data frames carry the tenant extension; zero-tenant
+		// contexts keep the legacy size so their allocation pattern (and
+		// golden digests) stay byte-identical.
+		n += tenantExtSize
+	}
+	return n
 }
 
 // --- filter sync -------------------------------------------------------------

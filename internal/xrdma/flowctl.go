@@ -2,6 +2,7 @@ package xrdma
 
 import (
 	"xrdma/internal/rnic"
+	"xrdma/internal/sim"
 )
 
 // flowCtl implements §V-C: the context limits outstanding RDMA work
@@ -100,6 +101,117 @@ func (f *flowCtl) pump() {
 		f.queue = f.queue[1:]
 		f.doPost(it.qp, it.wr, it.cb)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Tenant admission: token-bucket rate limiting + send-window partition.
+//
+// admit runs in pump() immediately before transmit, so a true return is
+// always followed by exactly one frame: tokens are charged here, the
+// window slot in transmit. A false return parks the channel on the
+// tenant's FIFO waiter list; acks, refills and rewinds wake it. A
+// zero-tenant context never reaches any of this.
+
+func (t *Tenant) admit(ch *Channel, cost int) bool {
+	if t.cfg.SendWindow > 0 && t.inflight >= t.cfg.SendWindow {
+		t.WinStalls++
+		t.wait(ch)
+		return false
+	}
+	if t.cfg.RateBps > 0 {
+		t.refill()
+		if t.tokens < float64(cost) {
+			t.RateStalls++
+			t.wait(ch)
+			t.armRefill(cost)
+			return false
+		}
+		t.tokens -= float64(cost)
+	}
+	return true
+}
+
+// refill credits tokens for the time elapsed since the last refill,
+// capped at the bucket depth.
+func (t *Tenant) refill() {
+	now := t.ctx.eng.Now()
+	if dt := now.Sub(t.lastRefill); dt > 0 {
+		t.tokens += float64(t.cfg.RateBps) * float64(dt) / float64(sim.Second)
+		if depth := float64(t.cfg.BurstBytes); t.tokens > depth {
+			t.tokens = depth
+		}
+	}
+	t.lastRefill = now
+}
+
+// armRefill schedules one wake at the instant the bucket covers cost.
+// Only one refill event exists per tenant, so a thundering herd of
+// stalled channels costs a single timer.
+func (t *Tenant) armRefill(cost int) {
+	if t.refillArmed {
+		return
+	}
+	deficit := float64(cost) - t.tokens
+	if deficit <= 0 {
+		deficit = 1
+	}
+	d := sim.Duration(deficit*float64(sim.Second)/float64(t.cfg.RateBps)) + 1
+	t.refillArmed = true
+	t.ctx.eng.AfterBg(d, func() {
+		t.refillArmed = false
+		t.wakeWaiters()
+	})
+}
+
+func (t *Tenant) wait(ch *Channel) {
+	if ch.tenantWaiting {
+		return
+	}
+	ch.tenantWaiting = true
+	t.waiters = append(t.waiters, ch)
+}
+
+// wakeWaiters re-pumps every parked channel in FIFO order. The slice is
+// swapped out first: a still-blocked channel re-registers, which must
+// not grow the list being walked.
+func (t *Tenant) wakeWaiters() {
+	if len(t.waiters) == 0 {
+		return
+	}
+	ws := t.waiters
+	t.waiters = nil
+	for _, ch := range ws {
+		ch.tenantWaiting = false
+		if !ch.closed {
+			ch.pump()
+		}
+	}
+}
+
+// noteSend charges one window-partition slot at transmit time.
+func (t *Tenant) noteSend(ch *Channel) {
+	t.inflight++
+	ch.tenantInflight++
+}
+
+// noteAcked releases the slot when the frame's ack lands.
+func (t *Tenant) noteAcked(ch *Channel) {
+	t.inflight--
+	ch.tenantInflight--
+	t.wakeWaiters()
+}
+
+// tenantRewind reconciles the partition when a channel's tx window is
+// rewound (teardown, QP adoption replay): the channel's contribution is
+// in-flight no longer; requeueUnacked re-charges what it re-transmits.
+func (ch *Channel) tenantRewind() {
+	t := ch.tenant
+	if t == nil || ch.tenantInflight == 0 {
+		return
+	}
+	t.inflight -= ch.tenantInflight
+	ch.tenantInflight = 0
+	t.wakeWaiters()
 }
 
 // fetchRemote pulls size bytes from a peer's staged buffer into local

@@ -63,6 +63,16 @@ func FuzzDecodeHdr(f *testing.F) {
 	f.Add(huge)
 	cut := mk(wireHdr{Kind: kindReadResp, MsgID: 9, Size: 512})
 	f.Add(cut[:50])
+	// Tenant plane shapes: a labelled data frame, a labelled CHAN_OPEN,
+	// the label riding alongside trace+blame extensions, and hostile
+	// variants — an unknown tenant id with a foreign label, and a frame
+	// whose label extension is cut off.
+	f.Add(mk(wireHdr{Kind: kindReq, Flags: flagTenant, Tenant: 1, TLabel: [8]byte{'m', 'o', 'u', 's', 'e'}, Size: 256}))
+	f.Add(mk(wireHdr{Kind: kindChanOpen, Flags: flagTenant, Tenant: 2, TLabel: [8]byte{'e', 'l', 'e', 'p', 'h', 'a', 'n', 't'}, Chan: 9}))
+	f.Add(mk(wireHdr{Kind: kindResp, Flags: flagTraced | flagBlame | flagTenant, Tenant: 1, TLabel: [8]byte{'t'}, T1: 9}))
+	f.Add(mk(wireHdr{Kind: kindReq, Flags: flagTenant, Tenant: 0xffff, TLabel: [8]byte{0xff, 0xfe, 0xfd}}))
+	tcut := mk(wireHdr{Kind: kindReq, Flags: flagTenant, Tenant: 3, TLabel: [8]byte{'x'}})
+	f.Add(tcut[:len(tcut)-3])
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		h, n, err := decodeHdr(b)
@@ -80,6 +90,9 @@ func FuzzDecodeHdr(f *testing.F) {
 		if h.hasBlameExt() {
 			want += blameExtSize
 		}
+		if h.hasTenantExt() {
+			want += tenantExtSize
+		}
 		if n != want {
 			t.Fatalf("consumed %d bytes, layout says %d (flags %#x)", n, want, h.Flags)
 		}
@@ -89,11 +102,11 @@ func FuzzDecodeHdr(f *testing.F) {
 		if m := h.encode(out); m != n {
 			t.Fatalf("re-encode wrote %d bytes, decode consumed %d", m, n)
 		}
-		// Bytes 0..53 are all decoded fields now that the one-sided plane
-		// claimed 50..53 for the immediate; the round-trip must preserve
+		// Bytes 0..55 are all decoded fields now that the tenant plane
+		// claimed 54..55 for the tenant id; the round-trip must preserve
 		// every one of them.
-		if !bytes.Equal(out[:54], b[:54]) {
-			t.Fatalf("fixed fields diverge after round-trip:\n in=%x\nout=%x", b[:54], out[:54])
+		if !bytes.Equal(out[:56], b[:56]) {
+			t.Fatalf("fixed fields diverge after round-trip:\n in=%x\nout=%x", b[:56], out[:56])
 		}
 		if h.Flags&flagTraced != 0 && !bytes.Equal(out[hdrSize:hdrSize+8], b[hdrSize:hdrSize+8]) {
 			t.Fatalf("trace extension diverges after round-trip")

@@ -3,25 +3,38 @@ package xrdma
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"xrdma/internal/rnic"
 	"xrdma/internal/sim"
+	"xrdma/internal/telemetry"
 )
 
 // MemCache manages per-context RDMA-enabled memory as a pool of
 // identically sized MRs (4 MB by default, §IV-E — LITE showed thousands of
-// small MRs collapse, so regions are few and large). Allocation is
-// first-fit within a region; when capacity runs out the cache grows by
-// registering a new MR (paying the driver's registration latency); fully
-// free regions idle longer than MemShrinkIdle are reclaimed.
+// small MRs collapse, so regions are few and large). Within a region a
+// binary buddy allocator hands out power-of-two blocks (512 B minimum):
+// split on alloc, merge with the buddy on free, so a drained region always
+// recovers its full-capacity block and external fragmentation is bounded.
+// When capacity runs out the cache grows by registering a new MR (paying
+// the driver's registration latency) — unless Config.MemPoolBytes caps the
+// pool, in which case exhaustion fails the allocation with ErrOutOfMemory
+// instead of stalling. Fully free regions idle longer than MemShrinkIdle
+// are reclaimed; under memory pressure (MemHighWater of the cap) idle
+// regions are evicted immediately.
+//
+// Tenancy: AllocT charges the allocation's block-rounded size against the
+// tenant's MemBudget and rejects overruns synchronously with
+// ErrTenantBudget (never a silent stall), starting a shed episode.
 //
 // With MemIsolation on (§VI-C), each allocation is framed by canary bytes
-// and placed in the high, stack-adjacent address range the registry
-// already uses, so out-of-bound writes are detectable via CheckIntegrity.
+// so out-of-bound writes are detectable via CheckIntegrity.
 type MemCache struct {
-	ctx    *Context
-	mrSize int
-	mode   rnic.RegMode
+	ctx      *Context
+	mrSize   int
+	mode     rnic.RegMode
+	capBytes int // buddy-managed capacity per region: pow2 floor of mrSize
+	maxOrder int // log2(capBytes / memBuddyMin)
 
 	regions []*memRegion
 	growing bool
@@ -29,28 +42,38 @@ type MemCache struct {
 	waiters []memWaiter
 
 	// Counters (Fig. 11c plots Occupy vs In-use against bandwidth).
+	// InUseBytes counts requested bytes (plus canaries in isolation mode);
+	// PoolInUseBytes counts the block-rounded footprint the budget and
+	// watermark math run on — the difference is internal fragmentation.
 	InUseBytes     int64
+	PoolInUseBytes int64
 	Allocs, Frees  int64
 	Grows, Shrinks int64
+	Evictions      int64
 	Corruptions    int64
 }
 
 const canary = 0x5C
 const canaryLen = 8
 
+// memBuddyMin is the smallest buddy block handed out.
+const memBuddyMin = 512
+
 type memRegion struct {
-	mr       *rnic.MR
-	free     []span // sorted by offset, coalesced
-	inUse    int
+	mr *rnic.MR
+	// free[o] holds the sorted byte offsets of free blocks of order o
+	// (block size memBuddyMin<<o). Allocation takes the lowest offset of
+	// the smallest sufficient order — fully deterministic.
+	free     [][]int
+	inUse    int // block-rounded bytes in use
 	lastUsed sim.Time
 	dead     bool // region lost to a NIC restart; frees become no-ops
 }
 
-type span struct{ off, len int }
-
 type memWaiter struct {
-	size int
-	cb   func(Buffer, error)
+	size   int
+	tenant *Tenant
+	cb     func(Buffer, error)
 }
 
 // Buffer is an allocation from the cache: registered memory usable as an
@@ -61,8 +84,9 @@ type Buffer struct {
 	Len  int
 
 	region   *memRegion
-	off      int
-	totalLen int // including canaries
+	off      int // block byte offset within the region
+	totalLen int // buddy block size (>= Len + canaries)
+	tenant   *Tenant
 }
 
 // Valid reports whether the buffer is a real allocation.
@@ -71,12 +95,27 @@ func (b Buffer) Valid() bool { return b.MR != nil }
 // Bytes exposes the backing storage.
 func (b Buffer) Bytes() []byte { return b.MR.Slice(b.Addr, b.Len) }
 
-// ErrOutOfMemory is surfaced when growth itself fails (not used by the
-// default unbounded policy, but kept for bounded configurations).
+// ErrOutOfMemory is surfaced when the pool is capped (Config.MemPoolBytes)
+// and growth would exceed it.
 var ErrOutOfMemory = errors.New("xrdma: memory cache exhausted")
 
+// ErrTenantBudget rejects an allocation that would push its tenant past
+// its configured MemBudget.
+var ErrTenantBudget = errors.New("xrdma: tenant memory budget exceeded")
+
 func newMemCache(ctx *Context, mrSize int, mode rnic.RegMode) *MemCache {
-	return &MemCache{ctx: ctx, mrSize: mrSize, mode: mode}
+	capBytes := memBuddyMin
+	for capBytes*2 <= mrSize {
+		capBytes *= 2
+	}
+	if capBytes > mrSize {
+		capBytes = mrSize // degenerate: mrSize below the minimum block
+	}
+	maxOrder := 0
+	for memBuddyMin<<maxOrder < capBytes {
+		maxOrder++
+	}
+	return &MemCache{ctx: ctx, mrSize: mrSize, mode: mode, capBytes: capBytes, maxOrder: maxOrder}
 }
 
 // OccupiedBytes is the total registered capacity.
@@ -85,69 +124,144 @@ func (m *MemCache) OccupiedBytes() int64 { return int64(len(m.regions)) * int64(
 // Regions reports the number of live MRs.
 func (m *MemCache) Regions() int { return len(m.regions) }
 
+func (m *MemCache) pad() int {
+	if m.ctx.cfg.MemIsolation {
+		return 2 * canaryLen
+	}
+	return 0
+}
+
+// blockFor is the buddy block size backing a request of this many bytes.
+func (m *MemCache) blockFor(size int) int {
+	total := size + m.pad()
+	block := memBuddyMin
+	for block < total {
+		block *= 2
+	}
+	return block
+}
+
 // Alloc returns a buffer of the given size, growing the cache (and thus
 // completing asynchronously) when needed. size must fit one region.
 func (m *MemCache) Alloc(size int, cb func(Buffer, error)) {
-	pad := 0
-	if m.ctx.cfg.MemIsolation {
-		pad = 2 * canaryLen
-	}
-	if size+pad > m.mrSize {
+	m.AllocT(nil, size, cb)
+}
+
+// AllocT is the tenant-charged variant: the block-rounded size counts
+// against t's MemBudget, and overruns fail synchronously with
+// ErrTenantBudget so the caller can degrade instead of stalling.
+func (m *MemCache) AllocT(t *Tenant, size int, cb func(Buffer, error)) {
+	if size+m.pad() > m.capBytes {
 		cb(Buffer{}, fmt.Errorf("xrdma: allocation %d exceeds MR size %d", size, m.mrSize))
 		return
 	}
-	if b, ok := m.tryAlloc(size); ok {
+	if t != nil && t.cfg.MemBudget > 0 {
+		if block := int64(m.blockFor(size)); t.memUsed+block > t.cfg.MemBudget {
+			t.noteBudgetReject(block)
+			cb(Buffer{}, ErrTenantBudget)
+			return
+		}
+	}
+	if b, ok := m.tryAlloc(t, size); ok {
 		cb(b, nil)
 		return
 	}
-	m.waiters = append(m.waiters, memWaiter{size: size, cb: cb})
+	m.waiters = append(m.waiters, memWaiter{size: size, tenant: t, cb: cb})
 	m.grow()
 }
 
 // AllocNow is the non-blocking variant; ok=false when the cache would
 // have to grow.
 func (m *MemCache) AllocNow(size int) (Buffer, bool) {
-	return m.tryAlloc(size)
+	return m.tryAlloc(nil, size)
 }
 
-func (m *MemCache) tryAlloc(size int) (Buffer, bool) {
-	total := size
-	if m.ctx.cfg.MemIsolation {
-		total += 2 * canaryLen
+// AllocNowT is AllocNow with tenant budget accounting.
+func (m *MemCache) AllocNowT(t *Tenant, size int) (Buffer, bool) {
+	if t != nil && t.cfg.MemBudget > 0 {
+		if block := int64(m.blockFor(size)); t.memUsed+block > t.cfg.MemBudget {
+			t.noteBudgetReject(block)
+			return Buffer{}, false
+		}
+	}
+	return m.tryAlloc(t, size)
+}
+
+func (m *MemCache) tryAlloc(t *Tenant, size int) (Buffer, bool) {
+	total := size + m.pad()
+	if total > m.capBytes {
+		return Buffer{}, false
+	}
+	block := m.blockFor(size)
+	order := 0
+	for memBuddyMin<<order < block {
+		order++
 	}
 	for _, r := range m.regions {
-		for i, s := range r.free {
-			if s.len < total {
-				continue
-			}
-			off := s.off
-			if s.len == total {
-				r.free = append(r.free[:i], r.free[i+1:]...)
-			} else {
-				r.free[i] = span{off: s.off + total, len: s.len - total}
-			}
-			r.inUse += total
-			r.lastUsed = m.ctx.eng.Now()
-			m.InUseBytes += int64(total)
-			m.Allocs++
-			b := Buffer{MR: r.mr, region: r, off: off, totalLen: total}
-			if m.ctx.cfg.MemIsolation {
-				b.Addr = r.mr.Base + uint64(off) + canaryLen
-				b.Len = size
-				m.paintCanaries(b)
-			} else {
-				b.Addr = r.mr.Base + uint64(off)
-				b.Len = size
-			}
-			return b, true
+		off, ok := r.takeBlock(order, m.maxOrder)
+		if !ok {
+			continue
 		}
+		r.inUse += block
+		r.lastUsed = m.ctx.eng.Now()
+		m.InUseBytes += int64(total)
+		m.PoolInUseBytes += int64(block)
+		m.Allocs++
+		if t != nil {
+			t.memUsed += int64(block)
+		}
+		b := Buffer{MR: r.mr, region: r, off: off, totalLen: block, tenant: t, Len: size}
+		if m.ctx.cfg.MemIsolation {
+			b.Addr = r.mr.Base + uint64(off) + canaryLen
+			m.paintCanaries(b)
+		} else {
+			b.Addr = r.mr.Base + uint64(off)
+		}
+		m.checkPressure()
+		return b, true
 	}
 	return Buffer{}, false
 }
 
-// Free returns a buffer to the cache, checking canaries in isolation mode.
-// Buffers whose region died in a NIC restart are silently dropped — their
-// storage is gone along with the MR.
+// takeBlock pops the lowest free block of the smallest sufficient order,
+// splitting larger blocks down and pushing the upper halves back.
+func (r *memRegion) takeBlock(order, maxOrder int) (int, bool) {
+	o := order
+	for o <= maxOrder && len(r.free[o]) == 0 {
+		o++
+	}
+	if o > maxOrder {
+		return 0, false
+	}
+	off := r.free[o][0]
+	r.popFront(o)
+	for o > order {
+		o--
+		r.pushSorted(o, off+memBuddyMin<<o)
+	}
+	return off, true
+}
+
+// popFront removes the first (lowest) offset while keeping the slice's
+// capacity, so steady-state allocation never touches the heap.
+func (r *memRegion) popFront(o int) {
+	lst := r.free[o]
+	copy(lst, lst[1:])
+	r.free[o] = lst[:len(lst)-1]
+}
+
+func (r *memRegion) pushSorted(o, off int) {
+	lst := r.free[o]
+	i := sort.SearchInts(lst, off)
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = off
+	r.free[o] = lst
+}
+
+// Free returns a buffer to the cache, checking canaries in isolation mode
+// and merging the block with its buddy chain. Buffers whose region died in
+// a NIC restart are silently dropped — their storage is gone with the MR.
 func (m *MemCache) Free(b Buffer) {
 	if !b.Valid() || b.region == nil || b.region.dead {
 		return
@@ -157,45 +271,57 @@ func (m *MemCache) Free(b Buffer) {
 		m.ctx.logf("memcache: out-of-bound write detected at %#x (+%d)", b.Addr, b.Len)
 	}
 	r := b.region
-	r.inUse -= b.totalLen
+	block := b.totalLen
+	r.inUse -= block
 	r.lastUsed = m.ctx.eng.Now()
-	m.InUseBytes -= int64(b.totalLen)
+	m.InUseBytes -= int64(b.Len + m.pad())
+	m.PoolInUseBytes -= int64(block)
 	m.Frees++
-	m.insertFree(r, span{off: b.off, len: b.totalLen})
+	if b.tenant != nil {
+		b.tenant.memUsed -= int64(block)
+	}
+	order := 0
+	for memBuddyMin<<order < block {
+		order++
+	}
+	m.mergeFree(r, b.off, order)
+	m.checkPressure()
 	m.serveWaiters()
 }
 
-func (m *MemCache) insertFree(r *memRegion, s span) {
-	i := 0
-	for i < len(r.free) && r.free[i].off < s.off {
-		i++
+// mergeFree inserts the block and coalesces with its buddy while the buddy
+// is free, restoring the region's full-capacity block when it drains.
+func (m *MemCache) mergeFree(r *memRegion, off, order int) {
+	for order < m.maxOrder {
+		size := memBuddyMin << order
+		buddy := off ^ size
+		lst := r.free[order]
+		i := sort.SearchInts(lst, buddy)
+		if i >= len(lst) || lst[i] != buddy {
+			break
+		}
+		copy(lst[i:], lst[i+1:])
+		r.free[order] = lst[:len(lst)-1]
+		if buddy < off {
+			off = buddy
+		}
+		order++
 	}
-	r.free = append(r.free, span{})
-	copy(r.free[i+1:], r.free[i:])
-	r.free[i] = s
-	// Coalesce with neighbours.
-	if i+1 < len(r.free) && r.free[i].off+r.free[i].len == r.free[i+1].off {
-		r.free[i].len += r.free[i+1].len
-		r.free = append(r.free[:i+1], r.free[i+2:]...)
-	}
-	if i > 0 && r.free[i-1].off+r.free[i-1].len == r.free[i].off {
-		r.free[i-1].len += r.free[i].len
-		r.free = append(r.free[:i], r.free[i+1:]...)
-	}
+	r.pushSorted(order, off)
 }
 
 func (m *MemCache) paintCanaries(b Buffer) {
-	buf := b.MR.Slice(b.MR.Base+uint64(b.off), b.totalLen)
+	buf := b.MR.Slice(b.MR.Base+uint64(b.off), 2*canaryLen+b.Len)
 	for i := 0; i < canaryLen; i++ {
 		buf[i] = canary
-		buf[b.totalLen-1-i] = canary
+		buf[2*canaryLen+b.Len-1-i] = canary
 	}
 }
 
 func (m *MemCache) checkCanaries(b Buffer) bool {
-	buf := b.MR.Slice(b.MR.Base+uint64(b.off), b.totalLen)
+	buf := b.MR.Slice(b.MR.Base+uint64(b.off), 2*canaryLen+b.Len)
 	for i := 0; i < canaryLen; i++ {
-		if buf[i] != canary || buf[b.totalLen-1-i] != canary {
+		if buf[i] != canary || buf[2*canaryLen+b.Len-1-i] != canary {
 			return false
 		}
 	}
@@ -219,17 +345,28 @@ func (m *MemCache) Reset() {
 	}
 	m.regions = nil
 	m.InUseBytes = 0
+	m.PoolInUseBytes = 0
+	for _, t := range m.ctx.tenants {
+		t.memUsed = 0
+	}
 	m.gen++
 	m.growing = false
+	m.checkPressure()
 	if len(m.waiters) > 0 {
 		m.grow()
 	}
 }
 
 // grow registers one more MR asynchronously; waiters are served when it
-// lands.
+// lands. A capped pool (Config.MemPoolBytes) that cannot grow fails the
+// waiters with ErrOutOfMemory instead — exhaustion is an error the caller
+// sees, never a stall.
 func (m *MemCache) grow() {
 	if m.growing {
+		return
+	}
+	if capB := m.ctx.cfg.MemPoolBytes; capB > 0 && m.OccupiedBytes()+int64(m.mrSize) > capB {
+		m.failWaiters()
 		return
 	}
 	m.growing = true
@@ -242,11 +379,9 @@ func (m *MemCache) grow() {
 			return
 		}
 		m.growing = false
-		m.regions = append(m.regions, &memRegion{
-			mr:       mr,
-			free:     []span{{off: 0, len: m.mrSize}},
-			lastUsed: m.ctx.eng.Now(),
-		})
+		r := &memRegion{mr: mr, free: make([][]int, m.maxOrder+1), lastUsed: m.ctx.eng.Now()}
+		r.free[m.maxOrder] = append(r.free[m.maxOrder], 0)
+		m.regions = append(m.regions, r)
 		m.serveWaiters()
 		if len(m.waiters) > 0 {
 			m.grow()
@@ -254,16 +389,83 @@ func (m *MemCache) grow() {
 	})
 }
 
+func (m *MemCache) failWaiters() {
+	if len(m.waiters) == 0 {
+		return
+	}
+	c := m.ctx
+	c.tel.Flight.Record(c.eng.Now(), telemetry.CatMemPressure, int32(c.Node()), 0,
+		m.OccupiedBytes(), c.cfg.MemPoolBytes)
+	ws := m.waiters
+	m.waiters = nil
+	for _, w := range ws {
+		w.cb(Buffer{}, ErrOutOfMemory)
+	}
+}
+
 func (m *MemCache) serveWaiters() {
 	for len(m.waiters) > 0 {
 		w := m.waiters[0]
-		b, ok := m.tryAlloc(w.size)
+		// Re-check the budget at serve time: the tenant may have crossed it
+		// while this waiter sat behind a grow.
+		if t := w.tenant; t != nil && t.cfg.MemBudget > 0 {
+			if block := int64(m.blockFor(w.size)); t.memUsed+block > t.cfg.MemBudget {
+				m.waiters = m.waiters[1:]
+				t.noteBudgetReject(block)
+				w.cb(Buffer{}, ErrTenantBudget)
+				continue
+			}
+		}
+		b, ok := m.tryAlloc(w.tenant, w.size)
 		if !ok {
 			return
 		}
 		m.waiters = m.waiters[1:]
 		w.cb(b, nil)
 	}
+}
+
+// checkPressure runs the watermark machine over the block-rounded
+// footprint when the pool is capped: crossing high water evicts idle
+// regions and sheds new attaches; dropping under low water clears it.
+func (m *MemCache) checkPressure() {
+	capB := m.ctx.cfg.MemPoolBytes
+	if capB <= 0 {
+		return
+	}
+	hw, lw := m.ctx.cfg.MemHighWater, m.ctx.cfg.MemLowWater
+	if hw <= 0 {
+		hw = 0.85
+	}
+	if lw <= 0 {
+		lw = 0.70
+	}
+	used := float64(m.PoolInUseBytes)
+	switch {
+	case !m.ctx.memPressure && used > hw*float64(capB):
+		m.evictIdle()
+		m.ctx.setMemPressure(true)
+	case m.ctx.memPressure && used < lw*float64(capB):
+		m.ctx.setMemPressure(false)
+	}
+}
+
+// evictIdle deregisters fully-free regions immediately (watermark-driven
+// eviction — no MemShrinkIdle wait), keeping at least one region warm.
+func (m *MemCache) evictIdle() {
+	kept := m.regions[:0]
+	freed := 0
+	for _, r := range m.regions {
+		if r.inUse == 0 && len(m.regions)-freed > 1 {
+			m.ctx.pd.DeregMR(r.mr)
+			r.dead = true
+			m.Evictions++
+			freed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	m.regions = kept
 }
 
 // shrink reclaims fully-free regions idle past the configured threshold
@@ -277,6 +479,7 @@ func (m *MemCache) shrink() {
 		remaining := len(m.regions) - freed
 		if r.inUse == 0 && now.Sub(r.lastUsed) > m.ctx.cfg.MemShrinkIdle && remaining > 1 {
 			m.ctx.pd.DeregMR(r.mr)
+			r.dead = true
 			m.Shrinks++
 			freed++
 			continue

@@ -189,6 +189,10 @@ func XRStat(c *Context) string {
 				p, r["chans"], r["sent"], r["recv"], r["txbytes"], r["rxbytes"], r["req_retries"])
 		}
 	}
+	for _, row := range c.tenantRows() {
+		b.WriteString(row)
+		b.WriteByte('\n')
+	}
 	return b.String()
 }
 

@@ -90,6 +90,9 @@ type muxQP struct {
 	// must run once per QP — per-channel doctors would each see the full
 	// delta and rotate the label K times per sick scan.
 	doctor pathDoctor
+
+	// Weighted DRR at the shared SQ; nil unless the context is tenanted.
+	sched *sqSched
 }
 
 // --- mux hello (CM private data) --------------------------------------------
@@ -153,7 +156,8 @@ func (c *Context) muxDialTimeout() sim.Duration {
 // ChannelTo returns a lazy channel descriptor to (node, port): a few
 // hundred bytes of state and no QP, window or buffer until the first send
 // (or Ping) triggers the attach handshake. Requires QP multiplexing.
-func (c *Context) ChannelTo(node fabric.NodeID, port int) (*Channel, error) {
+// Options label the descriptor (WithTenant) before any frame leaves.
+func (c *Context) ChannelTo(node fabric.NodeID, port int, opts ...ChannelOpt) (*Channel, error) {
 	if !c.muxEnabled() {
 		return nil, ErrMuxDisabled
 	}
@@ -162,6 +166,11 @@ func (c *Context) ChannelTo(node fabric.NodeID, port int) (*Channel, error) {
 		ctx: c, Peer: node, cid: c.nextCID(), muxPort: port,
 		attach: attachLazy, lastComm: now, lastProgress: now, OpenedAt: now,
 		retryTokens: retryBudgetCap,
+	}
+	for _, opt := range opts {
+		if err := opt(ch); err != nil {
+			return nil, err
+		}
 	}
 	c.chanByCID[ch.cid] = ch
 	return ch, nil
@@ -174,6 +183,18 @@ func (ch *Channel) requestAttach() {
 		return
 	}
 	c := ch.ctx
+	// Shed gate: under global memory pressure, or while this channel's
+	// tenant is in a shed episode, new attaches queue instead of
+	// establishing — graceful degradation reusing the admission FIFO.
+	if ch.shedGated() {
+		ch.attach = attachQueued
+		c.attachQ = append(c.attachQ, ch)
+		if t := ch.tenant; t != nil {
+			t.AttachSheds++
+			c.tel.Flight.Record(c.eng.Now(), telemetry.CatTenantShed, int32(c.Node()), uint32(t.id), int64(ch.cid), 1)
+		}
+		return
+	}
 	if lim := c.cfg.AttachAdmission; lim > 0 && c.attachActive >= lim {
 		ch.attach = attachQueued
 		c.attachQ = append(c.attachQ, ch)
@@ -191,15 +212,21 @@ func (ch *Channel) startAttach() {
 	mx.enroll(ch)
 }
 
-// attachRelease frees one admission slot and starts the FIFO head.
+// attachRelease frees one admission slot and starts the first FIFO head
+// whose shed gate (if any) has lifted; still-gated heads rotate to the
+// tail and wait for the attachKick when their episode ends.
 func (c *Context) attachRelease() {
 	if c.attachActive > 0 {
 		c.attachActive--
 	}
-	for len(c.attachQ) > 0 {
+	for scan := len(c.attachQ); scan > 0 && len(c.attachQ) > 0; scan-- {
 		next := c.attachQ[0]
 		c.attachQ = c.attachQ[1:]
 		if next.closed || next.attach != attachQueued {
+			continue
+		}
+		if next.shedGated() {
+			c.attachQ = append(c.attachQ, next)
 			continue
 		}
 		next.startAttach()
@@ -272,6 +299,7 @@ func (c *Context) newMuxQP(pm *peerMux, slot int) *muxQP {
 		chans:    make(map[uint32]*Channel),
 		peerCIDs: make(map[uint32]uint32),
 	}
+	mx.initSched()
 	c.muxQPs = append(c.muxQPs, mx)
 	epoch := mx.epoch
 	hello := encodeMuxHello(slot, false, 0)
@@ -349,8 +377,30 @@ func (mx *muxQP) channels() []*Channel {
 	return out
 }
 
+// initSched attaches the weighted DRR scheduler when the context is
+// tenanted; zero-tenant configs keep the direct post path bit-for-bit.
+func (mx *muxQP) initSched() {
+	if len(mx.c.cfg.Tenants) == 0 {
+		return
+	}
+	mx.sched = newSQSched(mx.c, func() uint32 {
+		if mx.qp != nil {
+			return mx.qp.QPN
+		}
+		return 0
+	})
+}
+
 func (mx *muxQP) sendChanOpen(ch *Channel) {
-	mx.sendCtrl(&wireHdr{Kind: kindChanOpen, Chan: ch.cid, MsgID: uint64(ch.muxPort)})
+	h := &wireHdr{Kind: kindChanOpen, Chan: ch.cid, MsgID: uint64(ch.muxPort)}
+	if t := ch.tenant; t != nil {
+		// The label rides the open so the passive side binds the tenant
+		// before the first data frame arrives.
+		h.Flags |= flagTenant
+		h.Tenant = t.id
+		h.TLabel = t.label
+	}
+	mx.sendCtrl(h)
 }
 
 // sendCtrl emits a mux-plane control frame directly on the shared QP.
@@ -409,6 +459,7 @@ func (c *Context) acceptMux(req *verbs.ConnReq, hello muxHello, port int) {
 		chans:    make(map[uint32]*Channel),
 		peerCIDs: make(map[uint32]uint32),
 	}
+	mx.initSched()
 	c.muxQPs = append(c.muxQPs, mx)
 	c.vctx.NIC.CreateQP(c.muxDepth(), c.muxDepth(), c.sendCQ, c.recvCQ, c.srq, func(qp *rnic.QP) {
 		req.Accept(qp, func(conn *verbs.Conn, err error) {
@@ -492,6 +543,9 @@ func (mx *muxQP) handleChanOpen(h *wireHdr) {
 		muxPort: int(h.MsgID),
 		tx:      newTxWindow(c.cfg.WindowDepth), rx: newRxWindow(c.cfg.WindowDepth),
 		lastComm: now, lastProgress: now, OpenedAt: now, retryTokens: retryBudgetCap,
+	}
+	if h.Flags&flagTenant != 0 && len(c.tenants) > 0 {
+		ch.tenant = c.resolveTenant(h)
 	}
 	c.chanByCID[ch.cid] = ch
 	mx.chans[ch.cid] = ch
@@ -593,6 +647,11 @@ func (mx *muxQP) fail(cause error) {
 	mx.epoch++
 	mx.attempts = 0
 	mx.kaProbing = false
+	if mx.sched != nil {
+		// Queued unposted frames drop here; requeueUnacked replays them
+		// through the scheduler after adoption.
+		mx.sched.reset()
+	}
 	c.Stats.Degraded++
 	c.tel.Flight.Trip(now, telemetry.CatChannelDegraded, int32(c.Node()), mx.qp.QPN)
 	c.tel.Trace.Instant("mux.degraded", c.track, now, int64(mx.peer))
@@ -699,6 +758,9 @@ func (mx *muxQP) adopt(conn *verbs.Conn, initiator bool) {
 	mx.kaProbing = false
 	mx.lastComm = now
 	mx.doctor.resetEpisode()
+	if mx.sched != nil {
+		mx.sched.reset()
+	}
 	c.Stats.Recoveries++
 	c.tel.Flight.Record(now, telemetry.CatChannelRecovered, int32(c.Node()), mx.qp.QPN, int64(mx.peer), int64(len(mx.chans)))
 	c.tel.Trace.Instant("mux.recovered", c.track, now, int64(mx.peer))
@@ -740,6 +802,9 @@ func (mx *muxQP) teardownAll(cause error) {
 	mx.dead = true
 	mx.epoch++
 	c := mx.c
+	if mx.sched != nil {
+		mx.sched.reset()
+	}
 	c.logf("mux peer=%d beyond recovery (%d channels): %v", mx.peer, len(mx.chans), cause)
 	for _, ch := range mx.channels() {
 		if ch.attach == attachPending || ch.attach == attachQueued {

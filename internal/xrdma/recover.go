@@ -358,6 +358,7 @@ func (ch *Channel) requeueUnacked() {
 		replay = append(replay, ps)
 	}
 	ch.tx.rewind()
+	ch.tenantRewind()
 	ch.sendQ = append(replay, ch.sendQ...)
 }
 

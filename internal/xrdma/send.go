@@ -154,7 +154,7 @@ func (ch *Channel) pump() {
 		if large && !ps.ready {
 			if !ps.staging {
 				ps.staging = true
-				c.Mem.Alloc(ps.size, func(buf Buffer, err error) {
+				c.Mem.AllocT(ch.tenant, ps.size, func(buf Buffer, err error) {
 					if ch.closed || ch.mock != nil {
 						// The channel died or cut over to mock while the
 						// staging allocation was in flight; the message
@@ -171,6 +171,11 @@ func (ch *Channel) pump() {
 					if err != nil {
 						ch.ctx.logf("stage alloc failed: %v", err)
 						ch.sendQ = ch.sendQ[1:]
+						// Budget/pool exhaustion is an admission verdict,
+						// not a stall: the caller's completion fails now
+						// instead of timing out with the message silently
+						// dropped.
+						ch.failSend(ps, err)
 						ch.pump()
 						return
 					}
@@ -183,6 +188,11 @@ func (ch *Channel) pump() {
 					ch.pump()
 				})
 			}
+			return
+		}
+		// Tenant QoS gate: the token bucket and window partition admit
+		// exactly one frame per true return, immediately transmitted.
+		if t := ch.tenant; t != nil && !t.admit(ch, hdrSize+ps.size) {
 			return
 		}
 		ch.stallFlag = false
@@ -212,6 +222,9 @@ func (ch *Channel) transmit(ps *pendingSend, large bool) {
 			c.Mem.Free(ps.staged)
 			ps.staged = Buffer{}
 		}
+		if t := ch.tenant; t != nil {
+			t.noteAcked(ch)
+		}
 	})
 	if ch.sent == nil {
 		ch.sent = make(map[uint64]*pendingSend)
@@ -223,6 +236,12 @@ func (ch *Channel) transmit(ps *pendingSend, large bool) {
 	}
 	if ch.mx != nil {
 		h.Chan = ch.peerCID
+	}
+	if t := ch.tenant; t != nil {
+		t.noteSend(ch)
+		h.Flags |= flagTenant
+		h.Tenant = t.id
+		h.TLabel = t.label
 	}
 	if ps.oneWay {
 		h.Flags |= flagOneWay
@@ -261,6 +280,10 @@ func (ch *Channel) transmit(ps *pendingSend, large bool) {
 	if !large {
 		wireLen += ps.size
 	}
+	if t := ch.tenant; t != nil {
+		t.Sent++
+		t.TxBytes += int64(wireLen)
+	}
 	var buf []byte
 	if !large && ps.data != nil {
 		buf = make([]byte, hb+len(ps.data))
@@ -291,20 +314,45 @@ func (ch *Channel) transmit(ps *pendingSend, large bool) {
 			}
 		}
 	}
-	c.flow.post(ch.qp, wr, func(cqe rnic.CQE) {
+	sendCB := func(cqe rnic.CQE) {
 		if cqe.Status != rnic.StatusOK && !ch.closed && cqe.QPN == ch.qp.QPN {
 			// The QPN guard drops stale flushes: a recovery that already
 			// swapped in a replacement QP flushes the old one's WRs, and
 			// those completions must not re-fail the fresh transport.
 			ch.fail(fmt.Errorf("xrdma: send failed: %v", cqe.Status))
 		}
-	})
+	}
+	if ch.mx != nil && ch.mx.sched != nil {
+		// Tenanted shared QP: the DRR scheduler arbitrates the SQ so the
+		// mux pool honors tenant weights instead of FIFO head-of-line.
+		ch.mx.sched.submit(ch, ch.qp, wr, sendCB)
+	} else {
+		c.flow.post(ch.qp, wr, sendCB)
+	}
 	ch.Counters.MsgsSent++
 	ch.Counters.BytesSent += int64(ps.size)
 	ch.lastComm = c.eng.Now()
 	c.tel.Trace.Instant("msg.send", c.track, ch.lastComm, int64(ps.size))
 	if h.Flags&flagTraced != 0 {
 		c.trace.onSend(ch, &h)
+	}
+}
+
+// failSend surfaces a send that could not be staged (tenant budget, pool
+// exhaustion): the pending response waiter fails now instead of timing
+// out with the message silently dropped. One-way sends and responses have
+// no waiter; their drop is the backpressure.
+func (ch *Channel) failSend(ps *pendingSend, err error) {
+	if ps.kind != kindReq {
+		return
+	}
+	rs, ok := ch.pending[ps.msgID]
+	if !ok {
+		return
+	}
+	delete(ch.pending, ps.msgID)
+	if rs.cb != nil {
+		rs.cb(nil, err)
 	}
 }
 
@@ -444,6 +492,17 @@ func (ch *Channel) handleWire(h *wireHdr, pay []byte, overMock bool, rxBlame *te
 		ch.lastProgress = c.eng.Now()
 		ch.nopInFlight = false
 		ch.pump()
+	}
+	// Tenant label: a passive channel binds its tenant from the first
+	// labelled frame (classic channels have no CHAN_OPEN to carry it).
+	if h.Flags&flagTenant != 0 {
+		if ch.tenant == nil {
+			ch.tenant = c.resolveTenant(h)
+		}
+		if t := ch.tenant; t != nil && h.Kind.windowed() {
+			t.Recvd++
+			t.RxBytes += int64(h.Size)
+		}
 	}
 
 	switch h.Kind {
@@ -617,6 +676,10 @@ func (ch *Channel) deliver(msg *Msg) {
 				}
 			}
 			ch.doctorRef().observeRTT(c.eng.Now().Sub(rs.sentAt))
+			if t := ch.tenant; t != nil {
+				t.RTTCount++
+				t.RTTSumNs += int64(c.eng.Now().Sub(rs.sentAt))
+			}
 			if rs.traced || msg.Traced {
 				c.trace.onResponse(ch, msg, rs.sentAt)
 			}

@@ -108,6 +108,9 @@ func (t *Tracer) onBlame(ch *Channel, m *Msg, rs *reqState) {
 		MsgID: m.MsgID, Node: int32(c.Node()), QPN: ch.qp.QPN,
 		At: b.enqAt, RTT: now.Sub(b.enqAt),
 	}
+	if t := ch.tenant; t != nil {
+		rec.Tenant = t.id
+	}
 	_, started, finished := b.wr.TxTimes()
 	rec.Dur[telemetry.StageTxStall] = b.txAt.Sub(b.enqAt)
 	if started > b.txAt {

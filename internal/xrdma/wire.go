@@ -23,6 +23,12 @@ const (
 	// the requester can reconstruct the full causal path. Blame-sampled
 	// requests add zero wire bytes; only their responses carry this block.
 	blameExtSize = 40
+	// tenantExtSize carries the sender's tenant label so a passive peer can
+	// resolve the numeric tenant id against its own Config.Tenants table.
+	// Only labelled channels set flagTenant; zero-tenant worlds never emit it.
+	tenantExtSize = 8
+	// tenantLabelMax bounds tenant names on the wire.
+	tenantLabelMax = tenantExtSize
 )
 
 type msgKind uint8
@@ -76,6 +82,8 @@ const (
 	flagTraced = 1 << iota // trace extension present
 	flagOneWay             // request wants no response
 	flagBlame              // causal blame trace: responses carry the stage mirror
+	_                      // 1<<3 is flagRAErr (one-sided plane, onesided.go)
+	flagTenant             // tenant label extension present, Tenant field meaningful
 )
 
 // wireHdr is the decoded header.
@@ -88,9 +96,11 @@ type wireHdr struct {
 	Size  uint32 // application payload size
 	Addr  uint64 // staged buffer address (rendezvous kinds)
 	RKey  uint32 // staged buffer / window rkey
-	Chan  uint32 // receiver-side channel id (QP multiplexing; 0 = exclusive QP)
-	Imm   uint32 // WRITE+imm immediate value (one-sided kinds; 0 otherwise)
-	T1    int64  // trace: sender clock at send (req-rsp mode)
+	Chan   uint32  // receiver-side channel id (QP multiplexing; 0 = exclusive QP)
+	Imm    uint32  // WRITE+imm immediate value (one-sided kinds; 0 otherwise)
+	Tenant uint16  // sender's tenant id (0 = untenanted; meaningful with flagTenant)
+	TLabel [8]byte // tenant label extension payload (flagTenant only)
+	T1     int64   // trace: sender clock at send (req-rsp mode)
 
 	// Blame extension (flagBlame responses): the responder's mirror of
 	// remote stages, all in nanoseconds except BECN (a mark count).
@@ -105,6 +115,13 @@ type wireHdr struct {
 // only responses mirror stages back (requests carry just the flag).
 func (h *wireHdr) hasBlameExt() bool {
 	return h.Flags&flagBlame != 0 && h.Kind == kindResp
+}
+
+// hasTenantExt reports whether the wire layout includes the tenant label
+// block. Unlike the blame mirror it is kind-agnostic: CHAN_OPEN and data
+// frames both carry it when the sending channel is labelled.
+func (h *wireHdr) hasTenantExt() bool {
+	return h.Flags&flagTenant != 0
 }
 
 // encode writes the header (and trace extension when flagged) into buf and
@@ -126,6 +143,9 @@ func (h *wireHdr) encode(buf []byte) int {
 	// Bytes 50..53 likewise sat in the padding until the one-sided plane
 	// claimed them for the immediate value.
 	binary.LittleEndian.PutUint32(buf[50:], h.Imm)
+	// Bytes 54..55 were padding until the tenancy plane claimed them for the
+	// tenant id; a zero Tenant keeps the encoding byte-identical to before.
+	binary.LittleEndian.PutUint16(buf[54:], h.Tenant)
 	n := hdrSize
 	if h.Flags&flagTraced != 0 {
 		binary.LittleEndian.PutUint64(buf[hdrSize:], uint64(h.T1))
@@ -139,6 +159,10 @@ func (h *wireHdr) encode(buf []byte) int {
 		binary.LittleEndian.PutUint64(buf[n+32:], uint64(h.BECN))
 		n += blameExtSize
 	}
+	if h.hasTenantExt() {
+		copy(buf[n:n+tenantExtSize], h.TLabel[:])
+		n += tenantExtSize
+	}
 	return n
 }
 
@@ -150,6 +174,9 @@ func (h *wireHdr) wireBytes() int {
 	}
 	if h.hasBlameExt() {
 		n += blameExtSize
+	}
+	if h.hasTenantExt() {
+		n += tenantExtSize
 	}
 	return n
 }
@@ -180,6 +207,7 @@ func decodeHdr(buf []byte) (wireHdr, int, error) {
 	h.RKey = binary.LittleEndian.Uint32(buf[42:])
 	h.Chan = binary.LittleEndian.Uint32(buf[46:])
 	h.Imm = binary.LittleEndian.Uint32(buf[50:])
+	h.Tenant = binary.LittleEndian.Uint16(buf[54:])
 	n := hdrSize
 	if h.Flags&flagTraced != 0 {
 		if len(buf) < hdrSize+traceExtSize {
@@ -198,6 +226,13 @@ func decodeHdr(buf []byte) (wireHdr, int, error) {
 		h.BHandler = int64(binary.LittleEndian.Uint64(buf[n+24:]))
 		h.BECN = int64(binary.LittleEndian.Uint64(buf[n+32:]))
 		n += blameExtSize
+	}
+	if h.hasTenantExt() {
+		if len(buf) < n+tenantExtSize {
+			return h, 0, fmt.Errorf("%w: truncated tenant extension", errBadHeader)
+		}
+		copy(h.TLabel[:], buf[n:n+tenantExtSize])
+		n += tenantExtSize
 	}
 	return h, n, nil
 }

@@ -10,6 +10,8 @@
 # IdleChannelFootprint's contract is bytes/conn <= 1024 (the flyweight
 # channel budget, also CI-gated); MuxSharedQPSend is informational — one
 # request/response round trip through the shared-QP demux plane.
+# BuddyAlloc's contract is allocs/op == 0 (CI-gated): steady-state buddy
+# alloc/free reuses free-list capacity and never touches the heap.
 #
 # Usage: scripts/bench.sh [output.json]   (default: BENCH_kernel.json)
 # Set REPRODUCE=1 to also time cmd/reproduce -full at -j 1 vs -j nproc
@@ -25,7 +27,7 @@ go test ./internal/sim/ ./internal/telemetry/ ./internal/rnic/ -run '^$' \
     -bench 'BenchmarkEngine|BenchmarkTelemetry|BenchmarkUntracedSendPath|BenchmarkTracedSendPath|BenchmarkOneSidedReadPath' -benchmem \
     -benchtime=2s -count=1 | tee "$tmp" >&2
 go test ./internal/xrdma/ -run '^$' \
-    -bench 'BenchmarkIdleChannelFootprint|BenchmarkMuxSharedQPSend' -benchmem \
+    -bench 'BenchmarkIdleChannelFootprint|BenchmarkMuxSharedQPSend|BenchmarkBuddyAlloc' -benchmem \
     -benchtime=1s -count=1 | tee -a "$tmp" >&2
 
 # Baseline: container/heap scheduler + per-event heap allocation, measured
