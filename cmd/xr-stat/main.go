@@ -14,7 +14,12 @@
 // values alongside the two-sided workload. With -tenants it configures a
 // weighted mouse/elephant tenant pair on one shared QP and overdrives the
 // elephant's memory budget, so node 0's TENANT table and the
-// tenant.budget/tenant.shed flight dumps show live values.
+// tenant.budget/tenant.shed flight dumps show live values. With -upgrade
+// it runs a mixed-version fleet — nodes 0 and 1 offer protocol v2 while
+// the rest stay v1 — then drains the last node after the workload, so the
+// VER/CAPS columns show the negotiated split, the DRAIN column and header
+// show the lifecycle, and a dial into the draining node is refused with
+// ErrDraining (drain.refuse flight event).
 package main
 
 import (
@@ -42,6 +47,7 @@ func main() {
 	blame := flag.Bool("blame", false, "sample messages onto the blame plane and print the stage-attribution table")
 	storm := flag.Bool("storm", false, "drive one-sided READ/WRITE(+imm) traffic against an MR window on node 1 (Storm-style dataplane demo)")
 	tenants := flag.Bool("tenants", false, "run a mouse/elephant tenant pair on one shared QP with QoS limits (multi-tenant isolation demo)")
+	upgrade := flag.Bool("upgrade", false, "mixed-version fleet: nodes 0-1 offer proto v2, the rest stay v1, last node drains at the end (VER/CAPS/DRAIN demo)")
 	prom := flag.Bool("prom", false, "print the metric registry in Prometheus exposition format")
 	flag.Parse()
 
@@ -62,8 +68,14 @@ func main() {
 		nicCfg.RetransTimeout = 1 * sim.Millisecond
 		nicCfg.RetryLimit = 12
 	}
+	recPort := 0
+	if *upgrade {
+		// The handoff blob only carries channels the recovery plane can
+		// re-establish, so the upgrade demo needs QPN indexing on.
+		recPort = 7801
+	}
 	c := cluster.New(cluster.Options{
-		Topology: topo, NICCfg: nicCfg, Nodes: n, Seed: *seed,
+		Topology: topo, NICCfg: nicCfg, Nodes: n, Seed: *seed, RecoverPort: recPort,
 		Config: func(node int, cfg *xrdma.Config) {
 			cfg.StatsInterval = 20 * sim.Millisecond
 			if *blame {
@@ -87,6 +99,17 @@ func main() {
 				// channels.
 				cfg.QPsPerPeer = 2
 				cfg.ChannelGaugeLimit = 4
+			}
+			if *upgrade {
+				// Half the fleet already upgraded: 0 and 1 offer [1,2] and
+				// settle v2 (with the drain-hint capability) between
+				// themselves, while channels touching a v1-only node settle
+				// the baseline. The short deadline keeps the closing drain
+				// demo snappy.
+				if node <= 1 {
+					cfg.ProtoVerMax = 2
+				}
+				cfg.DrainDeadline = 10 * sim.Millisecond
 			}
 			if *tenants {
 				// Tenant demo: both tenants share ONE mux QP so the DRR
@@ -242,6 +265,22 @@ func main() {
 	}
 	c.Eng.RunFor(20 * sim.Millisecond)
 
+	var upBlob []byte
+	var upRefused error
+	if *upgrade {
+		// Roll the last node out of service: Drain drives
+		// Serving→Draining→Drained and seals the handoff blob once every
+		// channel quiesces. A dial landing inside the window is refused
+		// with ErrDraining — counted, flight-logged, and visible in the
+		// DRAIN column below.
+		last := n - 1
+		if err := c.Nodes[last].Ctx.Drain(func(b []byte) { upBlob = b }); err != nil {
+			panic(err)
+		}
+		c.Connect(0, last, 7000, func(_ *xrdma.Channel, err error) { upRefused = err })
+		c.Eng.RunFor(20 * sim.Millisecond)
+	}
+
 	// One engine → one telemetry set, shared by every layer of this world.
 	tel := telemetry.For(c.Eng)
 	if *gray {
@@ -250,6 +289,11 @@ func main() {
 		tel.Flight.ForceDump(c.Eng.Now(), "xr-stat: gray-path episode")
 	}
 
+	if *upgrade {
+		last := c.Nodes[n-1].Ctx
+		fmt.Printf("upgrade demo: node %d drained → handoff blob %dB, refusals=%d; dial during drain: %v\n\n",
+			n-1, len(upBlob), last.Stats.DrainRefusals, upRefused)
+	}
 	if *storm {
 		fmt.Printf("one-sided demo (node 0 → node 1): reads=%d rdbytes=%d writes=%d wrbytes=%d raerrs=%d\n\n",
 			oneSided.Counters.Reads, oneSided.Counters.ReadBytes,

@@ -81,6 +81,9 @@ func Experiments() []Experiment {
 		{ID: "tenants", Title: "Multi-tenant isolation: QoS scheduling, bounded memory, graceful shed", Run: func(sc Scale) []*Table {
 			return tables(Tenants(sc).Table_)
 		}},
+		{ID: "upgrade", Title: "Hot upgrade: version negotiation, graceful drain, rolling restart under live traffic", Run: func(sc Scale) []*Table {
+			return tables(Upgrade(sc).Table_)
+		}},
 		{ID: "loc", Title: "Lines-of-code comparison", Run: func(Scale) []*Table {
 			return tables(LoCComparison().Table_)
 		}},

@@ -1,0 +1,362 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xrdma/internal/chaos"
+	"xrdma/internal/cluster"
+	"xrdma/internal/fabric"
+	"xrdma/internal/sim"
+	"xrdma/internal/xrdma"
+)
+
+// E25 "upgrade": the hot-upgrade drill. A 4-node cluster carries a live
+// full-mesh of id-stamped request streams plus a background elephant
+// (32 KiB rendezvous stream, its own tenant binding) while every node is
+// rolled in sequence from protocol v1 to v2:
+//
+//	drain      in-flight work completes under the drain deadline; new
+//	           attaches are refused with ErrDraining
+//	restart    the middleware instance is replaced in place at
+//	           ProtoVerMax=2; NIC, TCP stack and CM endpoint survive
+//	rehydrate  the handoff blob restores every channel Degraded with its
+//	           window floors, replay tail and negotiation verdict, and
+//	           the recovery plane re-establishes the transport
+//
+// The acceptance criteria live in TestUpgrade: not one message lost or
+// duplicated across the whole wave (the seq-ack window dedups the replay
+// exactly like a transient-fault recovery), rehydrated channels keep
+// speaking the version they negotiated (a v2 restart does NOT bump v1
+// peers mid-flight), a fresh mixed-version channel settles on v1 while a
+// fresh post-wave channel settles on v2, and the digest is bit-identical
+// sequentially and across concurrent goroutines.
+
+const (
+	upNodes    = 4
+	upPort     = 7500
+	upTick     = 500 * sim.Microsecond
+	upEleSize  = 32 << 10
+	upFirstAt  = 50 * sim.Millisecond
+	upWaveGap  = 80 * sim.Millisecond // waves at 50/130/210/290 ms
+	upMidAt    = 90 * sim.Millisecond // node 0 is v2, node 3 still v1
+	upSendStop = 380 * sim.Millisecond
+	upFinalAt  = 400 * sim.Millisecond
+	upHorizon  = 520 * sim.Millisecond
+)
+
+// upStream is one client→server request stream and its conservation
+// ledger. The id space is tagged per stream so the shared server-side
+// delivery count can attribute every request.
+type upStream struct {
+	From, To int
+	Tag      uint64
+	Elephant bool
+
+	ch     *xrdma.Channel
+	nextID uint64
+	sentOK map[uint64]bool
+
+	Sent     int // SendMsg calls accepted (err == nil)
+	Refused  int // SendMsg rejections (ErrDraining / closed instance)
+	Resps    int // responses consumed
+	RespDups int // responses seen twice for one id (must stay 0)
+	Dups     int // server-side duplicate deliveries (must stay 0)
+	Lost     int // accepted sends the server never saw (must stay 0)
+}
+
+func (s *upStream) key(id uint64) uint64 { return s.Tag<<40 | id }
+
+// UpgradeResult aggregates the drill.
+type UpgradeResult struct {
+	Streams []*upStream
+
+	// Version probes: a fresh channel dialed mid-wave (upgraded node 0 →
+	// legacy node 3) and two dialed after the full wave (both ends v2).
+	MidVer     uint8
+	MidCaps    uint32
+	FinalVer   uint8
+	FinalCaps  uint32
+	FinalVerHi uint8 // second post-wave probe (1→2)
+
+	// Whole-cluster counters summed over every instance that lived.
+	Rehydrated    int64
+	Degraded      int64
+	DrainRefusals int64
+	VerMismatches int64
+
+	Unhealthy int // stream channels not Healthy at the horizon
+
+	ChaosLog []string
+	Table_   Table
+}
+
+// Digest renders the drill as deterministic lines: same seed ⇒
+// bit-identical digest, sequentially and across concurrent goroutines.
+func (r *UpgradeResult) Digest() []string {
+	out := append([]string{}, r.ChaosLog...)
+	for _, s := range r.Streams {
+		kind := "stream"
+		if s.Elephant {
+			kind = "elephant"
+		}
+		out = append(out, fmt.Sprintf("%s %d->%d sent=%d refused=%d resps=%d resp_dups=%d dups=%d lost=%d",
+			kind, s.From, s.To, s.Sent, s.Refused, s.Resps, s.RespDups, s.Dups, s.Lost))
+	}
+	out = append(out, fmt.Sprintf("mid ver=%d caps=%#x final ver=%d/%d caps=%#x",
+		r.MidVer, r.MidCaps, r.FinalVer, r.FinalVerHi, r.FinalCaps))
+	out = append(out, fmt.Sprintf("rehydrated=%d degraded=%d drain_refusals=%d ver_mismatches=%d unhealthy=%d",
+		r.Rehydrated, r.Degraded, r.DrainRefusals, r.VerMismatches, r.Unhealthy))
+	return out
+}
+
+// upgradeKnobs compresses the recovery clocks (chaosKnobs ratios) so each
+// restart's degrade→recover cycle fits inside one wave gap. Every node
+// starts legacy: ProtoVerMax unset ⇒ v1, no hello on the wire.
+func upgradeKnobs(_ int, cfg *xrdma.Config) {
+	cfg.KeepaliveInterval = 2 * sim.Millisecond
+	cfg.KeepaliveTimeout = 8 * sim.Millisecond
+	cfg.RecoverRetries = 8
+	cfg.RecoverBackoff = 1 * sim.Millisecond
+	cfg.RecoverBackoffMax = 8 * sim.Millisecond
+	// A restarted instance dials with a cold memory cache — the recv-pool
+	// registrations alone eat several ms — so the dial budget is wider
+	// than the chaos drill's.
+	cfg.RecoverDialTimeout = 20 * sim.Millisecond
+	cfg.FailbackInterval = 25 * sim.Millisecond
+	cfg.DrainDeadline = 10 * sim.Millisecond
+	cfg.Tenants = []xrdma.TenantConfig{{Name: "elephant", Weight: 1}}
+}
+
+// Upgrade runs E25: roll every node v1→v2 under live load.
+func Upgrade(sc Scale) *UpgradeResult {
+	r := &UpgradeResult{}
+	c := cluster.New(cluster.Options{
+		Topology:    fabric.SmallClos(),
+		NICCfg:      chaosNIC(),
+		Nodes:       upNodes,
+		Config:      upgradeKnobs,
+		RecoverPort: 7801,
+		Seed:        sc.Seed,
+	})
+	sc.observe(c.Eng, "upgrade")
+	eng := c.Eng
+
+	// Streams: the full mesh (client = lower id) plus the elephant, which
+	// rides its own tenant-bound channel 0→3 so rehydration can tell it
+	// apart from the plain stream to the same peer.
+	pairs := cluster.FullMeshPairs(upNodes)
+	for k, p := range pairs {
+		r.Streams = append(r.Streams, &upStream{
+			From: p[0], To: p[1], Tag: uint64(k + 1), sentOK: map[uint64]bool{},
+		})
+	}
+	ele := &upStream{From: 0, To: upNodes - 1, Tag: uint64(len(pairs) + 1),
+		Elephant: true, sentOK: map[uint64]bool{}}
+	r.Streams = append(r.Streams, ele)
+
+	// Server-side delivery ledger, shared by every node's echo handler:
+	// key = stream tag | id, value = exact delivery count.
+	recvCount := map[uint64]int{}
+	respSeen := map[uint64]int{}
+	echo := func(m *xrdma.Msg) {
+		if len(m.Data) < 16 {
+			m.Reply(nil, 8)
+			return
+		}
+		recvCount[binary.LittleEndian.Uint64(m.Data)<<40|binary.LittleEndian.Uint64(m.Data[8:])]++
+		m.Reply(m.Data[:16], 0)
+	}
+
+	// install wires one channel on node i: the echo handler always, and —
+	// when this is a rehydrated client-side channel — the stream pointer
+	// swap, so the live load resumes on the restarted instance's channel.
+	install := func(node int, ch *xrdma.Channel) {
+		ch.OnMessage(echo)
+		for _, s := range r.Streams {
+			if s.From != node || c.Nodes[s.To].ID != ch.Peer {
+				continue
+			}
+			if s.Elephant != (ch.TenantOf() != nil) {
+				continue
+			}
+			s.ch = ch
+		}
+	}
+	c.ListenAll(upPort, func(n *cluster.Node, ch *xrdma.Channel) {
+		install(int(n.ID), ch)
+	})
+
+	// Classic (non-mux) channels: only those carry the per-channel QP
+	// state the handoff blob serializes. The elephant binds its tenant so
+	// rehydration can tell it apart from the plain 0→3 stream.
+	for _, s := range r.Streams {
+		s := s
+		c.Connect(s.From, s.To, upPort, func(ch *xrdma.Channel, err error) {
+			if err != nil {
+				panic(fmt.Sprintf("upgrade: connect %d->%d: %v", s.From, s.To, err))
+			}
+			if s.Elephant {
+				if err := ch.BindTenant("elephant"); err != nil {
+					panic(fmt.Sprintf("upgrade: bind elephant tenant: %v", err))
+				}
+			}
+			s.ch = ch
+		})
+	}
+	eng.Run()
+	for _, s := range r.Streams {
+		if s.ch == nil {
+			panic(fmt.Sprintf("upgrade: stream %d->%d never established", s.From, s.To))
+		}
+	}
+
+	// Live load: one id-stamped 16-byte request per tick per stream; the
+	// elephant sends a 32 KiB rendezvous payload with the same header. A
+	// stream pauses while its own client instance is draining (a balancer
+	// would stop routing there), but keeps firing at draining SERVERS —
+	// that in-flight traffic is what the drain deadline and the replay
+	// tail must conserve.
+	start := eng.Now()
+	var tickFor func(s *upStream) func()
+	tickFor = func(s *upStream) func() {
+		var tick func()
+		tick = func() {
+			if eng.Now().Sub(start) >= upSendStop {
+				return
+			}
+			eng.AfterBg(upTick, tick)
+			if c.Nodes[s.From].Ctx.DrainPhase() != xrdma.DrainServing {
+				return
+			}
+			id := s.nextID
+			s.nextID++
+			size := 0
+			buf := make([]byte, 16)
+			if s.Elephant {
+				buf = make([]byte, upEleSize)
+				size = upEleSize
+			}
+			binary.LittleEndian.PutUint64(buf, s.Tag)
+			binary.LittleEndian.PutUint64(buf[8:], id)
+			err := s.ch.SendMsg(buf, size, func(m *xrdma.Msg, err error) {
+				if err != nil {
+					return
+				}
+				respSeen[s.Tag<<40|binary.LittleEndian.Uint64(m.Data[8:])]++
+			})
+			if err != nil {
+				s.Refused++
+				return
+			}
+			s.Sent++
+			s.sentOK[id] = true
+		}
+		return tick
+	}
+	for _, s := range r.Streams {
+		eng.AfterBg(upTick, tickFor(s))
+	}
+
+	// The rolling wave: drain → restart at ProtoVerMax=2 → re-listen →
+	// rehydrate, one node per wave gap. Drained instances' counters are
+	// harvested before Restart discards the old context.
+	inj := chaos.New(c)
+	var steps []chaos.Step
+	for i := 0; i < upNodes; i++ {
+		node := i
+		steps = append(steps, chaos.Step{
+			At:   upFirstAt + sim.Duration(node)*upWaveGap,
+			Name: fmt.Sprintf("roll %d", node),
+			Do: func(in *chaos.Injector) {
+				old := c.Nodes[node].Ctx
+				in.DrainRestart(node,
+					func(cfg *xrdma.Config) { cfg.ProtoVerMax = 2 },
+					func(ctx *xrdma.Context) {
+						r.Degraded += old.Stats.Degraded
+						r.DrainRefusals += old.Stats.DrainRefusals
+						r.VerMismatches += old.Stats.VerMismatches
+						ctx.OnChannel(func(ch *xrdma.Channel) { install(node, ch) })
+						if err := ctx.Listen(upPort); err != nil {
+							panic(fmt.Sprintf("upgrade: re-listen node %d: %v", node, err))
+						}
+					})
+			},
+		})
+	}
+	inj.Schedule(steps)
+
+	// Version probes: fresh channels negotiate from scratch, so they show
+	// the live verdict of the moment — v1 while any end is legacy, v2
+	// once both ends rolled.
+	probe := func(from, to int, got func(ver uint8, caps uint32)) {
+		c.Connect(from, to, upPort, func(ch *xrdma.Channel, err error) {
+			if err != nil {
+				panic(fmt.Sprintf("upgrade: probe %d->%d: %v", from, to, err))
+			}
+			got(ch.NegotiatedVersion(), ch.PeerCaps())
+			ch.Close()
+		})
+	}
+	eng.AfterBg(upMidAt, func() {
+		probe(0, upNodes-1, func(v uint8, caps uint32) { r.MidVer, r.MidCaps = v, caps })
+	})
+	eng.AfterBg(upFinalAt, func() {
+		probe(0, upNodes-1, func(v uint8, caps uint32) { r.FinalVer, r.FinalCaps = v, caps })
+		probe(1, 2, func(v uint8, _ uint32) { r.FinalVerHi = v })
+	})
+
+	eng.RunUntil(start.Add(upHorizon))
+
+	// Conservation: every accepted send was delivered exactly once, every
+	// response arrived at most once.
+	for _, s := range r.Streams {
+		for id := uint64(0); id < s.nextID; id++ {
+			if !s.sentOK[id] {
+				continue
+			}
+			switch n := recvCount[s.key(id)]; {
+			case n == 0:
+				s.Lost++
+			case n > 1:
+				s.Dups++
+			}
+			if n := respSeen[s.key(id)]; n > 0 {
+				s.Resps++
+				if n > 1 {
+					s.RespDups++
+				}
+			}
+		}
+		if s.ch == nil || s.ch.Health() != xrdma.HealthHealthy {
+			r.Unhealthy++
+		}
+	}
+	for _, n := range c.Nodes {
+		r.Rehydrated += n.Ctx.Stats.Rehydrated
+		r.Degraded += n.Ctx.Stats.Degraded
+		r.DrainRefusals += n.Ctx.Stats.DrainRefusals
+		r.VerMismatches += n.Ctx.Stats.VerMismatches
+	}
+	r.ChaosLog = inj.Digest()
+
+	t := Table{
+		ID:    "E25/Upgrade",
+		Title: "Hot upgrade: rolling restart v1→v2 under live full-mesh load + background elephant",
+		Header: []string{"stream", "sent", "refused", "resps", "dups", "lost"},
+	}
+	for _, s := range r.Streams {
+		name := fmt.Sprintf("%d->%d", s.From, s.To)
+		if s.Elephant {
+			name += " (elephant)"
+		}
+		t.Addf(name, s.Sent, s.Refused, s.Resps, s.Dups, s.Lost)
+	}
+	t.Addf("versions", fmt.Sprintf("mid=%d", r.MidVer), fmt.Sprintf("final=%d/%d", r.FinalVer, r.FinalVerHi),
+		fmt.Sprintf("rehyd=%d", r.Rehydrated), fmt.Sprintf("refus=%d", r.DrainRefusals), fmt.Sprintf("mism=%d", r.VerMismatches))
+	t.Note("each node drains (ErrDraining refusals, in-flight completes), restarts at ProtoVerMax=2, rehydrates its handoff blob")
+	t.Note("rehydrated channels keep their negotiated verdict (v1); fresh channels settle v1 mid-wave, v2 once both ends rolled")
+	t.Note("conservation bar: zero lost, zero duplicate deliveries across every stream, elephant included")
+	r.Table_ = t
+	return r
+}

@@ -15,6 +15,7 @@ import (
 	"xrdma/internal/fabric"
 	"xrdma/internal/sim"
 	"xrdma/internal/telemetry"
+	"xrdma/internal/xrdma"
 )
 
 // Injector applies faults to one cluster. All methods are safe to call
@@ -176,6 +177,31 @@ func (i *Injector) NodeRestart(node int) {
 func (i *Injector) NicCrash(node int) {
 	i.C.Nodes[node].NIC.Crash()
 	i.note(false, "nic.crash %d", node)
+}
+
+// DrainRestart rolls one node's middleware under live traffic — the
+// hot-upgrade verb: graceful drain (in-flight work runs to completion
+// under the drain deadline), in-place restart at a possibly mutated
+// configuration (typically a bumped ProtoVerMax), then rehydration of the
+// handoff blob so the surviving channels re-establish through the
+// recovery plane. prep runs between the restart and the rehydration so
+// the scenario can re-install OnChannel handlers and listeners on the
+// fresh context.
+func (i *Injector) DrainRestart(node int, mutate func(*xrdma.Config), prep func(*xrdma.Context)) {
+	n := i.C.Nodes[node]
+	i.note(false, "node.drain %d", node)
+	if err := n.Ctx.Drain(func(blob []byte) {
+		ctx := i.C.Restart(node, mutate)
+		if prep != nil {
+			prep(ctx)
+		}
+		if err := ctx.Rehydrate(blob); err != nil {
+			panic(fmt.Sprintf("chaos: rehydrate node %d: %v", node, err))
+		}
+		i.note(true, "node.upgrade %d handoff=%dB", node, len(blob))
+	}); err != nil {
+		panic(fmt.Sprintf("chaos: drain node %d: %v", node, err))
+	}
 }
 
 // --- scenario scheduling ----------------------------------------------------

@@ -34,11 +34,14 @@ type Options struct {
 	Seed        uint64
 }
 
-// Node is one machine: NIC, TCP stack and X-RDMA context.
+// Node is one machine: NIC, TCP stack, CM endpoint and X-RDMA context.
+// The NIC, TCP stack and CM survive a middleware Restart; the context is
+// replaced.
 type Node struct {
 	ID  fabric.NodeID
 	NIC *rnic.NIC
 	TCP *tcpnet.Stack
+	CM  *verbs.CM
 	Ctx *xrdma.Context
 }
 
@@ -50,6 +53,8 @@ type Cluster struct {
 	Mon   *xrdma.Monitor
 	Nodes []*Node
 	RNG   *sim.RNG
+
+	opts Options // retained for Restart
 }
 
 // New builds the cluster.
@@ -73,6 +78,7 @@ func New(o Options) *Cluster {
 	c := &Cluster{
 		Eng: eng, Fab: fab, Net: verbs.NewCMNetwork(),
 		Mon: xrdma.NewMonitor(), RNG: sim.NewRNG(o.Seed),
+		opts: o,
 	}
 	for i := 0; i < n; i++ {
 		host := fab.Host(fabric.NodeID(i))
@@ -93,9 +99,39 @@ func New(o Options) *Cluster {
 			TCP: tcp, MockPort: o.MockPort, RecoverPort: o.RecoverPort, ClockSkew: skew,
 			Seed: o.Seed ^ uint64(i)*0x9e3779b97f4a7c15,
 		})
-		c.Nodes = append(c.Nodes, &Node{ID: host.ID, NIC: nic, TCP: tcp, Ctx: ctx})
+		c.Nodes = append(c.Nodes, &Node{ID: host.ID, NIC: nic, TCP: tcp, CM: cm, Ctx: ctx})
 	}
 	return c
+}
+
+// Restart replaces one node's middleware instance in place — the rolling-
+// upgrade move. The old context must already be Drained (its Shutdown is
+// called here); mutate edits the carried-over configuration (typically
+// bumping ProtoVerMax). The NIC, TCP stack and CM endpoint survive, so
+// QPNs stay monotonic and peers can re-dial the recovery listener. The
+// caller re-installs OnChannel/Listen on the returned context and then
+// rehydrates the handoff blob.
+func (c *Cluster) Restart(node int, mutate func(cfg *xrdma.Config)) *xrdma.Context {
+	n := c.Nodes[node]
+	cfg := n.Ctx.Config()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n.Ctx.Shutdown()
+	host := c.Fab.Host(n.ID)
+	vc := verbs.Open(n.NIC)
+	var skew sim.Duration
+	if c.opts.ClockSkew != nil {
+		skew = c.opts.ClockSkew(node)
+	}
+	ctx := xrdma.NewContext(xrdma.Options{
+		Verbs: vc, CM: n.CM, Host: host, Config: cfg, Monitor: c.Mon,
+		TCP: n.TCP, MockPort: c.opts.MockPort, RecoverPort: c.opts.RecoverPort,
+		ClockSkew: skew,
+		Seed:      c.opts.Seed ^ uint64(node)*0x9e3779b97f4a7c15 ^ 0xdead,
+	})
+	n.Ctx = ctx
+	return ctx
 }
 
 // ListenAll makes every node accept channels on port; handler (optional)

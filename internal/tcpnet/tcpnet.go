@@ -132,6 +132,12 @@ func (s *Stack) Listen(port int, accept func(*Conn)) error {
 	return nil
 }
 
+// Unlisten releases a port so a restarted middleware instance on the same
+// node can re-register its listener. Unknown ports are a no-op.
+func (s *Stack) Unlisten(port int) {
+	delete(s.listeners, port)
+}
+
 // Conn is one established, message-oriented connection.
 type Conn struct {
 	stack      *Stack

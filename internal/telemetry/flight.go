@@ -47,6 +47,8 @@ const (
 	CatTenantBudget
 	CatTenantShed
 	CatMemPressure
+	CatVerMismatch
+	CatDrain
 	catCount
 )
 
@@ -82,6 +84,8 @@ var catNames = [catCount]string{
 	CatTenantBudget:     "tenant.budget",
 	CatTenantShed:       "tenant.shed",
 	CatMemPressure:      "mem.pressure",
+	CatVerMismatch:      "ver.mismatch",
+	CatDrain:            "drain",
 }
 
 func (c Category) String() string {

@@ -106,12 +106,20 @@ type ConnReq struct {
 	Port        int
 	msgID       uint64
 	PrivateData []byte
+
+	// ReplyData, when set before Accept, rides the REP back to the dialer
+	// (librdmacm's responder private data) and surfaces as Conn.PeerData —
+	// the channel layer's version-negotiation verdict travels here. Nil
+	// keeps the REP byte-identical to the legacy exchange.
+	ReplyData []byte
 }
 
 // Conn is an established RC connection.
 type Conn struct {
 	QP     *rnic.QP
 	Remote fabric.NodeID
+	// PeerData is the responder's REP private data (nil on legacy accepts).
+	PeerData []byte
 }
 
 type dialState struct {
@@ -148,6 +156,12 @@ func (cm *CM) Listen(port int, handler func(*ConnReq)) error {
 	}
 	cm.listeners[port] = handler
 	return nil
+}
+
+// Unlisten releases a port so a restarted middleware on the same node can
+// re-register its listeners. Unknown ports are a no-op.
+func (cm *CM) Unlisten(port int) {
+	delete(cm.listeners, port)
 }
 
 // send ships a CM control message over the fabric's control class.
@@ -204,7 +218,7 @@ func (req *ConnReq) Accept(qp *rnic.QP, done func(*Conn, error)) {
 	step(rnic.QPInit, func() {
 		step(rnic.QPRTR, func() {
 			step(rnic.QPRTS, func() {
-				cm.send(req.From, &cmMsg{kind: 1, msgID: req.msgID, qpn: qp.QPN})
+				cm.send(req.From, &cmMsg{kind: 1, msgID: req.msgID, qpn: qp.QPN, private: req.ReplyData})
 				cm.EstablishedConns++
 				done(&Conn{QP: qp, Remote: req.From}, nil)
 			})
@@ -247,6 +261,7 @@ func (cm *CM) HandlePacket(p *fabric.Packet) {
 		delete(cm.pending, m.msgID)
 		nic := cm.ctx.NIC
 		src := p.Src // p is recycled before the async transitions finish
+		pdata := m.private
 		nic.ModifyQP(st.qp, rnic.QPRTR, src, m.qpn, func(err error) {
 			if err != nil {
 				st.done(nil, err)
@@ -259,7 +274,7 @@ func (cm *CM) HandlePacket(p *fabric.Packet) {
 				}
 				cm.send(src, &cmMsg{kind: 2, msgID: m.msgID})
 				cm.EstablishedConns++
-				st.done(&Conn{QP: st.qp, Remote: src}, nil)
+				st.done(&Conn{QP: st.qp, Remote: src, PeerData: pdata}, nil)
 			})
 		})
 	case 2: // RTU — passive side already RTS in this model; nothing to do.

@@ -18,6 +18,11 @@ var (
 	ErrPeerDead      = errors.New("xrdma: keepalive declared peer dead")
 	ErrTimeout       = errors.New("xrdma: request timed out")
 	ErrNICRestart    = errors.New("xrdma: local NIC restarted")
+	// ErrDraining refuses work on a node that entered the drain lifecycle
+	// (drain.go): new attaches and inbound establishment are rejected loudly
+	// so callers park-and-retry against the restarted instance instead of
+	// misreading the refusal as a fault.
+	ErrDraining = errors.New("xrdma: context draining")
 )
 
 // HealthState is the channel's fault-tolerance state machine. Healthy
@@ -99,6 +104,16 @@ type Channel struct {
 	closed bool
 	broken bool
 
+	// Hot-upgrade plane (negotiate.go): the header version this channel
+	// settled on (0 = legacy, treated as hdrVersion) and the AND of both
+	// sides' capability bitmaps (0 = legacy, treated as baselineCaps).
+	// Optional wire extensions are gated on peerCaps per-channel, so a
+	// v2 context emits v1 frames to v1 peers. (Packed into the padding
+	// behind the bools above: the flyweight descriptor budget —
+	// BenchmarkIdleChannelFootprint — is one malloc size class tight.)
+	negVer   uint8
+	peerCaps uint32
+
 	onMessage func(*Msg)
 	onClose   func(error)
 
@@ -108,7 +123,8 @@ type Channel struct {
 	// Health state machine (chaos hardening).
 	health      HealthState
 	degradedAt  sim.Time
-	peerQPN     uint32 // peer's QPN at establishment — the recovery rendezvous key
+	peerQPN     uint32 // peer's latest QPN — refreshed on every adoption
+	peerQPN0    uint32 // peer's QPN at establishment — immutable channel identity
 	recEpoch    uint64 // invalidates stale recovery dials
 	recAttempts int
 	qpns        []uint32 // every local QPN this channel has owned (recoverIdx keys)
@@ -294,12 +310,36 @@ func (c *Context) OnChannel(fn func(*Channel)) { c.onChannel = fn }
 // dialer can never race ahead of the receive queue — RNR-free from the
 // very first message.
 func (c *Context) Listen(port int) error {
-	return c.cm.Listen(port, func(req *verbs.ConnReq) {
-		if hello, ok := parseMuxHello(req.PrivateData); ok {
+	if err := c.cm.Listen(port, func(req *verbs.ConnReq) {
+		switch hello, verdict := parseMuxHello(req.PrivateData); verdict {
+		case muxHelloYes:
 			// A mux-plane dial (shared-QP establishment or reattach), not a
 			// per-channel connection.
 			c.acceptMux(req, hello, port)
 			return
+		case muxHelloBadVer:
+			// A mux hello from a release whose hello format we don't speak:
+			// count and reject loudly instead of the old silent drop, which
+			// left the dialer waiting out its CM timeout with no clue.
+			c.noteVerMismatch(req.From, 0, hello.minVer, hello.maxVer)
+			req.Reject(errVersion.Error())
+			return
+		}
+		if c.drain != DrainServing {
+			c.refuseDraining(req)
+			return
+		}
+		offer, present := parseChanHello(req.PrivateData)
+		ver, caps, ok := c.settle(offer, present)
+		if !ok {
+			c.noteVerMismatch(req.From, 0, offer.minVer, offer.maxVer)
+			req.Reject(errVersion.Error())
+			return
+		}
+		if present {
+			// The REP carries the settled verdict back to the dialer. Legacy
+			// dialers sent no hello and get the byte-identical legacy REP.
+			req.ReplyData = encodeChanHello(chanHello{minVer: ver, maxVer: ver, caps: caps})
 		}
 		c.allocRecvBufs(func(bufs []Buffer) {
 			c.withQP(func(qp *rnic.QP) {
@@ -310,13 +350,18 @@ func (c *Context) Listen(port int) error {
 						return
 					}
 					ch := c.newChannel(conn, bufs)
+					ch.setNegotiated(ver, caps)
 					if c.onChannel != nil {
 						c.onChannel(ch)
 					}
 				})
 			})
 		})
-	})
+	}); err != nil {
+		return err
+	}
+	c.listenPorts = append(c.listenPorts, port)
+	return nil
 }
 
 // allocRecvBufs obtains the standing receive pool for one channel; the
@@ -377,26 +422,31 @@ func (c *Context) Connect(node fabric.NodeID, port int, done func(*Channel, erro
 		c.ensureSRQ()
 		srq = c.srq
 	}
+	hello := c.chanHelloData()
 	c.allocRecvBufs(func(bufs []Buffer) {
 		if qp := c.QPs.Get(); qp != nil {
-			c.cm.Connect(node, port, nil, qp, c.qpDepth(), nil, nil, nil, func(conn *verbs.Conn, err error) {
+			c.cm.Connect(node, port, hello, qp, c.qpDepth(), nil, nil, nil, func(conn *verbs.Conn, err error) {
 				if err != nil {
 					c.QPs.Put(qp)
 					c.freeBufs(bufs)
-					done(nil, err)
+					done(nil, mapDialErr(err))
 					return
 				}
-				done(c.newChannel(conn, bufs), nil)
+				ch := c.newChannel(conn, bufs)
+				ch.adoptPeerData(conn.PeerData)
+				done(ch, nil)
 			})
 			return
 		}
-		c.cm.Connect(node, port, nil, nil, c.qpDepth(), c.sendCQ, c.recvCQ, srq, func(conn *verbs.Conn, err error) {
+		c.cm.Connect(node, port, hello, nil, c.qpDepth(), c.sendCQ, c.recvCQ, srq, func(conn *verbs.Conn, err error) {
 			if err != nil {
 				c.freeBufs(bufs)
-				done(nil, err)
+				done(nil, mapDialErr(err))
 				return
 			}
-			done(c.newChannel(conn, bufs), nil)
+			ch := c.newChannel(conn, bufs)
+			ch.adoptPeerData(conn.PeerData)
+			done(ch, nil)
 		})
 	})
 }
@@ -426,6 +476,7 @@ func (c *Context) newChannel(conn *verbs.Conn, bufs []Buffer) *Channel {
 		Peer:         conn.Remote,
 		tx:           newTxWindow(c.cfg.WindowDepth),
 		peerQPN:      conn.QP.RemoteQPN,
+		peerQPN0:     conn.QP.RemoteQPN,
 		lastComm:     c.eng.Now(),
 		lastProgress: c.eng.Now(),
 		OpenedAt:     c.eng.Now(),
@@ -496,6 +547,9 @@ func (ch *Channel) registerGauges() {
 		{"rdbytes", func() int64 { return ch.Counters.ReadBytes }},
 		{"wrbytes", func() int64 { return ch.Counters.WriteBytes }},
 		{"raerrs", func() int64 { return ch.Counters.RemoteAccessErrs }},
+		{"ver", func() int64 { return int64(ch.NegotiatedVersion()) }},
+		{"caps", func() int64 { return int64(ch.PeerCaps()) }},
+		{"drain", func() int64 { return int64(c.drain) }},
 	}
 	if ch.mx != nil {
 		// The shared QP a muxed channel currently rides (rnr/retx above are
@@ -662,8 +716,16 @@ func (ch *Channel) teardown(err error) {
 			ch.attach = attachLazy
 			c.attachRelease()
 		}
-	} else {
+	} else if ch.qp != nil {
 		delete(c.channels, ch.qp.QPN)
+	} else {
+		// Rehydrated channel that never re-adopted a QP: it sits in the
+		// channel table under its pre-restart QPNs (drain.go).
+		for _, q := range ch.qpns {
+			if c.channels[q] == ch {
+				delete(c.channels, q)
+			}
+		}
 	}
 	for i, w := range c.mockWaiters {
 		if w == ch {
@@ -740,7 +802,7 @@ func (ch *Channel) teardown(err error) {
 	// channel never owned the shared QP; a lazy descriptor has none.
 	if ch.mock != nil {
 		ch.closeMock()
-	} else if ch.cid == 0 {
+	} else if ch.cid == 0 && ch.qp != nil {
 		c.QPs.Put(ch.qp)
 	}
 	if ch.onClose != nil {

@@ -188,6 +188,26 @@ type Config struct {
 	// TenantShedCooldown is how long a tenant sheds new attaches after a
 	// budget breach; each further breach extends the episode.
 	TenantShedCooldown sim.Duration
+
+	// --- hot-upgrade plane (offline) --------------------------------------
+
+	// ProtoVerMin / ProtoVerMax bound the header versions this context
+	// offers in the hello handshake (0 = hdrVersion, i.e. the legacy v1
+	// plane: no hello is emitted and the wire stays byte-identical to
+	// pre-negotiation builds). A dialer with ProtoVerMax > hdrVersion is
+	// invalid and clamped to hdrVersionMax. Both sides settle on the
+	// highest common version; no overlap is a counted, flight-logged
+	// negotiation failure (never a corruption-shaped error).
+	ProtoVerMin int
+	ProtoVerMax int
+	// ProtoCaps is the capability bitmap offered in the hello (0 =
+	// baselineCaps: blame ext + tenant ext + one-sided verbs). A channel
+	// only exercises a capability both sides advertise.
+	ProtoCaps uint32
+	// DrainDeadline bounds Context.Drain's quiesce phase: in-flight
+	// requests get this long to complete before the remaining tail is
+	// frozen into the handoff blob for post-restart replay (0 = 50ms).
+	DrainDeadline sim.Duration
 }
 
 // TenantConfig declares one tenant of the isolation plane. Zero values
@@ -447,4 +467,8 @@ var offlineFlagNames = map[string]struct{}{
 	"tenant_sq_burst":         {},
 	"tenant_quantum":          {},
 	"tenant_shed_cooldown_ms": {},
+	"proto_ver_min":           {},
+	"proto_ver_max":           {},
+	"proto_caps":              {},
+	"drain_deadline_ms":       {},
 }

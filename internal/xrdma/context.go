@@ -112,6 +112,16 @@ type Context struct {
 	aggChannels    int
 	peerAggs       map[fabric.NodeID]*peerAgg
 
+	// Hot-upgrade plane (drain.go): the Serving→Draining→Drained
+	// lifecycle, the handoff callback armed by Drain, the drain deadline,
+	// and every CM port this context listens on (so Shutdown can release
+	// them for the restarted instance).
+	drain         DrainState
+	drainCB       func([]byte)
+	drainDeadline sim.Time
+	drainStarted  sim.Time
+	listenPorts   []int
+
 	// Clock skew of this node (set by the cluster harness) and the
 	// estimated offset table from the clock-sync service.
 	clockSkew sim.Duration
@@ -151,6 +161,13 @@ type ContextStats struct {
 	PathEscalations int64
 	PathHints       int64 // PATH_HINT frames sent (RX-attributed sickness)
 	PathHintsRecv   int64
+
+	// Hot-upgrade plane: version-negotiation failures (disjoint ranges or
+	// foreign-version frames), establishment attempts refused because the
+	// node was draining, and channels rehydrated from a handoff blob.
+	VerMismatches int64
+	DrainRefusals int64
+	Rehydrated    int64
 }
 
 // LogEntry is one line of the self-adaptive log (§VI-A method III).
@@ -278,6 +295,10 @@ func (c *Context) registerGauges() {
 		{"path_escalations", func() int64 { return s.PathEscalations }},
 		{"path_hints", func() int64 { return s.PathHints }},
 		{"path_hints_recv", func() int64 { return s.PathHintsRecv }},
+		{"ver_mismatches", func() int64 { return s.VerMismatches }},
+		{"drain_refusals", func() int64 { return s.DrainRefusals }},
+		{"rehydrated", func() int64 { return s.Rehydrated }},
+		{"drain_state", func() int64 { return int64(c.drain) }},
 		{"channels", func() int64 { return int64(len(c.channels) + len(c.chanByCID)) }},
 		{"mux_qps", func() int64 { return int64(len(c.muxQPs)) }},
 		{"agg_channels", func() int64 { return int64(c.aggChannels) }},

@@ -73,6 +73,18 @@ func FuzzDecodeHdr(f *testing.F) {
 	f.Add(mk(wireHdr{Kind: kindReq, Flags: flagTenant, Tenant: 0xffff, TLabel: [8]byte{0xff, 0xfe, 0xfd}}))
 	tcut := mk(wireHdr{Kind: kindReq, Flags: flagTenant, Tenant: 3, TLabel: [8]byte{'x'}})
 	f.Add(tcut[:len(tcut)-3])
+	// Hot-upgrade plane shapes: v2 frames (the negotiated bump shares the
+	// v1 layout), a v2 frame carrying every extension at once, hostile
+	// version bytes (zero and future — both must resolve to errVersion,
+	// never a panic or a misparse), and a channel-negotiation hello sitting
+	// where a data header should be.
+	f.Add(mk(wireHdr{Ver: hdrVersionMax, Kind: kindReq, Seq: 8, Ack: 6, MsgID: 100, Size: 512}))
+	f.Add(mk(wireHdr{Ver: hdrVersionMax, Kind: kindResp, Flags: flagTraced | flagBlame | flagTenant, Tenant: 1, TLabel: [8]byte{'u'}, T1: 77}))
+	f.Add(mk(wireHdr{Ver: hdrVersionMax, Kind: kindWinGrant, MsgID: 21, Addr: 0x20000, RKey: 9, Size: 4096}))
+	vzero := mk(wireHdr{Kind: kindReq})
+	vzero[2] = 0
+	f.Add(vzero)
+	f.Add(append(encodeChanHello(chanHello{minVer: 1, maxVer: 2, caps: baselineCaps | capDrainHint}), make([]byte, hdrSize)...))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		h, n, err := decodeHdr(b)
@@ -110,6 +122,122 @@ func FuzzDecodeHdr(f *testing.F) {
 		}
 		if h.Flags&flagTraced != 0 && !bytes.Equal(out[hdrSize:hdrSize+8], b[hdrSize:hdrSize+8]) {
 			t.Fatalf("trace extension diverges after round-trip")
+		}
+		// Version sanity: decode only admits the range this build speaks.
+		if h.Ver < hdrVersion || h.Ver > hdrVersionMax {
+			t.Fatalf("decodeHdr admitted version %d outside [%d, %d]", h.Ver, hdrVersion, hdrVersionMax)
+		}
+	})
+}
+
+// FuzzParseChanHello hardens the negotiation-hello parser: CM private
+// data is peer-controlled bytes, and a hostile hello must either parse
+// into a well-formed offer or be treated as a legacy (no-hello) peer —
+// never crash, never half-parse.
+func FuzzParseChanHello(f *testing.F) {
+	f.Add(encodeChanHello(chanHello{minVer: 1, maxVer: 1, caps: baselineCaps}))
+	f.Add(encodeChanHello(chanHello{minVer: 1, maxVer: 2, caps: baselineCaps | capDrainHint}))
+	f.Add(encodeChanHello(chanHello{minVer: 2, maxVer: 2, caps: 0}))
+	f.Add(encodeChanHello(chanHello{minVer: 255, maxVer: 0, caps: ^uint32(0)}))
+	f.Add([]byte{})
+	f.Add([]byte{0x56, 0x58})                  // magic alone, truncated
+	f.Add(bytes.Repeat([]byte{0xff}, 16))      // flag soup, wrong magic
+	f.Add(append(encodeChanHello(chanHello{minVer: 1, maxVer: 2, caps: 7}), 0xAA, 0xBB)) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, ok := parseChanHello(b)
+		if !ok {
+			return
+		}
+		// A parsed hello round-trips bit-for-bit over its fixed prefix.
+		out := encodeChanHello(h)
+		if !bytes.Equal(out, b[:chanHelloSize]) {
+			t.Fatalf("hello diverges after round-trip:\n in=%x\nout=%x", b[:chanHelloSize], out)
+		}
+		// And negotiating any parsed offer against any local range must
+		// never panic, regardless of how inverted the peer's range is.
+		for _, local := range []chanHello{
+			{minVer: 1, maxVer: 1, caps: baselineCaps},
+			{minVer: 1, maxVer: 2, caps: baselineCaps | capDrainHint},
+			{minVer: 2, maxVer: 2, caps: 0},
+		} {
+			ver, caps, ok := negotiate(local, h)
+			if ok && (ver < local.minVer || ver > local.maxVer) {
+				t.Fatalf("negotiate settled on %d outside local [%d, %d]", ver, local.minVer, local.maxVer)
+			}
+			if ok && caps&^local.caps != 0 {
+				t.Fatalf("negotiate granted caps %#x the local side never offered", caps)
+			}
+		}
+	})
+}
+
+// FuzzDecodeHandoff hardens the restart-handoff parser: the blob crosses
+// a process boundary (and, in production, a disk or RPC hop), so a
+// truncated, corrupted, or adversarial blob must fail loudly — bounded
+// allocations, no panic, no over-read, and never a half-parsed channel
+// set handed to Rehydrate.
+func FuzzDecodeHandoff(f *testing.F) {
+	le := binary.LittleEndian
+	base := func(n uint32) []byte {
+		b := le.AppendUint16(nil, handoffMagic)
+		b = append(b, handoffVer, 0)
+		b = le.AppendUint64(b, 9)
+		b = le.AppendUint32(b, n)
+		return b
+	}
+	// One well-formed single-channel blob with a tail message and a window.
+	rec := le.AppendUint32(nil, 2) // peer
+	rec = append(rec, 1)           // one QPN
+	rec = le.AppendUint32(rec, 104)
+	rec = le.AppendUint32(rec, 55) // peerQPN
+	rec = le.AppendUint32(rec, 55) // peerQPN0
+	rec = append(rec, 1)           // negVer
+	rec = le.AppendUint32(rec, baselineCaps)
+	rec = append(rec, []byte("tenant-a")...)
+	rec = le.AppendUint64(rec, 10) // txFloor
+	rec = le.AppendUint64(rec, 12) // rxFloor
+	rec = le.AppendUint32(rec, 1)  // one tail message
+	rec = append(rec, 1, 0)
+	rec = le.AppendUint64(rec, 11) // msgID
+	rec = le.AppendUint32(rec, 3)  // size
+	rec = le.AppendUint32(rec, 3)  // dataLen
+	rec = append(rec, 'a', 'b', 'c')
+	rec = le.AppendUint32(rec, 1) // one window
+	rec = le.AppendUint64(rec, 1)
+	rec = le.AppendUint64(rec, 0x10000)
+	rec = le.AppendUint32(rec, 7)
+	rec = le.AppendUint32(rec, 65536)
+	good := append(base(1), rec...)
+	f.Add(good)
+	f.Add(base(0))
+	f.Add(good[:len(good)-5])            // truncated mid-window
+	f.Add(base(1 << 20))                 // channel-count bomb
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	fut := base(0)
+	fut[2] = 9
+	f.Add(fut) // future blob version
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := decodeHandoff(b)
+		if err != nil {
+			return
+		}
+		// Decoded state must respect every hardening cap, and every byte
+		// slice must be owned (within the blob's length budget).
+		if len(h.chans) > handoffMaxChans {
+			t.Fatalf("%d channels decoded past the cap", len(h.chans))
+		}
+		for _, c := range h.chans {
+			if len(c.qpns) > handoffMaxQPNs || len(c.tail) > handoffMaxTail || len(c.wins) > handoffMaxWins {
+				t.Fatalf("record breaches caps: qpns=%d tail=%d wins=%d", len(c.qpns), len(c.tail), len(c.wins))
+			}
+			for _, m := range c.tail {
+				if len(m.data) > len(b) {
+					t.Fatalf("tail payload %d bytes from a %d-byte blob", len(m.data), len(b))
+				}
+			}
 		}
 	})
 }

@@ -53,6 +53,10 @@ func (c *Context) listenMock() {
 		conn.OnMessage = func(m tcpnet.Message) {
 			qpn, ok := parseMockHello(m.Data)
 			if !ok {
+				// A hello this build doesn't recognize — most likely a
+				// foreign-release peer. Counted and flight-logged (the old
+				// silent close left the dialer retrying blind).
+				c.noteVerMismatch(conn.Remote, 0, 0, 0)
 				conn.Close()
 				return
 			}

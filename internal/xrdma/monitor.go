@@ -109,15 +109,17 @@ func XRStat(c *Context) string {
 		return v
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "node %d: %d channels, mem occupy=%d in-use=%d, qp-cache=%d\n",
-		c.Node(), get("channels"), get("mem_occupied"), get("mem_inuse"), get("qp_cache"))
+	fmt.Fprintf(&b, "node %d: %d channels, mem occupy=%d in-use=%d, qp-cache=%d, drain=%s\n",
+		c.Node(), get("channels"), get("mem_occupied"), get("mem_inuse"), get("qp_cache"),
+		DrainState(get("drain_state")))
 	if dropped := c.trace.Dropped(); dropped > 0 {
 		fmt.Fprintf(&b, "trace ring truncated: %d records overwritten (cap %d)\n",
 			dropped, c.trace.ring.Cap())
 	}
-	fmt.Fprintf(&b, "%-6s %-6s %-9s %-9s %-10s %-10s %-7s %-6s %-6s %-6s %-8s %-6s %-6s %-6s %-6s %-9s %-6s\n",
+	fmt.Fprintf(&b, "%-6s %-6s %-9s %-9s %-10s %-10s %-7s %-6s %-6s %-6s %-8s %-6s %-6s %-6s %-6s %-9s %-6s %-4s %-5s %-8s\n",
 		"QPN", "PEER", "SENT", "RECV", "TXBYTES", "RXBYTES", "STALLS", "RNR", "RETX",
-		"SCORE", "VERDICT", "REHASH", "RETRY", "READS", "WRITES", "RDBYTES", "RAERRS")
+		"SCORE", "VERDICT", "REHASH", "RETRY", "READS", "WRITES", "RDBYTES", "RAERRS",
+		"VER", "CAPS", "DRAIN")
 	// Three row families share the registry: "ch.<qpn>" (exclusive-QP
 	// channels), "mch.<cid>" (muxed channels — stable cid identity), and
 	// "peeragg.<peer>" (channels folded past ChannelGaugeLimit).
@@ -159,12 +161,13 @@ func XRStat(c *Context) string {
 	sort.Ints(cids)
 	sort.Ints(aggPeers)
 	writeRow := func(label string, r map[string]int64) {
-		fmt.Fprintf(&b, "%-6s %-6d %-9d %-9d %-10d %-10d %-7d %-6d %-6d %-6.2f %-8s %-6d %-6d %-6d %-6d %-9d %-6d\n",
+		fmt.Fprintf(&b, "%-6s %-6d %-9d %-9d %-10d %-10d %-7d %-6d %-6d %-6.2f %-8s %-6d %-6d %-6d %-6d %-9d %-6d %-4d %-5s %-8s\n",
 			label, r["peer"], r["sent"], r["recv"], r["txbytes"], r["rxbytes"],
 			r["stalls"], r["rnr"], r["retx"],
 			float64(r["path_score"])/100, PathVerdict(r["path_verdict"]).String(),
 			r["rehashes"], r["req_retries"],
-			r["reads"], r["writes"], r["rdbytes"], r["raerrs"])
+			r["reads"], r["writes"], r["rdbytes"], r["raerrs"],
+			r["ver"], fmt.Sprintf("%#x", r["caps"]), DrainState(r["drain"]))
 	}
 	for _, q := range qpns {
 		writeRow(strconv.Itoa(q), rows[q])

@@ -85,6 +85,11 @@ type muxQP struct {
 	kaProbing bool
 	kaProbeAt sim.Time
 
+	// Hot-upgrade plane: the version and capability set every channel on
+	// this shared QP inherits (0/0 = legacy v1 + baselineCaps).
+	negVer   uint8
+	peerCaps uint32
+
 	// The shared-QP path doctor: counters on a shared QP aggregate every
 	// channel's symptoms, so scoring (and the flow-label rotation cure)
 	// must run once per QP — per-channel doctors would each see the full
@@ -97,12 +102,18 @@ type muxQP struct {
 
 // --- mux hello (CM private data) --------------------------------------------
 
-const muxHelloMagic = 0x5158 // "XQ" — mux QP establishment
+const (
+	muxHelloMagic = 0x5158 // "XQ" — mux QP establishment
+	// Mux hello format versions: 1 is the legacy 12-byte layout, 2 appends
+	// the 6-byte negotiation block ([minVer,maxVer] + capability bitmap).
+	muxHelloFmt    = 1
+	muxHelloFmtMax = 2
+)
 
 func encodeMuxHello(slot int, reattach bool, targetQPN uint32) []byte {
 	b := make([]byte, 12)
 	binary.LittleEndian.PutUint16(b, muxHelloMagic)
-	b[2] = 1
+	b[2] = muxHelloFmt
 	if reattach {
 		b[3] = 1
 	}
@@ -111,21 +122,69 @@ func encodeMuxHello(slot int, reattach bool, targetQPN uint32) []byte {
 	return b
 }
 
+// muxHelloBytes is the dial-time hello: the legacy 12-byte format on the
+// v1 plane (byte-identical to the pre-negotiation build), or the format-2
+// layout carrying this context's version range and capability bitmap.
+func (c *Context) muxHelloBytes(slot int, reattach bool, targetQPN uint32) []byte {
+	if !c.helloEnabled() {
+		return encodeMuxHello(slot, reattach, targetQPN)
+	}
+	b := make([]byte, 18)
+	copy(b, encodeMuxHello(slot, reattach, targetQPN))
+	b[2] = muxHelloFmtMax
+	h := c.localHello()
+	b[12] = h.minVer
+	b[13] = h.maxVer
+	binary.LittleEndian.PutUint32(b[14:], h.caps)
+	return b
+}
+
 type muxHello struct {
 	slot     int
 	reattach bool
 	target   uint32
+
+	// Negotiation block (format 2 only). neg distinguishes "legacy hello,
+	// assume v1 + baselineCaps" from an explicit offer.
+	neg            bool
+	minVer, maxVer uint8
+	caps           uint32
 }
 
-func parseMuxHello(b []byte) (muxHello, bool) {
-	if len(b) < 12 || binary.LittleEndian.Uint16(b) != muxHelloMagic || b[2] != 1 {
-		return muxHello{}, false
+// muxHelloVerdict classifies CM private data for the Listen dispatcher.
+type muxHelloVerdict uint8
+
+const (
+	muxHelloNo     muxHelloVerdict = iota // not a mux hello (try chanHello / legacy)
+	muxHelloYes                           // well-formed mux hello
+	muxHelloBadVer                        // mux hello in a format this build does not speak
+)
+
+func parseMuxHello(b []byte) (muxHello, muxHelloVerdict) {
+	if len(b) < 12 || binary.LittleEndian.Uint16(b) != muxHelloMagic {
+		return muxHello{}, muxHelloNo
 	}
-	return muxHello{
+	if b[2] < muxHelloFmt || b[2] > muxHelloFmtMax {
+		// A future hello format: loudly classified (counted + rejected by
+		// the caller) instead of the old silent drop that left the dialer
+		// waiting out its CM timeout.
+		return muxHello{minVer: b[2], maxVer: b[2]}, muxHelloBadVer
+	}
+	h := muxHello{
 		slot:     int(binary.LittleEndian.Uint16(b[4:])),
 		reattach: b[3] == 1,
 		target:   binary.LittleEndian.Uint32(b[6:]),
-	}, true
+	}
+	if b[2] >= 2 {
+		if len(b) < 18 {
+			return muxHello{minVer: b[2], maxVer: b[2]}, muxHelloBadVer
+		}
+		h.neg = true
+		h.minVer = b[12]
+		h.maxVer = b[13]
+		h.caps = binary.LittleEndian.Uint32(b[14:])
+	}
+	return h, muxHelloYes
 }
 
 // --- context surface ---------------------------------------------------------
@@ -183,6 +242,14 @@ func (ch *Channel) requestAttach() {
 		return
 	}
 	c := ch.ctx
+	if c.drain != DrainServing {
+		// A draining node starts no new work: refuse loudly instead of
+		// parking — the admission FIFO is being flushed, not served.
+		c.Stats.DrainRefusals++
+		c.tel.Flight.Record(c.eng.Now(), telemetry.CatDrain, int32(c.Node()), 0, int64(ch.cid), drainEvRefusal)
+		ch.finishAttach(ErrDraining)
+		return
+	}
 	// Shed gate: under global memory pressure, or while this channel's
 	// tenant is in a shed episode, new attaches queue instead of
 	// establishing — graceful degradation reusing the admission FIFO.
@@ -258,6 +325,9 @@ func (ch *Channel) finishAttach(err error) {
 	ch.tx = newTxWindow(c.cfg.WindowDepth)
 	ch.rx = newRxWindow(c.cfg.WindowDepth)
 	ch.qp = ch.mx.qp
+	// Channels inherit the shared QP's negotiated version and caps: the
+	// hello ran once per transport, not once per flyweight channel.
+	ch.setNegotiated(ch.mx.negVer, ch.mx.peerCaps)
 	c.Stats.ChannelsOpened++
 	ch.registerGauges()
 	if held {
@@ -302,7 +372,7 @@ func (c *Context) newMuxQP(pm *peerMux, slot int) *muxQP {
 	mx.initSched()
 	c.muxQPs = append(c.muxQPs, mx)
 	epoch := mx.epoch
-	hello := encodeMuxHello(slot, false, 0)
+	hello := c.muxHelloBytes(slot, false, 0)
 	c.ensureSRQ()
 	c.cm.Connect(pm.peer, pm.port, hello, nil, c.muxDepth(), c.sendCQ, c.recvCQ, c.srq, func(conn *verbs.Conn, err error) {
 		if mx.epoch != epoch || mx.dead {
@@ -321,8 +391,13 @@ func (c *Context) newMuxQP(pm *peerMux, slot int) *muxQP {
 }
 
 // established installs the freshly dialed QP and opens every waiting
-// channel.
+// channel. The acceptor's REP carries the settled negotiation verdict
+// (absent from legacy acceptors → v1 + baselineCaps).
 func (mx *muxQP) established(conn *verbs.Conn) {
+	if verdict, ok := parseChanHello(conn.PeerData); ok {
+		mx.negVer = verdict.maxVer
+		mx.peerCaps = verdict.caps
+	}
 	mx.installQP(conn.QP)
 	mx.state = muxReady
 	mx.lastComm = mx.c.eng.Now()
@@ -453,11 +528,27 @@ func (c *Context) acceptMux(req *verbs.ConnReq, hello muxHello, port int) {
 		})
 		return
 	}
+	if c.drain != DrainServing {
+		// Fresh shared-QP establishment is new work; a draining node
+		// refuses it (reattach above still serves in-flight channels).
+		c.refuseDraining(req)
+		return
+	}
+	ver, caps, ok := c.settle(chanHello{minVer: hello.minVer, maxVer: hello.maxVer, caps: hello.caps}, hello.neg)
+	if !ok {
+		c.noteVerMismatch(req.From, 0, hello.minVer, hello.maxVer)
+		req.Reject(errVersion.Error())
+		return
+	}
 	mx := &muxQP{
 		c: c, slot: hello.slot, initiator: false, peer: req.From, port: port,
 		state:    muxDialing,
 		chans:    make(map[uint32]*Channel),
 		peerCIDs: make(map[uint32]uint32),
+		negVer:   ver, peerCaps: caps,
+	}
+	if hello.neg {
+		req.ReplyData = encodeChanHello(chanHello{minVer: ver, maxVer: ver, caps: caps})
 	}
 	mx.initSched()
 	c.muxQPs = append(c.muxQPs, mx)
@@ -489,8 +580,17 @@ func (mx *muxQP) handleRecv(cqe rnic.CQE) {
 	}
 	mx.lastComm = c.eng.Now()
 	h, hdrLen, err := decodeHdr(cqe.Data)
+	var wireVer uint8
+	if len(cqe.Data) > 2 {
+		wireVer = cqe.Data[2]
+	}
 	c.recycleSRQ(cqe.WRID)
 	if err != nil {
+		if errors.Is(err, errVersion) {
+			// A frame from a release outside our version range: counted as
+			// an upgrade-plane event, not lumped in with corruption.
+			c.noteVerMismatch(mx.peer, cqe.QPN, wireVer, wireVer)
+		}
 		c.logf("mux inbound decode error from peer %d: %v", mx.peer, err)
 		return
 	}
@@ -502,6 +602,12 @@ func (mx *muxQP) handleRecv(cqe rnic.CQE) {
 	case kindChanClose:
 		if ch := mx.chans[h.Chan]; ch != nil {
 			ch.peerClosed = true
+			if ch.attach == attachPending {
+				// The peer refused our CHAN_OPEN (it is draining): resolve
+				// the waiting attach loudly instead of letting it hang.
+				ch.finishAttach(ErrDraining)
+				return
+			}
 			ch.teardown(nil)
 		}
 	case kindMuxSick:
@@ -537,6 +643,15 @@ func (mx *muxQP) handleChanOpen(h *wireHdr) {
 		mx.sendCtrl(&wireHdr{Kind: kindChanAccept, Chan: h.Chan, MsgID: uint64(lcid)})
 		return
 	}
+	if c.drain != DrainServing {
+		// New channel over an existing shared QP is still new work: close
+		// it back so the dialer's attach fails with ErrDraining instead of
+		// hanging until the restart.
+		c.Stats.DrainRefusals++
+		c.tel.Flight.Record(c.eng.Now(), telemetry.CatDrain, int32(c.Node()), mx.qp.QPN, int64(h.Chan), drainEvRefusal)
+		mx.sendCtrl(&wireHdr{Kind: kindChanClose, Chan: h.Chan})
+		return
+	}
 	now := c.eng.Now()
 	ch := &Channel{
 		ctx: c, Peer: mx.peer, cid: c.nextCID(), peerCID: h.Chan, mx: mx, qp: mx.qp,
@@ -544,6 +659,7 @@ func (mx *muxQP) handleChanOpen(h *wireHdr) {
 		tx:      newTxWindow(c.cfg.WindowDepth), rx: newRxWindow(c.cfg.WindowDepth),
 		lastComm: now, lastProgress: now, OpenedAt: now, retryTokens: retryBudgetCap,
 	}
+	ch.setNegotiated(mx.negVer, mx.peerCaps)
 	if h.Flags&flagTenant != 0 && len(c.tenants) > 0 {
 		ch.tenant = c.resolveTenant(h)
 	}
@@ -717,7 +833,7 @@ func (mx *muxQP) tryRedial(cause error) {
 		mx.state = muxDegraded
 		mx.scheduleRedial(cause)
 	})
-	hello := encodeMuxHello(mx.slot, true, mx.qp.RemoteQPN)
+	hello := c.muxHelloBytes(mx.slot, true, mx.qp.RemoteQPN)
 	c.ensureSRQ()
 	c.cm.Connect(mx.peer, mx.port, hello, nil, c.muxDepth(), c.sendCQ, c.recvCQ, c.srq, func(conn *verbs.Conn, err error) {
 		if settled || mx.dead || mx.epoch != epoch {

@@ -125,8 +125,15 @@ func (c *Context) lookupWindow(rkey uint32, addr uint64, size int) *Window {
 }
 
 // GrantWindow announces a window to this channel's peer over the ctrl
-// plane. The peer observes it via OnWindow.
+// plane. The peer observes it via OnWindow. A peer that did not advertise
+// the one-sided capability in negotiation never sees a WIN_GRANT — the
+// grant is silently withheld (and logged), since a v1 build would treat
+// the frame as noise.
 func (ch *Channel) GrantWindow(w *Window) {
+	if !ch.peerCap(capOneSided) {
+		ch.ctx.logf("win.grant withheld: peer %d lacks one-sided capability", ch.Peer)
+		return
+	}
 	ch.sendCtrlHdr(&wireHdr{
 		Kind: kindWinGrant, MsgID: w.ID,
 		Addr: w.mr.Base, RKey: w.mr.RKey, Size: uint32(w.Len),

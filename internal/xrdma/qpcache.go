@@ -42,6 +42,14 @@ func (q *QPCache) Put(qp *rnic.QP) {
 		return
 	}
 	nic := q.ctx.vctx.NIC
+	if qp.SendQueueLen() > 0 {
+		// In-flight WRs must flush, not vanish: their completion callbacks
+		// own staged buffers and flow-control slots, and a silent reset
+		// would strand both. Destroy runs the error flush; the cache just
+		// forgoes reuse this once.
+		nic.DestroyQP(qp)
+		return
+	}
 	if len(q.free) >= q.cap {
 		nic.DestroyQP(qp)
 		return

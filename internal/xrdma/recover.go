@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"xrdma/internal/fabric"
 	"xrdma/internal/rnic"
 	"xrdma/internal/sim"
 	"xrdma/internal/telemetry"
@@ -25,20 +26,36 @@ import (
 
 const recoverHelloMagic = 0x5243 // "CR" — channel recovery
 
-// recoverHello names the peer-side QPN of the broken channel, the
-// rendezvous key the listener resolves through its recovery index.
-func recoverHello(targetQPN uint32) []byte {
-	b := make([]byte, 8)
+// recoverHello names the broken channel three ways: the peer-side QPN the
+// dialer last saw (the fast recovery-index key), plus the immutable
+// establishment-time QPN pair — the listener's first QPN and the dialer's
+// first QPN. The latter two are the channel's identity: local QPNs are
+// recycled through the QP cache, so with several channels to one peer the
+// index entry for a recycled QPN can come to name a sibling channel, and
+// only the establishment pair (which no adoption ever rewrites) tells the
+// listener which protocol state this dial actually belongs to.
+func recoverHello(targetQPN, targetQPN0, dialerQPN0 uint32) []byte {
+	b := make([]byte, 16)
 	binary.LittleEndian.PutUint16(b, recoverHelloMagic)
 	binary.LittleEndian.PutUint32(b[2:], targetQPN)
+	binary.LittleEndian.PutUint32(b[6:], targetQPN0)
+	binary.LittleEndian.PutUint32(b[10:], dialerQPN0)
 	return b
 }
 
-func parseRecoverHello(b []byte) (uint32, bool) {
-	if len(b) < 8 || binary.LittleEndian.Uint16(b) != recoverHelloMagic {
-		return 0, false
+func parseRecoverHello(b []byte) (target, target0, dialer0 uint32, ok bool) {
+	if len(b) < 16 || binary.LittleEndian.Uint16(b) != recoverHelloMagic {
+		return 0, 0, 0, false
 	}
-	return binary.LittleEndian.Uint32(b[2:]), true
+	return binary.LittleEndian.Uint32(b[2:]),
+		binary.LittleEndian.Uint32(b[6:]),
+		binary.LittleEndian.Uint32(b[10:]), true
+}
+
+// isChannelIdentity reports whether this channel IS the one the dialing
+// peer means: the establishment-time QPN pair matches in both directions.
+func (ch *Channel) isChannelIdentity(from fabric.NodeID, target0, dialer0 uint32) bool {
+	return ch.Peer == from && len(ch.qpns) > 0 && ch.qpns[0] == target0 && ch.peerQPN0 == dialer0
 }
 
 // indexChannel records a channel's ownership of a local QPN for the
@@ -207,7 +224,11 @@ func (ch *Channel) dialReplacement(epoch uint64, onFail func()) {
 			}
 			ch.adopt(conn, bufs, true)
 		}
-		hello := recoverHello(ch.peerQPN)
+		var own0 uint32
+		if len(ch.qpns) > 0 {
+			own0 = ch.qpns[0]
+		}
+		hello := recoverHello(ch.peerQPN, ch.peerQPN0, own0)
 		if qp != nil {
 			c.cm.Connect(ch.Peer, c.recoverPort, hello, qp, c.qpDepth(), nil, nil, nil, done)
 			return
@@ -225,13 +246,27 @@ func (ch *Channel) dialReplacement(epoch uint64, onFail func()) {
 // fallen-back) channels, matched by the QPN named in the hello.
 func (c *Context) listenRecover() {
 	c.cm.Listen(c.recoverPort, func(req *verbs.ConnReq) {
-		target, ok := parseRecoverHello(req.PrivateData)
+		target, target0, dialer0, ok := parseRecoverHello(req.PrivateData)
 		if !ok {
 			req.Reject("bad recovery hello")
 			return
 		}
 		ch := c.recoverIdx[target]
-		if ch == nil || ch.closed || ch.Peer != req.From {
+		if ch != nil && (ch.closed || !ch.isChannelIdentity(req.From, target0, dialer0)) {
+			// The indexed QPN was recycled to a sibling channel (or the
+			// entry is plain stale); fall back to the identity scan so a
+			// dial never cross-adopts another channel's protocol state.
+			ch = nil
+		}
+		if ch == nil {
+			for _, cand := range c.sortedChannels() {
+				if !cand.closed && cand.isChannelIdentity(req.From, target0, dialer0) {
+					ch = cand
+					break
+				}
+			}
+		}
+		if ch == nil {
 			req.Reject("no such channel")
 			return
 		}
@@ -285,8 +320,15 @@ func (ch *Channel) adopt(conn *verbs.Conn, bufs []Buffer, initiator bool) {
 		c.tel.Flight.Record(now, telemetry.CatFailback, int32(c.Node()), conn.QP.QPN, int64(ch.Peer), 0)
 		c.tel.Trace.Instant("ch.failback", c.track, now, int64(ch.Peer))
 	} else {
-		delete(c.channels, ch.qp.QPN)
-		c.QPs.Put(ch.qp)
+		if ch.qp != nil {
+			delete(c.channels, ch.qp.QPN)
+			c.QPs.Put(ch.qp)
+		} else if n := len(ch.qpns); n > 0 && c.channels[ch.qpns[n-1]] == ch {
+			// Rehydrated channel (drain.go) adopting its first post-restart
+			// transport: it was parked in the table under the last QPN it
+			// owned before the restart.
+			delete(c.channels, ch.qpns[n-1])
+		}
 		outage := now.Sub(ch.degradedAt)
 		c.recHist.Observe(int64(outage))
 		c.tel.Trace.Complete("ch.outage", c.track, ch.degradedAt, outage, int64(ch.Peer))
@@ -374,7 +416,7 @@ func (ch *Channel) proceedToFallback(cause error) {
 		return
 	}
 	c.Stats.ChannelsBroken++
-	c.logf("channel qpn=%d peer=%d beyond recovery: %v", ch.qp.QPN, ch.Peer, cause)
+	c.logf("channel qpn=%d peer=%d beyond recovery: %v", ch.QPN(), ch.Peer, cause)
 	ch.teardown(cause)
 }
 

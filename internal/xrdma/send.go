@@ -231,7 +231,7 @@ func (ch *Channel) transmit(ps *pendingSend, large bool) {
 	}
 	ch.sent[seq] = ps
 	h := wireHdr{
-		Kind: kind, Seq: seq, Ack: ch.rx.ackValue(),
+		Kind: kind, Ver: ch.negVer, Seq: seq, Ack: ch.rx.ackValue(),
 		MsgID: ps.msgID, Size: uint32(ps.size),
 	}
 	if ch.mx != nil {
@@ -239,9 +239,14 @@ func (ch *Channel) transmit(ps *pendingSend, large bool) {
 	}
 	if t := ch.tenant; t != nil {
 		t.noteSend(ch)
-		h.Flags |= flagTenant
-		h.Tenant = t.id
-		h.TLabel = t.label
+		if ch.peerCap(capTenant) {
+			// The label extension is negotiation-gated: local QoS accounting
+			// always runs, but wire bytes the peer did not advertise for are
+			// never emitted.
+			h.Flags |= flagTenant
+			h.Tenant = t.id
+			h.TLabel = t.label
+		}
 	}
 	if ps.oneWay {
 		h.Flags |= flagOneWay
@@ -260,7 +265,7 @@ func (ch *Channel) transmit(ps *pendingSend, large bool) {
 	var blameAcc *telemetry.PktBlame
 	if c.cfg.ReqRspMode && ch.mock == nil {
 		switch {
-		case kind == kindReq && !ps.oneWay && ch.blameSampled(ps.msgID):
+		case kind == kindReq && !ps.oneWay && ch.peerCap(capBlame) && ch.blameSampled(ps.msgID):
 			h.Flags |= flagTraced | flagBlame
 			h.T1 = int64(c.LocalClock())
 			blameAcc = &telemetry.PktBlame{}
@@ -386,6 +391,7 @@ func (ch *Channel) sendCtrlHdr(h *wireHdr) {
 		// yet to put a control frame on.
 		return
 	}
+	h.Ver = ch.negVer
 	h.Ack = ch.rx.ackValue()
 	if ch.mx != nil {
 		h.Chan = ch.peerCID
@@ -464,6 +470,13 @@ func (ch *Channel) handleInbound(cqe rnic.CQE) {
 	h, hdrLen, err := decodeHdr(cqe.Data)
 	ch.repostRecv(cqe.WRID)
 	if err != nil {
+		if errors.Is(err, errVersion) {
+			var wireVer uint8
+			if len(cqe.Data) > 2 {
+				wireVer = cqe.Data[2]
+			}
+			c.noteVerMismatch(ch.Peer, ch.QPN(), wireVer, wireVer)
+		}
 		c.logf("inbound decode error from peer %d: %v", ch.Peer, err)
 		return
 	}
@@ -486,9 +499,17 @@ func (ch *Channel) handleWire(h *wireHdr, pay []byte, overMock bool, rxBlame *te
 		ch.resumeOnRx = false
 		ch.pump()
 	}
-	// Piggybacked cumulative ack (Algorithm 1 sender RECV_MESSAGE).
+	// Piggybacked cumulative ack (Algorithm 1 sender RECV_MESSAGE). A
+	// rehydrated sender can hear an ack beyond its rewound send edge —
+	// the peer acked tail messages the restarted instance has not
+	// re-sequenced yet — so the edge clamps the ack; the replay re-earns
+	// the remainder when those sequence numbers are reassigned.
 	if h.Ack > ch.tx.acked {
-		ch.tx.ack(h.Ack)
+		ack := h.Ack
+		if ack > ch.tx.seq {
+			ack = ch.tx.seq
+		}
+		ch.tx.ack(ack)
 		ch.lastProgress = c.eng.Now()
 		ch.nopInFlight = false
 		ch.pump()
@@ -600,15 +621,24 @@ func (ch *Channel) handleWire(h *wireHdr, pay []byte, overMock bool, rxBlame *te
 				return
 			}
 			pullStart := c.eng.Now()
+			pullQP := ch.qp
 			c.flow.fetchRemote(ch.qp, raddr, rkey, buf, size, func(st rnic.Status) {
-				delete(ch.pulls, seqNo)
+				// A completion from a pre-recovery transport is stale news:
+				// the channel already cut over, and the replayed announce
+				// owns the pull marker for this sequence now.
+				stale := ch.qp != pullQP || ch.mock != nil
+				if !stale {
+					delete(ch.pulls, seqNo)
+				}
 				if ch.closed {
 					c.Mem.Free(buf)
 					return
 				}
 				if st != rnic.StatusOK {
 					c.Mem.Free(buf)
-					ch.fail(fmt.Errorf("xrdma: rendezvous read failed: %v", st))
+					if !stale {
+						ch.fail(fmt.Errorf("xrdma: rendezvous read failed: %v", st))
+					}
 					return
 				}
 				// The pull is one-sided READ residency: attribute it to the

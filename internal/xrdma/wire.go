@@ -15,6 +15,13 @@ import (
 const (
 	hdrMagic   = 0x5852 // "XR"
 	hdrVersion = 1
+	// hdrVersionMax is the highest header version this build understands.
+	// v2 frames share the v1 64-byte layout; the bump is a negotiation
+	// handle — a channel only emits v2 (and the capabilities gated on it,
+	// e.g. drain hints) after the hello handshake proves the peer accepts
+	// it. decodeHdr accepts the whole [hdrVersion, hdrVersionMax] range so
+	// mixed-version clusters interoperate without a synchronized restart.
+	hdrVersionMax = 2
 
 	hdrSize      = 64
 	traceExtSize = 16
@@ -89,6 +96,7 @@ const (
 // wireHdr is the decoded header.
 type wireHdr struct {
 	Kind  msgKind
+	Ver   uint8 // header version (0 encodes as hdrVersion; decode reports the peer's)
 	Flags uint16
 	Seq   uint64 // window sequence (0 for window-exempt kinds)
 	Ack   uint64 // piggybacked cumulative ack (receiver's RTA)
@@ -128,7 +136,11 @@ func (h *wireHdr) hasTenantExt() bool {
 // returns the number of bytes written.
 func (h *wireHdr) encode(buf []byte) int {
 	binary.LittleEndian.PutUint16(buf[0:], hdrMagic)
-	buf[2] = hdrVersion
+	if h.Ver == 0 {
+		buf[2] = hdrVersion
+	} else {
+		buf[2] = h.Ver
+	}
 	buf[3] = byte(h.Kind)
 	binary.LittleEndian.PutUint16(buf[4:], h.Flags)
 	binary.LittleEndian.PutUint32(buf[6:], h.Size)
@@ -185,6 +197,13 @@ func (h *wireHdr) wireBytes() int {
 // corruption).
 var errBadHeader = errors.New("xrdma: bad message header")
 
+// errVersion marks a structurally sound header whose version this build
+// does not speak. It is deliberately NOT errBadHeader: a fleet mid-upgrade
+// must be able to tell "peer runs a future release" apart from corruption,
+// so version mismatches get their own counter and flight category instead
+// of being misdiagnosed as bitrot.
+var errVersion = errors.New("xrdma: unsupported header version")
+
 // decode parses a header from buf.
 func decodeHdr(buf []byte) (wireHdr, int, error) {
 	var h wireHdr
@@ -194,9 +213,10 @@ func decodeHdr(buf []byte) (wireHdr, int, error) {
 	if binary.LittleEndian.Uint16(buf[0:]) != hdrMagic {
 		return h, 0, fmt.Errorf("%w: magic %#x", errBadHeader, binary.LittleEndian.Uint16(buf[0:]))
 	}
-	if buf[2] != hdrVersion {
-		return h, 0, fmt.Errorf("%w: version %d", errBadHeader, buf[2])
+	if buf[2] < hdrVersion || buf[2] > hdrVersionMax {
+		return h, 0, fmt.Errorf("%w: version %d", errVersion, buf[2])
 	}
+	h.Ver = buf[2]
 	h.Kind = msgKind(buf[3])
 	h.Flags = binary.LittleEndian.Uint16(buf[4:])
 	h.Size = binary.LittleEndian.Uint32(buf[6:])

@@ -1,13 +1,14 @@
 package xrdma
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
 
 func TestHdrRoundTrip(t *testing.T) {
 	h := wireHdr{
-		Kind: kindLargeReq, Flags: flagOneWay, Seq: 12345, Ack: 12000,
+		Kind: kindLargeReq, Ver: hdrVersion, Flags: flagOneWay, Seq: 12345, Ack: 12000,
 		MsgID: 999, Size: 1 << 20, Addr: 0x7f00_1234_0000, RKey: 42,
 	}
 	buf := make([]byte, h.wireBytes())
@@ -48,8 +49,16 @@ func TestHdrRejectsGarbage(t *testing.T) {
 	buf := make([]byte, hdrSize)
 	h.encode(buf)
 	buf[2] = 99 // wrong version
-	if _, _, err := decodeHdr(buf); err == nil {
-		t.Fatal("wrong version decoded")
+	if _, _, err := decodeHdr(buf); !errors.Is(err, errVersion) {
+		t.Fatalf("foreign version must surface errVersion, got %v", err)
+	}
+	buf[2] = 0 // below the negotiable floor
+	if _, _, err := decodeHdr(buf); !errors.Is(err, errVersion) {
+		t.Fatalf("version 0 must surface errVersion, got %v", err)
+	}
+	buf[2] = hdrVersionMax // top of the negotiable window decodes fine
+	if _, _, err := decodeHdr(buf); err != nil {
+		t.Fatalf("hdrVersionMax must decode: %v", err)
 	}
 	// Truncated trace extension.
 	ht := wireHdr{Kind: kindReq, Flags: flagTraced}
@@ -63,8 +72,11 @@ func TestHdrRejectsGarbage(t *testing.T) {
 // Property: encode/decode is the identity on all field values.
 func TestHdrRoundTripProperty(t *testing.T) {
 	prop := func(kind uint8, flags uint16, seq, ack, msgID, addr uint64, size, rkey uint32, t1 int64) bool {
+		// Ver ranges over the negotiable window; 0 encodes as hdrVersion
+		// and decodes back as the explicit value.
+		ver := hdrVersion + uint8(kind)%(hdrVersionMax-hdrVersion+1)
 		h := wireHdr{
-			Kind: msgKind(kind % 9), Flags: flags & (flagTraced | flagOneWay),
+			Kind: msgKind(kind % 9), Ver: ver, Flags: flags & (flagTraced | flagOneWay),
 			Seq: seq, Ack: ack, MsgID: msgID, Size: size, Addr: addr, RKey: rkey,
 		}
 		if h.Flags&flagTraced != 0 {
