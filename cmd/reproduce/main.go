@@ -19,7 +19,9 @@ import (
 	"sync"
 
 	"xrdma/internal/bench"
+	"xrdma/internal/sim"
 	"xrdma/internal/telemetry"
+	"xrdma/internal/xrmon"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func main() {
 	metricsProm := flag.Bool("metrics-prom", false, "print each world's metric registry in Prometheus exposition format")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline of every observed world to this file")
 	blamePath := flag.String("blame", "", "write each world's aggregate blame report (stage attribution) as JSON to this file")
+	monPath := flag.String("mon", "", "write each world's fleet-diagnosis report (xrmon epoch, agents, incidents) as JSON to this file")
 	flag.Parse()
 
 	reg := bench.Experiments()
@@ -80,6 +83,24 @@ func main() {
 		}
 		sc.Observe = col.Observe
 	}
+	// Fleet-diagnosis export: remember each observed world's xrmon
+	// collector (an engine-keyed singleton, so this attaches no new
+	// machinery and perturbs nothing) and dump the reports after the run.
+	var monMu sync.Mutex
+	var mons map[string]*xrmon.Collector
+	if *monPath != "" {
+		mons = map[string]*xrmon.Collector{}
+		prev := sc.Observe
+		sc.Observe = func(eng *sim.Engine, label string) {
+			if prev != nil {
+				prev(eng, label)
+			}
+			monMu.Lock()
+			mons[label] = xrmon.For(eng)
+			monMu.Unlock()
+		}
+	}
+
 	if *tracePath != "" && len(want) == 0 {
 		fmt.Fprintf(os.Stderr, "reproduce: warning: -trace without -only captures every experiment's timeline; "+
 			"rings truncate at %d events per world — use -only fig9,fig10 (or similar) for complete timelines\n",
@@ -127,6 +148,13 @@ func main() {
 				fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 				os.Exit(1)
 			}
+		}
+	}
+
+	if *monPath != "" {
+		if err := writeMon(mons, *monPath); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
 		}
 	}
 
@@ -247,6 +275,55 @@ func writeBlame(col *telemetry.Collector, path string) error {
 	} else {
 		fmt.Fprintf(os.Stderr, "reproduce: wrote %d blame report(s) to %s\n", worlds, path)
 	}
+	return nil
+}
+
+// writeMon emits each observed world's fleet-diagnosis report as one JSON
+// document: {"worlds":[{"label":...,"report":{...}},...]}, in label order
+// (deterministic across -j values). Worlds whose engines never created a
+// context have zero agents and are skipped.
+func writeMon(mons map[string]*xrmon.Collector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	labels := make([]string, 0, len(mons))
+	for label, col := range mons {
+		if len(col.Agents()) > 0 {
+			labels = append(labels, label)
+		}
+	}
+	sort.Strings(labels)
+	if _, err := f.WriteString(`{"worlds":[`); err != nil {
+		f.Close()
+		return err
+	}
+	for i, label := range labels {
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(f, `%s{"label":%q,"report":`, sep, label); err != nil {
+			f.Close()
+			return err
+		}
+		if err := mons[label].WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.WriteString("}"); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := f.WriteString("]}\n"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "reproduce: wrote %d fleet-diagnosis report(s) to %s\n", len(labels), path)
 	return nil
 }
 

@@ -305,7 +305,7 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Println("monitor samples for node 0 (QPs, mem, msgs):")
-	samples := c.Mon.Samples[0]
+	samples := c.Mon.History(0)
 	if len(samples) > 20 {
 		fmt.Printf("  (%d earlier samples elided)\n", len(samples)-20)
 		samples = samples[len(samples)-20:]

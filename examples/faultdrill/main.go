@@ -5,13 +5,16 @@
 // channel fall back to TCP, read the slow-poll log after the application
 // hogs its thread, and brown out a spine path to watch the path doctor
 // walk the verdict ladder, re-path via an ECMP flow-label rotation, and
-// cover a withheld response with a budgeted request retry. The closing
-// drill overloads a shared mux QP with a bulk elephant tenant and watches
-// the isolation plane hold the mouse tenant's tail, reject budget
-// overruns loudly, shed a late attach into the admission FIFO, and
-// recover everything once the flood stops; then a hot upgrade rolls both
-// ends of a live channel v1→v2 — drain, handoff blob, restart, rehydrate,
-// tail replay — without losing or duplicating a message.
+// cover a withheld response with a budgeted request retry. Later drills
+// overload a shared mux QP with a bulk elephant tenant and watch the
+// isolation plane hold the mouse tenant's tail, reject budget overruns
+// loudly, shed a late attach into the admission FIFO, and recover
+// everything once the flood stops; a hot upgrade rolls both ends of a
+// live channel v1→v2 — drain, handoff blob, restart, rehydrate, tail
+// replay — without losing or duplicating a message; and the closing
+// drill hands a gray access optic to the fleet diagnoser, which opens a
+// gray-link incident against the sick host, escalates as the evidence
+// concentrates, and closes it once the optic is replaced.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"xrdma/internal/sim"
 	"xrdma/internal/telemetry"
 	"xrdma/internal/xrdma"
+	"xrdma/internal/xrmon"
 )
 
 func main() {
@@ -574,6 +578,103 @@ func main() {
 	fmt.Printf("drill 9: fresh probe negotiates v%d\n", probe9)
 	fmt.Println("drill 9 upgrade timeline:")
 	for _, line := range inj9.Digest() {
+		fmt.Println("  " + line)
+	}
+
+	// ---- drill 10: fleet diagnosis — gray optic, incident lifecycle ----
+	// The XR-Mon collector watches an 8-node fleet while one host's access
+	// optic goes gray (loss + corruption, link stays up). Node 3 fans
+	// heavy one-way streams across the far ToR, so each peer catches only
+	// a sliver of the corruption while node 3 aggregates every flow's
+	// retransmits — the signature that pins a sick host rather than a
+	// sick fabric element. Node 2 runs a probe burst over the same bad
+	// link during the onset; its share of the symptoms holds the opening
+	// confidence down, and when the burst ends the incident escalates.
+	// Replacing the optic closes it after the quiet horizon.
+	nic10 := rnic.DefaultConfig()
+	nic10.RetransTimeout = 1 * sim.Millisecond
+	nic10.RetryLimit = 12 // the gray optic must stay gray
+	c10 := cluster.New(cluster.Options{
+		Topology: fabric.SmallClos(),
+		NICCfg:   nic10,
+		Nodes:    8,
+		Config: func(node int, cfg *xrdma.Config) {
+			cfg.StatsInterval = 2 * sim.Millisecond
+			cfg.PathDoctor = false // no self-healing: the diagnoser gets the stage
+			cfg.KeepaliveInterval = 2 * sim.Millisecond
+			cfg.KeepaliveTimeout = 8 * sim.Millisecond
+		},
+	})
+	col10 := xrmon.For(c10.Eng)
+	for i := 0; i < 8; i++ {
+		col10.SetLocation(int32(i), fmt.Sprintf("pod0-tor%d", i/4), "pod0")
+	}
+	// Small hot fleet: raise the symptom floor so a far-ToR peer's sliver
+	// of corrupt frames never reads as its own symptom, while node 2's
+	// probe burst (and of course node 3 itself) clears it.
+	// A longer open-hysteresis keeps the verdict from firing while the
+	// sliding windows are still ramping into the fault.
+	// A longer close-horizon rides through the stall dip after the probe
+	// burst ends instead of flapping the incident closed and reopen.
+	col10.Watch(xrmon.WatchConfig{GraySymptomMin: 30, OpenAfter: 6, CloseAfter: 16})
+	col10.OnIncident(func(inc *xrmon.Incident, ev string) {
+		fmt.Printf("drill 10 (fleet): t=%v %-8s class=%s culprit=%s conf=%d\n",
+			c10.Eng.Now(), ev, inc.Class, inc.Culprit, inc.Confidence)
+		if ev == "open" {
+			for _, e := range inc.Evidence {
+				fmt.Println("  evidence: " + e)
+			}
+		}
+	})
+	c10.ListenAll(7000, func(n *cluster.Node, ch *xrdma.Channel) {
+		ch.OnMessage(func(m *xrdma.Msg) { m.Reply(nil, 0) })
+	})
+	pairs10 := [][2]int{
+		{0, 4}, {1, 5}, {2, 6}, {3, 7}, {0, 1}, {2, 3}, {4, 5}, {6, 7},
+		{3, 4}, {3, 5}, {3, 6}, // node 3's far-ToR fan-out
+	}
+	var chans10 []*xrdma.Channel
+	c10.ConnectPairs(pairs10, 7000, func(chs []*xrdma.Channel) { chans10 = chs })
+	c10.Eng.Run()
+	heavy10 := []*xrdma.Channel{chans10[3], chans10[8], chans10[9], chans10[10]}
+	probing10 := false
+	var tick10 func()
+	tick10 = func() {
+		for _, ch := range chans10[:8] {
+			ch.SendMsg(make([]byte, 1024), 0, func(*xrdma.Msg, error) {})
+		}
+		for _, ch := range heavy10 {
+			ch.SendMsg(make([]byte, 1024), 0, nil)
+			ch.SendMsg(make([]byte, 1024), 0, nil)
+		}
+		if probing10 { // node 2's probe burst shares the gray link
+			for k := 0; k < 6; k++ {
+				chans10[5].SendMsg(make([]byte, 1024), 0, func(*xrdma.Msg, error) {})
+			}
+		}
+		c10.Eng.AfterBg(500*sim.Microsecond, tick10)
+	}
+	c10.Eng.AfterBg(500*sim.Microsecond, tick10)
+	inj10 := chaos.New(c10)
+	inj10.Schedule([]chaos.Step{
+		{At: 30 * sim.Millisecond, Name: "optic goes gray", Do: func(i *chaos.Injector) {
+			probing10 = true
+			i.HostBrownout(3, 0.15, 0.03, 20*sim.Microsecond)
+		}},
+		{At: 70 * sim.Millisecond, Name: "probe burst ends", Do: func(i *chaos.Injector) {
+			probing10 = false
+		}},
+		{At: 130 * sim.Millisecond, Name: "optic replaced", Do: func(i *chaos.Injector) {
+			i.ClearHostBrownout(3)
+		}},
+	})
+	c10.Eng.RunFor(250 * sim.Millisecond)
+	fmt.Println("drill 10 root-cause report:")
+	for _, line := range col10.Digest() {
+		fmt.Println("  " + line)
+	}
+	fmt.Println("drill 10 fault timeline:")
+	for _, line := range inj10.Digest() {
 		fmt.Println("  " + line)
 	}
 

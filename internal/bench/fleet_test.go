@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFleet is E26's acceptance bar: every injected fault class must be
+// diagnosed with exactly the expected incident class AND culprit, the
+// clean warm-up must produce zero incidents, and nothing may open that no
+// fault explains.
+func TestFleet(t *testing.T) {
+	r := Fleet(Quick())
+	if r.CleanOpens != 0 {
+		t.Errorf("clean warm-up opened %d incidents:\n%s", r.CleanOpens, strings.Join(r.Lines, "\n"))
+	}
+	if r.ExtraOpens != 0 {
+		t.Errorf("%d incidents match no injected fault:\n%s", r.ExtraOpens, strings.Join(r.Lines, "\n"))
+	}
+	for _, ph := range r.Phases {
+		if !ph.Hit {
+			t.Errorf("phase %s: no %s incident with culprit %q:\n%s",
+				ph.Name, ph.Class, ph.Culprit, strings.Join(r.Lines, "\n"))
+			continue
+		}
+		if ph.Conf <= 0 || ph.Epochs < 1 {
+			t.Errorf("phase %s: weak diagnosis conf=%d epochs=%d", ph.Name, ph.Conf, ph.Epochs)
+		}
+		// Transient faults heal and their incidents must close; the node
+		// crash is permanent and must still be open at the horizon.
+		if ph.Name == "node-crash" {
+			if ph.Closed {
+				t.Errorf("node-crash incident closed while the node is still down")
+			}
+		} else if !ph.Closed {
+			t.Errorf("phase %s: incident still open after the fault healed", ph.Name)
+		}
+	}
+}
+
+// TestFleetDeterministic: the full diagnosis digest — fault log, chaos
+// log, incident transitions — is bit-identical run-to-run and across
+// concurrent goroutines (each run owns its engine; nothing leaks).
+func TestFleetDeterministic(t *testing.T) {
+	want := strings.Join(Fleet(Quick()).Digest(), "\n")
+	if want == "" {
+		t.Fatal("empty digest")
+	}
+	if got := strings.Join(Fleet(Quick()).Digest(), "\n"); got != want {
+		t.Fatalf("sequential rerun diverged:\n--- first\n%s\n--- second\n%s", want, got)
+	}
+	got := make([]string, 4)
+	var wg sync.WaitGroup
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = strings.Join(Fleet(Quick()).Digest(), "\n")
+		}(i)
+	}
+	wg.Wait()
+	for i, g := range got {
+		if g != want {
+			t.Fatalf("concurrent run %d diverged from sequential digest", i)
+		}
+	}
+}

@@ -84,6 +84,9 @@ func Experiments() []Experiment {
 		{ID: "upgrade", Title: "Hot upgrade: version negotiation, graceful drain, rolling restart under live traffic", Run: func(sc Scale) []*Table {
 			return tables(Upgrade(sc).Table_)
 		}},
+		{ID: "fleet", Title: "Fleet diagnosis: cross-node anomaly detection, correlation, root-cause reports", Run: func(sc Scale) []*Table {
+			return tables(Fleet(sc).Table_)
+		}},
 		{ID: "loc", Title: "Lines-of-code comparison", Run: func(Scale) []*Table {
 			return tables(LoCComparison().Table_)
 		}},

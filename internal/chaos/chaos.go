@@ -113,6 +113,24 @@ func (i *Injector) ClearBrownout(a, b string) {
 	i.note(true, "brownout.clear %s<->%s", a, b)
 }
 
+// HostBrownout degrades one host's access link without killing it — the
+// gray "flaky optic at the NIC" class, pinned to a single machine so the
+// fleet diagnoser can name the culprit node.
+func (i *Injector) HostBrownout(node int, loss, corrupt float64, extra sim.Duration) {
+	if !i.C.Fab.SetHostLinkImpairment(fabric.NodeID(node), loss, corrupt, extra) {
+		panic(fmt.Sprintf("chaos: no host %d", node))
+	}
+	i.note(false, "hostlink.brownout %d loss=%g corrupt=%g extra=%v", node, loss, corrupt, extra)
+}
+
+// ClearHostBrownout removes a host-link impairment.
+func (i *Injector) ClearHostBrownout(node int) {
+	if !i.C.Fab.SetHostLinkImpairment(fabric.NodeID(node), 0, 0, 0) {
+		panic(fmt.Sprintf("chaos: no host %d", node))
+	}
+	i.note(true, "hostlink.brownout.clear %d", node)
+}
+
 // --- switch faults ----------------------------------------------------------
 
 // SwitchDown fails an entire switch (power loss): every attached link

@@ -117,6 +117,24 @@ func (f *Fabric) SetHostLink(id NodeID, up bool) bool {
 	return true
 }
 
+// SetHostLinkImpairment configures a brownout on one host's access link —
+// the gray "flaky optic at the NIC" class, pinned to a single machine:
+// loss probability, corruption probability and added latency, applied to
+// both directions. Zero values clear the impairment. Returns false for an
+// unknown host.
+func (f *Fabric) SetHostLinkImpairment(id NodeID, loss, corrupt float64, extra sim.Duration) bool {
+	h := f.hosts[id]
+	if h == nil {
+		return false
+	}
+	for _, pt := range [...]*Port{h.port, h.port.peer} {
+		pt.lossRate = loss
+		pt.corruptRate = corrupt
+		pt.extraDelay = extra
+	}
+	return true
+}
+
 func linkEvName(up bool) string {
 	if up {
 		return "link.up"

@@ -108,9 +108,14 @@ func (h Histogram) Count() int64 {
 	return h.h.count
 }
 
-// quantile returns an upper bound for the q-th percentile (0 < q ≤ 100)
-// from the log₂ buckets: the inclusive upper edge of the bucket where
-// the cumulative count crosses ⌈count·q/100⌉.
+// quantile estimates the q-th percentile (0 < q ≤ 100) from the log₂
+// buckets. The bucket where the cumulative count crosses ⌈count·q/100⌉
+// bounds the answer to [2^(i-1), 2^i); within the bucket the estimate
+// interpolates linearly by rank, assuming samples spread evenly across
+// the bucket's range. All arithmetic is integer, so the estimate is
+// bit-identical across runs; a rank landing on the last sample of a
+// bucket reports the bucket's inclusive upper edge, which keeps the
+// old coarse behaviour as the interpolation's boundary case.
 func (d *histData) quantile(q int64) int64 {
 	if d.count == 0 {
 		return 0
@@ -123,7 +128,13 @@ func (d *histData) quantile(q int64) int64 {
 			if i == 0 {
 				return 0
 			}
-			return (int64(1) << uint(i)) - 1
+			lo := int64(1) << uint(i-1)
+			hi := (int64(1) << uint(i)) - 1 // wraps to MaxInt64 for i=63, intentionally
+			rank := target - (cum - n)      // 1..n within this bucket
+			span := hi - lo
+			// span/n*rank + span%n*rank/n avoids overflowing the
+			// span·rank product for the huge top buckets.
+			return lo + span/n*rank + span%n*rank/n
 		}
 	}
 	return int64(^uint64(0) >> 1)
@@ -200,6 +211,40 @@ func (r *Registry) Unregister(name string) {
 			r.order = append(r.order[:i], r.order[i+1:]...)
 			break
 		}
+	}
+}
+
+// Probe is a pre-resolved read-only handle over a metric of any kind —
+// the zero-allocation way for a periodic sampler (the xrmon agents) to
+// read the same metric every tick without re-hashing its name. A probe
+// tracks its metric through GaugeFunc re-registration (the fn is
+// replaced on the same slot), but a name that is Unregistered and later
+// re-registered gets a fresh slot: holders must re-resolve then.
+type Probe struct{ m *metric }
+
+// Probe resolves a read handle; ok is false when the name is absent
+// (the returned probe then reads zero and reports Valid()==false).
+func (r *Registry) Probe(name string) (Probe, bool) {
+	m, ok := r.byName[name]
+	return Probe{m: m}, ok
+}
+
+// Valid reports whether the probe is bound to a metric.
+func (p Probe) Valid() bool { return p.m != nil }
+
+// Value evaluates the probed metric the way Registry.Value does
+// (histograms report their sample count); an unbound probe reads 0.
+func (p Probe) Value() int64 {
+	if p.m == nil {
+		return 0
+	}
+	switch p.m.kind {
+	case gaugeFuncKind:
+		return p.m.fn()
+	case histKind:
+		return p.m.h.count
+	default:
+		return p.m.v
 	}
 }
 
@@ -297,8 +342,10 @@ func promName(name string) string {
 // WritePrometheus emits every metric in the Prometheus text exposition
 // format (version 0.0.4): a # HELP and # TYPE line per family, then
 // the sample. Counters map to counter, gauges and gauge funcs to
-// gauge, and histograms to a summary (count, sum and p50/p99 quantile
-// samples from the log₂ buckets). Output is in sorted-name order so it
+// gauge, and histograms to native histogram families: one cumulative
+// `le` bucket per used log₂ bucket (upper edge 2^i-1, inclusive, which
+// matches Prometheus's ≤ semantics exactly), the mandatory le="+Inf"
+// bucket, then _sum and _count. Output is in sorted-name order so it
 // is deterministic across runs.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	ms := make([]*metric, len(r.order))
@@ -310,9 +357,23 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case counterKind:
 			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, m.name, name, name, m.v)
 		case histKind:
-			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, m.name, name)
-			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %d\n", name, m.h.quantile(50))
-			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", name, m.h.quantile(99))
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, m.name, name)
+			top := 0
+			for i, n := range m.h.buckets {
+				if n > 0 {
+					top = i
+				}
+			}
+			var cum int64
+			for i := 0; i <= top; i++ {
+				cum += m.h.buckets[i]
+				ub := int64(0)
+				if i > 0 {
+					ub = (int64(1) << uint(i)) - 1
+				}
+				fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, ub, cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, m.h.count)
 			fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, m.h.sum, name, m.h.count)
 		default:
 			v := m.v

@@ -8,17 +8,28 @@ import (
 
 	"xrdma/internal/fabric"
 	"xrdma/internal/sim"
+	"xrdma/internal/xrmon"
 )
 
 // Monitor is the centralized monitoring plane of §VI-B: contexts register
 // and periodically push samples; XR-Stat, XR-Ping's connection matrix and
-// the per-machine dashboards read from here.
+// the per-machine dashboards read from here. Since XR-Mon v2 the monitor
+// is a thin veneer over the per-node xrmon agents: registering a context
+// attaches an agent to the engine's fleet collector, the housekeeping
+// tick drives the agent's delta ring, and the legacy Sample history is
+// assembled from the agent's absolute watermarks into a bounded ring.
 type Monitor struct {
 	contexts map[fabric.NodeID]*Context
+	agents   map[fabric.NodeID]*xrmon.Agent
 
-	// Samples per node, appended on every context housekeeping tick.
-	Samples map[fabric.NodeID][]Sample
-	// cap per node to bound memory in long runs.
+	// Bounded per-node sample rings (see MaxSamples); read via History.
+	samples map[fabric.NodeID][]Sample
+	head    map[fabric.NodeID]int
+
+	// MaxSamples caps each node's retained samples: once a ring is
+	// full, new samples overwrite the oldest in place, so a long run's
+	// per-node memory is MaxSamples·sizeof(Sample) regardless of
+	// duration.
 	MaxSamples int
 }
 
@@ -43,12 +54,29 @@ type Sample struct {
 func NewMonitor() *Monitor {
 	return &Monitor{
 		contexts:   make(map[fabric.NodeID]*Context),
-		Samples:    make(map[fabric.NodeID][]Sample),
+		agents:     make(map[fabric.NodeID]*xrmon.Agent),
+		samples:    make(map[fabric.NodeID][]Sample),
+		head:       make(map[fabric.NodeID]int),
 		MaxSamples: 100000,
 	}
 }
 
-func (m *Monitor) register(c *Context) { m.contexts[c.Node()] = c }
+// register attaches a context and its xrmon agent. A restart re-registers
+// the same node: the collector keeps the agent (and its window history)
+// and re-binds its probes against the fresh gauge registrations.
+func (m *Monitor) register(c *Context) {
+	m.contexts[c.Node()] = c
+	node := int32(c.Node())
+	var trefs []xrmon.TenantRef
+	for _, t := range c.Tenants() {
+		trefs = append(trefs, xrmon.TenantRef{ID: t.ID(), Label: t.Name()})
+	}
+	m.agents[c.Node()] = xrmon.For(c.eng).RegisterAgent(
+		node, fmt.Sprintf("rnic.%d.", node), c.track+".", trefs)
+}
+
+// Agent returns the xrmon agent sampling a node (nil if unregistered).
+func (m *Monitor) Agent(id fabric.NodeID) *xrmon.Agent { return m.agents[id] }
 
 // Context returns a registered context by node.
 func (m *Monitor) Context(id fabric.NodeID) *Context { return m.contexts[id] }
@@ -63,37 +91,62 @@ func (m *Monitor) Nodes() []fabric.NodeID {
 	return out
 }
 
-// sample reads one observation off the metric registry. The monitor is a
-// pure registry consumer: every figure below comes from a gauge that the
-// context or NIC registered, not from reaching into their structs.
+// sample drives the node's xrmon agent (which reads the registry once
+// into its delta ring) and folds the agent's absolute watermarks into
+// the legacy Sample history. Still a pure registry consumer — every
+// figure comes from a gauge the context or NIC registered — but the
+// registry is now read exactly once per tick, by the agent.
 func (m *Monitor) sample(c *Context) {
-	reg := c.tel.Reg
-	get := func(name string) int64 {
-		v, _ := reg.Value(name)
-		return v
+	node := c.Node()
+	a := m.agents[node]
+	if a == nil {
+		return
 	}
-	xt := c.track + "."
-	nt := fmt.Sprintf("rnic.%d.", c.Node())
+	a.Sample(c.eng.Now())
 	s := Sample{
 		At:          c.eng.Now(),
-		Channels:    int(get(xt + "channels")),
-		QPs:         int(get(nt + "qps")),
-		MemOccupied: get(xt + "mem_occupied"),
-		MemInUse:    get(xt + "mem_inuse"),
-		MsgsSent:    get(nt + "msgs_sent"),
-		MsgsRecv:    get(nt + "msgs_recv"),
-		BytesSent:   get(nt + "bytes_sent"),
-		BytesRecv:   get(nt + "bytes_recv"),
-		RNRRecv:     get(nt + "rnr_nak_recv"),
-		Retransmits: get(nt + "retransmits"),
-		CNPRecv:     get(nt + "cnp_recv"),
-		SlowPolls:   get(xt + "slow_polls"),
+		Channels:    int(a.Abs(xrmon.SlotChannels)),
+		QPs:         int(a.Abs(xrmon.SlotQPs)),
+		MemOccupied: a.Abs(xrmon.SlotMemOccupied),
+		MemInUse:    a.Abs(xrmon.SlotMemInUse),
+		MsgsSent:    a.Abs(xrmon.SlotMsgsSent),
+		MsgsRecv:    a.Abs(xrmon.SlotMsgsRecv),
+		BytesSent:   a.Abs(xrmon.SlotBytesSent),
+		BytesRecv:   a.Abs(xrmon.SlotBytesRecv),
+		RNRRecv:     a.Abs(xrmon.SlotRNRRecv),
+		Retransmits: a.Abs(xrmon.SlotRetx),
+		CNPRecv:     a.Abs(xrmon.SlotCNPRecv),
+		SlowPolls:   a.Abs(xrmon.SlotSlowPolls),
 	}
-	node := c.Node()
-	m.Samples[node] = append(m.Samples[node], s)
-	if len(m.Samples[node]) > m.MaxSamples {
-		m.Samples[node] = m.Samples[node][1:]
+	buf := m.samples[node]
+	if len(buf) < m.MaxSamples {
+		m.samples[node] = append(buf, s)
+		return
 	}
+	h := m.head[node]
+	buf[h] = s
+	m.head[node] = (h + 1) % m.MaxSamples
+}
+
+// History returns a node's retained samples oldest-first. The slice is
+// a copy; at most MaxSamples entries are retained per node.
+func (m *Monitor) History(node fabric.NodeID) []Sample {
+	buf := m.samples[node]
+	out := make([]Sample, 0, len(buf))
+	h := m.head[node]
+	out = append(out, buf[h:]...)
+	out = append(out, buf[:h]...)
+	return out
+}
+
+// Latest returns a node's most recent sample; ok is false before the
+// first housekeeping tick.
+func (m *Monitor) Latest(node fabric.NodeID) (Sample, bool) {
+	buf := m.samples[node]
+	if len(buf) == 0 {
+		return Sample{}, false
+	}
+	return buf[(m.head[node]+len(buf)-1)%len(buf)], true
 }
 
 // --- XR-Stat (§VI-B) ----------------------------------------------------------
@@ -112,6 +165,18 @@ func XRStat(c *Context) string {
 	fmt.Fprintf(&b, "node %d: %d channels, mem occupy=%d in-use=%d, qp-cache=%d, drain=%s\n",
 		c.Node(), get("channels"), get("mem_occupied"), get("mem_inuse"), get("qp_cache"),
 		DrainState(get("drain_state")))
+	// Windowed rates from the node's xrmon agent ring (the last few
+	// housekeeping ticks), when the context is monitored.
+	if c.monitor != nil {
+		if a := c.monitor.Agent(c.Node()); a != nil && a.Len() >= 2 {
+			fmt.Fprintf(&b, "window(%d ticks): tx=%.0f msg/s %.0f B/s, rx=%.0f msg/s %.0f B/s, retx=%d rnr=%d corrupt=%d ka-fails=%d\n",
+				a.Len(),
+				a.WindowRate(xrmon.SlotMsgsSent), a.WindowRate(xrmon.SlotBytesSent),
+				a.WindowRate(xrmon.SlotMsgsRecv), a.WindowRate(xrmon.SlotBytesRecv),
+				a.WindowSum(xrmon.SlotRetx), a.WindowSum(xrmon.SlotRNRSent),
+				a.WindowSum(xrmon.SlotCorrupt), a.WindowSum(xrmon.SlotKaFails))
+		}
+	}
 	if dropped := c.trace.Dropped(); dropped > 0 {
 		fmt.Fprintf(&b, "trace ring truncated: %d records overwritten (cap %d)\n",
 			dropped, c.trace.ring.Cap())

@@ -724,13 +724,47 @@ func TestMonitorSamples(t *testing.T) {
 		cli.SendMsg(nil, 1024, func(*Msg, error) {})
 	}
 	w.eng.RunFor(20 * sim.Millisecond)
-	samples := w.mon.Samples[0]
+	samples := w.mon.History(0)
 	if len(samples) < 5 {
 		t.Fatalf("monitor collected %d samples", len(samples))
 	}
 	last := samples[len(samples)-1]
 	if last.Channels != 1 || last.MsgsSent == 0 || last.MemOccupied == 0 {
 		t.Fatalf("sample content wrong: %+v", last)
+	}
+	if got, ok := w.mon.Latest(0); !ok || got != last {
+		t.Fatalf("Latest(0) = %+v ok=%v, want tail of History", got, ok)
+	}
+}
+
+// MaxSamples must actually bound per-node sample memory in long runs:
+// the ring overwrites in place once full, so neither the slice length
+// nor its backing array may grow past the cap, and History returns the
+// newest MaxSamples observations oldest-first.
+func TestMonitorMaxSamplesBoundsMemory(t *testing.T) {
+	w := newWorld(t, 2, nil)
+	w.mon.MaxSamples = 64
+	c := w.ctxs[0]
+	for i := 0; i < 10000; i++ {
+		w.eng.RunFor(1 * sim.Microsecond) // advance the clock between samples
+		w.mon.sample(c)
+	}
+	buf := w.mon.samples[0]
+	if len(buf) != 64 || cap(buf) > 128 {
+		t.Fatalf("ring len=%d cap=%d, want len=64 and cap bounded near MaxSamples", len(buf), cap(buf))
+	}
+	h := w.mon.History(0)
+	if len(h) != 64 {
+		t.Fatalf("History returned %d samples, want 64", len(h))
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].At < h[i-1].At {
+			t.Fatalf("History out of order at %d: %v < %v", i, h[i].At, h[i-1].At)
+		}
+	}
+	latest, ok := w.mon.Latest(0)
+	if !ok || latest != h[63] {
+		t.Fatalf("Latest = %+v, want newest history entry", latest)
 	}
 }
 

@@ -1,0 +1,90 @@
+package xrmon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// incidentJSON is the export shape of one incident.
+type incidentJSON struct {
+	Class      string   `json:"class"`
+	Culprit    string   `json:"culprit"`
+	Nodes      []int32  `json:"nodes"`
+	OpenedAt   string   `json:"opened_at"`
+	LastSeen   string   `json:"last_seen"`
+	ClosedAt   string   `json:"closed_at,omitempty"`
+	Epochs     int      `json:"epochs"`
+	Confidence int      `json:"confidence"`
+	Closed     bool     `json:"closed"`
+	Evidence   []string `json:"evidence"`
+}
+
+// WriteJSON exports the full incident set (open and closed, in open
+// order) plus the epoch counter — the root-cause report surface.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Epoch     int64          `json:"epoch"`
+		Agents    int            `json:"agents"`
+		Incidents []incidentJSON `json:"incidents"`
+	}{Epoch: c.epoch, Agents: len(c.agents), Incidents: []incidentJSON{}}
+	for _, inc := range c.incidents {
+		ij := incidentJSON{
+			Class:      inc.Class.String(),
+			Culprit:    inc.Culprit,
+			Nodes:      inc.Nodes,
+			OpenedAt:   inc.OpenedAt.String(),
+			LastSeen:   inc.LastSeen.String(),
+			Epochs:     inc.Epochs,
+			Confidence: inc.Confidence,
+			Closed:     inc.Closed,
+			Evidence:   inc.Evidence,
+		}
+		if inc.Closed {
+			ij.ClosedAt = inc.ClosedAt.String()
+		}
+		doc.Incidents = append(doc.Incidents, ij)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WritePrometheus exposes the detector state in the text exposition
+// format. The collector writes its own families (xrmon_*) directly
+// rather than registering them in the engine's registry, so attaching
+// the plane never perturbs the registry digest the determinism tests
+// compare.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	fmt.Fprintf(w, "# HELP xrmon_epochs completed fleet sampling rounds\n# TYPE xrmon_epochs counter\nxrmon_epochs %d\n", c.epoch)
+	fmt.Fprintf(w, "# HELP xrmon_agents registered node agents\n# TYPE xrmon_agents gauge\nxrmon_agents %d\n", len(c.agents))
+	fmt.Fprintf(w, "# HELP xrmon_incidents_total incidents opened, by class\n# TYPE xrmon_incidents_total counter\n")
+	var totals [IncidentClassCount]int64
+	var open int64
+	for _, inc := range c.incidents {
+		totals[inc.Class]++
+		if !inc.Closed {
+			open++
+		}
+	}
+	for cl := IncidentClass(0); cl < IncidentClassCount; cl++ {
+		fmt.Fprintf(w, "xrmon_incidents_total{class=%q} %d\n", cl.String(), totals[cl])
+	}
+	fmt.Fprintf(w, "# HELP xrmon_incidents_open currently open incidents\n# TYPE xrmon_incidents_open gauge\nxrmon_incidents_open %d\n", open)
+	fmt.Fprintf(w, "# HELP xrmon_fleet_window fabric counter deltas over the sliding window\n# TYPE xrmon_fleet_window gauge\n")
+	for slot := 0; slot < FleetSlots; slot++ {
+		fmt.Fprintf(w, "xrmon_fleet_window{metric=%q} %d\n", fleetSlotName[slot], c.fleet.WindowSum(slot))
+	}
+	fmt.Fprintf(w, "# HELP xrmon_node_window per-node counter deltas over the sliding window\n# TYPE xrmon_node_window gauge\n")
+	for _, node := range c.sortedNodes() {
+		a := c.byNode[node]
+		for _, slot := range []int{SlotMsgsSent, SlotBytesSent, SlotRetx, SlotCorrupt, SlotRNRSent, SlotKaFails} {
+			_, err := fmt.Fprintf(w, "xrmon_node_window{node=\"%d\",metric=%q} %d\n",
+				node, nodeSlotDef[slot].suffix, a.WindowSum(slot))
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

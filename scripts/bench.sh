@@ -12,6 +12,8 @@
 # request/response round trip through the shared-QP demux plane.
 # BuddyAlloc's contract is allocs/op == 0 (CI-gated): steady-state buddy
 # alloc/free reuses free-list capacity and never touches the heap.
+# AgentSample's contract is allocs/op == 0 (CI-gated): the xrmon fleet
+# agent samples its delta ring on every node's housekeeping tick.
 #
 # Usage: scripts/bench.sh [output.json]   (default: BENCH_kernel.json)
 # Set REPRODUCE=1 to also time cmd/reproduce -full at -j 1 vs -j nproc
@@ -23,8 +25,8 @@ out="${1:-BENCH_kernel.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test ./internal/sim/ ./internal/telemetry/ ./internal/rnic/ -run '^$' \
-    -bench 'BenchmarkEngine|BenchmarkTelemetry|BenchmarkUntracedSendPath|BenchmarkTracedSendPath|BenchmarkOneSidedReadPath' -benchmem \
+go test ./internal/sim/ ./internal/telemetry/ ./internal/rnic/ ./internal/xrmon/ -run '^$' \
+    -bench 'BenchmarkEngine|BenchmarkTelemetry|BenchmarkUntracedSendPath|BenchmarkTracedSendPath|BenchmarkOneSidedReadPath|BenchmarkAgentSample' -benchmem \
     -benchtime=2s -count=1 | tee "$tmp" >&2
 go test ./internal/xrdma/ -run '^$' \
     -bench 'BenchmarkIdleChannelFootprint|BenchmarkMuxSharedQPSend|BenchmarkBuddyAlloc' -benchmem \
